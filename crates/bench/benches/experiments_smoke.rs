@@ -1,0 +1,29 @@
+//! Smoke benchmarks of the experiment harness itself: each headline
+//! experiment runs end to end at `Scale::Tiny`, so `cargo bench` both
+//! validates and times the full reproduction path for every figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ubrc_bench::experiments;
+use ubrc_workloads::Scale;
+
+fn bench_experiments(c: &mut Criterion) {
+    let targets: [(&str, experiments::ExperimentFn); 5] = [
+        ("exp_fig7_indexing", experiments::fig7),
+        ("exp_fig8_breakdown", experiments::fig8),
+        ("exp_fig9_bandwidth", experiments::fig9),
+        ("exp_table2_metrics", experiments::table2),
+        ("exp_douse_accuracy", experiments::douse_accuracy),
+    ];
+    for (name, f) in targets {
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(f(Scale::Tiny).len()));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_experiments
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end simulator throughput: cycles of the Table 1 machine
+//! simulated per wall-clock second, under each register-storage
+//! organization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ubrc_core::TwoLevelConfig;
+use ubrc_sim::{simulate_workload, RegStorage, SimConfig};
+use ubrc_workloads::{workload_by_name, Scale};
+
+fn bench_storage_organizations(c: &mut Criterion) {
+    let w = workload_by_name("crc", Scale::Tiny).expect("kernel exists");
+    let configs = [
+        ("sim_use_based_cache", SimConfig::paper_default()),
+        (
+            "sim_monolithic_rf3",
+            SimConfig::table1(RegStorage::Monolithic {
+                read_latency: 3,
+                write_latency: 3,
+            }),
+        ),
+        (
+            "sim_two_level",
+            SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig::optimistic(96))),
+        ),
+    ];
+    for (name, cfg) in configs {
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(simulate_workload(&w, cfg.clone()).cycles));
+        });
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for name in ["qsort", "listchase", "fib"] {
+        let w = workload_by_name(name, Scale::Tiny).expect("kernel exists");
+        c.bench_function(&format!("sim_kernel_{name}"), |b| {
+            b.iter(|| black_box(simulate_workload(&w, SimConfig::paper_default()).cycles));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_storage_organizations, bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the core hardware structures: the register
+//! cache's write/read/replacement path, the decoupled index assigners,
+//! and the front-end predictors.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ubrc_core::{IndexAssigner, IndexPolicy, PhysReg, RegCacheConfig, RegisterCache};
+use ubrc_frontend::{DegreeOfUsePredictor, GlobalHistory, Yags};
+use ubrc_memsys::{Cache, CacheConfig};
+
+fn bench_register_cache(c: &mut Criterion) {
+    c.bench_function("regcache_write_read_free", |b| {
+        let mut cache = RegisterCache::new(RegCacheConfig::use_based(64, 2), 512);
+        let mut now = 0u64;
+        for p in 0..512u16 {
+            cache.produce(PhysReg(p));
+        }
+        b.iter(|| {
+            for p in 0..256u16 {
+                let set = (p % 32) as u16;
+                now += 1;
+                cache.free(PhysReg(p), set, now);
+                cache.produce(PhysReg(p));
+                cache.write(PhysReg(p), set, 2, false, 0, now);
+                black_box(cache.read(PhysReg(p), set, now + 1));
+                black_box(cache.read(PhysReg(p), set, now + 2));
+            }
+        });
+    });
+}
+
+fn bench_index_assigners(c: &mut Criterion) {
+    for (name, policy) in [
+        ("assign_round_robin", IndexPolicy::RoundRobin),
+        ("assign_minimum", IndexPolicy::Minimum),
+        ("assign_filtered", IndexPolicy::FilteredRoundRobin),
+    ] {
+        c.bench_function(name, |b| {
+            let mut a = IndexAssigner::new(policy, 32, 2);
+            let mut i = 0u16;
+            b.iter(|| {
+                let set = a.assign(PhysReg(i % 512), (i % 8) as u8);
+                a.release(set, (i % 8) as u8);
+                i = i.wrapping_add(1);
+                black_box(set)
+            });
+        });
+    }
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    c.bench_function("yags_predict_update", |b| {
+        let mut yags = Yags::default();
+        let mut hist = GlobalHistory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x1000 + (i % 257) * 4;
+            let taken = i % 3 == 0;
+            let pred = yags.predict(pc, hist);
+            yags.update(pc, hist, taken, pred);
+            hist.push(taken);
+            i += 1;
+            black_box(pred)
+        });
+    });
+    c.bench_function("douse_train_predict", |b| {
+        let mut p = DegreeOfUsePredictor::default();
+        let hist = GlobalHistory::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let pc = 0x1000 + (i % 511) * 4;
+            p.train(pc, hist, (i % 4) as u8);
+            i += 1;
+            black_box(p.predict(pc, hist))
+        });
+    });
+}
+
+fn bench_data_cache(c: &mut Criterion) {
+    c.bench_function("l1_cache_access_fill", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 2,
+        });
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096 + 64);
+            if !cache.access(addr % (1 << 20)) {
+                cache.fill(addr % (1 << 20));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_register_cache, bench_index_assigners, bench_predictors, bench_data_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Experiment harness CLI: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <id|all> [--scale tiny|small|default]
+//! ```
+
+use std::time::Instant;
+use ubrc_bench::experiments::registry;
+use ubrc_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut scale = Scale::Default;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("default") | None => Scale::Default,
+                    Some(other) => {
+                        eprintln!("unknown scale `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other if which.is_none() => which = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let reg = registry();
+    let Some(which) = which else {
+        eprintln!(
+            "usage: experiments <id|all> [--scale tiny|small|default]\n\navailable experiments:"
+        );
+        for (id, desc, _) in &reg {
+            eprintln!("  {id:<16} {desc}");
+        }
+        std::process::exit(2);
+    };
+
+    let selected: Vec<_> = if which == "all" {
+        reg
+    } else {
+        let found: Vec<_> = reg.into_iter().filter(|(id, _, _)| *id == which).collect();
+        if found.is_empty() {
+            eprintln!("unknown experiment `{which}` (try `all`)");
+            std::process::exit(2);
+        }
+        found
+    };
+
+    for (id, desc, f) in selected {
+        let t0 = Instant::now();
+        let table = f(scale);
+        println!(
+            "## {id} — {desc}  [scale={scale:?}, {:.1}s]",
+            t0.elapsed().as_secs_f64()
+        );
+        println!("{table}");
+    }
+}

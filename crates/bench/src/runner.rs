@@ -1,0 +1,80 @@
+use ubrc_sim::{simulate_workload, SimConfig, SimResult};
+use ubrc_stats::geomean;
+use ubrc_workloads::{suite, Scale};
+
+/// Results of running the full benchmark suite under one configuration.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Per-benchmark `(name, result)` pairs in suite order.
+    pub runs: Vec<(&'static str, SimResult)>,
+}
+
+impl SuiteResult {
+    /// Geometric-mean IPC across the suite.
+    pub fn geomean_ipc(&self) -> f64 {
+        let ipcs: Vec<f64> = self.runs.iter().map(|(_, r)| r.ipc()).collect();
+        geomean(&ipcs).unwrap_or(0.0)
+    }
+
+    /// Arithmetic mean of a per-benchmark metric, skipping benchmarks
+    /// where the metric is undefined.
+    pub fn mean_of<F>(&self, f: F) -> Option<f64>
+    where
+        F: Fn(&SimResult) -> Option<f64>,
+    {
+        let vals: Vec<f64> = self.runs.iter().filter_map(|(_, r)| f(r)).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// Runs the whole kernel suite under `config`, one thread per kernel.
+pub fn run_suite(config: &SimConfig, scale: Scale) -> SuiteResult {
+    let workloads = suite(scale);
+    let mut runs: Vec<Option<(&'static str, SimResult)>> = Vec::new();
+    runs.resize_with(workloads.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, w) in runs.iter_mut().zip(&workloads) {
+            let cfg = config.clone();
+            scope.spawn(move || {
+                *slot = Some((w.name, simulate_workload(w, cfg)));
+            });
+        }
+    });
+    SuiteResult {
+        runs: runs
+            .into_iter()
+            .map(|r| r.expect("thread completed"))
+            .collect(),
+    }
+}
+
+/// Convenience: geometric-mean IPC of the suite under `config`.
+pub fn suite_geomean_ipc(config: &SimConfig, scale: Scale) -> f64 {
+    run_suite(config, scale).geomean_ipc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_in_parallel_and_orders_results() {
+        let r = run_suite(&SimConfig::paper_default(), Scale::Tiny);
+        assert_eq!(r.runs.len(), 12);
+        assert_eq!(r.runs[0].0, "qsort");
+        assert!(r.geomean_ipc() > 0.1);
+    }
+
+    #[test]
+    fn mean_of_skips_undefined_metrics() {
+        let r = run_suite(&SimConfig::paper_default(), Scale::Tiny);
+        let m = r.mean_of(|res| res.regcache.as_ref().and_then(|c| c.miss_rate()));
+        assert!(m.unwrap() > 0.0);
+        let none = r.mean_of(|_| None::<f64>);
+        assert!(none.is_none());
+    }
+}

@@ -1,0 +1,172 @@
+use crate::PhysReg;
+
+/// Access tallies for the backing register file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackingStats {
+    /// Reads (one per register-cache miss).
+    pub reads: u64,
+    /// Writes (every produced value writes the backing file).
+    pub writes: u64,
+    /// Cycles of extra delay caused by read-port contention.
+    pub port_contention_cycles: u64,
+    /// Cycles of extra delay waiting for the producer's backing-file
+    /// write to complete.
+    pub write_wait_cycles: u64,
+}
+
+/// The multi-cycle backing register file behind a register cache
+/// (§2.2 of the paper).
+///
+/// Every produced value is written here (the cache may drop values; the
+/// backing file may not). Because the cache filters almost all reads, a
+/// *single* read port suffices; simultaneous misses arbitrate for it.
+/// A miss read must also wait until the producer's write has completed.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_core::{BackingFile, PhysReg};
+///
+/// let mut bf = BackingFile::new(2, 2, 512);
+/// bf.write(PhysReg(4), 100);          // write completes at cycle 102
+/// let ready = bf.read(PhysReg(4), 101);
+/// assert_eq!(ready, 104);             // waits for the write, then 2-cycle read
+/// ```
+#[derive(Clone, Debug)]
+pub struct BackingFile {
+    read_latency: u32,
+    write_latency: u32,
+    write_done: Vec<u64>,
+    read_port_free: Vec<u64>,
+    stats: BackingStats,
+}
+
+impl BackingFile {
+    /// Creates a backing file with the given read/write latencies (the
+    /// paper's default is 2 cycles each) for `num_pregs` registers.
+    pub fn new(read_latency: u32, write_latency: u32, num_pregs: usize) -> Self {
+        Self::with_read_ports(read_latency, write_latency, num_pregs, 1)
+    }
+
+    /// Creates a backing file with `read_ports` shared read ports (the
+    /// paper argues one suffices; the port ablation experiment checks
+    /// that claim).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_ports` is zero.
+    pub fn with_read_ports(
+        read_latency: u32,
+        write_latency: u32,
+        num_pregs: usize,
+        read_ports: usize,
+    ) -> Self {
+        assert!(read_ports > 0, "need at least one read port");
+        Self {
+            read_latency,
+            write_latency,
+            write_done: vec![0; num_pregs],
+            read_port_free: vec![0; read_ports],
+            stats: BackingStats::default(),
+        }
+    }
+
+    /// Read latency in cycles.
+    pub fn read_latency(&self) -> u32 {
+        self.read_latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BackingStats {
+        &self.stats
+    }
+
+    /// Records the write of a produced value starting at `now`; the
+    /// value becomes readable once the write completes.
+    pub fn write(&mut self, preg: PhysReg, now: u64) {
+        self.stats.writes += 1;
+        self.write_done[preg.0 as usize] = now + self.write_latency as u64;
+    }
+
+    /// Schedules a miss read issued at `now`. Returns the cycle at
+    /// which the value is available to the consumer, accounting for the
+    /// single read port and the producer's write completion (§5.2).
+    pub fn read(&mut self, preg: PhysReg, now: u64) -> u64 {
+        self.stats.reads += 1;
+        let write_done = self.write_done[preg.0 as usize];
+        // Arbitrate for the earliest-free read port.
+        let port = self
+            .read_port_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .map(|(i, _)| i)
+            .expect("at least one port");
+        let start = now.max(self.read_port_free[port]).max(write_done);
+        self.stats.port_contention_cycles += start.saturating_sub(now.max(write_done));
+        self.stats.write_wait_cycles += write_done.saturating_sub(now);
+        // Each port is pipelined: busy for one cycle per read.
+        self.read_port_free[port] = start + 1;
+        start + self.read_latency as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_write_completes_is_unobstructed() {
+        let mut bf = BackingFile::new(2, 2, 16);
+        bf.write(PhysReg(1), 10); // done at 12
+        assert_eq!(bf.read(PhysReg(1), 20), 22);
+        assert_eq!(bf.stats().write_wait_cycles, 0);
+    }
+
+    #[test]
+    fn read_waits_for_write_completion() {
+        let mut bf = BackingFile::new(2, 2, 16);
+        bf.write(PhysReg(1), 10); // done at 12
+        assert_eq!(bf.read(PhysReg(1), 10), 14);
+        assert_eq!(bf.stats().write_wait_cycles, 2);
+    }
+
+    #[test]
+    fn simultaneous_misses_serialize_on_the_port() {
+        let mut bf = BackingFile::new(2, 2, 16);
+        bf.write(PhysReg(1), 0);
+        bf.write(PhysReg(2), 0);
+        bf.write(PhysReg(3), 0);
+        assert_eq!(bf.read(PhysReg(1), 10), 12);
+        assert_eq!(bf.read(PhysReg(2), 10), 13); // port busy at 10
+        assert_eq!(bf.read(PhysReg(3), 10), 14);
+        assert_eq!(bf.stats().port_contention_cycles, 3);
+        assert_eq!(bf.stats().reads, 3);
+    }
+
+    #[test]
+    fn extra_read_ports_remove_contention() {
+        let mut bf = BackingFile::with_read_ports(2, 2, 16, 2);
+        bf.write(PhysReg(1), 0);
+        bf.write(PhysReg(2), 0);
+        bf.write(PhysReg(3), 0);
+        assert_eq!(bf.read(PhysReg(1), 10), 12);
+        assert_eq!(bf.read(PhysReg(2), 10), 12); // second port
+        assert_eq!(bf.read(PhysReg(3), 10), 13); // both busy
+        assert_eq!(bf.stats().port_contention_cycles, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read port")]
+    fn zero_ports_rejected() {
+        let _ = BackingFile::with_read_ports(2, 2, 4, 0);
+    }
+
+    #[test]
+    fn different_latencies_respected() {
+        let mut bf = BackingFile::new(5, 3, 16);
+        bf.write(PhysReg(0), 100); // done 103
+        assert_eq!(bf.read(PhysReg(0), 100), 108);
+        assert_eq!(bf.read_latency(), 5);
+    }
+}

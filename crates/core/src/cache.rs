@@ -1,0 +1,779 @@
+use crate::policy::{InsertionPolicy, RegCacheConfig, ReplacementPolicy};
+use crate::PhysReg;
+use ubrc_stats::TimeWeighted;
+
+/// Result of presenting a produced value to the cache-write port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The value was written into a cache entry.
+    Inserted,
+    /// The insertion policy filtered the write (a later read of this
+    /// value will miss with [`MissClass::NotWritten`]).
+    Filtered,
+}
+
+/// Classification of a register-cache read miss (Figure 8 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissClass {
+    /// The value was never written into the cache (filtered at insert).
+    NotWritten,
+    /// The value was evicted and a fully-associative cache of the same
+    /// capacity would also have evicted it.
+    Capacity,
+    /// The value was evicted but still resides in the fully-associative
+    /// shadow: a conflict miss.
+    Conflict,
+    /// Classification disabled ([`RegCacheConfig::classify_misses`] is
+    /// false).
+    Unclassified,
+}
+
+/// Statistics accumulated by a [`RegisterCache`].
+///
+/// Everything needed for Figures 8-10 and Table 2 of the paper.
+#[derive(Clone, Debug, Default)]
+pub struct RegCacheStats {
+    /// Read-port lookups (one per source operand that reaches the
+    /// cache).
+    pub reads: u64,
+    /// Lookups that hit.
+    pub read_hits: u64,
+    /// Lookups that missed.
+    pub read_misses: u64,
+    /// Misses on values never written (insertion-filtered).
+    pub misses_not_written: u64,
+    /// Misses a same-capacity fully-associative cache would share.
+    pub misses_capacity: u64,
+    /// Misses caused by set conflicts.
+    pub misses_conflict: u64,
+    /// Values presented to the write port.
+    pub writes_attempted: u64,
+    /// Values actually written.
+    pub writes_inserted: u64,
+    /// Values filtered by the insertion policy.
+    pub writes_filtered: u64,
+    /// Fills performed after misses.
+    pub fills: u64,
+    /// Evictions (replacement victims; invalidations not included).
+    pub evictions: u64,
+    /// Evictions whose victim had zero remaining uses.
+    pub evictions_zero_use: u64,
+    /// Values produced (one per renamed destination).
+    pub values_produced: u64,
+    /// Values whose physical register has been freed.
+    pub values_freed: u64,
+    /// Freed values that never occupied a cache entry at all.
+    pub values_never_cached: u64,
+    /// Entry-creation events (initial writes + fills) — "times each
+    /// value is cached" uses this.
+    pub cached_events: u64,
+    /// Entries that reached eviction/invalidation without ever being
+    /// read.
+    pub cached_never_read: u64,
+    /// Sum of entry lifetimes in cycles (creation to eviction or
+    /// invalidation).
+    pub entry_lifetime_sum: u64,
+    /// Entries whose lifetime has completed.
+    pub entry_lifetime_count: u64,
+    /// Time-weighted occupancy tracker.
+    pub occupancy: TimeWeighted,
+}
+
+impl RegCacheStats {
+    /// Miss rate per operand lookup.
+    pub fn miss_rate(&self) -> Option<f64> {
+        if self.reads == 0 {
+            None
+        } else {
+            Some(self.read_misses as f64 / self.reads as f64)
+        }
+    }
+
+    /// Table 2: average reads served per cached value.
+    pub fn reads_per_cached_value(&self) -> Option<f64> {
+        if self.cached_events == 0 {
+            None
+        } else {
+            Some(self.read_hits as f64 / self.cached_events as f64)
+        }
+    }
+
+    /// Table 2: average number of times each produced value is cached.
+    pub fn cache_count_per_value(&self) -> Option<f64> {
+        if self.values_produced == 0 {
+            None
+        } else {
+            Some(self.cached_events as f64 / self.values_produced as f64)
+        }
+    }
+
+    /// Table 2: average entry lifetime in cycles.
+    pub fn avg_entry_lifetime(&self) -> Option<f64> {
+        if self.entry_lifetime_count == 0 {
+            None
+        } else {
+            Some(self.entry_lifetime_sum as f64 / self.entry_lifetime_count as f64)
+        }
+    }
+
+    /// Figure 10: fraction of cached values never read.
+    pub fn frac_cached_never_read(&self) -> Option<f64> {
+        if self.cached_events == 0 {
+            None
+        } else {
+            Some(self.cached_never_read as f64 / self.cached_events as f64)
+        }
+    }
+
+    /// Figure 10: fraction of initial writes filtered from the cache.
+    pub fn frac_writes_filtered(&self) -> Option<f64> {
+        if self.writes_attempted == 0 {
+            None
+        } else {
+            Some(self.writes_filtered as f64 / self.writes_attempted as f64)
+        }
+    }
+
+    /// Figure 10: fraction of retired values never cached at all.
+    pub fn frac_never_cached(&self) -> Option<f64> {
+        if self.values_freed == 0 {
+            None
+        } else {
+            Some(self.values_never_cached as f64 / self.values_freed as f64)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    preg: u16,
+    uses: u8,
+    pinned: bool,
+    lru: u64,
+    reads: u64,
+    inserted_at: u64,
+    valid: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PregState {
+    /// The current value has occupied a cache entry at least once.
+    ever_cached: bool,
+    /// A value is live in this physical register (produce..free).
+    active: bool,
+}
+
+/// The register cache (§2.2-§3 of the paper).
+///
+/// A small set-associative cache over physical register values, with
+/// per-entry remaining-use counters. The *set* for each value is chosen
+/// externally (decoupled indexing, see [`crate::IndexAssigner`]) and
+/// passed to every operation; the full physical register tag is stored
+/// in the entry.
+///
+/// See the crate documentation for a usage example.
+#[derive(Clone, Debug)]
+pub struct RegisterCache {
+    config: RegCacheConfig,
+    sets: usize,
+    entries: Vec<Entry>,
+    tick: u64,
+    valid_count: usize,
+    per_preg: Vec<PregState>,
+    stats: RegCacheStats,
+    shadow: Option<Box<RegisterCache>>,
+}
+
+impl RegisterCache {
+    /// Creates an empty cache for a machine with `num_pregs` physical
+    /// registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`RegCacheConfig::sets`]).
+    pub fn new(config: RegCacheConfig, num_pregs: usize) -> Self {
+        let sets = config.sets();
+        let shadow = config.classify_misses.then(|| {
+            let shadow_config = RegCacheConfig {
+                ways: config.entries,
+                classify_misses: false,
+                ..config
+            };
+            Box::new(RegisterCache::new(shadow_config, num_pregs))
+        });
+        Self {
+            config,
+            sets,
+            entries: vec![Entry::default(); config.entries],
+            tick: 0,
+            valid_count: 0,
+            per_preg: vec![PregState::default(); num_pregs],
+            stats: RegCacheStats::default(),
+            shadow,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RegCacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &RegCacheStats {
+        &self.stats
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.valid_count
+    }
+
+    /// Flushes the occupancy integral up to `now`. Call once at the end
+    /// of simulation before reading `stats().occupancy.average(now)`.
+    pub fn finalize(&mut self, now: u64) {
+        self.stats.occupancy.update(now, self.valid_count as f64);
+        if let Some(s) = &mut self.shadow {
+            s.finalize(now);
+        }
+    }
+
+    fn set_slice(&mut self, set: u16) -> &mut [Entry] {
+        let s = set as usize % self.sets;
+        let w = self.config.ways;
+        &mut self.entries[s * w..(s + 1) * w]
+    }
+
+    fn find(&self, preg: PhysReg, set: u16) -> Option<usize> {
+        let s = set as usize % self.sets;
+        let w = self.config.ways;
+        (s * w..(s + 1) * w).find(|&i| self.entries[i].valid && self.entries[i].preg == preg.0)
+    }
+
+    fn note_occupancy(&mut self, now: u64) {
+        self.stats.occupancy.update(now, self.valid_count as f64);
+    }
+
+    /// Declares a newly renamed destination value. Must be called once
+    /// per produced value, before its `write`.
+    pub fn produce(&mut self, preg: PhysReg) {
+        let st = &mut self.per_preg[preg.0 as usize];
+        debug_assert!(!st.active, "produce() on a live physical register");
+        *st = PregState {
+            ever_cached: false,
+            active: true,
+        };
+        self.stats.values_produced += 1;
+        if let Some(s) = &mut self.shadow {
+            s.produce(preg);
+        }
+    }
+
+    /// Retires one entry's lifetime statistics.
+    fn close_entry(&mut self, e: Entry, now: u64) {
+        self.stats.entry_lifetime_sum += now.saturating_sub(e.inserted_at);
+        self.stats.entry_lifetime_count += 1;
+        if e.reads == 0 {
+            self.stats.cached_never_read += 1;
+        }
+    }
+
+    /// Installs `preg` into `set`, evicting if necessary.
+    fn insert(&mut self, preg: PhysReg, set: u16, uses: u8, pinned: bool, now: u64) {
+        debug_assert!(self.find(preg, set).is_none(), "double insert");
+        self.tick += 1;
+        let tick = self.tick;
+        let replacement = self.config.replacement;
+        let slice = self.set_slice(set);
+        let victim_idx = if let Some((i, _)) = slice.iter().enumerate().find(|(_, e)| !e.valid) {
+            i
+        } else {
+            let (i, _) = slice
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| match replacement {
+                    ReplacementPolicy::Lru => (false, 0u8, e.lru),
+                    ReplacementPolicy::FewestUses => (e.pinned, e.uses, e.lru),
+                })
+                .expect("ways >= 1");
+            i
+        };
+        let victim = slice[victim_idx];
+        slice[victim_idx] = Entry {
+            preg: preg.0,
+            uses,
+            pinned,
+            lru: tick,
+            reads: 0,
+            inserted_at: now,
+            valid: true,
+        };
+        if victim.valid {
+            self.stats.evictions += 1;
+            if victim.uses == 0 && !victim.pinned {
+                self.stats.evictions_zero_use += 1;
+            }
+            self.close_entry(victim, now);
+        } else {
+            self.valid_count += 1;
+        }
+        self.per_preg[preg.0 as usize].ever_cached = true;
+        self.stats.cached_events += 1;
+        self.note_occupancy(now);
+    }
+
+    /// Presents a produced value to the write port, the cycle after its
+    /// execution completes.
+    ///
+    /// * `remaining` — predicted uses still outstanding after
+    ///   first-stage bypasses were deducted (from [`crate::UseTracker`]);
+    /// * `pinned` — the predicted degree saturated at
+    ///   [`RegCacheConfig::max_use_count`];
+    /// * `first_stage_bypasses` — consumers satisfied from the bypass
+    ///   network before this write (the non-bypass policy keys on it).
+    pub fn write(
+        &mut self,
+        preg: PhysReg,
+        set: u16,
+        remaining: u8,
+        pinned: bool,
+        first_stage_bypasses: u32,
+        now: u64,
+    ) -> WriteOutcome {
+        self.stats.writes_attempted += 1;
+        let insert = match self.config.insertion {
+            InsertionPolicy::WriteAll => true,
+            InsertionPolicy::NonBypass => first_stage_bypasses == 0,
+            InsertionPolicy::UseBased => pinned || remaining > 0,
+        };
+        if !insert {
+            self.stats.writes_filtered += 1;
+            if let Some(s) = &mut self.shadow {
+                s.write(preg, 0, remaining, pinned, first_stage_bypasses, now);
+            }
+            return WriteOutcome::Filtered;
+        }
+        self.stats.writes_inserted += 1;
+        self.insert(preg, set, remaining, pinned, now);
+        if let Some(s) = &mut self.shadow {
+            s.write(preg, 0, remaining, pinned, first_stage_bypasses, now);
+        }
+        WriteOutcome::Inserted
+    }
+
+    /// Looks up a source operand. On a hit the remaining-use counter is
+    /// decremented (unless pinned) and `true` is returned. On a miss the
+    /// miss is classified into the statistics and `false` is returned;
+    /// the caller fetches the value from the backing file and calls
+    /// [`RegisterCache::fill`].
+    pub fn read(&mut self, preg: PhysReg, set: u16, now: u64) -> bool {
+        self.stats.reads += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.find(preg, set) {
+            let e = &mut self.entries[i];
+            e.lru = tick;
+            e.reads += 1;
+            if !e.pinned {
+                e.uses = e.uses.saturating_sub(1);
+            }
+            self.stats.read_hits += 1;
+            if let Some(s) = &mut self.shadow {
+                s.read(preg, 0, now);
+            }
+            return true;
+        }
+        self.stats.read_misses += 1;
+        let class = self.classify_miss(preg);
+        match class {
+            MissClass::NotWritten => self.stats.misses_not_written += 1,
+            MissClass::Capacity => self.stats.misses_capacity += 1,
+            MissClass::Conflict => self.stats.misses_conflict += 1,
+            MissClass::Unclassified => {}
+        }
+        if let Some(s) = &mut self.shadow {
+            s.read(preg, 0, now);
+        }
+        false
+    }
+
+    fn classify_miss(&self, preg: PhysReg) -> MissClass {
+        let Some(shadow) = &self.shadow else {
+            return MissClass::Unclassified;
+        };
+        if !self.per_preg[preg.0 as usize].ever_cached {
+            MissClass::NotWritten
+        } else if shadow.contains(preg) {
+            MissClass::Conflict
+        } else {
+            MissClass::Capacity
+        }
+    }
+
+    /// Installs a value fetched from the backing file after a miss. The
+    /// remaining-use counter takes the *fill default* (§3.3).
+    pub fn fill(&mut self, preg: PhysReg, set: u16, now: u64) {
+        self.stats.fills += 1;
+        // The read that triggered this fill has already been performed
+        // from the backing file; the filled entry starts with the fill
+        // default (the use count was lost at eviction).
+        if self.find(preg, set).is_none() {
+            self.insert(preg, set, self.config.fill_default, false, now);
+        }
+        if let Some(s) = &mut self.shadow {
+            s.fill(preg, 0, now);
+        }
+    }
+
+    /// Records a consumer satisfied by the *second* bypass stage (the
+    /// cache-write-to-read forward). Such consumers cannot affect the
+    /// write decision (§3.1) but their use must still be deducted from
+    /// the cached entry's remaining-use count. No-op if the value is
+    /// not resident (it was filtered).
+    pub fn bypass_consume(&mut self, preg: PhysReg, set: u16) {
+        if let Some(i) = self.find(preg, set) {
+            let e = &mut self.entries[i];
+            if !e.pinned {
+                e.uses = e.uses.saturating_sub(1);
+            }
+        }
+        if let Some(s) = &mut self.shadow {
+            s.bypass_consume(preg, 0);
+        }
+    }
+
+    /// Invalidates the value when its physical register is freed
+    /// (required for correctness, §2.2) and closes out the value's
+    /// statistics.
+    pub fn free(&mut self, preg: PhysReg, set: u16, now: u64) {
+        let st = self.per_preg[preg.0 as usize];
+        if st.active {
+            self.stats.values_freed += 1;
+            if !st.ever_cached {
+                self.stats.values_never_cached += 1;
+            }
+        }
+        self.per_preg[preg.0 as usize].active = false;
+        if let Some(i) = self.find(preg, set) {
+            let e = self.entries[i];
+            self.entries[i].valid = false;
+            self.valid_count -= 1;
+            self.close_entry(e, now);
+            self.note_occupancy(now);
+        }
+        if let Some(s) = &mut self.shadow {
+            s.free(preg, 0, now);
+        }
+    }
+
+    /// True when a value for `preg` is resident (any set — used by the
+    /// shadow classifier and by tests).
+    pub fn contains(&self, preg: PhysReg) -> bool {
+        self.entries.iter().any(|e| e.valid && e.preg == preg.0)
+    }
+
+    /// The remaining-use count of a resident value, or `None` if not
+    /// resident (for tests and assertions).
+    pub fn remaining_uses(&self, preg: PhysReg) -> Option<u8> {
+        self.entries
+            .iter()
+            .find(|e| e.valid && e.preg == preg.0)
+            .map(|e| e.uses)
+    }
+
+    /// True when a resident value is pinned.
+    pub fn is_pinned(&self, preg: PhysReg) -> Option<bool> {
+        self.entries
+            .iter()
+            .find(|e| e.valid && e.preg == preg.0)
+            .map(|e| e.pinned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RegCacheConfig;
+
+    const NPREGS: usize = 64;
+
+    fn ub(entries: usize, ways: usize) -> RegisterCache {
+        RegisterCache::new(RegCacheConfig::use_based(entries, ways), NPREGS)
+    }
+
+    #[test]
+    fn write_then_read_hits_and_decrements() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        assert_eq!(
+            c.write(PhysReg(1), 0, 2, false, 0, 10),
+            WriteOutcome::Inserted
+        );
+        assert_eq!(c.remaining_uses(PhysReg(1)), Some(2));
+        assert!(c.read(PhysReg(1), 0, 11));
+        assert_eq!(c.remaining_uses(PhysReg(1)), Some(1));
+        assert!(c.read(PhysReg(1), 0, 12));
+        assert_eq!(c.remaining_uses(PhysReg(1)), Some(0));
+        // Zero uses does not mean eviction: still readable.
+        assert!(c.read(PhysReg(1), 0, 13));
+        assert_eq!(c.remaining_uses(PhysReg(1)), Some(0));
+    }
+
+    #[test]
+    fn use_based_insertion_filters_dead_values() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        assert_eq!(
+            c.write(PhysReg(1), 0, 0, false, 1, 10),
+            WriteOutcome::Filtered
+        );
+        assert!(!c.contains(PhysReg(1)));
+        assert!(!c.read(PhysReg(1), 0, 11));
+        assert_eq!(c.stats().writes_filtered, 1);
+    }
+
+    #[test]
+    fn use_based_insertion_keeps_values_with_remaining_uses_despite_bypasses() {
+        // The key advantage over non-bypass (§3.1): a value that
+        // bypassed to SOME consumers but still has uses left is cached.
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        assert_eq!(
+            c.write(PhysReg(1), 0, 2, false, 3, 10),
+            WriteOutcome::Inserted
+        );
+        assert!(c.contains(PhysReg(1)));
+    }
+
+    #[test]
+    fn non_bypass_filters_on_any_bypass() {
+        let mut c = RegisterCache::new(RegCacheConfig::non_bypass(8, 2), NPREGS);
+        c.produce(PhysReg(1));
+        c.produce(PhysReg(2));
+        assert_eq!(
+            c.write(PhysReg(1), 0, 2, false, 1, 10),
+            WriteOutcome::Filtered
+        );
+        assert_eq!(
+            c.write(PhysReg(2), 0, 0, false, 0, 10),
+            WriteOutcome::Inserted
+        );
+    }
+
+    #[test]
+    fn write_all_always_inserts() {
+        let mut c = RegisterCache::new(RegCacheConfig::lru(8, 2), NPREGS);
+        c.produce(PhysReg(1));
+        assert_eq!(
+            c.write(PhysReg(1), 0, 0, false, 5, 10),
+            WriteOutcome::Inserted
+        );
+    }
+
+    #[test]
+    fn pinned_values_always_insert_and_never_decrement() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        assert_eq!(
+            c.write(PhysReg(1), 0, 7, true, 7, 10),
+            WriteOutcome::Inserted
+        );
+        for t in 11..30 {
+            assert!(c.read(PhysReg(1), 0, t));
+        }
+        assert_eq!(c.remaining_uses(PhysReg(1)), Some(7));
+        assert_eq!(c.is_pinned(PhysReg(1)), Some(true));
+    }
+
+    #[test]
+    fn fewest_uses_replacement_picks_lowest_count() {
+        let mut c = ub(2, 2); // one set of two ways
+        for (p, uses) in [(1u16, 3u8), (2, 1)] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), 0, uses, false, 0, 10);
+        }
+        c.produce(PhysReg(3));
+        c.write(PhysReg(3), 0, 2, false, 0, 11);
+        // Victim must be preg 2 (1 use) not preg 1 (3 uses).
+        assert!(c.contains(PhysReg(1)));
+        assert!(!c.contains(PhysReg(2)));
+        assert!(c.contains(PhysReg(3)));
+    }
+
+    #[test]
+    fn fewest_uses_prefers_zero_use_victims() {
+        let mut c = ub(2, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 1, false, 0, 10);
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 0, 1, false, 0, 10);
+        assert!(c.read(PhysReg(2), 0, 11)); // preg 2 now zero uses
+        c.produce(PhysReg(3));
+        c.write(PhysReg(3), 0, 1, false, 0, 12);
+        assert!(!c.contains(PhysReg(2)));
+        assert_eq!(c.stats().evictions_zero_use, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_entries_resist_replacement() {
+        let mut c = ub(2, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 7, true, 0, 10);
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 0, 5, false, 0, 10);
+        c.produce(PhysReg(3));
+        c.write(PhysReg(3), 0, 1, false, 0, 11);
+        // preg 2 (5 uses, unpinned) must be the victim, not pinned preg 1.
+        assert!(c.contains(PhysReg(1)));
+        assert!(!c.contains(PhysReg(2)));
+    }
+
+    #[test]
+    fn lru_replacement_ignores_use_counts() {
+        let mut c = RegisterCache::new(RegCacheConfig::lru(2, 2), NPREGS);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 7, false, 0, 10);
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 0, 0, false, 0, 11);
+        c.read(PhysReg(1), 0, 12); // refresh preg 1
+        c.produce(PhysReg(3));
+        c.write(PhysReg(3), 0, 0, false, 0, 13);
+        // LRU victim is preg 2 despite preg 1 having more uses.
+        assert!(c.contains(PhysReg(1)));
+        assert!(!c.contains(PhysReg(2)));
+    }
+
+    #[test]
+    fn fill_uses_fill_default_and_is_unpinned() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 0, false, 1, 10); // filtered
+        assert!(!c.read(PhysReg(1), 0, 11)); // miss
+        c.fill(PhysReg(1), 0, 12);
+        assert_eq!(c.remaining_uses(PhysReg(1)), Some(0)); // fill default 0
+        assert_eq!(c.is_pinned(PhysReg(1)), Some(false));
+        assert!(c.read(PhysReg(1), 0, 13)); // now hits
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn free_invalidates_and_counts_never_cached() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 0, false, 1, 10); // filtered, never cached
+        c.free(PhysReg(1), 0, 20);
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 0, 1, false, 0, 21);
+        c.free(PhysReg(2), 0, 30);
+        assert!(!c.contains(PhysReg(2)));
+        let s = c.stats();
+        assert_eq!(s.values_freed, 2);
+        assert_eq!(s.values_never_cached, 1);
+    }
+
+    #[test]
+    fn entry_lifetime_and_never_read_accounting() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 1, false, 0, 100);
+        c.free(PhysReg(1), 0, 130);
+        let s = c.stats();
+        assert_eq!(s.entry_lifetime_sum, 30);
+        assert_eq!(s.entry_lifetime_count, 1);
+        assert_eq!(s.cached_never_read, 1);
+        assert_eq!(s.frac_cached_never_read(), Some(1.0));
+    }
+
+    #[test]
+    fn miss_classification_not_written_vs_conflict_vs_capacity() {
+        let mut cfg = RegCacheConfig::use_based(2, 1); // 2 sets, direct-mapped
+        cfg.classify_misses = true;
+        cfg.insertion = InsertionPolicy::UseBased;
+        let mut c = RegisterCache::new(cfg, NPREGS);
+
+        // Not-written: filtered value.
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 0, false, 1, 1);
+        assert!(!c.read(PhysReg(1), 0, 2));
+        assert_eq!(c.stats().misses_not_written, 1);
+
+        // Conflict: two live values forced into set 0 of the
+        // direct-mapped cache while the 2-entry FA shadow holds both.
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 0, 3, false, 0, 3);
+        c.produce(PhysReg(3));
+        c.write(PhysReg(3), 0, 3, false, 0, 4); // evicts preg 2 in real, not in shadow
+        assert!(!c.read(PhysReg(2), 0, 5));
+        assert_eq!(c.stats().misses_conflict, 1);
+    }
+
+    #[test]
+    fn miss_classification_capacity() {
+        let mut cfg = RegCacheConfig::use_based(2, 2); // 1 set of 2 (FA)
+        cfg.classify_misses = true;
+        let mut c = RegisterCache::new(cfg, NPREGS);
+        for p in 1..=3u16 {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), 0, 3, false, 0, p as u64);
+        }
+        // preg 1 evicted from both real and shadow (same capacity).
+        assert!(!c.read(PhysReg(1), 0, 10));
+        assert_eq!(c.stats().misses_capacity, 1);
+        assert_eq!(c.stats().misses_conflict, 0);
+    }
+
+    #[test]
+    fn fully_associative_cache_has_no_conflict_misses() {
+        let mut cfg = RegCacheConfig::use_based(4, 4);
+        cfg.classify_misses = true;
+        let mut c = RegisterCache::new(cfg, NPREGS);
+        for p in 1..=8u16 {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), 0, 3, false, 0, p as u64);
+        }
+        for p in 1..=8u16 {
+            c.read(PhysReg(p), 0, 20 + p as u64);
+        }
+        assert_eq!(c.stats().misses_conflict, 0);
+        assert!(c.stats().misses_capacity > 0);
+    }
+
+    #[test]
+    fn occupancy_integrates_over_time() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 1, false, 0, 0);
+        c.free(PhysReg(1), 0, 50);
+        c.finalize(100);
+        // One entry for 50 cycles out of 100 -> average 0.5.
+        let avg = c.stats().occupancy.average(100).unwrap();
+        assert!((avg - 0.5).abs() < 1e-9, "avg {avg}");
+    }
+
+    #[test]
+    fn table2_metric_helpers() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 2, false, 0, 0);
+        c.read(PhysReg(1), 0, 1);
+        c.read(PhysReg(1), 0, 2);
+        c.free(PhysReg(1), 0, 10);
+        let s = c.stats();
+        assert_eq!(s.reads_per_cached_value(), Some(2.0));
+        assert_eq!(s.cache_count_per_value(), Some(1.0));
+        assert_eq!(s.avg_entry_lifetime(), Some(10.0));
+        assert_eq!(s.miss_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn different_sets_do_not_alias() {
+        let mut c = ub(8, 2); // 4 sets
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 2, 1, false, 0, 0);
+        // Lookup in the wrong set misses even though the preg is
+        // resident elsewhere — decoupled indexing stores the full tag
+        // but only probes the renamed set.
+        assert!(!c.read(PhysReg(1), 3, 1));
+        assert!(c.read(PhysReg(1), 2, 2));
+    }
+}

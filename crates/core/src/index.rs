@@ -1,0 +1,256 @@
+use crate::PhysReg;
+
+/// How register-cache set indices are chosen for new values (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexPolicy {
+    /// Standard indexing: low-order bits of the physical register tag.
+    /// The only option that is *not* decoupled.
+    Standard,
+    /// Decoupled: sets assigned sequentially as instructions rename.
+    RoundRobin,
+    /// Decoupled: the set with the minimum sum of predicted uses among
+    /// values currently assigned to it.
+    Minimum,
+    /// Decoupled: round-robin, but sets holding more than
+    /// `associativity/2` high-use (predicted degree > 5) values are
+    /// skipped.
+    FilteredRoundRobin,
+}
+
+/// Rename-time set assignment for decoupled indexing.
+///
+/// One assigner instance lives beside the rename map. At rename, the
+/// destination's cache set is chosen by [`IndexAssigner::assign`] and
+/// recorded in the map alongside the physical register; when the
+/// physical register is freed, [`IndexAssigner::release`] retires the
+/// assignment so the policies' bookkeeping stays balanced.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_core::{IndexAssigner, IndexPolicy, PhysReg};
+///
+/// let mut a = IndexAssigner::new(IndexPolicy::RoundRobin, 32, 2);
+/// let s0 = a.assign(PhysReg(100), 1);
+/// let s1 = a.assign(PhysReg(101), 1);
+/// assert_eq!((s0, s1), (0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexAssigner {
+    policy: IndexPolicy,
+    sets: usize,
+    cursor: usize,
+    /// Minimum policy: per-set sum of predicted uses.
+    use_sums: Vec<u64>,
+    /// Filtered round-robin: per-set count of high-use values.
+    high_use_counts: Vec<u32>,
+    /// Filtered round-robin: predicted degree above which a value is
+    /// "high-use".
+    high_use_degree: u8,
+    /// Filtered round-robin: sets with more high-use values than this
+    /// are skipped.
+    skip_above: u32,
+}
+
+/// Predicted degree above which a value counts as "high-use" for the
+/// filtered round-robin policy (the paper found > 5 works well).
+pub const HIGH_USE_THRESHOLD: u8 = 5;
+
+impl IndexAssigner {
+    /// Creates an assigner for a cache with `sets` sets of `ways`
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(policy: IndexPolicy, sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "sets must be positive");
+        assert!(ways > 0, "ways must be positive");
+        Self {
+            policy,
+            sets,
+            cursor: 0,
+            use_sums: vec![0; sets],
+            high_use_counts: vec![0; sets],
+            high_use_degree: HIGH_USE_THRESHOLD,
+            skip_above: (ways / 2) as u32,
+        }
+    }
+
+    /// Overrides the filtered round-robin parameters (the paper's
+    /// defaults are high-use degree > 5 and a skip threshold of half
+    /// the associativity). Used by the ablation experiments.
+    pub fn set_filter_params(&mut self, high_use_degree: u8, skip_above: u32) {
+        self.high_use_degree = high_use_degree;
+        self.skip_above = skip_above;
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> IndexPolicy {
+        self.policy
+    }
+
+    /// Chooses the cache set for a value produced into `preg` with
+    /// `predicted_uses` predicted consumers. Called once per renamed
+    /// destination.
+    pub fn assign(&mut self, preg: PhysReg, predicted_uses: u8) -> u16 {
+        let set = match self.policy {
+            IndexPolicy::Standard => preg.0 as usize % self.sets,
+            IndexPolicy::RoundRobin => {
+                let s = self.cursor;
+                self.cursor = (self.cursor + 1) % self.sets;
+                s
+            }
+            IndexPolicy::Minimum => {
+                // Scan from a rotating start so ties do not cluster
+                // consecutive values into the lowest-numbered set.
+                let start = self.cursor;
+                let mut best = start;
+                for k in 0..self.sets {
+                    let s = (start + k) % self.sets;
+                    if self.use_sums[s] < self.use_sums[best] {
+                        best = s;
+                    }
+                }
+                self.cursor = (start + 1) % self.sets;
+                best
+            }
+            IndexPolicy::FilteredRoundRobin => {
+                let threshold = self.skip_above;
+                let mut s = self.cursor;
+                let mut picked = None;
+                for _ in 0..self.sets {
+                    if self.high_use_counts[s] <= threshold {
+                        picked = Some(s);
+                        break;
+                    }
+                    s = (s + 1) % self.sets;
+                }
+                // All sets saturated with high-use values: fall back to
+                // the plain round-robin position.
+                let s = picked.unwrap_or(self.cursor);
+                self.cursor = (s + 1) % self.sets;
+                s
+            }
+        };
+        self.use_sums[set] += predicted_uses as u64;
+        if predicted_uses > self.high_use_degree {
+            self.high_use_counts[set] += 1;
+        }
+        set as u16
+    }
+
+    /// Retires an assignment when its physical register is freed.
+    /// `predicted_uses` must be the value passed to the matching
+    /// [`IndexAssigner::assign`].
+    pub fn release(&mut self, set: u16, predicted_uses: u8) {
+        let set = set as usize % self.sets;
+        self.use_sums[set] = self.use_sums[set].saturating_sub(predicted_uses as u64);
+        if predicted_uses > self.high_use_degree {
+            self.high_use_counts[set] = self.high_use_counts[set].saturating_sub(1);
+        }
+    }
+
+    /// Number of sets being assigned over.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_indexing_uses_preg_low_bits() {
+        let mut a = IndexAssigner::new(IndexPolicy::Standard, 32, 2);
+        assert_eq!(a.assign(PhysReg(5), 1), 5);
+        assert_eq!(a.assign(PhysReg(37), 1), 5);
+        assert_eq!(a.assign(PhysReg(64), 1), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_sets() {
+        let mut a = IndexAssigner::new(IndexPolicy::RoundRobin, 4, 2);
+        let sets: Vec<u16> = (0..6).map(|i| a.assign(PhysReg(i), 1)).collect();
+        assert_eq!(sets, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn minimum_picks_least_loaded_set() {
+        let mut a = IndexAssigner::new(IndexPolicy::Minimum, 2, 2);
+        assert_eq!(a.assign(PhysReg(0), 5), 0); // sums [5, 0]
+        assert_eq!(a.assign(PhysReg(1), 1), 1); // sums [5, 1]
+        assert_eq!(a.assign(PhysReg(2), 1), 1); // sums [5, 2]
+        assert_eq!(a.assign(PhysReg(3), 9), 1); // sums [5, 11]
+        assert_eq!(a.assign(PhysReg(4), 1), 0);
+    }
+
+    #[test]
+    fn minimum_release_rebalances() {
+        let mut a = IndexAssigner::new(IndexPolicy::Minimum, 2, 2);
+        let s = a.assign(PhysReg(0), 7); // sums [7, 0]
+        assert_eq!(s, 0);
+        assert_eq!(a.assign(PhysReg(1), 1), 1); // sums [7, 1]
+        a.release(0, 7); // sums [0, 1]
+        assert_eq!(a.assign(PhysReg(2), 1), 0);
+    }
+
+    #[test]
+    fn filtered_round_robin_skips_high_use_sets() {
+        // 2-way cache -> threshold = 1 high-use value per set.
+        let mut a = IndexAssigner::new(IndexPolicy::FilteredRoundRobin, 3, 2);
+        // Two high-use values land in set 0 (count 2 > threshold 1).
+        assert_eq!(a.assign(PhysReg(0), 7), 0);
+        assert_eq!(a.assign(PhysReg(1), 7), 1);
+        assert_eq!(a.assign(PhysReg(2), 7), 2);
+        assert_eq!(a.assign(PhysReg(3), 7), 0); // counts now [2,1,1]
+                                                // Set 0 exceeds the threshold; round-robin cursor (1) is fine.
+        assert_eq!(a.assign(PhysReg(4), 1), 1);
+        assert_eq!(a.assign(PhysReg(5), 1), 2);
+        // Cursor wraps to 0, which is saturated -> skipped to 1.
+        assert_eq!(a.assign(PhysReg(6), 1), 1);
+    }
+
+    #[test]
+    fn filtered_round_robin_falls_back_when_all_sets_saturated() {
+        let mut a = IndexAssigner::new(IndexPolicy::FilteredRoundRobin, 2, 2);
+        for i in 0..4 {
+            a.assign(PhysReg(i), 7);
+        }
+        // Both sets now hold 2 high-use values (> threshold 1); the
+        // assigner must still produce a set.
+        let s = a.assign(PhysReg(9), 7);
+        assert!(s < 2);
+    }
+
+    #[test]
+    fn filtered_release_unskips_sets() {
+        let mut a = IndexAssigner::new(IndexPolicy::FilteredRoundRobin, 2, 2);
+        assert_eq!(a.assign(PhysReg(0), 7), 0);
+        assert_eq!(a.assign(PhysReg(1), 7), 1);
+        assert_eq!(a.assign(PhysReg(2), 7), 0); // set 0 count 2 (saturated)
+        assert_eq!(a.assign(PhysReg(3), 7), 1); // set 1 count 2 (saturated)
+        a.release(0, 7);
+        a.release(0, 7); // set 0 count back to 0
+        let s = a.assign(PhysReg(4), 1);
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn low_use_values_do_not_count_toward_filtering() {
+        let mut a = IndexAssigner::new(IndexPolicy::FilteredRoundRobin, 2, 2);
+        for i in 0..10 {
+            // Degree 5 is NOT high-use (threshold is > 5).
+            a.assign(PhysReg(i), 5);
+        }
+        assert_eq!(a.high_use_counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let mut a = IndexAssigner::new(IndexPolicy::Minimum, 2, 2);
+        a.release(0, 9); // never assigned; must not underflow
+        assert_eq!(a.use_sums[0], 0);
+    }
+}

@@ -1,0 +1,158 @@
+/// Register-cache insertion policy: which produced values get written
+/// into the cache at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InsertionPolicy {
+    /// Every produced value is written (Yung & Wilhelm's original
+    /// register cache, the paper's "LRU" reference design).
+    WriteAll,
+    /// Skip the write if the value bypassed to *any* consumer before the
+    /// write occurred (Cruz et al.'s heuristic, the paper's
+    /// "non-bypass" reference design).
+    NonBypass,
+    /// Skip the write if the value has no predicted uses remaining after
+    /// first-stage bypasses are accounted — the paper's contribution
+    /// (§3.1). Pinned (saturated-degree) values are always written.
+    UseBased,
+}
+
+/// Register-cache replacement policy: which entry of a full set is
+/// evicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used entry.
+    Lru,
+    /// Entry with the fewest remaining uses, LRU tie-break; pinned
+    /// entries are never chosen unless every entry in the set is pinned
+    /// (§3.2).
+    FewestUses,
+}
+
+/// Full configuration of a [`crate::RegisterCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegCacheConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity; `ways == entries` is fully associative.
+    pub ways: usize,
+    /// Insertion policy.
+    pub insertion: InsertionPolicy,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Saturation limit of the remaining-use counters. Values whose
+    /// *predicted* degree reaches this limit are pinned: their counters
+    /// stop decrementing and they stay cached until their physical
+    /// register is freed (§3.3). The paper settles on 7.
+    pub max_use_count: u8,
+    /// Remaining-use count assumed for values with no confident degree
+    /// prediction (§3.3; the paper settles on 1).
+    pub unknown_default: u8,
+    /// Remaining-use count assigned on a fill after a miss (§3.3; the
+    /// paper settles on 0).
+    pub fill_default: u8,
+    /// Track a fully-associative shadow cache to classify misses into
+    /// capacity vs. conflict (used by the Figure 8 experiment; costs
+    /// extra simulation work, not hardware).
+    pub classify_misses: bool,
+}
+
+impl RegCacheConfig {
+    /// The paper's proposed configuration at a given geometry:
+    /// use-based insertion and replacement, max use count 7, unknown
+    /// default 1, fill default 0.
+    pub fn use_based(entries: usize, ways: usize) -> Self {
+        Self {
+            entries,
+            ways,
+            insertion: InsertionPolicy::UseBased,
+            replacement: ReplacementPolicy::FewestUses,
+            max_use_count: 7,
+            unknown_default: 1,
+            fill_default: 0,
+            classify_misses: false,
+        }
+    }
+
+    /// The "LRU" reference design: write-all insertion, LRU replacement.
+    pub fn lru(entries: usize, ways: usize) -> Self {
+        Self {
+            insertion: InsertionPolicy::WriteAll,
+            replacement: ReplacementPolicy::Lru,
+            ..Self::use_based(entries, ways)
+        }
+    }
+
+    /// The "non-bypass" reference design: bypass-filtered insertion,
+    /// LRU replacement.
+    pub fn non_bypass(entries: usize, ways: usize) -> Self {
+        Self {
+            insertion: InsertionPolicy::NonBypass,
+            replacement: ReplacementPolicy::Lru,
+            ..Self::use_based(entries, ways)
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (`entries` not divisible
+    /// by `ways`) — note non-power-of-two *set counts* are explicitly
+    /// allowed: decoupled indexing does not require power-of-two caches
+    /// (§4.1).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways >= 1, "ways must be at least 1");
+        assert!(
+            self.entries % self.ways == 0,
+            "entries must divide into ways"
+        );
+        self.entries / self.ways
+    }
+
+    /// True when the configuration is fully associative.
+    pub fn is_fully_associative(&self) -> bool {
+        self.ways == self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_papers_reference_designs() {
+        let ub = RegCacheConfig::use_based(64, 2);
+        assert_eq!(ub.insertion, InsertionPolicy::UseBased);
+        assert_eq!(ub.replacement, ReplacementPolicy::FewestUses);
+        assert_eq!(ub.max_use_count, 7);
+        assert_eq!(ub.unknown_default, 1);
+        assert_eq!(ub.fill_default, 0);
+        assert_eq!(ub.sets(), 32);
+
+        let lru = RegCacheConfig::lru(64, 2);
+        assert_eq!(lru.insertion, InsertionPolicy::WriteAll);
+        assert_eq!(lru.replacement, ReplacementPolicy::Lru);
+
+        let nb = RegCacheConfig::non_bypass(64, 2);
+        assert_eq!(nb.insertion, InsertionPolicy::NonBypass);
+        assert_eq!(nb.replacement, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn non_power_of_two_set_counts_are_allowed() {
+        // 48-entry 4-way -> 12 sets: legal under decoupled indexing.
+        let c = RegCacheConfig::use_based(48, 4);
+        assert_eq!(c.sets(), 12);
+    }
+
+    #[test]
+    fn fully_associative_detection() {
+        assert!(RegCacheConfig::use_based(64, 64).is_fully_associative());
+        assert!(!RegCacheConfig::use_based(64, 4).is_fully_associative());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into ways")]
+    fn inconsistent_geometry_rejected() {
+        let _ = RegCacheConfig::use_based(64, 3).sets();
+    }
+}

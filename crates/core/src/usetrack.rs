@@ -1,0 +1,149 @@
+use crate::PhysReg;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct State {
+    remaining: u8,
+    pinned: bool,
+    active: bool,
+    predicted: u8,
+}
+
+/// Remaining-use bookkeeping for values between rename and the register
+/// cache write (§3.3 of the paper).
+///
+/// At rename, each destination's predicted degree of use initializes a
+/// counter (applying the *unknown default* when the predictor abstains
+/// and pinning at the saturation limit). Consumers satisfied from the
+/// bypass network decrement the counter; when the value reaches the
+/// cache-write port, whatever remains becomes the cache entry's count.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_core::{PhysReg, UseTracker};
+///
+/// let mut t = UseTracker::new(512);
+/// t.init(PhysReg(3), Some(2), 1, 7);
+/// t.consume(PhysReg(3)); // one consumer bypassed
+/// assert_eq!(t.remaining(PhysReg(3)), 1);
+/// assert!(!t.is_pinned(PhysReg(3)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UseTracker {
+    states: Vec<State>,
+}
+
+impl UseTracker {
+    /// Creates a tracker for `num_pregs` physical registers.
+    pub fn new(num_pregs: usize) -> Self {
+        Self {
+            states: vec![State::default(); num_pregs],
+        }
+    }
+
+    /// Initializes the counter for a renamed destination.
+    ///
+    /// * `prediction` — the degree-of-use prediction, or `None` when the
+    ///   predictor had no confident entry;
+    /// * `unknown_default` — count assumed for unknown values;
+    /// * `max_use_count` — the saturation/pinning limit.
+    pub fn init(
+        &mut self,
+        preg: PhysReg,
+        prediction: Option<u8>,
+        unknown_default: u8,
+        max_use_count: u8,
+    ) {
+        let degree = prediction.unwrap_or(unknown_default);
+        let pinned = degree >= max_use_count;
+        self.states[preg.0 as usize] = State {
+            remaining: degree.min(max_use_count),
+            pinned,
+            active: true,
+            predicted: degree.min(max_use_count),
+        };
+    }
+
+    /// Records one consumer satisfied (bypass or cache read) before the
+    /// value reaches the cache. Pinned counters do not decrement.
+    pub fn consume(&mut self, preg: PhysReg) {
+        let s = &mut self.states[preg.0 as usize];
+        if s.active && !s.pinned {
+            s.remaining = s.remaining.saturating_sub(1);
+        }
+    }
+
+    /// The remaining predicted uses.
+    pub fn remaining(&self, preg: PhysReg) -> u8 {
+        self.states[preg.0 as usize].remaining
+    }
+
+    /// The initial (clamped) predicted degree for this value.
+    pub fn predicted(&self, preg: PhysReg) -> u8 {
+        self.states[preg.0 as usize].predicted
+    }
+
+    /// True when the value's degree saturated the counter and it should
+    /// be pinned in the cache.
+    pub fn is_pinned(&self, preg: PhysReg) -> bool {
+        self.states[preg.0 as usize].pinned
+    }
+
+    /// Clears the state when the physical register is freed.
+    pub fn clear(&mut self, preg: PhysReg) {
+        self.states[preg.0 as usize] = State::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_default_applies_when_predictor_abstains() {
+        let mut t = UseTracker::new(8);
+        t.init(PhysReg(0), None, 1, 7);
+        assert_eq!(t.remaining(PhysReg(0)), 1);
+        assert_eq!(t.predicted(PhysReg(0)), 1);
+    }
+
+    #[test]
+    fn saturated_predictions_pin() {
+        let mut t = UseTracker::new(8);
+        t.init(PhysReg(0), Some(9), 1, 7);
+        assert!(t.is_pinned(PhysReg(0)));
+        assert_eq!(t.remaining(PhysReg(0)), 7);
+        t.consume(PhysReg(0));
+        assert_eq!(
+            t.remaining(PhysReg(0)),
+            7,
+            "pinned counters do not decrement"
+        );
+    }
+
+    #[test]
+    fn consume_decrements_and_saturates_at_zero() {
+        let mut t = UseTracker::new(8);
+        t.init(PhysReg(1), Some(2), 1, 7);
+        t.consume(PhysReg(1));
+        t.consume(PhysReg(1));
+        t.consume(PhysReg(1));
+        assert_eq!(t.remaining(PhysReg(1)), 0);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut t = UseTracker::new(8);
+        t.init(PhysReg(2), Some(7), 1, 7);
+        t.clear(PhysReg(2));
+        assert!(!t.is_pinned(PhysReg(2)));
+        assert_eq!(t.remaining(PhysReg(2)), 0);
+    }
+
+    #[test]
+    fn exact_max_prediction_pins() {
+        let mut t = UseTracker::new(8);
+        t.init(PhysReg(3), Some(7), 1, 7);
+        assert!(t.is_pinned(PhysReg(3)));
+    }
+}

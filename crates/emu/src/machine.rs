@@ -1,0 +1,752 @@
+use crate::record::ExecRecord;
+use std::error::Error;
+use std::fmt;
+use ubrc_isa::{AluImmOp, AluOp, BranchCond, CvtDir, FpuOp, Inst, MemWidth, Program, Reg};
+
+/// Default memory size: 16 MiB, enough for every bundled workload.
+pub const DEFAULT_MEM_SIZE: usize = 16 << 20;
+
+/// Runtime error raised by the emulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmuError {
+    /// The program counter left the text segment (or became unaligned).
+    BadPc {
+        /// The offending program counter.
+        pc: u64,
+    },
+    /// A load or store touched memory outside the address space.
+    BadAccess {
+        /// PC of the faulting instruction.
+        pc: u64,
+        /// The out-of-range effective address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadPc { pc } => write!(f, "bad program counter {pc:#x}"),
+            EmuError::BadAccess { pc, addr } => {
+                write!(f, "bad memory access to {addr:#x} at pc {pc:#x}")
+            }
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// Result of a single [`Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepOutcome {
+    /// An instruction executed (including the `halt` itself).
+    Executed(ExecRecord),
+    /// The machine had already halted; nothing executed.
+    Halted,
+}
+
+/// Undo-log entry recorded while executing speculatively.
+#[derive(Clone, Debug)]
+enum Undo {
+    IntReg(u8, u64),
+    FpReg(u8, f64),
+    Mem(u64, [u8; 8], u8),
+}
+
+/// Snapshot taken when speculation begins.
+#[derive(Clone, Debug)]
+struct SpecCheckpoint {
+    pc: u64,
+    icount: u64,
+    halted: bool,
+}
+
+/// The architectural state of one program: registers, memory, and PC.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Clone)]
+pub struct Machine {
+    program: Program,
+    mem: Vec<u8>,
+    int_regs: [u64; 32],
+    fp_regs: [f64; 32],
+    pc: u64,
+    halted: bool,
+    icount: u64,
+    spec: Option<SpecCheckpoint>,
+    undo: Vec<Undo>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .field("icount", &self.icount)
+            .field("mem_size", &self.mem.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with [`DEFAULT_MEM_SIZE`] bytes of memory and
+    /// loads the program (data segment copied in, stack pointer at the
+    /// top of memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's data segment does not fit in memory.
+    pub fn new(program: Program) -> Self {
+        Self::with_mem_size(program, DEFAULT_MEM_SIZE)
+    }
+
+    /// Creates a machine with an explicit memory size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's data segment does not fit in memory.
+    pub fn with_mem_size(program: Program, mem_size: usize) -> Self {
+        let mut mem = vec![0u8; mem_size];
+        let base = program.data_base as usize;
+        let end = base + program.data.len();
+        assert!(end <= mem.len(), "data segment does not fit in memory");
+        mem[base..end].copy_from_slice(&program.data);
+        let mut int_regs = [0u64; 32];
+        int_regs[ubrc_isa::SP.index() as usize] = (mem_size as u64 - 64) & !15;
+        Self {
+            pc: program.entry,
+            program,
+            mem,
+            int_regs,
+            fp_regs: [0.0; 32],
+            halted: false,
+            icount: 0,
+            spec: None,
+            undo: Vec::new(),
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// True once a `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    pub fn instruction_count(&self) -> u64 {
+        self.icount
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Reads integer register `i` (`r0` is always zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn int_reg(&self, i: u8) -> u64 {
+        self.int_regs[i as usize]
+    }
+
+    /// Reads floating-point register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn fp_reg(&self, i: u8) -> f64 {
+        self.fp_regs[i as usize]
+    }
+
+    /// Sets integer register `i` (writes to `r0` are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn set_int_reg(&mut self, i: u8, v: u64) {
+        if i != 0 {
+            self.int_regs[i as usize] = v;
+        }
+    }
+
+    /// Sets floating-point register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn set_fp_reg(&mut self, i: u8, v: f64) {
+        self.fp_regs[i as usize] = v;
+    }
+
+    fn reg_u64(&self, r: Reg) -> u64 {
+        debug_assert!(r.is_int());
+        self.int_regs[r.bank_index() as usize]
+    }
+
+    fn reg_f64(&self, r: Reg) -> f64 {
+        debug_assert!(r.is_fp());
+        self.fp_regs[r.bank_index() as usize]
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u64) {
+        if r.is_int() {
+            if !r.is_zero() {
+                if self.spec.is_some() {
+                    self.undo
+                        .push(Undo::IntReg(r.bank_index(), self.int_regs[r.bank_index() as usize]));
+                }
+                self.int_regs[r.bank_index() as usize] = v;
+            }
+        } else {
+            self.write_fp(r, f64::from_bits(v));
+        }
+    }
+
+    fn write_fp(&mut self, r: Reg, v: f64) {
+        debug_assert!(r.is_fp());
+        if self.spec.is_some() {
+            self.undo
+                .push(Undo::FpReg(r.bank_index(), self.fp_regs[r.bank_index() as usize]));
+        }
+        self.fp_regs[r.bank_index() as usize] = v;
+    }
+
+    /// Reads `width` bytes at `addr`, little-endian.
+    fn mem_read(&self, pc: u64, addr: u64, width: MemWidth) -> Result<u64, EmuError> {
+        let n = width.bytes() as usize;
+        let a = addr as usize;
+        if addr.checked_add(width.bytes()).is_none() || a + n > self.mem.len() {
+            return Err(EmuError::BadAccess { pc, addr });
+        }
+        let mut buf = [0u8; 8];
+        buf[..n].copy_from_slice(&self.mem[a..a + n]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn mem_write(&mut self, pc: u64, addr: u64, width: MemWidth, v: u64) -> Result<(), EmuError> {
+        let n = width.bytes() as usize;
+        let a = addr as usize;
+        if addr.checked_add(width.bytes()).is_none() || a + n > self.mem.len() {
+            return Err(EmuError::BadAccess { pc, addr });
+        }
+        if self.spec.is_some() {
+            let mut old = [0u8; 8];
+            old[..n].copy_from_slice(&self.mem[a..a + n]);
+            self.undo.push(Undo::Mem(addr, old, n as u8));
+        }
+        self.mem[a..a + n].copy_from_slice(&v.to_le_bytes()[..n]);
+        Ok(())
+    }
+
+    /// Reads a 64-bit value from memory (for tests and workload setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::BadAccess`] when out of range.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, EmuError> {
+        self.mem_read(self.pc, addr, MemWidth::Quad)
+    }
+
+    /// Writes a 64-bit value to memory (for tests and workload setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::BadAccess`] when out of range.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), EmuError> {
+        self.mem_write(self.pc, addr, MemWidth::Quad, v)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError`] on a bad PC or memory fault; the machine
+    /// state is unspecified-but-safe afterwards.
+    pub fn step(&mut self) -> Result<StepOutcome, EmuError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        let pc = self.pc;
+        let inst = self.program.fetch(pc).ok_or(EmuError::BadPc { pc })?;
+        let mut next_pc = pc + 4;
+        let mut taken = false;
+        let mut mem_addr = None;
+
+        match inst {
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+            }
+            Inst::Alu { op, rd, rs, rt } => {
+                let a = self.reg_u64(rs);
+                let b = self.reg_u64(rt);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            (a as i64).wrapping_div(b as i64) as u64
+                        }
+                    }
+                    AluOp::Rem => {
+                        if b == 0 {
+                            a
+                        } else {
+                            (a as i64).wrapping_rem(b as i64) as u64
+                        }
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Nor => !(a | b),
+                    AluOp::Sll => a << (b & 63),
+                    AluOp::Srl => a >> (b & 63),
+                    AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+                    AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+                    AluOp::Sltu => (a < b) as u64,
+                };
+                self.write_reg(rd, v);
+            }
+            Inst::AluImm { op, rd, rs, imm } => {
+                let a = self.reg_u64(rs);
+                let se = imm as i64 as u64;
+                let ze = imm as u16 as u64;
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(se),
+                    AluImmOp::Andi => a & ze,
+                    AluImmOp::Ori => a | ze,
+                    AluImmOp::Xori => a ^ ze,
+                    AluImmOp::Slli => a << (imm as u16 & 63),
+                    AluImmOp::Srli => a >> (imm as u16 & 63),
+                    AluImmOp::Srai => ((a as i64) >> (imm as u16 & 63)) as u64,
+                    AluImmOp::Slti => ((a as i64) < imm as i64) as u64,
+                    AluImmOp::Sltiu => (a < se) as u64,
+                };
+                self.write_reg(rd, v);
+            }
+            Inst::Lui { rd, imm } => {
+                self.write_reg(rd, (imm as u64) << 16);
+            }
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                off,
+            } => {
+                let addr = self.reg_u64(base).wrapping_add(off as i64 as u64);
+                mem_addr = Some(addr);
+                let raw = self.mem_read(pc, addr, width)?;
+                let v = if signed && width != MemWidth::Quad {
+                    let shift = 64 - 8 * width.bytes();
+                    ((raw << shift) as i64 >> shift) as u64
+                } else {
+                    raw
+                };
+                self.write_reg(rd, v);
+            }
+            Inst::Store {
+                width,
+                src,
+                base,
+                off,
+            } => {
+                let addr = self.reg_u64(base).wrapping_add(off as i64 as u64);
+                mem_addr = Some(addr);
+                let v = if src.is_fp() {
+                    self.reg_f64(src).to_bits()
+                } else {
+                    self.reg_u64(src)
+                };
+                self.mem_write(pc, addr, width, v)?;
+            }
+            Inst::Branch { cond, rs, rt, off } => {
+                let a = self.reg_u64(rs);
+                let b = self.reg_u64(rt);
+                taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i64) < (b as i64),
+                    BranchCond::Ge => (a as i64) >= (b as i64),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc
+                        .wrapping_add(4)
+                        .wrapping_add((off as i64 as u64).wrapping_mul(4));
+                }
+            }
+            Inst::Jump { link, off } => {
+                taken = true;
+                if link {
+                    self.write_reg(ubrc_isa::RA, pc + 4);
+                }
+                next_pc = pc
+                    .wrapping_add(4)
+                    .wrapping_add((off as i64 as u64).wrapping_mul(4));
+            }
+            Inst::JumpReg { link, rd, rs } => {
+                taken = true;
+                let target = self.reg_u64(rs);
+                if link {
+                    self.write_reg(rd, pc + 4);
+                }
+                next_pc = target;
+            }
+            Inst::Fpu { op, rd, rs, rt } => {
+                let a = self.reg_f64(rs);
+                match op {
+                    FpuOp::Fadd => self.write_fp(rd, a + self.reg_f64(rt)),
+                    FpuOp::Fsub => self.write_fp(rd, a - self.reg_f64(rt)),
+                    FpuOp::Fmul => self.write_fp(rd, a * self.reg_f64(rt)),
+                    FpuOp::Fdiv => self.write_fp(rd, a / self.reg_f64(rt)),
+                    FpuOp::Fneg => self.write_fp(rd, -a),
+                    FpuOp::Fmov => self.write_fp(rd, a),
+                    FpuOp::Feq => self.write_reg(rd, (a == self.reg_f64(rt)) as u64),
+                    FpuOp::Flt => self.write_reg(rd, (a < self.reg_f64(rt)) as u64),
+                    FpuOp::Fle => self.write_reg(rd, (a <= self.reg_f64(rt)) as u64),
+                }
+            }
+            Inst::Cvt { dir, rd, rs } => match dir {
+                CvtDir::IntToFp => {
+                    let v = self.reg_u64(rs) as i64 as f64;
+                    self.write_fp(rd, v);
+                }
+                CvtDir::FpToInt => {
+                    let v = self.reg_f64(rs) as i64 as u64;
+                    self.write_reg(rd, v);
+                }
+            },
+        }
+
+        if self.halted {
+            next_pc = pc;
+        }
+        let record = ExecRecord {
+            seq: self.icount,
+            pc,
+            inst,
+            next_pc,
+            taken,
+            mem_addr,
+        };
+        self.pc = next_pc;
+        self.icount += 1;
+        Ok(StepOutcome::Executed(record))
+    }
+
+    /// Begins speculative (wrong-path) execution at `wrong_pc`. All
+    /// architectural effects from this point are recorded in an undo
+    /// log; [`Machine::abort_speculation`] rolls them back. Used by the
+    /// timing simulator to fetch down mispredicted branch paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is already speculating (the timing model
+    /// stalls on nested mispredictions instead of nesting wrong paths).
+    pub fn enter_speculation(&mut self, wrong_pc: u64) {
+        assert!(self.spec.is_none(), "nested speculation is not supported");
+        self.spec = Some(SpecCheckpoint {
+            pc: self.pc,
+            icount: self.icount,
+            halted: self.halted,
+        });
+        self.undo.clear();
+        self.pc = wrong_pc;
+        self.halted = false;
+    }
+
+    /// True while executing a wrong path begun by
+    /// [`Machine::enter_speculation`].
+    pub fn in_speculation(&self) -> bool {
+        self.spec.is_some()
+    }
+
+    /// Rolls back every effect of the current speculation and resumes
+    /// the correct path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not speculating.
+    pub fn abort_speculation(&mut self) {
+        let cp = self.spec.take().expect("not speculating");
+        for undo in self.undo.drain(..).rev() {
+            match undo {
+                Undo::IntReg(i, v) => self.int_regs[i as usize] = v,
+                Undo::FpReg(i, v) => self.fp_regs[i as usize] = v,
+                Undo::Mem(addr, old, n) => {
+                    let a = addr as usize;
+                    self.mem[a..a + n as usize].copy_from_slice(&old[..n as usize]);
+                }
+            }
+        }
+        self.pc = cp.pc;
+        self.icount = cp.icount;
+        self.halted = cp.halted;
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions have executed.
+    /// Returns the number of instructions executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EmuError`] encountered.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, EmuError> {
+        let mut n = 0;
+        while n < max_steps {
+            match self.step()? {
+                StepOutcome::Executed(_) => n += 1,
+                StepOutcome::Halted => break,
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubrc_isa::assemble;
+
+    fn run_asm(src: &str) -> Machine {
+        let p = assemble(src).expect("assembles");
+        let mut m = Machine::new(p);
+        m.run(1_000_000).expect("runs");
+        assert!(m.is_halted(), "program did not halt");
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let m = run_asm(
+            "main: li r1, 7\n\
+                   li r2, 3\n\
+                   add r3, r1, r2\n\
+                   sub r4, r1, r2\n\
+                   mul r5, r1, r2\n\
+                   div r6, r1, r2\n\
+                   rem r7, r1, r2\n\
+                   and r8, r1, r2\n\
+                   or  r9, r1, r2\n\
+                   xor r10, r1, r2\n\
+                   halt\n",
+        );
+        assert_eq!(m.int_reg(3), 10);
+        assert_eq!(m.int_reg(4), 4);
+        assert_eq!(m.int_reg(5), 21);
+        assert_eq!(m.int_reg(6), 2);
+        assert_eq!(m.int_reg(7), 1);
+        assert_eq!(m.int_reg(8), 3);
+        assert_eq!(m.int_reg(9), 7);
+        assert_eq!(m.int_reg(10), 4);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let m = run_asm(
+            "main: li r1, 9\n\
+                   div r2, r1, r0\n\
+                   rem r3, r1, r0\n\
+                   halt\n",
+        );
+        assert_eq!(m.int_reg(2), 0);
+        assert_eq!(m.int_reg(3), 9);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let m = run_asm(
+            "main: li r1, 1\n\
+                   slli r2, r1, 40\n\
+                   li r3, -8\n\
+                   srai r4, r3, 2\n\
+                   srli r5, r3, 60\n\
+                   slt r6, r3, r1\n\
+                   sltu r7, r3, r1\n\
+                   halt\n",
+        );
+        assert_eq!(m.int_reg(2), 1 << 40);
+        assert_eq!(m.int_reg(4) as i64, -2);
+        assert_eq!(m.int_reg(5), 0xf);
+        assert_eq!(m.int_reg(6), 1);
+        assert_eq!(m.int_reg(7), 0); // -8 as unsigned is huge
+    }
+
+    #[test]
+    fn memory_widths_and_sign_extension() {
+        let m = run_asm(
+            ".data\n\
+             x: .quad 0\n\
+             .text\n\
+             main: la r1, x\n\
+                   li r2, -1\n\
+                   sb r2, 0(r1)\n\
+                   lb r3, 0(r1)\n\
+                   lbu r4, 0(r1)\n\
+                   li r5, 0x8000\n\
+                   sh r5, 2(r1)\n\
+                   lh r6, 2(r1)\n\
+                   lhu r7, 2(r1)\n\
+                   halt\n",
+        );
+        assert_eq!(m.int_reg(3) as i64, -1);
+        assert_eq!(m.int_reg(4), 0xff);
+        assert_eq!(m.int_reg(6) as i64, -32768);
+        assert_eq!(m.int_reg(7), 0x8000);
+    }
+
+    #[test]
+    fn loop_and_branches() {
+        let m = run_asm(
+            "main: li r1, 5\n\
+                   li r2, 0\n\
+             loop: add r2, r2, r1\n\
+                   subi r1, r1, 1\n\
+                   bgtz r1, loop\n\
+                   halt\n",
+        );
+        assert_eq!(m.int_reg(2), 15);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let m = run_asm(
+            "main: li r1, 4\n\
+                   call square\n\
+                   halt\n\
+             square: mul r2, r1, r1\n\
+                   ret\n",
+        );
+        assert_eq!(m.int_reg(2), 16);
+    }
+
+    #[test]
+    fn stack_discipline() {
+        let m = run_asm(
+            "main: subi sp, sp, 16\n\
+                   li r1, 42\n\
+                   sd r1, 0(sp)\n\
+                   li r1, 0\n\
+                   ld r2, 0(sp)\n\
+                   addi sp, sp, 16\n\
+                   halt\n",
+        );
+        assert_eq!(m.int_reg(2), 42);
+    }
+
+    #[test]
+    fn floating_point_path() {
+        let m = run_asm(
+            ".data\n\
+             a: .double 1.5\n\
+             b: .double 2.5\n\
+             out: .space 8\n\
+             .text\n\
+             main: la r1, a\n\
+                   fld f1, 0(r1)\n\
+                   fld f2, 8(r1)\n\
+                   fadd f3, f1, f2\n\
+                   fmul f4, f1, f2\n\
+                   flt r2, f1, f2\n\
+                   cvtfi r3, f4\n\
+                   la r4, out\n\
+                   fsd f3, 0(r4)\n\
+                   halt\n",
+        );
+        assert_eq!(m.fp_reg(3), 4.0);
+        assert_eq!(m.fp_reg(4), 3.75);
+        assert_eq!(m.int_reg(2), 1);
+        assert_eq!(m.int_reg(3), 3);
+        let out = m.program().symbol("out").unwrap();
+        assert_eq!(f64::from_bits(m.read_u64(out).unwrap()), 4.0);
+    }
+
+    #[test]
+    fn records_carry_control_and_memory_info() {
+        let p = assemble(
+            "main: li r1, 1\n\
+                   beqz r1, main\n\
+                   sd r1, 128(r0)\n\
+                   halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(p);
+        let r1 = match m.step().unwrap() {
+            StepOutcome::Executed(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(r1.seq, 0);
+        assert!(!r1.redirects());
+        let rb = match m.step().unwrap() {
+            StepOutcome::Executed(r) => r,
+            _ => panic!(),
+        };
+        assert!(!rb.taken);
+        let rs = match m.step().unwrap() {
+            StepOutcome::Executed(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(rs.mem_addr, Some(128));
+        let rh = match m.step().unwrap() {
+            StepOutcome::Executed(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(rh.inst, Inst::Halt);
+        assert_eq!(m.step().unwrap(), StepOutcome::Halted);
+    }
+
+    #[test]
+    fn bad_pc_faults() {
+        let p = assemble("main: jr r1\n halt\n").unwrap();
+        let mut m = Machine::new(p);
+        m.set_int_reg(1, 0xdead_0000);
+        m.step().unwrap(); // the jump itself executes
+        let e = m.step().unwrap_err();
+        assert_eq!(e, EmuError::BadPc { pc: 0xdead_0000 });
+    }
+
+    #[test]
+    fn bad_access_faults() {
+        let p = assemble("main: ld r2, 0(r1)\n halt\n").unwrap();
+        let mut m = Machine::new(p);
+        m.set_int_reg(1, u64::MAX - 2);
+        let e = m.step().unwrap_err();
+        assert!(matches!(e, EmuError::BadAccess { .. }));
+        assert!(e.to_string().contains("bad memory access"));
+    }
+
+    #[test]
+    fn writes_to_r0_are_discarded() {
+        let m = run_asm("main: li r1, 3\n add r0, r1, r1\n halt\n");
+        assert_eq!(m.int_reg(0), 0);
+    }
+
+    #[test]
+    fn run_respects_step_budget() {
+        let p = assemble("main: b main\n").unwrap();
+        let mut m = Machine::new(p);
+        let n = m.run(100).unwrap();
+        assert_eq!(n, 100);
+        assert!(!m.is_halted());
+    }
+
+    #[test]
+    fn sp_is_initialized_high_and_aligned() {
+        let p = assemble("main: halt\n").unwrap();
+        let m = Machine::new(p);
+        let sp = m.int_reg(ubrc_isa::SP.index());
+        assert_eq!(sp % 16, 0);
+        assert!(sp as usize <= DEFAULT_MEM_SIZE);
+        assert!(sp as usize >= DEFAULT_MEM_SIZE - 128);
+    }
+}

@@ -1,0 +1,55 @@
+use ubrc_isa::Inst;
+
+/// The architectural outcome of one executed instruction.
+///
+/// This is the unit of communication between the functional emulator and
+/// the timing simulator: everything the pipeline model needs to know
+/// about an instruction's behaviour (control-flow outcome, memory
+/// address) without re-executing it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecRecord {
+    /// Dynamic instruction sequence number (0-based, nops included).
+    pub seq: u64,
+    /// Address the instruction was fetched from.
+    pub pc: u64,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Address of the next instruction actually executed.
+    pub next_pc: u64,
+    /// For control instructions: whether control transferred away from
+    /// the fall-through path. Always `true` for jumps; `false` for
+    /// non-control instructions.
+    pub taken: bool,
+    /// Effective address for loads and stores.
+    pub mem_addr: Option<u64>,
+}
+
+impl ExecRecord {
+    /// True when the instruction redirected control flow.
+    pub fn redirects(&self) -> bool {
+        self.next_pc != self.pc + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirects_compares_against_fallthrough() {
+        let r = ExecRecord {
+            seq: 0,
+            pc: 0x1000,
+            inst: Inst::Nop,
+            next_pc: 0x1004,
+            taken: false,
+            mem_addr: None,
+        };
+        assert!(!r.redirects());
+        let r2 = ExecRecord {
+            next_pc: 0x2000,
+            ..r
+        };
+        assert!(r2.redirects());
+    }
+}

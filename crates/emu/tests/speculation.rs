@@ -1,0 +1,114 @@
+//! Tests of the emulator's wrong-path (speculative) execution mode:
+//! every architectural effect must roll back exactly.
+
+use proptest::prelude::*;
+use ubrc_emu::{Machine, StepOutcome};
+use ubrc_isa::assemble;
+
+fn machine(src: &str) -> Machine {
+    Machine::new(assemble(src).unwrap())
+}
+
+#[test]
+fn rollback_restores_registers_memory_and_pc() {
+    let mut m = machine(
+        ".data\ncell: .quad 99\n.text\n\
+         main: li r1, 1\n\
+         other: li r1, 42\n\
+                la r2, cell\n\
+                sd r1, 0(r2)\n\
+                halt\n",
+    );
+    // Execute the first instruction on the correct path.
+    m.step().unwrap();
+    assert_eq!(m.int_reg(1), 1);
+    let pc_before = m.pc();
+    let cell = m.program().symbol("cell").unwrap();
+
+    // Wrong path: run the `other` block, clobbering r1, r2 and memory.
+    m.enter_speculation(m.program().symbol("other").unwrap());
+    assert!(m.in_speculation());
+    for _ in 0..5 {
+        m.step().unwrap();
+    }
+    assert_eq!(m.int_reg(1), 42);
+    assert_eq!(m.read_u64(cell).unwrap(), 42);
+    assert!(m.is_halted());
+
+    m.abort_speculation();
+    assert!(!m.in_speculation());
+    assert_eq!(m.pc(), pc_before);
+    assert_eq!(m.int_reg(1), 1);
+    assert_eq!(m.read_u64(cell).unwrap(), 99);
+    assert!(!m.is_halted());
+}
+
+#[test]
+fn wrong_path_faults_do_not_corrupt_the_machine() {
+    let mut m = machine("main: li r1, 7\n halt\n");
+    m.step().unwrap();
+    m.enter_speculation(0xdead_0000);
+    assert!(m.step().is_err(), "wrong path fetches garbage");
+    m.abort_speculation();
+    // Correct path continues to completion.
+    m.run(10).unwrap();
+    assert!(m.is_halted());
+    assert_eq!(m.int_reg(1), 7);
+}
+
+#[test]
+#[should_panic(expected = "nested speculation")]
+fn nested_speculation_rejected() {
+    let mut m = machine("main: halt\n");
+    m.enter_speculation(0x1000);
+    m.enter_speculation(0x1000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn speculation_roundtrip_preserves_all_state(
+        seed in any::<u64>(),
+        spec_steps in 1usize..60,
+    ) {
+        use ubrc_workloads::synthetic::SyntheticSpec;
+        // A real program; run a prefix, speculate down a shifted PC,
+        // roll back, and compare against a machine that never
+        // speculated.
+        let spec = SyntheticSpec {
+            blocks: 4,
+            block_len: 30,
+            ..SyntheticSpec::single_use_heavy(seed)
+        };
+        let program = ubrc_isa::assemble(&spec.generate()).unwrap();
+        let mut a = Machine::new(program.clone());
+        let mut b = Machine::new(program.clone());
+        for _ in 0..10 {
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+        // Machine A takes a detour from the entry point (a plausible
+        // wrong target) and rolls back; stop early on fault/halt.
+        a.enter_speculation(program.entry);
+        for _ in 0..spec_steps {
+            match a.step() {
+                Ok(StepOutcome::Executed(_)) => {}
+                _ => break,
+            }
+        }
+        a.abort_speculation();
+        // Afterwards A and B must step identically to completion.
+        loop {
+            let ra = a.step().unwrap();
+            let rb = b.step().unwrap();
+            prop_assert_eq!(&ra, &rb);
+            if ra == StepOutcome::Halted {
+                break;
+            }
+        }
+        for i in 0..32 {
+            prop_assert_eq!(a.int_reg(i), b.int_reg(i), "r{} differs", i);
+        }
+    }
+}

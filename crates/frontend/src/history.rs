@@ -1,0 +1,75 @@
+/// A global branch-history shift register.
+///
+/// Holds the outcomes of the most recent conditional branches, newest in
+/// the least-significant bit.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_frontend::GlobalHistory;
+///
+/// let mut h = GlobalHistory::new();
+/// h.push(true);
+/// h.push(false);
+/// assert_eq!(h.bits(2), 0b10);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GlobalHistory {
+    bits: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-not-taken history.
+    pub const fn new() -> Self {
+        Self { bits: 0 }
+    }
+
+    /// Shifts in the outcome of one conditional branch.
+    pub fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+    }
+
+    /// The `n` most recent outcomes (`n <= 64`), newest in bit 0.
+    pub fn bits(self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            self.bits
+        } else {
+            self.bits & ((1u64 << n) - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_newest_into_bit_zero() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        assert_eq!(h.bits(1), 1);
+        h.push(false);
+        assert_eq!(h.bits(1), 0);
+        assert_eq!(h.bits(2), 0b10);
+        h.push(true);
+        assert_eq!(h.bits(3), 0b101);
+    }
+
+    #[test]
+    fn bits_masks_to_requested_width() {
+        let mut h = GlobalHistory::new();
+        for _ in 0..10 {
+            h.push(true);
+        }
+        assert_eq!(h.bits(4), 0b1111);
+        assert_eq!(h.bits(0), 0);
+    }
+
+    #[test]
+    fn full_width_request() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        assert_eq!(h.bits(64), 1);
+    }
+}

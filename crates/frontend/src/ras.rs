@@ -1,0 +1,117 @@
+/// A fixed-depth return address stack.
+///
+/// Calls push their return address; returns pop the predicted target.
+/// On overflow the oldest entry is overwritten (circular), as in real
+/// hardware; on underflow `pop` returns `None` and the front end falls
+/// back to the indirect predictor.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_frontend::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(64);
+/// ras.push(0x1004);
+/// ras.push(0x2008);
+/// assert_eq!(ras.pop(), Some(0x2008));
+/// assert_eq!(ras.pop(), Some(0x1004));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            entries: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Number of live entries (saturates at capacity).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pushes a return address (a call).
+    pub fn push(&mut self, addr: u64) {
+        self.entries[self.top] = addr;
+        self.top = (self.top + 1) % self.entries.len();
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return target, or `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(self.entries[self.top])
+    }
+}
+
+impl Default for ReturnAddressStack {
+    /// The paper's 64-entry configuration.
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(4);
+        for a in [1u64, 2, 3] {
+            r.push(a);
+        }
+        assert_eq!(r.depth(), 3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_newest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn deep_call_return_sequences() {
+        let mut r = ReturnAddressStack::default();
+        for a in 0..64u64 {
+            r.push(a);
+        }
+        for a in (0..64u64).rev() {
+            assert_eq!(r.pop(), Some(a));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,241 @@
+use crate::history::GlobalHistory;
+
+fn taken2(c: u8) -> bool {
+    c >= 2
+}
+
+/// A bimodal (per-PC 2-bit counter) conditional branch predictor.
+///
+/// The simplest hardware direction predictor; used as an ablation
+/// baseline against [`crate::Yags`].
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_frontend::Bimodal;
+///
+/// let mut p = Bimodal::default();
+/// p.update(0x400, true);
+/// p.update(0x400, true);
+/// assert!(p.predict(0x400));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+}
+
+impl Default for Bimodal {
+    /// 16K entries (4KB of 2-bit counters).
+    fn default() -> Self {
+        Self::new(14)
+    }
+}
+
+impl Bimodal {
+    /// Creates a predictor with `2^bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 24`.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits <= 24);
+        Self {
+            counters: vec![1; 1 << bits], // weakly not-taken
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the branch direction.
+    pub fn predict(&self, pc: u64) -> bool {
+        taken2(self.counters[self.index(pc)])
+    }
+
+    /// Trains with the resolved outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        *c = if taken {
+            (*c + 1).min(3)
+        } else {
+            c.saturating_sub(1)
+        };
+    }
+}
+
+/// A gshare conditional branch predictor: 2-bit counters indexed by
+/// PC ⊕ global history.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_frontend::{GlobalHistory, Gshare};
+///
+/// let mut p = Gshare::default();
+/// let h = GlobalHistory::new();
+/// p.update(0x400, h, true);
+/// p.update(0x400, h, true);
+/// assert!(p.predict(0x400, h));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history_bits: u32,
+}
+
+impl Default for Gshare {
+    /// 16K entries with 12 bits of history (4KB).
+    fn default() -> Self {
+        Self::new(14, 12)
+    }
+}
+
+impl Gshare {
+    /// Creates a predictor with `2^bits` counters and `history_bits`
+    /// of global history in the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 24`.
+    pub fn new(bits: u32, history_bits: u32) -> Self {
+        assert!(bits <= 24);
+        Self {
+            counters: vec![1; 1 << bits],
+            history_bits: history_bits.min(bits),
+        }
+    }
+
+    fn index(&self, pc: u64, hist: GlobalHistory) -> usize {
+        (((pc >> 2) ^ hist.bits(self.history_bits)) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the branch direction.
+    pub fn predict(&self, pc: u64, hist: GlobalHistory) -> bool {
+        taken2(self.counters[self.index(pc, hist)])
+    }
+
+    /// Trains with the resolved outcome.
+    pub fn update(&mut self, pc: u64, hist: GlobalHistory, taken: bool) {
+        let i = self.index(pc, hist);
+        let c = &mut self.counters[i];
+        *c = if taken {
+            (*c + 1).min(3)
+        } else {
+            c.saturating_sub(1)
+        };
+    }
+}
+
+/// A conditional branch direction predictor of any style, for the
+/// simulator's predictor ablation.
+#[derive(Clone, Debug)]
+pub enum DirectionPredictor {
+    /// Always predict not-taken (the degenerate baseline).
+    AlwaysNotTaken,
+    /// Per-PC 2-bit counters.
+    Bimodal(Bimodal),
+    /// PC ⊕ history indexed counters.
+    Gshare(Gshare),
+    /// The paper's 12KB YAGS predictor (default).
+    Yags(crate::Yags),
+}
+
+impl DirectionPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64, hist: GlobalHistory) -> bool {
+        match self {
+            DirectionPredictor::AlwaysNotTaken => false,
+            DirectionPredictor::Bimodal(p) => p.predict(pc),
+            DirectionPredictor::Gshare(p) => p.predict(pc, hist),
+            DirectionPredictor::Yags(p) => p.predict(pc, hist),
+        }
+    }
+
+    /// Trains with the resolved outcome; `predicted` is what
+    /// [`DirectionPredictor::predict`] returned at fetch.
+    pub fn update(&mut self, pc: u64, hist: GlobalHistory, taken: bool, predicted: bool) {
+        match self {
+            DirectionPredictor::AlwaysNotTaken => {}
+            DirectionPredictor::Bimodal(p) => p.update(pc, taken),
+            DirectionPredictor::Gshare(p) => p.update(pc, hist, taken),
+            DirectionPredictor::Yags(p) => p.update(pc, hist, taken, predicted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_bias() {
+        let mut p = Bimodal::new(8);
+        for _ in 0..4 {
+            p.update(0x100, true);
+        }
+        assert!(p.predict(0x100));
+        for _ in 0..4 {
+            p.update(0x100, false);
+        }
+        assert!(!p.predict(0x100));
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation() {
+        let mut p = Bimodal::new(8);
+        let mut correct = 0;
+        let mut outcome = false;
+        for _ in 0..100 {
+            if p.predict(0x200) == outcome {
+                correct += 1;
+            }
+            p.update(0x200, outcome);
+            outcome = !outcome;
+        }
+        assert!(
+            correct <= 60,
+            "bimodal should fail on alternation: {correct}"
+        );
+    }
+
+    #[test]
+    fn gshare_learns_alternation() {
+        let mut p = Gshare::new(10, 4);
+        let mut h = GlobalHistory::new();
+        let mut outcome = false;
+        for _ in 0..64 {
+            p.update(0x300, h, outcome);
+            h.push(outcome);
+            outcome = !outcome;
+        }
+        let mut correct = 0;
+        for _ in 0..64 {
+            if p.predict(0x300, h) == outcome {
+                correct += 1;
+            }
+            p.update(0x300, h, outcome);
+            h.push(outcome);
+            outcome = !outcome;
+        }
+        assert!(correct >= 60, "gshare should learn alternation: {correct}");
+    }
+
+    #[test]
+    fn direction_predictor_dispatch() {
+        let h = GlobalHistory::new();
+        let mut p = DirectionPredictor::AlwaysNotTaken;
+        assert!(!p.predict(0x10, h));
+        p.update(0x10, h, true, false); // no-op, must not panic
+
+        let mut p = DirectionPredictor::Bimodal(Bimodal::new(6));
+        p.update(0x10, h, true, false);
+        p.update(0x10, h, true, true);
+        assert!(p.predict(0x10, h));
+
+        let mut p = DirectionPredictor::Yags(crate::Yags::new(8, 6));
+        let pred = p.predict(0x10, h);
+        p.update(0x10, h, true, pred);
+    }
+}

@@ -1,0 +1,1042 @@
+//! A two-pass text assembler for the UBRC ISA.
+//!
+//! Syntax overview (see the `workloads` crate for full kernels):
+//!
+//! ```text
+//! ; comments run to end of line (also `#` and `//`)
+//! .data
+//! arr:    .quad 1, 2, 3
+//! pi:     .double 3.14159
+//! buf:    .space 64
+//! .text
+//! main:   la   r1, arr
+//!         ld   r2, 0(r1)
+//!         addi r2, r2, 1
+//!         beqz r2, done
+//!         call helper
+//! done:   halt
+//! helper: ret
+//! ```
+//!
+//! Registers are `r0..r31` (aliases `zero`, `sp`, `ra`) and `f0..f31`.
+//! Pseudo-instructions (`li`, `la`, `mov`, `b`, `beqz`, `bnez`, `bltz`,
+//! `bgez`, `ble`, `bgt`, `subi`, `call`, `ret`, `neg`, `not`) expand to
+//! one or two real instructions.
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, CvtDir, FpuOp, Inst, MemWidth};
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use crate::reg::Reg;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error with the 1-based source line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    Sym(String),
+    /// `off(base)`; the offset may be a literal or a symbol.
+    Mem {
+        off: Box<Operand>,
+        base: Reg,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Stmt {
+    Label(String),
+    Text,
+    Data,
+    Quad(Vec<Operand>),
+    Word(Vec<Operand>),
+    Half(Vec<Operand>),
+    Byte(Vec<Operand>),
+    Double(Vec<f64>),
+    Space(u64),
+    Align(u64),
+    Inst {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
+}
+
+fn parse_reg(tok: &str) -> Option<Reg> {
+    match tok {
+        "zero" => return Some(Reg::int(0)),
+        "sp" => return Some(crate::reg::SP),
+        "ra" => return Some(crate::reg::RA),
+        _ => {}
+    }
+    let (bank, rest) = tok.split_at(1);
+    let idx: u8 = rest.parse().ok()?;
+    if idx >= 32 {
+        return None;
+    }
+    match bank {
+        "r" => Some(Reg::int(idx)),
+        "f" => Some(Reg::fp(idx)),
+        _ => None,
+    }
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return err(line, "empty operand");
+    }
+    // Memory operand: off(base).
+    if let Some(open) = tok.find('(') {
+        if !tok.ends_with(')') {
+            return err(line, format!("malformed memory operand `{tok}`"));
+        }
+        let off_str = &tok[..open];
+        let base_str = &tok[open + 1..tok.len() - 1];
+        let base = parse_reg(base_str).ok_or_else(|| AsmError {
+            line,
+            msg: format!("bad base register `{base_str}`"),
+        })?;
+        let off = if off_str.is_empty() {
+            Operand::Imm(0)
+        } else {
+            parse_operand(off_str, line)?
+        };
+        return Ok(Operand::Mem {
+            off: Box::new(off),
+            base,
+        });
+    }
+    if let Some(r) = parse_reg(tok) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(v) = parse_int(tok) {
+        return Ok(Operand::Imm(v));
+    }
+    if tok
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && tok
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        return Ok(Operand::Sym(tok.to_string()));
+    }
+    err(line, format!("unrecognized operand `{tok}`"))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for pat in [";", "#", "//"] {
+        if let Some(i) = line.find(pat) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+fn parse(source: &str) -> Result<Vec<(usize, Stmt)>, AsmError> {
+    let mut stmts = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut rest = strip_comment(raw).trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = rest.find(':') {
+            let (name, after) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                || name.contains(char::is_whitespace)
+            {
+                break;
+            }
+            stmts.push((line, Stmt::Label(name.to_string())));
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            let (name, args) = match directive.find(char::is_whitespace) {
+                Some(i) => directive.split_at(i),
+                None => (directive, ""),
+            };
+            let args = args.trim();
+            let parse_list = |line: usize| -> Result<Vec<Operand>, AsmError> {
+                args.split(',').map(|t| parse_operand(t, line)).collect()
+            };
+            let stmt = match name {
+                "text" => Stmt::Text,
+                "data" => Stmt::Data,
+                "quad" => Stmt::Quad(parse_list(line)?),
+                "word" => Stmt::Word(parse_list(line)?),
+                "half" => Stmt::Half(parse_list(line)?),
+                "byte" => Stmt::Byte(parse_list(line)?),
+                "double" => {
+                    let vals: Result<Vec<f64>, _> =
+                        args.split(',').map(|t| t.trim().parse::<f64>()).collect();
+                    match vals {
+                        Ok(v) => Stmt::Double(v),
+                        Err(_) => return err(line, format!("bad .double list `{args}`")),
+                    }
+                }
+                "space" => match parse_int(args) {
+                    Some(n) if n >= 0 => Stmt::Space(n as u64),
+                    _ => return err(line, format!("bad .space size `{args}`")),
+                },
+                "align" => match parse_int(args) {
+                    Some(n) if n > 0 && (n as u64).is_power_of_two() => Stmt::Align(n as u64),
+                    _ => return err(line, format!("bad .align `{args}` (power of two required)")),
+                },
+                other => return err(line, format!("unknown directive `.{other}`")),
+            };
+            stmts.push((line, stmt));
+            continue;
+        }
+        // Instruction: mnemonic [operands, ...]
+        let (mnemonic, ops) = match rest.find(char::is_whitespace) {
+            Some(i) => rest.split_at(i),
+            None => (rest, ""),
+        };
+        let ops = ops.trim();
+        let operands = if ops.is_empty() {
+            Vec::new()
+        } else {
+            ops.split(',')
+                .map(|t| parse_operand(t, line))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        stmts.push((
+            line,
+            Stmt::Inst {
+                mnemonic: mnemonic.to_lowercase(),
+                operands,
+            },
+        ));
+    }
+    Ok(stmts)
+}
+
+/// Number of real instructions a (pseudo-)instruction expands to.
+fn inst_size(mnemonic: &str, operands: &[Operand]) -> usize {
+    match mnemonic {
+        "la" => 2,
+        "li" => match operands.get(1) {
+            Some(Operand::Imm(v)) if i16::try_from(*v).is_ok() => 1,
+            _ => 2,
+        },
+        _ => 1,
+    }
+}
+
+struct Emitter<'a> {
+    symbols: &'a BTreeMap<String, u64>,
+    out: Vec<Inst>,
+    text_base: u64,
+}
+
+impl Emitter<'_> {
+    fn pc(&self) -> u64 {
+        self.text_base + 4 * self.out.len() as u64
+    }
+
+    fn resolve(&self, op: &Operand, line: usize) -> Result<i64, AsmError> {
+        match op {
+            Operand::Imm(v) => Ok(*v),
+            Operand::Sym(s) => match self.symbols.get(s) {
+                Some(&addr) => Ok(addr as i64),
+                None => err(line, format!("undefined symbol `{s}`")),
+            },
+            _ => err(line, "expected an immediate or symbol"),
+        }
+    }
+
+    fn want_reg(&self, op: Option<&Operand>, line: usize) -> Result<Reg, AsmError> {
+        match op {
+            Some(Operand::Reg(r)) => Ok(*r),
+            _ => err(line, "expected a register operand"),
+        }
+    }
+
+    fn want_imm16(&self, op: Option<&Operand>, line: usize) -> Result<i16, AsmError> {
+        let op = op.ok_or_else(|| AsmError {
+            line,
+            msg: "missing immediate operand".into(),
+        })?;
+        let v = self.resolve(op, line)?;
+        i16::try_from(v).map_err(|_| AsmError {
+            line,
+            msg: format!("immediate {v} does not fit in 16 signed bits"),
+        })
+    }
+
+    fn want_mem(&self, op: Option<&Operand>, line: usize) -> Result<(i16, Reg), AsmError> {
+        match op {
+            Some(Operand::Mem { off, base }) => {
+                let v = self.resolve(off, line)?;
+                let off = i16::try_from(v).map_err(|_| AsmError {
+                    line,
+                    msg: format!("memory offset {v} does not fit in 16 signed bits"),
+                })?;
+                Ok((off, *base))
+            }
+            _ => err(line, "expected a memory operand `off(base)`"),
+        }
+    }
+
+    fn branch_off(&self, op: Option<&Operand>, line: usize) -> Result<i16, AsmError> {
+        let op = op.ok_or_else(|| AsmError {
+            line,
+            msg: "missing branch target".into(),
+        })?;
+        let target = self.resolve(op, line)?;
+        let delta = (target - (self.pc() as i64 + 4)) / 4;
+        i16::try_from(delta).map_err(|_| AsmError {
+            line,
+            msg: format!("branch target {delta} instructions away exceeds range"),
+        })
+    }
+
+    fn jump_off(&self, op: Option<&Operand>, line: usize) -> Result<i32, AsmError> {
+        let op = op.ok_or_else(|| AsmError {
+            line,
+            msg: "missing jump target".into(),
+        })?;
+        let target = self.resolve(op, line)?;
+        let delta = (target - (self.pc() as i64 + 4)) / 4;
+        i32::try_from(delta).map_err(|_| AsmError {
+            line,
+            msg: "jump target exceeds range".into(),
+        })
+    }
+
+    fn emit_li(&mut self, rd: Reg, v: i64, line: usize) -> Result<(), AsmError> {
+        if let Ok(imm) = i16::try_from(v) {
+            self.out.push(Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs: Reg::int(0),
+                imm,
+            });
+            return Ok(());
+        }
+        let Ok(uv) = u32::try_from(v) else {
+            return err(
+                line,
+                format!("immediate {v} not representable (must fit in i16 or u32)"),
+            );
+        };
+        self.out.push(Inst::Lui {
+            rd,
+            imm: (uv >> 16) as u16,
+        });
+        self.out.push(Inst::AluImm {
+            op: AluImmOp::Ori,
+            rd,
+            rs: rd,
+            imm: (uv & 0xffff) as i16,
+        });
+        Ok(())
+    }
+
+    fn emit(&mut self, mnemonic: &str, ops: &[Operand], line: usize) -> Result<(), AsmError> {
+        let alu = |op: AluOp| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+            Box::new(move |e: &mut Self| {
+                let rd = e.want_reg(ops.first(), line)?;
+                let rs = e.want_reg(ops.get(1), line)?;
+                let rt = e.want_reg(ops.get(2), line)?;
+                e.out.push(Inst::Alu { op, rd, rs, rt });
+                Ok(())
+            })
+        };
+        let alu_imm = |op: AluImmOp| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+            Box::new(move |e: &mut Self| {
+                let rd = e.want_reg(ops.first(), line)?;
+                let rs = e.want_reg(ops.get(1), line)?;
+                let imm = e.want_imm16(ops.get(2), line)?;
+                e.out.push(Inst::AluImm { op, rd, rs, imm });
+                Ok(())
+            })
+        };
+        let load =
+            |width: MemWidth, signed: bool| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+                Box::new(move |e: &mut Self| {
+                    let rd = e.want_reg(ops.first(), line)?;
+                    let (off, base) = e.want_mem(ops.get(1), line)?;
+                    e.out.push(Inst::Load {
+                        width,
+                        signed,
+                        rd,
+                        base,
+                        off,
+                    });
+                    Ok(())
+                })
+            };
+        let store = |width: MemWidth| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+            Box::new(move |e: &mut Self| {
+                let src = e.want_reg(ops.first(), line)?;
+                let (off, base) = e.want_mem(ops.get(1), line)?;
+                e.out.push(Inst::Store {
+                    width,
+                    src,
+                    base,
+                    off,
+                });
+                Ok(())
+            })
+        };
+        let branch =
+            |cond: BranchCond, swap: bool| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+                Box::new(move |e: &mut Self| {
+                    let a = e.want_reg(ops.first(), line)?;
+                    let b = e.want_reg(ops.get(1), line)?;
+                    let off = e.branch_off(ops.get(2), line)?;
+                    let (rs, rt) = if swap { (b, a) } else { (a, b) };
+                    e.out.push(Inst::Branch { cond, rs, rt, off });
+                    Ok(())
+                })
+            };
+        // Branch pseudo against zero: `beqz rs, target`.
+        let branch_z = |cond: BranchCond,
+                        zero_first: bool|
+         -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+            Box::new(move |e: &mut Self| {
+                let r = e.want_reg(ops.first(), line)?;
+                let off = e.branch_off(ops.get(1), line)?;
+                let z = Reg::int(0);
+                let (rs, rt) = if zero_first { (z, r) } else { (r, z) };
+                e.out.push(Inst::Branch { cond, rs, rt, off });
+                Ok(())
+            })
+        };
+        let fpu3 = |op: FpuOp| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
+            Box::new(move |e: &mut Self| {
+                let rd = e.want_reg(ops.first(), line)?;
+                let rs = e.want_reg(ops.get(1), line)?;
+                let rt = e.want_reg(ops.get(2), line)?;
+                e.out.push(Inst::Fpu { op, rd, rs, rt });
+                Ok(())
+            })
+        };
+        match mnemonic {
+            "add" => alu(AluOp::Add)(self),
+            "sub" => alu(AluOp::Sub)(self),
+            "mul" => alu(AluOp::Mul)(self),
+            "div" => alu(AluOp::Div)(self),
+            "rem" => alu(AluOp::Rem)(self),
+            "and" => alu(AluOp::And)(self),
+            "or" => alu(AluOp::Or)(self),
+            "xor" => alu(AluOp::Xor)(self),
+            "nor" => alu(AluOp::Nor)(self),
+            "sll" => alu(AluOp::Sll)(self),
+            "srl" => alu(AluOp::Srl)(self),
+            "sra" => alu(AluOp::Sra)(self),
+            "slt" => alu(AluOp::Slt)(self),
+            "sltu" => alu(AluOp::Sltu)(self),
+            "addi" => alu_imm(AluImmOp::Addi)(self),
+            "andi" => alu_imm(AluImmOp::Andi)(self),
+            "ori" => alu_imm(AluImmOp::Ori)(self),
+            "xori" => alu_imm(AluImmOp::Xori)(self),
+            "slli" => alu_imm(AluImmOp::Slli)(self),
+            "srli" => alu_imm(AluImmOp::Srli)(self),
+            "srai" => alu_imm(AluImmOp::Srai)(self),
+            "slti" => alu_imm(AluImmOp::Slti)(self),
+            "sltiu" => alu_imm(AluImmOp::Sltiu)(self),
+            "subi" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                let imm = self.want_imm16(ops.get(2), line)?;
+                let neg = imm.checked_neg().ok_or_else(|| AsmError {
+                    line,
+                    msg: "subi immediate out of range".into(),
+                })?;
+                self.out.push(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs,
+                    imm: neg,
+                });
+                Ok(())
+            }
+            "lui" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let v = self.resolve(
+                    ops.get(1).ok_or_else(|| AsmError {
+                        line,
+                        msg: "missing immediate".into(),
+                    })?,
+                    line,
+                )?;
+                let imm = u16::try_from(v).map_err(|_| AsmError {
+                    line,
+                    msg: format!("lui immediate {v} does not fit in 16 bits"),
+                })?;
+                self.out.push(Inst::Lui { rd, imm });
+                Ok(())
+            }
+            "lb" => load(MemWidth::Byte, true)(self),
+            "lbu" => load(MemWidth::Byte, false)(self),
+            "lh" => load(MemWidth::Half, true)(self),
+            "lhu" => load(MemWidth::Half, false)(self),
+            "lw" => load(MemWidth::Word, true)(self),
+            "lwu" => load(MemWidth::Word, false)(self),
+            "ld" | "fld" => load(MemWidth::Quad, true)(self),
+            "sb" => store(MemWidth::Byte)(self),
+            "sh" => store(MemWidth::Half)(self),
+            "sw" => store(MemWidth::Word)(self),
+            "sd" | "fsd" => store(MemWidth::Quad)(self),
+            "beq" => branch(BranchCond::Eq, false)(self),
+            "bne" => branch(BranchCond::Ne, false)(self),
+            "blt" => branch(BranchCond::Lt, false)(self),
+            "bge" => branch(BranchCond::Ge, false)(self),
+            "bltu" => branch(BranchCond::Ltu, false)(self),
+            "bgeu" => branch(BranchCond::Geu, false)(self),
+            "ble" => branch(BranchCond::Ge, true)(self),
+            "bgt" => branch(BranchCond::Lt, true)(self),
+            "beqz" => branch_z(BranchCond::Eq, false)(self),
+            "bnez" => branch_z(BranchCond::Ne, false)(self),
+            "bltz" => branch_z(BranchCond::Lt, false)(self),
+            "bgez" => branch_z(BranchCond::Ge, false)(self),
+            "bgtz" => branch_z(BranchCond::Lt, true)(self),
+            "blez" => branch_z(BranchCond::Ge, true)(self),
+            "b" => {
+                let off = self.branch_off(ops.first(), line)?;
+                self.out.push(Inst::Branch {
+                    cond: BranchCond::Eq,
+                    rs: Reg::int(0),
+                    rt: Reg::int(0),
+                    off,
+                });
+                Ok(())
+            }
+            "j" => {
+                let off = self.jump_off(ops.first(), line)?;
+                self.out.push(Inst::Jump { link: false, off });
+                Ok(())
+            }
+            "jal" | "call" => {
+                let off = self.jump_off(ops.first(), line)?;
+                self.out.push(Inst::Jump { link: true, off });
+                Ok(())
+            }
+            "jr" => {
+                let rs = self.want_reg(ops.first(), line)?;
+                self.out.push(Inst::JumpReg {
+                    link: false,
+                    rd: Reg::int(0),
+                    rs,
+                });
+                Ok(())
+            }
+            "jalr" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::JumpReg { link: true, rd, rs });
+                Ok(())
+            }
+            "ret" => {
+                self.out.push(Inst::JumpReg {
+                    link: false,
+                    rd: Reg::int(0),
+                    rs: crate::reg::RA,
+                });
+                Ok(())
+            }
+            "fadd" => fpu3(FpuOp::Fadd)(self),
+            "fsub" => fpu3(FpuOp::Fsub)(self),
+            "fmul" => fpu3(FpuOp::Fmul)(self),
+            "fdiv" => fpu3(FpuOp::Fdiv)(self),
+            "feq" => fpu3(FpuOp::Feq)(self),
+            "flt" => fpu3(FpuOp::Flt)(self),
+            "fle" => fpu3(FpuOp::Fle)(self),
+            "fneg" | "fmov" => {
+                let op = if mnemonic == "fneg" {
+                    FpuOp::Fneg
+                } else {
+                    FpuOp::Fmov
+                };
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::Fpu {
+                    op,
+                    rd,
+                    rs,
+                    rt: Reg::fp(0),
+                });
+                Ok(())
+            }
+            "cvtif" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::Cvt {
+                    dir: CvtDir::IntToFp,
+                    rd,
+                    rs,
+                });
+                Ok(())
+            }
+            "cvtfi" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::Cvt {
+                    dir: CvtDir::FpToInt,
+                    rd,
+                    rs,
+                });
+                Ok(())
+            }
+            "mov" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs,
+                    imm: 0,
+                });
+                Ok(())
+            }
+            "neg" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::Alu {
+                    op: AluOp::Sub,
+                    rd,
+                    rs: Reg::int(0),
+                    rt: rs,
+                });
+                Ok(())
+            }
+            "not" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let rs = self.want_reg(ops.get(1), line)?;
+                self.out.push(Inst::Alu {
+                    op: AluOp::Nor,
+                    rd,
+                    rs,
+                    rt: Reg::int(0),
+                });
+                Ok(())
+            }
+            "li" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let v = self.resolve(
+                    ops.get(1).ok_or_else(|| AsmError {
+                        line,
+                        msg: "missing immediate".into(),
+                    })?,
+                    line,
+                )?;
+                self.emit_li(rd, v, line)
+            }
+            "la" => {
+                let rd = self.want_reg(ops.first(), line)?;
+                let v = self.resolve(
+                    ops.get(1).ok_or_else(|| AsmError {
+                        line,
+                        msg: "missing symbol".into(),
+                    })?,
+                    line,
+                )?;
+                let before = self.out.len();
+                self.emit_li(rd, v, line)?;
+                // Keep the 2-instruction size promised by pass 1.
+                while self.out.len() < before + 2 {
+                    self.out.push(Inst::Nop);
+                }
+                Ok(())
+            }
+            "nop" => {
+                self.out.push(Inst::Nop);
+                Ok(())
+            }
+            "halt" => {
+                self.out.push(Inst::Halt);
+                Ok(())
+            }
+            other => err(line, format!("unknown mnemonic `{other}`")),
+        }
+    }
+}
+
+/// Assembles source text into a [`Program`] at the default segment bases.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with a line number) for syntax errors, unknown
+/// mnemonics/directives, undefined or duplicate labels, and out-of-range
+/// immediates or branch targets.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_isa::assemble;
+///
+/// let p = assemble(
+///     "main: li r1, 10\n\
+///      loop: subi r1, r1, 1\n\
+///            bnez r1, loop\n\
+///            halt\n",
+/// )?;
+/// assert_eq!(p.text.len(), 4);
+/// # Ok::<(), ubrc_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    assemble_at(source, TEXT_BASE, DATA_BASE)
+}
+
+/// Assembles with explicit text/data segment base addresses.
+///
+/// # Errors
+///
+/// As for [`assemble`].
+pub fn assemble_at(source: &str, text_base: u64, data_base: u64) -> Result<Program, AsmError> {
+    let stmts = parse(source)?;
+
+    // Pass 1: lay out symbols.
+    let mut symbols: BTreeMap<String, u64> = BTreeMap::new();
+    let mut in_text = true;
+    let mut text_len = 0u64; // in instructions
+    let mut data_len = 0u64; // in bytes
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Text => in_text = true,
+            Stmt::Data => in_text = false,
+            Stmt::Label(name) => {
+                let addr = if in_text {
+                    text_base + 4 * text_len
+                } else {
+                    data_base + data_len
+                };
+                if symbols.insert(name.clone(), addr).is_some() {
+                    return err(*line, format!("duplicate label `{name}`"));
+                }
+            }
+            Stmt::Inst { mnemonic, operands } => {
+                if !in_text {
+                    return err(*line, "instruction outside .text");
+                }
+                text_len += inst_size(mnemonic, operands) as u64;
+            }
+            Stmt::Quad(v) => data_len += 8 * v.len() as u64,
+            Stmt::Word(v) => data_len += 4 * v.len() as u64,
+            Stmt::Half(v) => data_len += 2 * v.len() as u64,
+            Stmt::Byte(v) => data_len += v.len() as u64,
+            Stmt::Double(v) => data_len += 8 * v.len() as u64,
+            Stmt::Space(n) => data_len += n,
+            Stmt::Align(n) => data_len = data_len.next_multiple_of(*n),
+        }
+    }
+
+    // Pass 2: emit.
+    let mut emitter = Emitter {
+        symbols: &symbols,
+        out: Vec::with_capacity(text_len as usize),
+        text_base,
+    };
+    let mut data: Vec<u8> = Vec::with_capacity(data_len as usize);
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Text | Stmt::Data | Stmt::Label(_) => {}
+            Stmt::Inst { mnemonic, operands } => emitter.emit(mnemonic, operands, *line)?,
+            Stmt::Quad(v) | Stmt::Word(v) | Stmt::Half(v) | Stmt::Byte(v) => {
+                let width = match stmt {
+                    Stmt::Quad(_) => 8,
+                    Stmt::Word(_) => 4,
+                    Stmt::Half(_) => 2,
+                    _ => 1,
+                };
+                for op in v {
+                    let val = emitter.resolve(op, *line)?;
+                    data.extend_from_slice(&val.to_le_bytes()[..width]);
+                }
+            }
+            Stmt::Double(v) => {
+                for d in v {
+                    data.extend_from_slice(&d.to_bits().to_le_bytes());
+                }
+            }
+            Stmt::Space(n) => data.extend(std::iter::repeat(0u8).take(*n as usize)),
+            Stmt::Align(n) => {
+                let target = (data.len() as u64).next_multiple_of(*n) as usize;
+                data.resize(target, 0);
+            }
+        }
+    }
+    debug_assert_eq!(emitter.out.len() as u64, text_len);
+    debug_assert_eq!(data.len() as u64, data_len);
+
+    let entry = symbols.get("main").copied().unwrap_or(text_base);
+    Ok(Program {
+        text_base,
+        text: emitter.out,
+        data_base,
+        data,
+        entry,
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_branch_offsets() {
+        let p = assemble(
+            "main: addi r1, r0, 3\n\
+             loop: subi r1, r1, 1\n\
+                   bnez r1, loop\n\
+                   halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 4);
+        match p.text[2] {
+            Inst::Branch { cond, off, .. } => {
+                assert_eq!(cond, BranchCond::Ne);
+                assert_eq!(off, -2); // back to `loop` from pc+4
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn li_small_is_one_instruction_large_is_two() {
+        let p = assemble("li r1, 5\nli r2, 0x12345\nhalt\n").unwrap();
+        assert_eq!(p.text.len(), 4);
+        assert_eq!(
+            p.text[0],
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::int(1),
+                rs: Reg::int(0),
+                imm: 5
+            }
+        );
+        assert_eq!(
+            p.text[1],
+            Inst::Lui {
+                rd: Reg::int(2),
+                imm: 0x1
+            }
+        );
+        assert_eq!(
+            p.text[2],
+            Inst::AluImm {
+                op: AluImmOp::Ori,
+                rd: Reg::int(2),
+                rs: Reg::int(2),
+                imm: 0x2345
+            }
+        );
+    }
+
+    #[test]
+    fn la_resolves_data_labels() {
+        let p = assemble(
+            ".data\n\
+             x: .quad 7\n\
+             y: .quad 8, 9\n\
+             .text\n\
+             main: la r1, y\n\
+                   halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("x"), Some(DATA_BASE));
+        assert_eq!(p.symbol("y"), Some(DATA_BASE + 8));
+        assert_eq!(p.data.len(), 24);
+        assert_eq!(&p.data[0..8], &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let p = assemble(
+            ".data\n\
+             a: .byte 1, 2\n\
+             .align 4\n\
+             b: .word 3\n\
+             c: .space 5\n\
+             d: .double 1.5\n",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("a"), Some(DATA_BASE));
+        assert_eq!(p.symbol("b"), Some(DATA_BASE + 4));
+        assert_eq!(p.symbol("c"), Some(DATA_BASE + 8));
+        assert_eq!(p.symbol("d"), Some(DATA_BASE + 13));
+        assert_eq!(&p.data[13..21], &1.5f64.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn entry_defaults_to_main_label() {
+        let p = assemble("nop\nmain: halt\n").unwrap();
+        assert_eq!(p.entry, p.text_base + 4);
+        let p2 = assemble("halt\n").unwrap();
+        assert_eq!(p2.entry, p2.text_base);
+    }
+
+    #[test]
+    fn call_and_ret_expand() {
+        let p = assemble(
+            "main: call f\n\
+                   halt\n\
+             f:    ret\n",
+        )
+        .unwrap();
+        assert_eq!(p.text[0], Inst::Jump { link: true, off: 1 });
+        assert!(p.text[2].is_return());
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_is_an_error() {
+        let e = assemble("main: la r1, nowhere\nhalt\n").unwrap_err();
+        assert!(e.msg.contains("undefined symbol"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble(
+            "; leading comment\n\
+             \n\
+             main: nop # trailing\n\
+                   halt // also trailing\n",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 2);
+    }
+
+    #[test]
+    fn memory_operands_with_symbolic_offsets() {
+        let p =
+            assemble(".data\nbase: .space 16\n.text\nmain: ld r1, 8(r2)\n sd r1, (r3)\n halt\n")
+                .unwrap();
+        assert_eq!(
+            p.text[0],
+            Inst::Load {
+                width: MemWidth::Quad,
+                signed: true,
+                rd: Reg::int(1),
+                base: Reg::int(2),
+                off: 8
+            }
+        );
+        assert_eq!(
+            p.text[1],
+            Inst::Store {
+                width: MemWidth::Quad,
+                src: Reg::int(1),
+                base: Reg::int(3),
+                off: 0
+            }
+        );
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble("main: mov sp, ra\n addi r1, zero, 1\n halt\n").unwrap();
+        assert_eq!(
+            p.text[0],
+            Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: crate::reg::SP,
+                rs: crate::reg::RA,
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn swapped_branch_pseudos() {
+        let p = assemble("main: ble r1, r2, main\n bgt r3, r4, main\n halt\n").unwrap();
+        match p.text[0] {
+            Inst::Branch { cond, rs, rt, .. } => {
+                assert_eq!(cond, BranchCond::Ge);
+                assert_eq!(rs, Reg::int(2));
+                assert_eq!(rt, Reg::int(1));
+            }
+            _ => panic!(),
+        }
+        match p.text[1] {
+            Inst::Branch { cond, rs, rt, .. } => {
+                assert_eq!(cond, BranchCond::Lt);
+                assert_eq!(rs, Reg::int(4));
+                assert_eq!(rt, Reg::int(3));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn fp_instructions_assemble() {
+        let p = assemble(
+            ".data\nv: .double 2.0\n.text\n\
+             main: la r1, v\n\
+                   fld f1, 0(r1)\n\
+                   fadd f2, f1, f1\n\
+                   fmov f3, f2\n\
+                   cvtfi r2, f3\n\
+                   halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.text.len(), 7);
+        match p.text[2] {
+            Inst::Load { rd, .. } => assert!(rd.is_fp()),
+            _ => panic!(),
+        }
+    }
+}

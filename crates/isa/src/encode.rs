@@ -1,0 +1,470 @@
+//! Fixed 32-bit binary encoding of the UBRC ISA.
+//!
+//! Layout (big fields first):
+//!
+//! ```text
+//! [31:26] opcode
+//! [25:21] field a (rd, or rs for branches/stores)
+//! [20:16] field b (rs, or rt)
+//! [15:11] field c (rt, register-register forms)
+//! [15:0]  imm16  (immediate forms)
+//! [25:0]  off26  (jumps, signed)
+//! ```
+//!
+//! Register fields hold the 5-bit bank index; the bank (integer vs.
+//! floating-point) is implied by the opcode.
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, CvtDir, FpuOp, Inst, MemWidth};
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeInstError {
+    /// The offending opcode field.
+    pub opcode: u8,
+}
+
+impl fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid opcode {:#04x}", self.opcode)
+    }
+}
+
+impl Error for DecodeInstError {}
+
+/// Error produced when an instruction cannot be represented in 32 bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodeInstError {
+    /// The out-of-range jump offset.
+    pub offset: i32,
+}
+
+impl fmt::Display for EncodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jump offset {} exceeds 26 signed bits", self.offset)
+    }
+}
+
+impl Error for EncodeInstError {}
+
+const OP_NOP: u8 = 0;
+const OP_HALT: u8 = 1;
+const OP_ALU_BASE: u8 = 2; // 14 ops: 2..=15
+const OP_ALUIMM_BASE: u8 = 16; // 9 ops: 16..=24
+const OP_LUI: u8 = 25;
+const OP_LB: u8 = 26;
+const OP_LBU: u8 = 27;
+const OP_LH: u8 = 28;
+const OP_LHU: u8 = 29;
+const OP_LW: u8 = 30;
+const OP_LWU: u8 = 31;
+const OP_LD: u8 = 32;
+const OP_FLD: u8 = 33;
+const OP_SB: u8 = 34;
+const OP_SH: u8 = 35;
+const OP_SW: u8 = 36;
+const OP_SD: u8 = 37;
+const OP_FSD: u8 = 38;
+const OP_BRANCH_BASE: u8 = 39; // 6 ops: 39..=44
+const OP_J: u8 = 45;
+const OP_JAL: u8 = 46;
+const OP_JR: u8 = 47;
+const OP_JALR: u8 = 48;
+const OP_FPU_BASE: u8 = 49; // 9 ops: 49..=57
+const OP_CVTIF: u8 = 58;
+const OP_CVTFI: u8 = 59;
+
+const ALU_OPS: [AluOp; 14] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Nor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+const ALUIMM_OPS: [AluImmOp; 9] = [
+    AluImmOp::Addi,
+    AluImmOp::Andi,
+    AluImmOp::Ori,
+    AluImmOp::Xori,
+    AluImmOp::Slli,
+    AluImmOp::Srli,
+    AluImmOp::Srai,
+    AluImmOp::Slti,
+    AluImmOp::Sltiu,
+];
+
+const BRANCH_OPS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+const FPU_OPS: [FpuOp; 9] = [
+    FpuOp::Fadd,
+    FpuOp::Fsub,
+    FpuOp::Fmul,
+    FpuOp::Fdiv,
+    FpuOp::Fneg,
+    FpuOp::Fmov,
+    FpuOp::Feq,
+    FpuOp::Flt,
+    FpuOp::Fle,
+];
+
+fn idx_of<T: PartialEq>(table: &[T], v: &T) -> u8 {
+    table.iter().position(|t| t == v).expect("op in table") as u8
+}
+
+fn word(op: u8, a: u8, b: u8, low: u16) -> u32 {
+    (op as u32) << 26 | (a as u32) << 21 | (b as u32) << 16 | low as u32
+}
+
+impl Inst {
+    /// Encodes the instruction to its 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeInstError`] if a jump offset exceeds 26 signed
+    /// bits; all other instructions always encode.
+    pub fn encode(self) -> Result<u32, EncodeInstError> {
+        let w = match self {
+            Inst::Nop => word(OP_NOP, 0, 0, 0),
+            Inst::Halt => word(OP_HALT, 0, 0, 0),
+            Inst::Alu { op, rd, rs, rt } => word(
+                OP_ALU_BASE + idx_of(&ALU_OPS, &op),
+                rd.bank_index(),
+                rs.bank_index(),
+                (rt.bank_index() as u16) << 11,
+            ),
+            Inst::AluImm { op, rd, rs, imm } => word(
+                OP_ALUIMM_BASE + idx_of(&ALUIMM_OPS, &op),
+                rd.bank_index(),
+                rs.bank_index(),
+                imm as u16,
+            ),
+            Inst::Lui { rd, imm } => word(OP_LUI, rd.bank_index(), 0, imm),
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                base,
+                off,
+            } => {
+                let op = if rd.is_fp() {
+                    OP_FLD
+                } else {
+                    match (width, signed) {
+                        (MemWidth::Byte, true) => OP_LB,
+                        (MemWidth::Byte, false) => OP_LBU,
+                        (MemWidth::Half, true) => OP_LH,
+                        (MemWidth::Half, false) => OP_LHU,
+                        (MemWidth::Word, true) => OP_LW,
+                        (MemWidth::Word, false) => OP_LWU,
+                        (MemWidth::Quad, _) => OP_LD,
+                    }
+                };
+                word(op, rd.bank_index(), base.bank_index(), off as u16)
+            }
+            Inst::Store {
+                width,
+                src,
+                base,
+                off,
+            } => {
+                let op = if src.is_fp() {
+                    OP_FSD
+                } else {
+                    match width {
+                        MemWidth::Byte => OP_SB,
+                        MemWidth::Half => OP_SH,
+                        MemWidth::Word => OP_SW,
+                        MemWidth::Quad => OP_SD,
+                    }
+                };
+                word(op, src.bank_index(), base.bank_index(), off as u16)
+            }
+            Inst::Branch { cond, rs, rt, off } => word(
+                OP_BRANCH_BASE + idx_of(&BRANCH_OPS, &cond),
+                rs.bank_index(),
+                rt.bank_index(),
+                off as u16,
+            ),
+            Inst::Jump { link, off } => {
+                if off < -(1 << 25) || off >= (1 << 25) {
+                    return Err(EncodeInstError { offset: off });
+                }
+                let op = if link { OP_JAL } else { OP_J };
+                (op as u32) << 26 | (off as u32 & 0x03ff_ffff)
+            }
+            Inst::JumpReg { link, rd, rs } => {
+                let op = if link { OP_JALR } else { OP_JR };
+                word(op, rd.bank_index(), rs.bank_index(), 0)
+            }
+            Inst::Fpu { op, rd, rs, rt } => word(
+                OP_FPU_BASE + idx_of(&FPU_OPS, &op),
+                rd.bank_index(),
+                rs.bank_index(),
+                (rt.bank_index() as u16) << 11,
+            ),
+            Inst::Cvt { dir, rd, rs } => {
+                let op = match dir {
+                    CvtDir::IntToFp => OP_CVTIF,
+                    CvtDir::FpToInt => OP_CVTFI,
+                };
+                word(op, rd.bank_index(), rs.bank_index(), 0)
+            }
+        };
+        Ok(w)
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeInstError`] for unassigned opcodes.
+    pub fn decode(w: u32) -> Result<Inst, DecodeInstError> {
+        let op = (w >> 26) as u8;
+        let a = ((w >> 21) & 0x1f) as u8;
+        let b = ((w >> 16) & 0x1f) as u8;
+        let c = ((w >> 11) & 0x1f) as u8;
+        let imm = w as u16;
+        let inst = match op {
+            OP_NOP => Inst::Nop,
+            OP_HALT => Inst::Halt,
+            o if (OP_ALU_BASE..OP_ALU_BASE + 14).contains(&o) => Inst::Alu {
+                op: ALU_OPS[(o - OP_ALU_BASE) as usize],
+                rd: Reg::int(a),
+                rs: Reg::int(b),
+                rt: Reg::int(c),
+            },
+            o if (OP_ALUIMM_BASE..OP_ALUIMM_BASE + 9).contains(&o) => Inst::AluImm {
+                op: ALUIMM_OPS[(o - OP_ALUIMM_BASE) as usize],
+                rd: Reg::int(a),
+                rs: Reg::int(b),
+                imm: imm as i16,
+            },
+            OP_LUI => Inst::Lui {
+                rd: Reg::int(a),
+                imm,
+            },
+            OP_LB | OP_LBU | OP_LH | OP_LHU | OP_LW | OP_LWU | OP_LD | OP_FLD => {
+                let (width, signed, fp) = match op {
+                    OP_LB => (MemWidth::Byte, true, false),
+                    OP_LBU => (MemWidth::Byte, false, false),
+                    OP_LH => (MemWidth::Half, true, false),
+                    OP_LHU => (MemWidth::Half, false, false),
+                    OP_LW => (MemWidth::Word, true, false),
+                    OP_LWU => (MemWidth::Word, false, false),
+                    OP_LD => (MemWidth::Quad, true, false),
+                    _ => (MemWidth::Quad, true, true),
+                };
+                Inst::Load {
+                    width,
+                    signed,
+                    rd: if fp { Reg::fp(a) } else { Reg::int(a) },
+                    base: Reg::int(b),
+                    off: imm as i16,
+                }
+            }
+            OP_SB | OP_SH | OP_SW | OP_SD | OP_FSD => {
+                let (width, fp) = match op {
+                    OP_SB => (MemWidth::Byte, false),
+                    OP_SH => (MemWidth::Half, false),
+                    OP_SW => (MemWidth::Word, false),
+                    OP_SD => (MemWidth::Quad, false),
+                    _ => (MemWidth::Quad, true),
+                };
+                Inst::Store {
+                    width,
+                    src: if fp { Reg::fp(a) } else { Reg::int(a) },
+                    base: Reg::int(b),
+                    off: imm as i16,
+                }
+            }
+            o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Inst::Branch {
+                cond: BRANCH_OPS[(o - OP_BRANCH_BASE) as usize],
+                rs: Reg::int(a),
+                rt: Reg::int(b),
+                off: imm as i16,
+            },
+            OP_J | OP_JAL => {
+                // Sign-extend the 26-bit offset.
+                let off = ((w & 0x03ff_ffff) as i32) << 6 >> 6;
+                Inst::Jump {
+                    link: op == OP_JAL,
+                    off,
+                }
+            }
+            OP_JR | OP_JALR => Inst::JumpReg {
+                link: op == OP_JALR,
+                rd: Reg::int(a),
+                rs: Reg::int(b),
+            },
+            o if (OP_FPU_BASE..OP_FPU_BASE + 9).contains(&o) => {
+                let fop = FPU_OPS[(o - OP_FPU_BASE) as usize];
+                Inst::Fpu {
+                    op: fop,
+                    rd: if fop.writes_int() {
+                        Reg::int(a)
+                    } else {
+                        Reg::fp(a)
+                    },
+                    rs: Reg::fp(b),
+                    rt: Reg::fp(c),
+                }
+            }
+            OP_CVTIF => Inst::Cvt {
+                dir: CvtDir::IntToFp,
+                rd: Reg::fp(a),
+                rs: Reg::int(b),
+            },
+            OP_CVTFI => Inst::Cvt {
+                dir: CvtDir::FpToInt,
+                rd: Reg::int(a),
+                rs: Reg::fp(b),
+            },
+            _ => return Err(DecodeInstError { opcode: op }),
+        };
+        Ok(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{RA, ZERO};
+
+    fn roundtrip(i: Inst) {
+        let w = i.encode().expect("encodes");
+        let back = Inst::decode(w).expect("decodes");
+        assert_eq!(i, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        roundtrip(Inst::Nop);
+        roundtrip(Inst::Halt);
+        roundtrip(Inst::Alu {
+            op: AluOp::Nor,
+            rd: Reg::int(31),
+            rs: Reg::int(17),
+            rt: Reg::int(1),
+        });
+        roundtrip(Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::int(9),
+            rs: Reg::int(30),
+            imm: -1,
+        });
+        roundtrip(Inst::Lui {
+            rd: Reg::int(4),
+            imm: 0xffff,
+        });
+        roundtrip(Inst::Load {
+            width: MemWidth::Half,
+            signed: false,
+            rd: Reg::int(2),
+            base: Reg::int(3),
+            off: -32768,
+        });
+        roundtrip(Inst::Load {
+            width: MemWidth::Quad,
+            signed: true,
+            rd: Reg::fp(11),
+            base: Reg::int(3),
+            off: 16,
+        });
+        roundtrip(Inst::Store {
+            width: MemWidth::Quad,
+            src: Reg::fp(8),
+            base: Reg::int(29),
+            off: 24,
+        });
+        roundtrip(Inst::Branch {
+            cond: BranchCond::Geu,
+            rs: Reg::int(5),
+            rt: ZERO,
+            off: -100,
+        });
+        roundtrip(Inst::Jump {
+            link: true,
+            off: -1234,
+        });
+        roundtrip(Inst::JumpReg {
+            link: false,
+            rd: ZERO,
+            rs: RA,
+        });
+        roundtrip(Inst::Fpu {
+            op: FpuOp::Flt,
+            rd: Reg::int(6),
+            rs: Reg::fp(1),
+            rt: Reg::fp(2),
+        });
+        roundtrip(Inst::Cvt {
+            dir: CvtDir::FpToInt,
+            rd: Reg::int(12),
+            rs: Reg::fp(7),
+        });
+    }
+
+    #[test]
+    fn jump_offset_range_is_enforced() {
+        let ok = Inst::Jump {
+            link: false,
+            off: (1 << 25) - 1,
+        };
+        assert!(ok.encode().is_ok());
+        roundtrip(ok);
+        let bad = Inst::Jump {
+            link: false,
+            off: 1 << 25,
+        };
+        assert_eq!(bad.encode(), Err(EncodeInstError { offset: 1 << 25 }));
+        let neg = Inst::Jump {
+            link: false,
+            off: -(1 << 25),
+        };
+        roundtrip(neg);
+    }
+
+    #[test]
+    fn invalid_opcode_errors() {
+        let w = 63u32 << 26;
+        let err = Inst::decode(w).unwrap_err();
+        assert_eq!(err.opcode, 63);
+        assert!(err.to_string().contains("invalid opcode"));
+    }
+
+    #[test]
+    fn fp_compare_decodes_int_destination() {
+        let i = Inst::Fpu {
+            op: FpuOp::Feq,
+            rd: Reg::int(3),
+            rs: Reg::fp(4),
+            rt: Reg::fp(5),
+        };
+        let back = Inst::decode(i.encode().unwrap()).unwrap();
+        assert_eq!(back, i);
+        if let Inst::Fpu { rd, .. } = back {
+            assert!(rd.is_int());
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The UBRC instruction set: a 64-bit RISC ISA with a fixed 32-bit
+//! encoding, an assembler, and a disassembler.
+//!
+//! This crate is the substrate ISA for the reproduction of Butts & Sohi,
+//! *Use-Based Register Caching with Decoupled Indexing* (ISCA 2004). The
+//! paper's evaluation ran Alpha binaries; this ISA stands in for Alpha
+//! with the same register model (32 integer + 32 floating-point
+//! architectural registers over a unified physical file, `r0` hardwired
+//! to zero) and the same execution latency classes (see [`ExecClass`]).
+//!
+//! # Examples
+//!
+//! Assemble and inspect a small program:
+//!
+//! ```
+//! use ubrc_isa::{assemble, Inst};
+//!
+//! let program = assemble(
+//!     "main: li   r1, 4
+//!      loop: subi r1, r1, 1
+//!            bnez r1, loop
+//!            halt",
+//! )?;
+//! assert_eq!(program.text.len(), 4);
+//! let word = program.text[0].encode()?;
+//! assert_eq!(Inst::decode(word)?, program.text[0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+mod encode;
+mod inst;
+mod listing;
+mod program;
+mod reg;
+
+pub use asm::{assemble, assemble_at, AsmError};
+pub use encode::{DecodeInstError, EncodeInstError};
+pub use inst::{AluImmOp, AluOp, BranchCond, CvtDir, ExecClass, FpuOp, Inst, MemWidth};
+pub use listing::{from_image, listing, to_image, ImageError};
+pub use program::{Program, DATA_BASE, TEXT_BASE};
+pub use reg::{Reg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS, RA, SP, ZERO};

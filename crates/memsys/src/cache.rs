@@ -1,0 +1,303 @@
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line
+    /// size, capacity not divisible into `ways` lines per set).
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines % self.ways == 0, "capacity must divide into ways");
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss tallies for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `misses / (hits + misses)`, or `None` with no accesses.
+    pub fn miss_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.misses as f64 / total as f64)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+}
+
+/// A set-associative cache directory with true-LRU replacement.
+///
+/// Tracks residency only (no data). Used for the L1 instruction, L1
+/// data, and L2 caches.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_memsys::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, ways: 2 });
+/// assert!(!c.access(0x1000));
+/// c.fill(0x1000);
+/// assert!(c.access(0x1000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>, // sets * ways
+    sets: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Self {
+            config,
+            lines: vec![Line::default(); sets * config.ways],
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes as u64
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    /// Looks up `addr`, updating LRU and statistics. Returns `true` on
+    /// hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = self.line_addr(addr);
+        let set = self.set_of(line);
+        let ways = self.config.ways;
+        let tick = self.tick;
+        for l in &mut self.lines[set * ways..(set + 1) * ways] {
+            if l.valid && l.tag == line {
+                l.lru = tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let set = self.set_of(line);
+        let ways = self.config.ways;
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == line)
+    }
+
+    /// Installs the line containing `addr`, evicting LRU if needed.
+    /// Returns the *byte address* of the evicted line, if a valid line
+    /// was displaced.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let line = self.line_addr(addr);
+        let set = self.set_of(line);
+        let ways = self.config.ways;
+        let tick = self.tick;
+        let slice = &mut self.lines[set * ways..(set + 1) * ways];
+        if let Some(l) = slice.iter_mut().find(|l| l.valid && l.tag == line) {
+            l.lru = tick; // already resident
+            return None;
+        }
+        let victim = slice
+            .iter_mut()
+            .min_by_key(|l| (l.valid, l.lru))
+            .expect("ways >= 1");
+        let evicted = victim
+            .valid
+            .then_some(victim.tag * self.config.line_bytes as u64);
+        *victim = Line {
+            tag: line,
+            lru: tick,
+            valid: true,
+        };
+        evicted
+    }
+
+    /// Invalidates the line containing `addr`, if resident.
+    pub fn invalidate(&mut self, addr: u64) {
+        let line = self.line_addr(addr);
+        let set = self.set_of(line);
+        let ways = self.config.ways;
+        for l in &mut self.lines[set * ways..(set + 1) * ways] {
+            if l.valid && l.tag == line {
+                l.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 64B lines.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40));
+        assert_eq!(c.fill(0x40), None);
+        assert!(c.access(0x40));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().miss_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn same_line_different_offsets_hit() {
+        let mut c = tiny();
+        c.fill(0x40);
+        assert!(c.access(0x7f));
+        assert!(!c.access(0x80)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Set 0 lines: line addresses with bit0 (of line number) == 0:
+        // 0x000, 0x080, 0x100 map to sets 0,0? lines 0,2,4 -> set 0,0,0
+        // with 2 sets: set = line & 1. Lines 0, 2, 4 are all set 0.
+        c.fill(0x000);
+        c.fill(0x100);
+        c.access(0x000); // make line 0 MRU
+        let evicted = c.fill(0x200); // evicts line at 0x100
+        assert_eq!(evicted, Some(0x100));
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn fill_of_resident_line_does_not_evict() {
+        let mut c = tiny();
+        c.fill(0x000);
+        c.fill(0x100);
+        assert_eq!(c.fill(0x000), None);
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0x40);
+        c.invalidate(0x40);
+        assert!(!c.probe(0x40));
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_lru() {
+        let mut c = tiny();
+        c.fill(0x000);
+        c.fill(0x100);
+        for _ in 0..10 {
+            assert!(c.probe(0x100));
+        }
+        // 0x000 was filled first; probes must not refresh 0x100.
+        // Touch 0x000 via access, then fill a conflicting line: the LRU
+        // victim must be 0x100.
+        c.access(0x000);
+        assert_eq!(c.fill(0x200), Some(0x100));
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn table1_geometries_are_consistent() {
+        // L1: 32KB 2-way 64B lines; L2: 1MB 4-way 128B lines.
+        assert_eq!(
+            CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 2
+            }
+            .sets(),
+            256
+        );
+        assert_eq!(
+            CacheConfig {
+                size_bytes: 1 << 20,
+                line_bytes: 128,
+                ways: 4
+            }
+            .sets(),
+            2048
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 192,
+            line_bytes: 48,
+            ways: 2,
+        });
+    }
+}

@@ -1,0 +1,57 @@
+//! Cycle-level out-of-order timing simulator for the UBRC reproduction.
+//!
+//! Models the machine of Table 1 of Butts & Sohi (ISCA 2004) —
+//! an 8-wide, deeply-pipelined out-of-order core with 512 physical
+//! registers — with a pluggable register storage organization
+//! ([`RegStorage`]): a multi-cycle monolithic register file, a
+//! register cache over a backing file (the paper's framework, with all
+//! insertion/replacement/indexing policies), or the two-level register
+//! file baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use ubrc_sim::{simulate_workload, SimConfig};
+//! use ubrc_workloads::{workload_by_name, Scale};
+//!
+//! let w = workload_by_name("crc", Scale::Tiny).unwrap();
+//! let result = simulate_workload(&w, SimConfig::paper_default());
+//! assert!(result.ipc() > 0.1);
+//! assert!(result.retired > 1000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod pipeline;
+mod stats;
+pub mod trace;
+
+pub use config::{BranchPredictorKind, FuPools, RegStorage, SimConfig};
+pub use pipeline::Simulator;
+pub use stats::{LifetimeCollector, LifetimeStats, SimResult};
+pub use trace::{InstTrace, OperandPath, Timeline};
+
+use ubrc_isa::Program;
+use ubrc_workloads::Workload;
+
+/// Simulates a program to completion under the given configuration.
+///
+/// # Panics
+///
+/// Panics if the program faults during functional execution or the
+/// pipeline deadlocks (which would be a simulator bug).
+pub fn simulate(program: Program, config: SimConfig) -> SimResult {
+    Simulator::new(program, config).run()
+}
+
+/// Assembles and simulates one workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to assemble (a workload-generator bug)
+/// or faults during execution.
+pub fn simulate_workload(workload: &Workload, config: SimConfig) -> SimResult {
+    let program = workload.assemble().expect("workload assembles");
+    simulate(program, config)
+}

@@ -1,0 +1,1311 @@
+//! The cycle-level out-of-order pipeline model.
+//!
+//! Execution-driven, functional-first: the emulator (`ubrc-emu`) runs
+//! ahead and supplies [`ExecRecord`]s; this model charges cycles. The
+//! pipeline implements the machine of Table 1 — 8-wide fetch with one
+//! taken branch per block, an 11-stage front end, a 128-entry issue
+//! window with oldest-ready-first issue, 512 physical registers, a
+//! two-stage bypass network, the Alpha-21264-style register-cache miss
+//! replay model (§5.2), and retirement at 8 per cycle (≤2 stores).
+//!
+//! Timing rules (derived from Figure 3; see DESIGN.md):
+//!
+//! * a consumer may issue `X` cycles after its producer (X = producer
+//!   execute latency) and catch the result on the bypass network for
+//!   `bypass_stages` consecutive issue slots;
+//! * later consumers read storage: a 1-cycle register cache (which may
+//!   miss) or the multi-cycle monolithic file (readable only once the
+//!   producer's write completes — the issue-restriction gap of §2.2);
+//! * a cache miss squashes every instruction issued in the following
+//!   cycle and fetches the value through the backing file's single
+//!   read port, waiting out the producer's backing-file write.
+
+use crate::config::{BranchPredictorKind, FuPools, RegStorage, SimConfig};
+use crate::stats::{LifetimeCollector, SimResult};
+use crate::trace::{InstTrace, OperandPath, Timeline};
+use std::collections::VecDeque;
+use ubrc_core::{BackingFile, IndexAssigner, PhysReg, RegisterCache, TwoLevelFile, UseTracker};
+use ubrc_emu::{ExecRecord, Machine, StepOutcome};
+use ubrc_frontend::{
+    Bimodal, CascadingIndirect, DegreeOfUsePredictor, DirectionPredictor, GlobalHistory, Gshare,
+    ReturnAddressStack, Yags,
+};
+use ubrc_isa::{ExecClass, Inst, Program};
+use ubrc_memsys::MemSys;
+
+/// Per-value timing: when consumers may issue against this physical
+/// register.
+#[derive(Clone, Copy, Debug)]
+struct PregTime {
+    known: bool,
+    bypass_start: u64,
+    bypass_end: u64,
+    storage_avail: u64,
+}
+
+impl PregTime {
+    const UNKNOWN: PregTime = PregTime {
+        known: false,
+        bypass_start: 0,
+        bypass_end: 0,
+        storage_avail: 0,
+    };
+    /// Available-from-storage-forever (initial architectural values).
+    const ANCIENT: PregTime = PregTime {
+        known: true,
+        bypass_start: 0,
+        bypass_end: 0,
+        storage_avail: 0,
+    };
+
+    fn operand_ready(&self, now: u64) -> bool {
+        self.known
+            && now >= self.bypass_start
+            && (now <= self.bypass_end || now >= self.storage_avail)
+    }
+
+    fn on_bypass(&self, now: u64) -> bool {
+        now >= self.bypass_start && now <= self.bypass_end
+    }
+}
+
+/// Per-value lifecycle bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct PregInfo {
+    producer_pc: u64,
+    producer_hist: GlobalHistory,
+    trainable: bool,
+    consumers_renamed: u32,
+    consumers_outstanding: u32,
+    set: u16,
+    predicted: u8,
+    pre_write_bypasses: u32,
+    alloc_time: u64,
+    write_time: u64,
+    last_use: u64,
+    reassigned_seq: Option<u64>,
+    active: bool,
+}
+
+impl PregInfo {
+    const EMPTY: PregInfo = PregInfo {
+        producer_pc: 0,
+        producer_hist: GlobalHistory::new(),
+        trainable: false,
+        consumers_renamed: 0,
+        consumers_outstanding: 0,
+        set: 0,
+        predicted: 0,
+        pre_write_bypasses: 0,
+        alloc_time: 0,
+        write_time: 0,
+        last_use: 0,
+        reassigned_seq: None,
+        active: false,
+    };
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Waiting,
+    Issued,
+}
+
+#[derive(Clone, Debug)]
+struct DynInst {
+    seq: u64,
+    rec: ExecRecord,
+    class: ExecClass,
+    srcs: [Option<u16>; 2],
+    dest: Option<u16>,
+    prev: Option<u16>,
+    status: Status,
+    earliest_issue: u64,
+    exec_done: u64,
+    fetch_cycle: u64,
+    mispredicted: bool,
+    wrong_path: bool,
+}
+
+#[derive(Clone, Debug)]
+struct FetchedEntry {
+    rec: ExecRecord,
+    ready_at: u64,
+    fetch_cycle: u64,
+    hist: GlobalHistory,
+    mispredicted: bool,
+    /// The speculatively-fetched wrong target of a mispredicted branch
+    /// (begins wrong-path fetch when the entry is created).
+    wrong_path: bool,
+}
+
+enum Storage {
+    Monolithic {
+        write_latency: u32,
+    },
+    Cached {
+        cache: RegisterCache,
+        backing: BackingFile,
+        assigner: IndexAssigner,
+        tracker: UseTracker,
+    },
+    TwoLevel {
+        file: TwoLevelFile,
+    },
+}
+
+/// The simulator: pipeline state plus all substrate models.
+pub struct Simulator {
+    config: SimConfig,
+    machine: Machine,
+    stream_done: bool,
+    peeked: Option<ExecRecord>,
+
+    now: u64,
+    seq: u64,
+    retired: u64,
+    last_retired_seq: u64,
+    last_progress: u64,
+    halted: bool,
+
+    // Front end.
+    fetch_resume: u64,
+    waiting_on_branch: Option<u64>, // seq of unresolved mispredicted control inst
+    // Wrong-path (speculative) fetch state: set when fetch follows a
+    // mispredicted branch's predicted target; cleared by the squash at
+    // resolution.
+    wrong_path: bool,
+    wp_resolve_seq: Option<u64>,
+    wp_map_checkpoint: Option<Vec<u16>>,
+    wp_ghist: GlobalHistory,
+    wp_ras: Option<ReturnAddressStack>,
+    wp_squashed: u64,
+    fetch_queue: VecDeque<FetchedEntry>,
+    ghist: GlobalHistory,
+    branch_pred: DirectionPredictor,
+    ras: ReturnAddressStack,
+    indirect: CascadingIndirect,
+    douse: DegreeOfUsePredictor,
+    halt_fetched: bool,
+
+    // Rename.
+    map: Vec<u16>, // arch reg -> preg
+    freelist: Vec<u16>,
+    preg_time: Vec<PregTime>,
+    preg_info: Vec<PregInfo>,
+
+    // Window / ROB.
+    rob: VecDeque<DynInst>,
+    window_count: usize,
+
+    // Storage under test.
+    storage: Storage,
+    read_latency: u32,
+
+    // Deferred register-cache events: (time, preg, set, generation).
+    // The generation guards against a physical register being freed and
+    // reallocated before a stale event fires (possible when a producer
+    // retires in the same cycle its cache write is scheduled).
+    pending_writes: Vec<(u64, u16, u16, u32)>,
+    pending_fills: Vec<(u64, u16, u16, u32)>,
+    pending_bypass_decs: Vec<(u64, u16, u16, u32)>,
+    preg_gen: Vec<u32>,
+
+    // Replay model: issue groups in these cycles are squashed (register
+    // cache misses and load-hit mis-speculations both land here).
+    squash_cycles: std::collections::HashSet<u64>,
+    // Load-hit speculation: (detect_time, preg, gen, true timing) —
+    // the destination's advertised timing is corrected at detection.
+    pending_retimes: Vec<(u64, u16, u32, PregTime)>,
+    load_replay_squashes: u64,
+
+    // Memory disambiguation: in-flight stores per 8-byte granule, in
+    // program order -> (seq, exec_done once issued).
+    store_granules: std::collections::HashMap<u64, Vec<(u64, Option<u64>)>>,
+    store_forward_stalls: u64,
+
+    memsys: MemSys,
+
+    // Statistics.
+    cond_branches: u64,
+    branch_mispredicts: u64,
+    indirect_branches: u64,
+    indirect_mispredicts: u64,
+    replayed: u64,
+    miss_events: u64,
+    dispatch_stall_pregs: u64,
+    operands_bypassed: u64,
+    operands_from_storage: u64,
+    lifetimes: Option<LifetimeCollector>,
+    trace: Vec<InstTrace>,
+}
+
+impl Simulator {
+    /// Builds a simulator over a loaded program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (fewer physical
+    /// registers than architectural, zero widths).
+    pub fn new(program: Program, config: SimConfig) -> Self {
+        let npregs = config.phys_regs;
+        let narch = ubrc_isa::NUM_ARCH_REGS as usize;
+        assert!(
+            npregs > narch,
+            "need more physical than architectural registers"
+        );
+        assert!(config.issue_width > 0 && config.fetch_width > 0);
+
+        let mut storage = match &config.storage {
+            RegStorage::Monolithic { write_latency, .. } => Storage::Monolithic {
+                write_latency: *write_latency,
+            },
+            RegStorage::Cached {
+                cache,
+                index,
+                backing_read,
+                backing_write,
+            } => {
+                let mut assigner = IndexAssigner::new(*index, cache.sets(), cache.ways);
+                if let Some((degree, skip)) = config.filter_params {
+                    assigner.set_filter_params(degree, skip);
+                }
+                Storage::Cached {
+                    cache: RegisterCache::new(*cache, npregs),
+                    backing: BackingFile::with_read_ports(
+                        *backing_read,
+                        *backing_write,
+                        npregs,
+                        config.backing_read_ports,
+                    ),
+                    assigner,
+                    tracker: UseTracker::new(npregs),
+                }
+            }
+            RegStorage::TwoLevel(tl) => Storage::TwoLevel {
+                file: TwoLevelFile::new(*tl, npregs),
+            },
+        };
+        let read_latency = config.storage.read_latency();
+
+        // Initial architectural state: arch reg i -> preg i.
+        let map: Vec<u16> = (0..narch as u16).collect();
+        let freelist: Vec<u16> = (narch as u16..npregs as u16).rev().collect();
+        let mut preg_time = vec![PregTime::UNKNOWN; npregs];
+        let mut preg_info = vec![PregInfo::EMPTY; npregs];
+        for p in 0..narch as u16 {
+            preg_time[p as usize] = PregTime::ANCIENT;
+            preg_info[p as usize] = PregInfo {
+                active: true,
+                ..PregInfo::EMPTY
+            };
+            match &mut storage {
+                Storage::Cached {
+                    cache,
+                    assigner,
+                    tracker,
+                    ..
+                } => {
+                    cache.produce(PhysReg(p));
+                    tracker.init(PhysReg(p), Some(0), 0, u8::MAX);
+                    let set = assigner.assign(PhysReg(p), 1);
+                    preg_info[p as usize].set = set;
+                    preg_info[p as usize].predicted = 1;
+                }
+                Storage::TwoLevel { file } => {
+                    assert!(file.try_allocate(PhysReg(p)), "L1 too small for arch state");
+                }
+                Storage::Monolithic { .. } => {}
+            }
+        }
+
+        let lifetimes = config.collect_lifetimes.then(LifetimeCollector::new);
+        let memsys = MemSys::new(config.memsys);
+        let douse = DegreeOfUsePredictor::new(config.douse);
+        Self {
+            machine: Machine::new(program),
+            stream_done: false,
+            peeked: None,
+            now: 0,
+            seq: 0,
+            retired: 0,
+            last_retired_seq: 0,
+            last_progress: 0,
+            halted: false,
+            fetch_resume: 0,
+            waiting_on_branch: None,
+            wrong_path: false,
+            wp_resolve_seq: None,
+            wp_map_checkpoint: None,
+            wp_ghist: GlobalHistory::new(),
+            wp_ras: None,
+            wp_squashed: 0,
+            fetch_queue: VecDeque::new(),
+            ghist: GlobalHistory::new(),
+            branch_pred: match config.branch_predictor {
+                BranchPredictorKind::NotTaken => DirectionPredictor::AlwaysNotTaken,
+                BranchPredictorKind::Bimodal => DirectionPredictor::Bimodal(Bimodal::default()),
+                BranchPredictorKind::Gshare => DirectionPredictor::Gshare(Gshare::default()),
+                BranchPredictorKind::Yags => DirectionPredictor::Yags(Yags::default()),
+            },
+            ras: ReturnAddressStack::default(),
+            indirect: CascadingIndirect::default(),
+            douse,
+            halt_fetched: false,
+            map,
+            freelist,
+            preg_time,
+            preg_info,
+            rob: VecDeque::new(),
+            window_count: 0,
+            storage,
+            read_latency,
+            pending_writes: Vec::new(),
+            pending_fills: Vec::new(),
+            pending_bypass_decs: Vec::new(),
+            preg_gen: vec![0; npregs],
+            squash_cycles: std::collections::HashSet::new(),
+            pending_retimes: Vec::new(),
+            load_replay_squashes: 0,
+            store_granules: std::collections::HashMap::new(),
+            store_forward_stalls: 0,
+            memsys,
+            cond_branches: 0,
+            branch_mispredicts: 0,
+            indirect_branches: 0,
+            indirect_mispredicts: 0,
+            replayed: 0,
+            miss_events: 0,
+            dispatch_stall_pregs: 0,
+            operands_bypassed: 0,
+            operands_from_storage: 0,
+            lifetimes,
+            trace: Vec::new(),
+            config,
+        }
+    }
+
+    /// Runs the simulation to completion (program halt or the
+    /// configured instruction budget) and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant
+    /// violation) or the functional emulator faults (a bad workload).
+    pub fn run(mut self) -> SimResult {
+        let budget = if self.config.max_instructions == 0 {
+            u64::MAX
+        } else {
+            self.config.max_instructions
+        };
+        while !self.halted && self.retired < budget {
+            self.cycle();
+            assert!(
+                self.now - self.last_progress < 500_000,
+                "pipeline deadlock at cycle {} (retired {}, rob {}, fetchq {})",
+                self.now,
+                self.retired,
+                self.rob.len(),
+                self.fetch_queue.len()
+            );
+        }
+        self.finish()
+    }
+
+    fn cycle(&mut self) {
+        let now = self.now;
+        self.process_retimes(now);
+        self.process_cache_events(now);
+        self.retire(now);
+        self.issue(now);
+        self.dispatch(now);
+        self.fetch(now);
+        if let Storage::TwoLevel { file } = &mut self.storage {
+            file.tick();
+        }
+        self.now += 1;
+    }
+
+    // ----- load-hit speculation -----------------------------------------
+
+    /// Corrects the advertised readiness of load results whose L1-hit
+    /// assumption just failed: dependents that have not issued yet wait
+    /// for the true latency (those in the shadow were squashed when the
+    /// miss was detected).
+    fn process_retimes(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.pending_retimes.len() {
+            let (t, p, gen, timing) = self.pending_retimes[i];
+            if t == now {
+                self.pending_retimes.swap_remove(i);
+                if self.preg_gen[p as usize] == gen {
+                    self.preg_time[p as usize] = timing;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ----- deferred register-cache events ------------------------------
+
+    fn process_cache_events(&mut self, now: u64) {
+        let Storage::Cached { cache, tracker, .. } = &mut self.storage else {
+            return;
+        };
+        // Initial writes the cycle after execution completes.
+        let mut i = 0;
+        while i < self.pending_writes.len() {
+            let (t, p, set, gen) = self.pending_writes[i];
+            if t == now {
+                self.pending_writes.swap_remove(i);
+                if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                    let remaining = tracker.remaining(PhysReg(p));
+                    let pinned = tracker.is_pinned(PhysReg(p));
+                    let bypasses = self.preg_info[p as usize].pre_write_bypasses;
+                    cache.write(PhysReg(p), set, remaining, pinned, bypasses, now);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Fills completing after a backing-file read.
+        let mut i = 0;
+        while i < self.pending_fills.len() {
+            let (t, p, set, gen) = self.pending_fills[i];
+            if t == now {
+                self.pending_fills.swap_remove(i);
+                if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                    cache.fill(PhysReg(p), set, now);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Second-stage bypass consumers decrement the entry after the
+        // write lands (§3.1: they cannot affect the write decision).
+        let mut i = 0;
+        while i < self.pending_bypass_decs.len() {
+            let (t, p, set, gen) = self.pending_bypass_decs[i];
+            if t <= now {
+                self.pending_bypass_decs.swap_remove(i);
+                if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                    cache.bypass_consume(PhysReg(p), set);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ----- retirement ---------------------------------------------------
+
+    fn retire(&mut self, now: u64) {
+        let mut stores = 0;
+        for _ in 0..self.config.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.status != Status::Issued || head.exec_done > now {
+                break;
+            }
+            if head.rec.inst.is_store() {
+                if stores == self.config.max_stores_per_retire {
+                    break;
+                }
+                let addr = head.rec.mem_addr.expect("store has an address");
+                if !self.memsys.store_retire(addr, now) {
+                    break; // store buffer full: stall retirement
+                }
+                stores += 1;
+            }
+            let inst = self.rob.pop_front().expect("checked non-empty");
+            debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
+            self.retired += 1;
+            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
+                // Younger loads are now ordered by the store buffer in
+                // the memory system, not the LSQ.
+                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
+                if let Some(stores) = self.store_granules.get_mut(&granule) {
+                    stores.retain(|&(sseq, _)| sseq != inst.seq);
+                    if stores.is_empty() {
+                        self.store_granules.remove(&granule);
+                    }
+                }
+            }
+            if (inst.seq as usize) < self.trace.len() {
+                self.trace[inst.seq as usize].retire = now;
+            }
+            self.last_retired_seq = inst.seq;
+            self.last_progress = now;
+            if inst.rec.inst == Inst::Halt {
+                self.halted = true;
+                return;
+            }
+            // The set-assignment bookkeeping (minimum sums, filtered
+            // round-robin high-use counts) retires with the producing
+            // instruction (§4.2).
+            if let Some(d) = inst.dest {
+                if let Storage::Cached { assigner, .. } = &mut self.storage {
+                    let info = &self.preg_info[d as usize];
+                    assigner.release(info.set, info.predicted);
+                }
+            }
+            if let Some(prev) = inst.prev {
+                self.free_preg(prev, now);
+            }
+        }
+    }
+
+    fn free_preg(&mut self, p: u16, now: u64) {
+        let info = self.preg_info[p as usize];
+        debug_assert!(info.active, "freeing an inactive preg");
+        if info.trainable {
+            self.douse.train(
+                info.producer_pc,
+                info.producer_hist,
+                info.consumers_renamed.min(u8::MAX as u32) as u8,
+            );
+        }
+        match &mut self.storage {
+            Storage::Cached { cache, tracker, .. } => {
+                cache.free(PhysReg(p), info.set, now);
+                tracker.clear(PhysReg(p));
+            }
+            Storage::TwoLevel { file } => file.release(PhysReg(p)),
+            Storage::Monolithic { .. } => {}
+        }
+        if let Some(lt) = &mut self.lifetimes {
+            lt.record_value(info.alloc_time, info.write_time, info.last_use, now);
+        }
+        self.preg_info[p as usize] = PregInfo::EMPTY;
+        self.preg_time[p as usize] = PregTime::UNKNOWN;
+        self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
+        self.freelist.push(p);
+    }
+
+    // ----- issue ---------------------------------------------------------
+
+    fn issue(&mut self, now: u64) {
+        let squashing = self.squash_cycles.remove(&now);
+        let mut pool_used = [0usize; FuPools::NUM_POOLS];
+        let mut total = 0;
+        let mut selected: Vec<usize> = Vec::new();
+        for (i, inst) in self.rob.iter().enumerate() {
+            if total == self.config.issue_width {
+                break;
+            }
+            if inst.status != Status::Waiting || inst.earliest_issue > now {
+                continue;
+            }
+            let ready = inst
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&p| self.preg_time[p as usize].operand_ready(now));
+            if !ready {
+                continue;
+            }
+            if self.config.model_store_forwarding && inst.rec.inst.is_load() {
+                let granule = inst.rec.mem_addr.expect("load has an address") / 8;
+                if let Some(stores) = self.store_granules.get(&granule) {
+                    // The youngest store older than this load is the
+                    // one it forwards from; it must have executed.
+                    let blocking = stores
+                        .iter()
+                        .rev()
+                        .find(|&&(sseq, _)| sseq < inst.seq)
+                        .is_some_and(|&(_, done)| done.map_or(true, |d| d > now));
+                    if blocking {
+                        self.store_forward_stalls += 1;
+                        continue;
+                    }
+                }
+            }
+            let pool = FuPools::pool_index(inst.class);
+            if pool_used[pool] == self.config.fu.size(inst.class) {
+                continue;
+            }
+            pool_used[pool] += 1;
+            total += 1;
+            selected.push(i);
+        }
+
+        if squashing {
+            // Register-cache miss in the previous cycle: everything
+            // issuing now replays (§5.2). The slots are consumed but no
+            // effects occur; independents may reissue next cycle.
+            self.replayed += selected.len() as u64;
+            for i in selected {
+                self.rob[i].earliest_issue = now + 1;
+                let seq = self.rob[i].seq;
+                if (seq as usize) < self.trace.len() {
+                    self.trace[seq as usize].replays += 1;
+                }
+            }
+            return;
+        }
+
+        for i in selected {
+            // A wrong-path squash during this loop removes the ROB
+            // tail; later selections pointing into it are gone.
+            if i >= self.rob.len() {
+                continue;
+            }
+            self.issue_one(i, now);
+        }
+    }
+
+    fn issue_one(&mut self, idx: usize, now: u64) {
+        let (srcs, class, rec, fetch_cycle, mispredicted, dest, seq) = {
+            let inst = &self.rob[idx];
+            (
+                inst.srcs,
+                inst.class,
+                inst.rec,
+                inst.fetch_cycle,
+                inst.mispredicted,
+                inst.dest,
+                inst.seq,
+            )
+        };
+
+        // Obtain each source operand: bypass, storage hit, or miss.
+        let mut miss_avail: u64 = 0;
+        let mut operand_paths: [Option<OperandPath>; 2] = [None, None];
+        for (slot, p) in srcs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+        {
+            let t = self.preg_time[p as usize];
+            if t.on_bypass(now) {
+                self.operands_bypassed += 1;
+                operand_paths[slot] = Some(OperandPath::Bypass((now - t.bypass_start) as u8));
+                let stage = now - t.bypass_start;
+                if let Storage::Cached { tracker, .. } = &mut self.storage {
+                    if stage == 0 {
+                        // First-stage bypass: visible to the write
+                        // decision (§3.1).
+                        tracker.consume(PhysReg(p));
+                        self.preg_info[p as usize].pre_write_bypasses += 1;
+                    } else {
+                        // Later stage: decrement the cache entry once
+                        // the write has landed.
+                        let set = self.preg_info[p as usize].set;
+                        let gen = self.preg_gen[p as usize];
+                        self.pending_bypass_decs.push((t.storage_avail, p, set, gen));
+                    }
+                }
+            } else {
+                // Storage path.
+                self.operands_from_storage += 1;
+                operand_paths[slot] = Some(OperandPath::Storage);
+                if let Storage::Cached { cache, backing, .. } = &mut self.storage {
+                    let set = self.preg_info[p as usize].set;
+                    operand_paths[slot] = Some(OperandPath::CacheHit);
+                    if !cache.read(PhysReg(p), set, now) {
+                        operand_paths[slot] = Some(OperandPath::CacheMiss);
+                        // Miss (Figure 3 star): file read through the
+                        // single port, after the producer's write.
+                        let avail = backing.read(PhysReg(p), now + 1);
+                        let gen = self.preg_gen[p as usize];
+                        self.pending_fills.push((avail, p, set, gen));
+                        self.preg_time[p as usize].storage_avail = avail + 1;
+                        self.squash_cycles.insert(now + 1);
+                        self.miss_events += 1;
+                        miss_avail = miss_avail.max(avail);
+                    }
+                }
+            }
+            // Common consumer bookkeeping. The value is actually read
+            // when the consumer enters execute (issue + storage read),
+            // which is what the live-time statistics measure.
+            let read_at = now + self.read_latency as u64 + 1;
+            let info = &mut self.preg_info[p as usize];
+            info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
+            info.last_use = info.last_use.max(read_at);
+            if info.consumers_outstanding == 0 {
+                if let Some(rseq) = info.reassigned_seq {
+                    if let Storage::TwoLevel { file } = &mut self.storage {
+                        file.mark_eligible(PhysReg(p), rseq);
+                    }
+                }
+            }
+        }
+
+        // Effective issue time: delayed by the latest miss (the value
+        // arrives at `avail`; execution begins the next cycle).
+        let eff_issue = if miss_avail > 0 {
+            now.max(miss_avail.saturating_sub(self.read_latency as u64))
+        } else {
+            now
+        };
+
+        // Execution latency; loads consult the memory hierarchy.
+        let mut load_missed = false;
+        let x = if class == ExecClass::Load {
+            let addr = rec.mem_addr.expect("load has an address");
+            let real = self.memsys.load_latency(addr, now);
+            load_missed = real > ExecClass::Load.latency();
+            real
+        } else {
+            class.latency()
+        };
+        let rl = self.read_latency as u64;
+        let exec_done = eff_issue + rl + x as u64;
+
+        // Load-hit speculation (21264-style, the model the paper reuses
+        // for register cache misses): the scheduler advertises the
+        // L1-hit latency; a miss squashes the two-cycle issue shadow
+        // and the true readiness is installed at detection.
+        let speculate_hit = load_missed && self.config.load_hit_speculation && dest.is_some();
+
+        // Destination value timing and deferred cache write.
+        if let Some(d) = dest {
+            let adv_x = if speculate_hit {
+                ExecClass::Load.latency() as u64
+            } else {
+                x as u64
+            };
+            let bypass_start = eff_issue + adv_x;
+            let bypass_end = bypass_start + self.config.bypass_stages as u64 - 1;
+            let storage_avail = match &self.storage {
+                // A monolithic file's value is readable only after the
+                // full write completes AND a full read can start after
+                // it: consumers in between stall (the issue-restriction
+                // gap of §2.2 that grows with file latency).
+                Storage::Monolithic { write_latency } => {
+                    eff_issue + adv_x + rl + *write_latency as u64
+                }
+                Storage::Cached { .. } | Storage::TwoLevel { .. } => bypass_end + 1,
+            };
+            self.preg_time[d as usize] = PregTime {
+                known: true,
+                bypass_start,
+                bypass_end,
+                storage_avail,
+            };
+            if speculate_hit {
+                // The miss is detected as the first shadow dependents
+                // head for execute: both advertised bypass cycles are
+                // squashed (the 21264's two-cycle shadow) and the true
+                // timing is installed at the end of the shadow.
+                let detect = bypass_end;
+                self.squash_cycles.insert(bypass_start);
+                self.squash_cycles.insert(detect);
+                self.load_replay_squashes += 1;
+                let real_bypass_start = eff_issue + x as u64;
+                let real_bypass_end = real_bypass_start + self.config.bypass_stages as u64 - 1;
+                let real_storage = match &self.storage {
+                    Storage::Monolithic { write_latency } => exec_done + *write_latency as u64,
+                    _ => real_bypass_end + 1,
+                };
+                let real = PregTime {
+                    known: true,
+                    bypass_start: real_bypass_start,
+                    bypass_end: real_bypass_end,
+                    storage_avail: real_storage,
+                };
+                self.pending_retimes
+                    .push((detect, d, self.preg_gen[d as usize], real));
+            }
+            let info = &mut self.preg_info[d as usize];
+            info.write_time = exec_done;
+            info.last_use = info.last_use.max(exec_done);
+            let set = info.set;
+            if let Storage::Cached { backing, .. } = &mut self.storage {
+                backing.write(PhysReg(d), exec_done + 1);
+                let gen = self.preg_gen[d as usize];
+                self.pending_writes.push((exec_done + 1, d, set, gen));
+            }
+        }
+
+        // Branch resolution redirects fetch (and squashes the wrong
+        // path when one was fetched).
+        if mispredicted {
+            let mut resume =
+                (exec_done + 1).max(fetch_cycle + self.config.min_branch_penalty as u64);
+            if self.wp_resolve_seq == Some(seq) {
+                self.squash_wrong_path(seq, now);
+            }
+            if let Storage::TwoLevel { file } = &mut self.storage {
+                // Values speculatively moved to the L2 by wrong-path
+                // reassignments return during the refill.
+                let count = file.on_mispredict(seq);
+                resume += file.recovery_stall(count, resume.saturating_sub(now));
+            }
+            self.fetch_resume = resume;
+            if self.waiting_on_branch == Some(seq) {
+                self.waiting_on_branch = None;
+            }
+        }
+
+        if self.config.model_store_forwarding && rec.inst.is_store() {
+            let granule = rec.mem_addr.expect("store has an address") / 8;
+            if let Some(stores) = self.store_granules.get_mut(&granule) {
+                if let Some(entry) = stores.iter_mut().find(|e| e.0 == seq) {
+                    entry.1 = Some(exec_done);
+                }
+            }
+        }
+        let inst = &mut self.rob[idx];
+        inst.status = Status::Issued;
+        inst.exec_done = exec_done;
+        self.window_count -= 1;
+        if (seq as usize) < self.trace.len() {
+            let t = &mut self.trace[seq as usize];
+            t.issue = now;
+            t.exec_start = eff_issue + rl + 1;
+            t.exec_done = exec_done;
+            t.operands = operand_paths;
+        }
+    }
+
+    // ----- dispatch (rename) ----------------------------------------------
+
+    fn dispatch(&mut self, now: u64) {
+        for _ in 0..self.config.fetch_width {
+            let Some(front) = self.fetch_queue.front() else {
+                break;
+            };
+            if front.ready_at > now {
+                break;
+            }
+            if self.rob.len() == self.config.rob_entries
+                || self.window_count == self.config.window_entries
+            {
+                break;
+            }
+            let has_dest = front.rec.inst.dest().is_some();
+            if has_dest {
+                if self.freelist.is_empty() {
+                    self.dispatch_stall_pregs += 1;
+                    break;
+                }
+                if let Storage::TwoLevel { file } = &self.storage {
+                    if file.free_count() == 0 {
+                        self.dispatch_stall_pregs += 1;
+                        break;
+                    }
+                }
+            }
+            let entry = self.fetch_queue.pop_front().expect("checked non-empty");
+            self.rename_and_insert(entry, now);
+        }
+    }
+
+    fn rename_and_insert(&mut self, entry: FetchedEntry, now: u64) {
+        let rec = entry.rec;
+        let seq = self.seq;
+        self.seq += 1;
+
+        // Sources: current mappings.
+        let mut srcs = [None, None];
+        for (slot, src) in rec.inst.sources().into_iter().enumerate() {
+            if let Some(r) = src {
+                let p = self.map[r.index() as usize];
+                srcs[slot] = Some(p);
+                let info = &mut self.preg_info[p as usize];
+                info.consumers_renamed += 1;
+                info.consumers_outstanding += 1;
+            }
+        }
+
+        // Destination: allocate and remap.
+        let mut dest = None;
+        let mut prev = None;
+        if let Some(r) = rec.inst.dest() {
+            let p = self.freelist.pop().expect("dispatch checked the freelist");
+            let old = self.map[r.index() as usize];
+            self.map[r.index() as usize] = p;
+            prev = Some(old);
+            dest = Some(p);
+
+            // The old value's architectural name is gone: transfer
+            // eligibility (two-level) begins once consumers drain.
+            let old_info = &mut self.preg_info[old as usize];
+            old_info.reassigned_seq = Some(seq);
+            if old_info.consumers_outstanding == 0 {
+                if let Storage::TwoLevel { file } = &mut self.storage {
+                    file.mark_eligible(PhysReg(old), seq);
+                }
+            }
+
+            // Degree-of-use prediction for the new value.
+            let prediction = self.douse.predict(rec.pc, entry.hist);
+            self.preg_time[p as usize] = PregTime::UNKNOWN;
+            let mut info = PregInfo {
+                producer_pc: rec.pc,
+                producer_hist: entry.hist,
+                // Wrong-path values never complete a real lifetime, so
+                // they do not train the degree predictor (their *reads*
+                // of correct-path values still pollute use counts, as
+                // in §3.4).
+                trainable: !entry.wrong_path,
+                alloc_time: now,
+                active: true,
+                ..PregInfo::EMPTY
+            };
+            match &mut self.storage {
+                Storage::Cached {
+                    cache,
+                    assigner,
+                    tracker,
+                    ..
+                } => {
+                    let cfg = *cache.config();
+                    tracker.init(
+                        PhysReg(p),
+                        prediction,
+                        cfg.unknown_default,
+                        cfg.max_use_count,
+                    );
+                    let degree = tracker.predicted(PhysReg(p));
+                    info.predicted = degree;
+                    info.set = assigner.assign(PhysReg(p), degree);
+                    cache.produce(PhysReg(p));
+                }
+                Storage::TwoLevel { file } => {
+                    let ok = file.try_allocate(PhysReg(p));
+                    debug_assert!(ok, "dispatch checked the L1 free count");
+                }
+                Storage::Monolithic { .. } => {}
+            }
+            self.preg_info[p as usize] = info;
+        }
+
+        if (seq as usize) < self.config.trace_instructions {
+            self.trace.push(InstTrace {
+                seq,
+                pc: rec.pc,
+                asm: rec.inst.to_string(),
+                fetch: entry.fetch_cycle,
+                dispatch: now,
+                issue: 0,
+                exec_start: 0,
+                exec_done: 0,
+                retire: 0,
+                operands: [None, None],
+                replays: 0,
+                wrong_path: entry.wrong_path,
+            });
+        }
+        if self.config.model_store_forwarding && rec.inst.is_store() {
+            let granule = rec.mem_addr.expect("store has an address") / 8;
+            self.store_granules
+                .entry(granule)
+                .or_default()
+                .push((seq, None));
+        }
+        self.rob.push_back(DynInst {
+            seq,
+            rec,
+            class: rec.inst.class(),
+            srcs,
+            dest,
+            prev,
+            status: Status::Waiting,
+            earliest_issue: now + 1,
+            exec_done: u64::MAX,
+            fetch_cycle: entry.fetch_cycle,
+            mispredicted: entry.mispredicted,
+            wrong_path: entry.wrong_path,
+        });
+        self.window_count += 1;
+
+        // The rename map as of the mispredicted branch is what the
+        // squash restores.
+        if entry.mispredicted && self.wp_resolve_seq == Some(seq) {
+            self.wp_map_checkpoint = Some(self.map.clone());
+        }
+    }
+
+    // ----- wrong-path squash ------------------------------------------------
+
+    /// Squashes everything younger than the resolved mispredicted
+    /// branch: ROB/window entries, renamed registers, LSQ entries, the
+    /// fetch queue, and the speculative emulator state.
+    fn squash_wrong_path(&mut self, branch_seq: u64, now: u64) {
+        let keep = self
+            .rob
+            .iter()
+            .position(|i| i.seq > branch_seq)
+            .unwrap_or(self.rob.len());
+        let removed: Vec<DynInst> = self.rob.drain(keep..).collect();
+        for inst in removed.iter().rev() {
+            debug_assert!(inst.wrong_path, "squashed a correct-path instruction");
+            self.wp_squashed += 1;
+            if inst.status == Status::Waiting {
+                self.window_count -= 1;
+                // Issued instructions already consumed their reads.
+                for p in inst.srcs.iter().flatten() {
+                    let info = &mut self.preg_info[*p as usize];
+                    if info.active {
+                        info.consumers_outstanding =
+                            info.consumers_outstanding.saturating_sub(1);
+                    }
+                }
+            }
+            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
+                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
+                if let Some(stores) = self.store_granules.get_mut(&granule) {
+                    stores.retain(|&(sseq, _)| sseq != inst.seq);
+                    if stores.is_empty() {
+                        self.store_granules.remove(&granule);
+                    }
+                }
+            }
+            if let Some(d) = inst.dest {
+                if let Storage::Cached { assigner, .. } = &mut self.storage {
+                    let info = &self.preg_info[d as usize];
+                    assigner.release(info.set, info.predicted);
+                }
+                self.squash_free_preg(d, now);
+                if let Some(prev) = inst.prev {
+                    // The architectural name reverts to the old value.
+                    let pi = &mut self.preg_info[prev as usize];
+                    if pi.active {
+                        pi.reassigned_seq = None;
+                    }
+                }
+            }
+        }
+
+        // Restore the front end to the branch point.
+        self.map = self
+            .wp_map_checkpoint
+            .take()
+            .expect("checkpoint saved when the branch dispatched");
+        self.ghist = self.wp_ghist;
+        self.ras = self.wp_ras.take().expect("RAS checkpoint saved");
+        debug_assert!(self.fetch_queue.iter().all(|e| e.wrong_path));
+        self.fetch_queue.clear();
+        self.peeked = None;
+        self.machine.abort_speculation();
+        self.wrong_path = false;
+        self.wp_resolve_seq = None;
+        if self.waiting_on_branch.is_some_and(|w| w > branch_seq) {
+            // An inner wrong-path misprediction was stalling fetch; it
+            // no longer exists.
+            self.waiting_on_branch = None;
+        }
+    }
+
+    /// Releases a wrong-path destination register: like a free at
+    /// retirement, but with no degree-predictor training and no
+    /// lifetime statistics (the value never completed a lifetime).
+    fn squash_free_preg(&mut self, p: u16, now: u64) {
+        let info = self.preg_info[p as usize];
+        debug_assert!(info.active, "squash-freeing an inactive preg");
+        match &mut self.storage {
+            Storage::Cached { cache, tracker, .. } => {
+                cache.free(PhysReg(p), info.set, now);
+                tracker.clear(PhysReg(p));
+            }
+            Storage::TwoLevel { file } => file.release(PhysReg(p)),
+            Storage::Monolithic { .. } => {}
+        }
+        self.preg_info[p as usize] = PregInfo::EMPTY;
+        self.preg_time[p as usize] = PregTime::UNKNOWN;
+        self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
+        self.freelist.push(p);
+    }
+
+    // ----- fetch -----------------------------------------------------------
+
+    fn next_record(&mut self) -> Option<ExecRecord> {
+        if self.stream_done {
+            return None;
+        }
+        if self.machine.in_speculation() {
+            // Wrong-path execution may fault or halt; either simply
+            // ends speculative fetch until the branch resolves.
+            return match self.machine.step() {
+                Ok(StepOutcome::Executed(r)) => Some(r),
+                Ok(StepOutcome::Halted) | Err(_) => None,
+            };
+        }
+        match self.machine.step().expect("functional execution faulted") {
+            StepOutcome::Executed(r) => {
+                if r.inst == Inst::Halt {
+                    self.stream_done = true;
+                }
+                Some(r)
+            }
+            StepOutcome::Halted => {
+                self.stream_done = true;
+                None
+            }
+        }
+    }
+
+    fn fetch(&mut self, now: u64) {
+        if now < self.fetch_resume || self.waiting_on_branch.is_some() || self.halt_fetched {
+            return;
+        }
+        let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
+        let mut line: Option<u64> = None;
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_queue.len() >= queue_cap {
+                break;
+            }
+            // Model the I-cache at line granularity.
+            let Some(rec) = self.peek_record() else { break };
+            let this_line = rec.pc / self.config.memsys.l1.line_bytes as u64;
+            if line != Some(this_line) {
+                let extra = self.memsys.fetch_latency(rec.pc);
+                if extra > 0 {
+                    self.fetch_resume = now + extra as u64;
+                    break;
+                }
+                line = Some(this_line);
+            }
+            let rec = self.take_record().expect("peeked");
+            let hist = self.ghist;
+            let mut mispredicted = false;
+            let mut end_block = false;
+
+            // The wrong target to fetch down on a misprediction, when
+            // one exists (None for unknown indirect targets).
+            let mut wrong_target: Option<u64> = None;
+            match rec.inst {
+                Inst::Branch { off, .. } => {
+                    self.cond_branches += 1;
+                    let pred = self.branch_pred.predict(rec.pc, self.ghist);
+                    self.branch_pred.update(rec.pc, self.ghist, rec.taken, pred);
+                    self.ghist.push(rec.taken);
+                    if pred != rec.taken {
+                        self.branch_mispredicts += 1;
+                        mispredicted = true;
+                        wrong_target = Some(if rec.taken {
+                            rec.pc + 4 // predicted not-taken: fall through
+                        } else {
+                            rec.pc
+                                .wrapping_add(4)
+                                .wrapping_add((off as i64 as u64).wrapping_mul(4))
+                        });
+                    }
+                    end_block = rec.taken;
+                }
+                Inst::Jump { link, .. } => {
+                    // Direct target + perfect BTB: never mispredicts.
+                    if link {
+                        self.ras.push(rec.pc + 4);
+                    }
+                    end_block = true;
+                }
+                Inst::JumpReg { .. } => {
+                    self.indirect_branches += 1;
+                    let predicted_target = if rec.inst.is_return() {
+                        self.ras.pop()
+                    } else {
+                        self.indirect.predict(rec.pc, self.ghist)
+                    };
+                    self.indirect.update(rec.pc, self.ghist, rec.next_pc);
+                    if rec.inst.is_call() {
+                        self.ras.push(rec.pc + 4);
+                    }
+                    if predicted_target != Some(rec.next_pc) {
+                        self.indirect_mispredicts += 1;
+                        mispredicted = true;
+                        wrong_target = predicted_target;
+                    }
+                    end_block = true;
+                }
+                _ => {}
+            }
+
+            let is_halt = rec.inst == Inst::Halt;
+            self.fetch_queue.push_back(FetchedEntry {
+                rec,
+                ready_at: now + self.config.frontend_stages as u64,
+                fetch_cycle: now,
+                hist,
+                mispredicted,
+                wrong_path: self.wrong_path,
+            });
+            if mispredicted {
+                let branch_seq = self.seq + self.fetch_queue.len() as u64 - 1;
+                if let (Some(wt), false) = (wrong_target, self.wrong_path) {
+                    // Begin wrong-path fetch at the predicted target.
+                    // Checkpoints restore the front end at the squash;
+                    // the rename map is snapshotted when the branch
+                    // dispatches.
+                    self.wrong_path = true;
+                    self.wp_resolve_seq = Some(branch_seq);
+                    self.wp_ghist = self.ghist;
+                    self.wp_ras = Some(self.ras.clone());
+                    self.peeked = None;
+                    self.machine.enter_speculation(wt);
+                } else {
+                    // Unknown wrong target, or already on a wrong path
+                    // (nested speculation): stall fetch until the
+                    // branch resolves.
+                    self.waiting_on_branch = Some(branch_seq);
+                }
+                break;
+            }
+            if is_halt {
+                if !self.wrong_path {
+                    self.halt_fetched = true;
+                }
+                break;
+            }
+            if end_block {
+                break;
+            }
+        }
+    }
+
+    // Small one-record lookahead buffer for fetch.
+    fn peek_record(&mut self) -> Option<ExecRecord> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_record();
+        }
+        self.peeked
+    }
+
+    fn take_record(&mut self) -> Option<ExecRecord> {
+        self.peek_record();
+        self.peeked.take()
+    }
+
+    // ----- results ----------------------------------------------------------
+
+    fn finish(mut self) -> SimResult {
+        let now = self.now;
+        let (regcache, backing) = match &mut self.storage {
+            Storage::Cached { cache, backing, .. } => {
+                cache.finalize(now);
+                (Some(cache.stats().clone()), Some(*backing.stats()))
+            }
+            _ => (None, None),
+        };
+        let twolevel = match &self.storage {
+            Storage::TwoLevel { file } => Some(*file.stats()),
+            _ => None,
+        };
+        SimResult {
+            cycles: now,
+            retired: self.retired,
+            cond_branches: self.cond_branches,
+            branch_mispredicts: self.branch_mispredicts,
+            indirect_branches: self.indirect_branches,
+            indirect_mispredicts: self.indirect_mispredicts,
+            replayed: self.replayed,
+            miss_events: self.miss_events,
+            dispatch_stall_pregs: self.dispatch_stall_pregs,
+            operands_bypassed: self.operands_bypassed,
+            operands_from_storage: self.operands_from_storage,
+            store_forward_stalls: self.store_forward_stalls,
+            wrong_path_squashed: self.wp_squashed,
+            load_miss_speculations: self.load_replay_squashes,
+            regcache,
+            backing,
+            twolevel,
+            douse: *self.douse.stats(),
+            memsys: *self.memsys.stats(),
+            lifetimes: self.lifetimes.map(|lt| lt.finalize(now)),
+            timeline: (!self.trace.is_empty()).then(|| Timeline { insts: self.trace }),
+        }
+    }
+}

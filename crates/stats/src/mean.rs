@@ -1,0 +1,326 @@
+use std::fmt;
+
+/// An online arithmetic mean over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_stats::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// m.add(1.0);
+/// m.add(3.0);
+/// assert_eq!(m.mean(), Some(2.0));
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Number of samples added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples added.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The mean, or `None` if no samples have been added.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+impl fmt::Display for RunningMean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(m) => write!(f, "{m:.4} (n={})", self.count),
+            None => write!(f, "n/a (n=0)"),
+        }
+    }
+}
+
+/// A numerator/denominator pair for rates such as miss rates or
+/// accesses-per-cycle.
+///
+/// Keeping the two tallies separate (instead of a float) lets experiments
+/// aggregate across benchmarks exactly, the way the paper averages
+/// per-benchmark rates.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_stats::Ratio;
+///
+/// let mut misses = Ratio::new();
+/// misses.add(3, 100);
+/// assert_eq!(misses.value(), Some(0.03));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+impl Ratio {
+    /// Creates a zero/zero ratio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to the numerator and denominator.
+    pub fn add(&mut self, num: u64, den: u64) {
+        self.num += num;
+        self.den += den;
+    }
+
+    /// Increments the numerator by `n` (denominator unchanged).
+    pub fn hit(&mut self, n: u64) {
+        self.num += n;
+    }
+
+    /// Increments the denominator by `n` (numerator unchanged).
+    pub fn total(&mut self, n: u64) {
+        self.den += n;
+    }
+
+    /// Numerator.
+    pub fn numerator(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator.
+    pub fn denominator(&self) -> u64 {
+        self.den
+    }
+
+    /// `num / den`, or `None` when the denominator is zero.
+    pub fn value(&self) -> Option<f64> {
+        if self.den == 0 {
+            None
+        } else {
+            Some(self.num as f64 / self.den as f64)
+        }
+    }
+
+    /// `num / den` as a percentage, or `None` when the denominator is zero.
+    pub fn percent(&self) -> Option<f64> {
+        self.value().map(|v| v * 100.0)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value() {
+            Some(v) => write!(f, "{}/{} = {v:.4}", self.num, self.den),
+            None => write!(f, "{}/0 = n/a", self.num),
+        }
+    }
+}
+
+/// A time-weighted average of a piecewise-constant signal, used for
+/// quantities like "average register cache occupancy" where the value is
+/// sampled at irregular update points.
+///
+/// Call [`TimeWeighted::update`] whenever the signal changes; the value is
+/// assumed constant between updates. Updates must use non-decreasing
+/// timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_stats::TimeWeighted;
+///
+/// let mut occ = TimeWeighted::new(0, 0.0);
+/// occ.update(10, 4.0); // value was 0.0 for cycles 0..10
+/// occ.update(20, 0.0); // value was 4.0 for cycles 10..20
+/// assert_eq!(occ.average(20), Some(2.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeWeighted {
+    last_time: u64,
+    current: f64,
+    weighted_sum: f64,
+    start: u64,
+}
+
+impl TimeWeighted {
+    /// Creates a tracker whose signal is `initial` starting at `start`.
+    pub fn new(start: u64, initial: f64) -> Self {
+        Self {
+            last_time: start,
+            current: initial,
+            weighted_sum: 0.0,
+            start,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn update(&mut self, now: u64, value: f64) {
+        assert!(now >= self.last_time, "time went backwards");
+        self.weighted_sum += self.current * (now - self.last_time) as f64;
+        self.last_time = now;
+        self.current = value;
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The average of the signal over `[start, now]`, or `None` if the
+    /// interval is empty. `now` must not precede the last update.
+    pub fn average(&self, now: u64) -> Option<f64> {
+        assert!(now >= self.last_time, "time went backwards");
+        let span = now - self.start;
+        if span == 0 {
+            return None;
+        }
+        let total = self.weighted_sum + self.current * (now - self.last_time) as f64;
+        Some(total / span as f64)
+    }
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new(0, 0.0)
+    }
+}
+
+/// Geometric mean of a slice of positive values, or `None` for an empty
+/// slice or any non-positive element.
+///
+/// The paper reports cross-benchmark performance as means over the suite;
+/// geometric means are the standard for IPC ratios.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_stats::geomean;
+///
+/// let g = geomean(&[2.0, 8.0]).unwrap();
+/// assert!((g - 4.0).abs() < 1e-12);
+/// assert_eq!(geomean(&[]), None);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_empty() {
+        let m = RunningMean::new();
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.to_string(), "n/a (n=0)");
+    }
+
+    #[test]
+    fn running_mean_accumulates() {
+        let mut m = RunningMean::new();
+        for v in [2.0, 4.0, 6.0] {
+            m.add(v);
+        }
+        assert_eq!(m.mean(), Some(4.0));
+        assert_eq!(m.sum(), 12.0);
+    }
+
+    #[test]
+    fn ratio_zero_denominator_is_none() {
+        let mut r = Ratio::new();
+        r.hit(5);
+        assert_eq!(r.value(), None);
+        assert_eq!(r.percent(), None);
+    }
+
+    #[test]
+    fn ratio_accumulates_exactly() {
+        let mut r = Ratio::new();
+        r.add(1, 4);
+        r.add(1, 4);
+        assert_eq!(r.value(), Some(0.25));
+        assert_eq!(r.percent(), Some(25.0));
+        assert_eq!(r.numerator(), 2);
+        assert_eq!(r.denominator(), 8);
+    }
+
+    #[test]
+    fn ratio_hit_and_total() {
+        let mut r = Ratio::new();
+        r.total(10);
+        r.hit(3);
+        assert_eq!(r.value(), Some(0.3));
+    }
+
+    #[test]
+    fn time_weighted_average_over_constant_signal() {
+        let mut t = TimeWeighted::new(0, 5.0);
+        t.update(100, 5.0);
+        assert_eq!(t.average(100), Some(5.0));
+    }
+
+    #[test]
+    fn time_weighted_piecewise() {
+        let mut t = TimeWeighted::new(0, 0.0);
+        t.update(4, 8.0);
+        // 0.0 for 4 cycles, 8.0 for 4 cycles -> average 4.0 at time 8.
+        assert_eq!(t.average(8), Some(4.0));
+        assert_eq!(t.current(), 8.0);
+    }
+
+    #[test]
+    fn time_weighted_empty_interval() {
+        let t = TimeWeighted::new(7, 3.0);
+        assert_eq!(t.average(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut t = TimeWeighted::new(10, 0.0);
+        t.update(5, 1.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[3.0]).unwrap() - 3.0).abs() < 1e-12);
+        let g = geomean(&[1.0, 4.0, 16.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert_eq!(geomean(&[1.0, 0.0]), None);
+        assert_eq!(geomean(&[-1.0]), None);
+    }
+}

@@ -1,0 +1,173 @@
+use std::fmt;
+
+/// A plain-text table with aligned columns, used by the experiment harness
+/// to print the rows/series each paper figure reports.
+///
+/// Columns are right-aligned except the first, which is left-aligned (it
+/// usually holds a label). Rows shorter than the header are padded with
+/// empty cells; longer rows extend the column set.
+///
+/// # Examples
+///
+/// ```
+/// use ubrc_stats::Table;
+///
+/// let mut t = Table::new(["scheme", "ipc"]);
+/// t.row(["use-based", "2.31"]);
+/// t.row(["lru", "2.05"]);
+/// let text = t.to_string();
+/// assert!(text.contains("use-based"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a row built from a label and an iterator of `f64` values
+    /// formatted with `decimals` fraction digits.
+    pub fn row_f64<I>(&mut self, label: &str, values: I, decimals: usize) -> &mut Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.into_iter().map(|v| format!("{v:.decimals$}")));
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        if widths.is_empty() {
+            return writeln!(f, "(empty table)");
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "  {cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rule_and_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x", "1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["longlabel", "1"]);
+        t.row(["s", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // All lines are equally wide once trailing padding is considered.
+        let w = lines[0].len().max(lines[2].len());
+        assert!(lines[2].len() <= w + 2);
+        assert!(lines[2].starts_with("longlabel"));
+    }
+
+    #[test]
+    fn short_rows_pad_and_long_rows_extend() {
+        let mut t = Table::new(["a"]);
+        t.row(["x", "extra"]);
+        t.row(["y"]);
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn row_f64_formats_decimals() {
+        let mut t = Table::new(["k", "v1", "v2"]);
+        t.row_f64("r", [1.23456, 2.0], 2);
+        let s = t.to_string();
+        assert!(s.contains("1.23"));
+        assert!(s.contains("2.00"));
+    }
+
+    #[test]
+    fn empty_table_display() {
+        let t = Table::default();
+        assert_eq!(t.to_string(), "(empty table)\n");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+; saxpy: y[i] = a*x[i] + y[i] over 64 doubles, 20 passes.
+; Usable with either CLI tool:
+;   cargo run --release -p ubrc-bench --bin simulate -- examples/kernels/saxpy.s --list
+;   cargo run --release --example custom_kernel examples/kernels/saxpy.s
+.data
+a:   .double 2.5
+x:   .double 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8
+     .double 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6
+     .double 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8
+     .double 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6
+     .double 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8
+     .double 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6
+     .double 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8
+     .double 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6
+y:   .space 512
+.text
+main:   la   r1, a
+        fld  f20, 0(r1)      ; a stays live the whole run: a pinning candidate
+        li   r9, 20          ; passes
+pass:   la   r2, x
+        la   r3, y
+        li   r4, 64
+loop:   fld  f1, 0(r2)
+        fld  f2, 0(r3)
+        fmul f3, f20, f1
+        fadd f4, f3, f2
+        fsd  f4, 0(r3)
+        addi r2, r2, 8
+        addi r3, r3, 8
+        subi r4, r4, 1
+        bgtz r4, loop
+        subi r9, r9, 1
+        bgtz r9, pass
+        halt

@@ -1,0 +1,99 @@
+//! Policy shootout: run the whole benchmark suite under every register
+//! storage organization the paper evaluates and print a league table.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout [tiny|small|default]
+//! ```
+
+use ubrc::core::{IndexPolicy, RegCacheConfig, TwoLevelConfig};
+use ubrc::sim::{simulate_workload, RegStorage, SimConfig};
+use ubrc::stats::{geomean, Table};
+use ubrc::workloads::{suite, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("default") => Scale::Default,
+        _ => Scale::Small,
+    };
+
+    let cached = |cache: RegCacheConfig, index| {
+        SimConfig::table1(RegStorage::Cached {
+            cache,
+            index,
+            backing_read: 2,
+            backing_write: 2,
+        })
+    };
+    let contenders: Vec<(&str, SimConfig)> = vec![
+        (
+            "1-cycle monolithic RF (upper bound)",
+            SimConfig::table1(RegStorage::Monolithic {
+                read_latency: 1,
+                write_latency: 1,
+            }),
+        ),
+        (
+            "use-based cache 64/2-way + filtered-rr",
+            SimConfig::paper_default(),
+        ),
+        (
+            "use-based cache 48/4-way + filtered-rr",
+            cached(
+                RegCacheConfig::use_based(48, 4),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "lru cache 64/2-way + round-robin",
+            cached(RegCacheConfig::lru(64, 2), IndexPolicy::RoundRobin),
+        ),
+        (
+            "non-bypass cache 64/2-way + round-robin",
+            cached(RegCacheConfig::non_bypass(64, 2), IndexPolicy::RoundRobin),
+        ),
+        (
+            "two-level file, 96-entry L1",
+            SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig::optimistic(96))),
+        ),
+        (
+            "3-cycle monolithic RF (what the cache replaces)",
+            SimConfig::table1(RegStorage::Monolithic {
+                read_latency: 3,
+                write_latency: 3,
+            }),
+        ),
+    ];
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (name, cfg) in contenders {
+        let mut ipcs = Vec::new();
+        let mut miss = Vec::new();
+        for w in suite(scale) {
+            let r = simulate_workload(&w, cfg.clone());
+            ipcs.push(r.ipc());
+            if let Some(m) = r.miss_rate_per_operand() {
+                miss.push(m);
+            }
+        }
+        let g = geomean(&ipcs).expect("positive IPCs");
+        let m = if miss.is_empty() {
+            f64::NAN
+        } else {
+            miss.iter().sum::<f64>() / miss.len() as f64 * 100.0
+        };
+        rows.push((name.to_string(), g, m));
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let mut table = Table::new(["organization", "geomean IPC", "miss/operand %"]);
+    for (name, ipc, miss) in rows {
+        let m = if miss.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{miss:.2}")
+        };
+        table.row([name, format!("{ipc:.4}"), m]);
+    }
+    println!("{table}");
+}

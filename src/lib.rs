@@ -1,0 +1,14 @@
+//! Umbrella crate for the UBRC reproduction: re-exports every subsystem.
+//!
+//! See [`ubrc_sim`] for the timing simulator and [`ubrc_core`] for the
+//! register-cache structures that are the paper's contribution.
+#![warn(missing_docs)]
+
+pub use ubrc_core as core;
+pub use ubrc_emu as emu;
+pub use ubrc_frontend as frontend;
+pub use ubrc_isa as isa;
+pub use ubrc_memsys as memsys;
+pub use ubrc_sim as sim;
+pub use ubrc_stats as stats;
+pub use ubrc_workloads as workloads;
