@@ -16,7 +16,7 @@ fn bench_experiments(c: &mut Criterion) {
     ];
     for (name, f) in targets {
         c.bench_function(name, |b| {
-            b.iter(|| black_box(f(Scale::Tiny).len()));
+            b.iter(|| black_box(f(Scale::Tiny).expect("experiment runs").len()));
         });
     }
 }

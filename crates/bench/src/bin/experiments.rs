@@ -1,71 +1,158 @@
 //! Experiment harness CLI: regenerates every table and figure of the
-//! paper's evaluation.
+//! paper's evaluation, and emits the machine-readable benchmark
+//! trajectory.
 //!
 //! ```text
-//! experiments <id|all> [--scale tiny|small|default]
+//! experiments <id|all> [--scale tiny|small|default] [--json [PATH]]
+//! experiments --json            # trajectory only -> BENCH_pipeline.json
 //! ```
+//!
+//! Selected experiments run concurrently: each gets a coordinator
+//! thread, and every individual simulation anywhere in the process
+//! goes through one bounded worker pool (see `ubrc_bench::run_one`),
+//! so total CPU use stays at the machine's parallelism no matter how
+//! many experiments are in flight. Reports still print in registry
+//! order.
 
 use std::time::Instant;
 use ubrc_bench::experiments::registry;
+use ubrc_bench::pipeline_trajectory;
+use ubrc_stats::Table;
 use ubrc_workloads::Scale;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which: Option<String> = None;
-    let mut scale = Scale::Default;
+struct Cli {
+    which: Option<String>,
+    scale: Scale,
+    json: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        which: None,
+        scale: Scale::Default,
+        json: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match args.get(i).map(String::as_str) {
+                cli.scale = match args.get(i).map(String::as_str) {
                     Some("tiny") => Scale::Tiny,
                     Some("small") => Scale::Small,
                     Some("default") | None => Scale::Default,
-                    Some(other) => {
-                        eprintln!("unknown scale `{other}`");
-                        std::process::exit(2);
-                    }
+                    Some(other) => return Err(format!("unknown scale `{other}`")),
                 };
             }
-            other if which.is_none() => which = Some(other.to_string()),
-            other => {
-                eprintln!("unexpected argument `{other}`");
-                std::process::exit(2);
+            "--json" => {
+                // Optional path operand (recognized by its .json
+                // suffix, so a following experiment id is not eaten);
+                // defaults to BENCH_pipeline.json in the current
+                // directory.
+                let path = match args.get(i + 1) {
+                    Some(p) if p.ends_with(".json") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_pipeline.json".to_string(),
+                };
+                cli.json = Some(path);
             }
+            other if cli.which.is_none() && !other.starts_with("--") => {
+                cli.which = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
         }
         i += 1;
     }
+    Ok(cli)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     let reg = registry();
-    let Some(which) = which else {
+    if cli.which.is_none() && cli.json.is_none() {
         eprintln!(
-            "usage: experiments <id|all> [--scale tiny|small|default]\n\navailable experiments:"
+            "usage: experiments <id|all> [--scale tiny|small|default] [--json [PATH]]\n\
+             \n\
+             --json [PATH]  also run the benchmark trajectory and write it as JSON\n\
+             \n\
+             available experiments:"
         );
         for (id, desc, _) in &reg {
             eprintln!("  {id:<16} {desc}");
         }
         std::process::exit(2);
-    };
+    }
 
-    let selected: Vec<_> = if which == "all" {
-        reg
-    } else {
-        let found: Vec<_> = reg.into_iter().filter(|(id, _, _)| *id == which).collect();
-        if found.is_empty() {
-            eprintln!("unknown experiment `{which}` (try `all`)");
-            std::process::exit(2);
+    let selected: Vec<_> = match cli.which.as_deref() {
+        None => Vec::new(),
+        Some("all") => reg,
+        Some(which) => {
+            let found: Vec<_> = reg.into_iter().filter(|(id, _, _)| *id == which).collect();
+            if found.is_empty() {
+                eprintln!("unknown experiment `{which}` (try `all`)");
+                std::process::exit(2);
+            }
+            found
         }
-        found
     };
 
-    for (id, desc, f) in selected {
-        let t0 = Instant::now();
-        let table = f(scale);
-        println!(
-            "## {id} — {desc}  [scale={scale:?}, {:.1}s]",
-            t0.elapsed().as_secs_f64()
-        );
-        println!("{table}");
+    let scale = cli.scale;
+    let mut failed = false;
+
+    // One coordinator thread per experiment; the worker gate inside
+    // run_one() bounds actual concurrent simulations.
+    let mut results: Vec<Option<(Result<Table, _>, f64)>> = Vec::new();
+    results.resize_with(selected.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, (_, _, f)) in results.iter_mut().zip(&selected) {
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let table = f(scale);
+                *slot = Some((table, t0.elapsed().as_secs_f64()));
+            });
+        }
+    });
+
+    for ((id, desc, _), result) in selected.iter().zip(results) {
+        let (table, secs) = result.expect("scope joined every coordinator");
+        match table {
+            Ok(table) => {
+                println!("## {id} — {desc}  [scale={scale:?}, {secs:.1}s]");
+                println!("{table}");
+            }
+            Err(e) => {
+                eprintln!("## {id} — FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = cli.json {
+        match pipeline_trajectory(scale) {
+            Ok(doc) => {
+                let body = format!("{doc}\n");
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("cannot write `{path}`: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("wrote {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("benchmark trajectory FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
     }
 }

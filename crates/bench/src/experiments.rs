@@ -5,7 +5,7 @@
 //! workloads, and scale — see DESIGN.md); the *shapes* are the
 //! reproduction target and are recorded in EXPERIMENTS.md.
 
-use crate::runner::{run_suite, SuiteResult};
+use crate::runner::{run_one, run_suite, SuiteError, SuiteResult};
 use ubrc_core::{IndexPolicy, RegCacheConfig, TwoLevelConfig};
 use ubrc_sim::{RegStorage, SimConfig};
 use ubrc_stats::Table;
@@ -130,10 +130,10 @@ pub fn table1() -> Table {
 
 /// Figure 1: median register lifetime phases (empty / live / dead), in
 /// cycles, per benchmark plus the mean of the per-benchmark medians.
-pub fn fig1(scale: Scale) -> Table {
+pub fn fig1(scale: Scale) -> Result<Table, SuiteError> {
     let mut cfg = SimConfig::paper_default();
     cfg.collect_lifetimes = true;
-    let res = run_suite(&cfg, scale);
+    let res = run_suite(&cfg, scale)?;
     let mut t = Table::new(["benchmark", "empty", "live", "dead"]);
     let (mut es, mut ls, mut ds) = (0.0, 0.0, 0.0);
     for (name, r) in &res.runs {
@@ -155,16 +155,16 @@ pub fn fig1(scale: Scale) -> Table {
     }
     let n = res.runs.len() as f64;
     t.row_f64("mean-of-medians", [es / n, ls / n, ds / n], 1);
-    t
+    Ok(t)
 }
 
 /// Figure 2: cumulative distributions of allocated physical registers
 /// vs. simultaneously live values (percentile points, aggregated over
 /// the suite).
-pub fn fig2(scale: Scale) -> Table {
+pub fn fig2(scale: Scale) -> Result<Table, SuiteError> {
     let mut cfg = SimConfig::paper_default();
     cfg.collect_lifetimes = true;
-    let res = run_suite(&cfg, scale);
+    let res = run_suite(&cfg, scale)?;
     let mut alloc = ubrc_stats::Histogram::new();
     let mut live = ubrc_stats::Histogram::new();
     for (_, r) in &res.runs {
@@ -188,35 +188,35 @@ pub fn fig2(scale: Scale) -> Table {
             live.median().unwrap_or(0) as f64 / alloc.median().unwrap_or(1).max(1) as f64
         ),
     ]);
-    t
+    Ok(t)
 }
 
 /// Figure 6: geometric-mean IPC vs. cache size and organization
 /// (standard indexing, use-based policies), with the no-cache register
 /// file baselines.
-pub fn fig6(scale: Scale) -> Table {
+pub fn fig6(scale: Scale) -> Result<Table, SuiteError> {
     let sizes = [16usize, 32, 48, 64, 80, 96, 128];
     let mut t = Table::new(["entries", "direct", "2-way", "4-way", "full"]);
     for &n in &sizes {
         let mut row = vec![n.to_string()];
         for ways in [1, 2, 4, n] {
             let cfg = cached_cfg(RegCacheConfig::use_based(n, ways), IndexPolicy::Standard, 2);
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         t.row(row);
     }
     for lat in [1u32, 2, 3] {
         t.row([
             format!("RF {lat}-cycle (no cache)"),
-            format!("{:.4}", run_suite(&mono_cfg(lat), scale).geomean_ipc()),
+            format!("{:.4}", run_suite(&mono_cfg(lat), scale)?.geomean_ipc()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 7: decoupled indexing policies vs. associativity (64-entry
 /// use-based cache).
-pub fn fig7(scale: Scale) -> Table {
+pub fn fig7(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["policy", "direct", "2-way", "4-way"]);
     let policies = [
         ("preg (standard)", IndexPolicy::Standard),
@@ -228,11 +228,11 @@ pub fn fig7(scale: Scale) -> Table {
         let mut row = vec![name.to_string()];
         for ways in [1usize, 2, 4] {
             let cfg = cached_cfg(RegCacheConfig::use_based(64, ways), policy, 2);
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
 fn miss_breakdown_row(label: &str, res: &SuiteResult, t: &mut Table) {
@@ -260,7 +260,7 @@ fn miss_breakdown_row(label: &str, res: &SuiteResult, t: &mut Table) {
 /// Figure 8: per-operand miss-rate breakdown (not-written / capacity /
 /// conflict) for the three schemes under standard and filtered
 /// round-robin indexing. 64-entry, 2-way.
-pub fn fig8(scale: Scale) -> Table {
+pub fn fig8(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new([
         "scheme+index",
         "not-written%",
@@ -285,16 +285,16 @@ pub fn fig8(scale: Scale) -> Table {
             ("standard", IndexPolicy::Standard),
             ("filtered-rr", IndexPolicy::FilteredRoundRobin),
         ] {
-            let res = run_suite(&mk(ctor, index), scale);
+            let res = run_suite(&mk(ctor, index), scale)?;
             miss_breakdown_row(&format!("{name}/{iname}"), &res, &mut t);
         }
     }
-    t
+    Ok(t)
 }
 
 /// Figure 9: average access bandwidth (accesses per cycle) to the
 /// register cache and the backing file.
-pub fn fig9(scale: Scale) -> Table {
+pub fn fig9(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new([
         "scheme",
         "cache-read",
@@ -303,7 +303,7 @@ pub fn fig9(scale: Scale) -> Table {
         "file-write",
     ]);
     for (name, cfg) in schemes(64, 2, 2) {
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         t.row_f64(
             name,
             [
@@ -315,12 +315,12 @@ pub fn fig9(scale: Scale) -> Table {
             3,
         );
     }
-    t
+    Ok(t)
 }
 
 /// Figure 10: filtering effects — % of cached values never read, % of
 /// initial writes filtered, % of retired values never cached.
-pub fn fig10(scale: Scale) -> Table {
+pub fn fig10(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new([
         "scheme",
         "cached-never-read%",
@@ -328,9 +328,9 @@ pub fn fig10(scale: Scale) -> Table {
         "never-cached%",
     ]);
     for (name, cfg) in schemes(64, 2, 2) {
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let pct = |f: &dyn Fn(&ubrc_core::RegCacheStats) -> Option<f64>| {
-            res.mean_of(|r| r.regcache.as_ref().and_then(|c| f(c)).map(|v| v * 100.0))
+            res.mean_of(|r| r.regcache.as_ref().and_then(f).map(|v| v * 100.0))
                 .unwrap_or(0.0)
         };
         t.row_f64(
@@ -343,15 +343,15 @@ pub fn fig10(scale: Scale) -> Table {
             2,
         );
     }
-    t
+    Ok(t)
 }
 
 /// Table 2: comparison of register cache metrics.
-pub fn table2(scale: Scale) -> Table {
+pub fn table2(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["average", "lru", "non-bypass", "use-based"]);
     let mut cols: Vec<[f64; 4]> = Vec::new();
     for (_, cfg) in schemes(64, 2, 2) {
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let m = |f: &dyn Fn(&ubrc_core::RegCacheStats, &ubrc_sim::SimResult) -> Option<f64>| {
             res.mean_of(|r| r.regcache.as_ref().and_then(|c| f(c, r)))
                 .unwrap_or(0.0)
@@ -374,14 +374,14 @@ pub fn table2(scale: Scale) -> Table {
     {
         t.row_f64(label, cols.iter().map(|c| c[i]), 2);
     }
-    t
+    Ok(t)
 }
 
 /// §3 characterization: fraction of operands supplied by bypass (the
 /// paper reports 57%) and fraction of replacement victims with zero
 /// remaining uses (the paper reports 84%), under the proposed design.
-pub fn charstats(scale: Scale) -> Table {
-    let res = run_suite(&SimConfig::paper_default(), scale);
+pub fn charstats(scale: Scale) -> Result<Table, SuiteError> {
+    let res = run_suite(&SimConfig::paper_default(), scale)?;
     let mut t = Table::new(["benchmark", "bypass%", "zero-use-victims%"]);
     for (name, r) in &res.runs {
         let zero = r
@@ -415,12 +415,12 @@ pub fn charstats(scale: Scale) -> Table {
         ],
         2,
     );
-    t
+    Ok(t)
 }
 
 /// Figure 11: geometric-mean IPC vs. cache/L1 size for the three
 /// caching schemes (plus 4-way use-based) and the two-level file.
-pub fn fig11(scale: Scale) -> Table {
+pub fn fig11(scale: Scale) -> Result<Table, SuiteError> {
     let sizes = [16usize, 32, 48, 64, 96, 128];
     let mut t = Table::new([
         "entries",
@@ -433,20 +433,20 @@ pub fn fig11(scale: Scale) -> Table {
     for &n in &sizes {
         let mut row = vec![n.to_string()];
         for (_, cfg) in schemes(n, 2, 2) {
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         let ub4 = cached_cfg(
             RegCacheConfig::use_based(n, 4),
             IndexPolicy::FilteredRoundRobin,
             2,
         );
-        row.push(format!("{:.4}", run_suite(&ub4, scale).geomean_ipc()));
+        row.push(format!("{:.4}", run_suite(&ub4, scale)?.geomean_ipc()));
         // The two-level L1 must exceed the architectural register count
         // ("at least one more register than the number of architected
         // registers", §5.5) — below that it cannot run at all.
         if n + 32 > ubrc_isa::NUM_ARCH_REGS as usize + 4 {
             let tl = SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig::optimistic(n + 32)));
-            row.push(format!("{:.4}", run_suite(&tl, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&tl, scale)?.geomean_ipc()));
         } else {
             row.push("-".to_string());
         }
@@ -455,15 +455,15 @@ pub fn fig11(scale: Scale) -> Table {
     for lat in [1u32, 2, 3] {
         t.row([
             format!("RF {lat}-cycle (no cache)"),
-            format!("{:.4}", run_suite(&mono_cfg(lat), scale).geomean_ipc()),
+            format!("{:.4}", run_suite(&mono_cfg(lat), scale)?.geomean_ipc()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 12: geometric-mean IPC vs. backing-file (or two-level L2)
 /// latency. 64-entry caches, 96-entry two-level L1.
-pub fn fig12(scale: Scale) -> Table {
+pub fn fig12(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new([
         "backing-latency",
         "lru",
@@ -474,42 +474,42 @@ pub fn fig12(scale: Scale) -> Table {
     for lat in 1u32..=6 {
         let mut row = vec![lat.to_string()];
         for (_, cfg) in schemes(64, 2, lat) {
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         let tl = SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig {
             l2_latency: lat,
             ..TwoLevelConfig::optimistic(96)
         }));
-        row.push(format!("{:.4}", run_suite(&tl, scale).geomean_ipc()));
+        row.push(format!("{:.4}", run_suite(&tl, scale)?.geomean_ipc()));
         t.row(row);
     }
     for lat in [1u32, 2, 3] {
         t.row([
             format!("RF {lat}-cycle (no cache)"),
-            format!("{:.4}", run_suite(&mono_cfg(lat), scale).geomean_ipc()),
+            format!("{:.4}", run_suite(&mono_cfg(lat), scale)?.geomean_ipc()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// §5.3 tuning: the maximum use count (pinning limit) sweep.
-pub fn maxuse(scale: Scale) -> Table {
+pub fn maxuse(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["max-use-count", "geomean-ipc", "miss-rate%"]);
     for max in [1u8, 2, 3, 5, 6, 7, 9, 12, 15] {
         let mut cache = RegCacheConfig::use_based(64, 2);
         cache.max_use_count = max;
         let cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, 2);
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let miss = res
             .mean_of(|r| r.regcache.as_ref().and_then(|c| c.miss_rate()))
             .unwrap_or(0.0);
         t.row_f64(&max.to_string(), [res.geomean_ipc(), miss * 100.0], 4);
     }
-    t
+    Ok(t)
 }
 
 /// §5.3 tuning: unknown-default × fill-default grid.
-pub fn defaults(scale: Scale) -> Table {
+pub fn defaults(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["unknown\\fill", "fill=0", "fill=1", "fill=2"]);
     for unknown in 0u8..=3 {
         let mut row = vec![format!("unknown={unknown}")];
@@ -518,22 +518,22 @@ pub fn defaults(scale: Scale) -> Table {
             cache.unknown_default = unknown;
             cache.fill_default = fill;
             let cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, 2);
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
 /// §5.5 ablation: two-level L1↔L2 transfer bandwidth.
-pub fn twolevel_bw(scale: Scale) -> Table {
+pub fn twolevel_bw(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["transfers/cycle", "geomean-ipc", "rename-stalls"]);
     for bw in [1u32, 2, 4, 8] {
         let cfg = SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig {
             transfers_per_cycle: bw,
             ..TwoLevelConfig::optimistic(96)
         }));
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let stalls: u64 = res.runs.iter().map(|(_, r)| r.dispatch_stall_pregs).sum();
         t.row([
             bw.to_string(),
@@ -541,12 +541,12 @@ pub fn twolevel_bw(scale: Scale) -> Table {
             stalls.to_string(),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// §3.3: degree-of-use predictor accuracy and coverage per benchmark.
-pub fn douse_accuracy(scale: Scale) -> Table {
-    let res = run_suite(&SimConfig::paper_default(), scale);
+pub fn douse_accuracy(scale: Scale) -> Result<Table, SuiteError> {
+    let res = run_suite(&SimConfig::paper_default(), scale)?;
     let mut t = Table::new(["benchmark", "accuracy%", "coverage%"]);
     for (name, r) in &res.runs {
         t.row_f64(
@@ -566,12 +566,12 @@ pub fn douse_accuracy(scale: Scale) -> Table {
         ],
         2,
     );
-    t
+    Ok(t)
 }
 
 /// §4.2 ablation: filtered round-robin parameters (high-use degree
 /// threshold × per-set skip threshold).
-pub fn filtered_params(scale: Scale) -> Table {
+pub fn filtered_params(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["high-use>", "skip>0", "skip>1", "skip>2"]);
     for degree in [3u8, 5, 7] {
         let mut row = vec![degree.to_string()];
@@ -582,34 +582,34 @@ pub fn filtered_params(scale: Scale) -> Table {
                 2,
             );
             cfg.filter_params = Some((degree, skip));
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
 /// Extension (motivated by §1's citation of Ahuja et al. on incomplete
 /// bypassing): how the bypass-network depth interacts with each
 /// register storage organization.
-pub fn bypass_depth(scale: Scale) -> Table {
+pub fn bypass_depth(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["bypass-stages", "use-based", "RF-1", "RF-3"]);
     for stages in [1u32, 2, 3] {
         let mut row = vec![stages.to_string()];
         for mut cfg in [SimConfig::paper_default(), mono_cfg(1), mono_cfg(3)] {
             cfg.bypass_stages = stages;
-            row.push(format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()));
+            row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
         }
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
 /// §4.1: decoupled indexing "trivially enables the use of
 /// non-power-of-two-sized caches" — sweep odd sizes around the design
 /// point (standard indexing cannot express these set counts cleanly;
 /// the assigner handles them natively).
-pub fn odd_sizes(scale: Scale) -> Table {
+pub fn odd_sizes(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["entries(2-way)", "sets", "geomean-ipc"]);
     for n in [40usize, 48, 56, 64, 72, 88] {
         let cache = RegCacheConfig::use_based(n, 2);
@@ -618,16 +618,16 @@ pub fn odd_sizes(scale: Scale) -> Table {
         t.row([
             n.to_string(),
             sets.to_string(),
-            format!("{:.4}", run_suite(&cfg, scale).geomean_ipc()),
+            format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// §3.4 robustness: performance when the degree-of-use information is
 /// degraded — predictor disabled (unknown default only), hair-trigger
 /// confidence (noisy predictions), and the paper's configuration.
-pub fn robustness(scale: Scale) -> Table {
+pub fn robustness(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["degree-information", "geomean-ipc", "miss/operand %"]);
     let variants: Vec<(&str, SimConfig)> = vec![
         (
@@ -648,21 +648,24 @@ pub fn robustness(scale: Scale) -> Table {
         }),
     ];
     for (name, cfg) in variants {
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let miss = res.mean_of(|r| r.miss_rate_per_operand()).unwrap_or(0.0);
         t.row_f64(name, [res.geomean_ipc(), miss * 100.0], 4);
     }
-    t
+    Ok(t)
 }
 
 /// Extension: cost of load-hit speculation (the 21264 mechanism the
 /// paper reuses for register-cache misses) vs. an oracle scheduler.
-pub fn loadspec(scale: Scale) -> Table {
+pub fn loadspec(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["load scheduling", "geomean-ipc", "mis-speculations"]);
-    for (name, on) in [("hit-speculation (default)", true), ("oracle wakeup", false)] {
+    for (name, on) in [
+        ("hit-speculation (default)", true),
+        ("oracle wakeup", false),
+    ] {
         let mut cfg = SimConfig::paper_default();
         cfg.load_hit_speculation = on;
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let misses: u64 = res.runs.iter().map(|(_, r)| r.load_miss_speculations).sum();
         t.row([
             name.to_string(),
@@ -670,18 +673,18 @@ pub fn loadspec(scale: Scale) -> Table {
             misses.to_string(),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Extension: degree-of-use predictor capacity sweep (the paper uses
 /// the 4K-entry predictor of Butts & Sohi MICRO 2002; smaller tables
 /// lose coverage and leave more values on the unknown default).
-pub fn douse_size(scale: Scale) -> Table {
+pub fn douse_size(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["entries(4-way)", "geomean-ipc", "accuracy%", "coverage%"]);
     for sets in [16usize, 64, 256, 1024] {
         let mut cfg = SimConfig::paper_default();
         cfg.douse.sets = sets;
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         t.row_f64(
             &format!("{}", sets * 4),
             [
@@ -692,18 +695,18 @@ pub fn douse_size(scale: Scale) -> Table {
             3,
         );
     }
-    t
+    Ok(t)
 }
 
 /// Extension: cost of store→load ordering through the LSQ (the
 /// Table 1 machine has 128-entry load/store queues; disabling the
 /// model shows how much memory-dependence serialization costs).
-pub fn lsq(scale: Scale) -> Table {
+pub fn lsq(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["store->load ordering", "geomean-ipc", "lsq-stall-slots"]);
     for (name, on) in [("modeled (default)", true), ("ignored", false)] {
         let mut cfg = SimConfig::paper_default();
         cfg.model_store_forwarding = on;
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let stalls: u64 = res.runs.iter().map(|(_, r)| r.store_forward_stalls).sum();
         t.row([
             name.to_string(),
@@ -711,13 +714,13 @@ pub fn lsq(scale: Scale) -> Table {
             stalls.to_string(),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Extension: the extended (FP/mixed) kernels under each register
 /// storage organization — the paper evaluates SPECint only; this checks
 /// the conclusions hold beyond integer code.
-pub fn extended(scale: Scale) -> Table {
+pub fn extended(scale: Scale) -> Result<Table, SuiteError> {
     use ubrc_workloads::extended_suite;
     let mut t = Table::new(["kernel", "lru", "non-bypass", "use-based", "RF-3"]);
     let configs: Vec<SimConfig> = schemes(64, 2, 2)
@@ -728,22 +731,22 @@ pub fn extended(scale: Scale) -> Table {
     for w in extended_suite(scale) {
         let mut row = vec![w.name.to_string()];
         for cfg in &configs {
-            let r = ubrc_sim::simulate_workload(&w, cfg.clone());
+            let r = run_one(&w, cfg.clone())?;
             row.push(format!("{:.4}", r.ipc()));
         }
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
 /// §2.2 ablation: "a single read port suffices" for the backing file —
 /// sweep the port count and show the flat curve.
-pub fn backing_ports(scale: Scale) -> Table {
+pub fn backing_ports(scale: Scale) -> Result<Table, SuiteError> {
     let mut t = Table::new(["read-ports", "geomean-ipc", "contention-cycles"]);
     for ports in [1usize, 2, 4] {
         let mut cfg = SimConfig::paper_default();
         cfg.backing_read_ports = ports;
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let contention: u64 = res
             .runs
             .iter()
@@ -755,13 +758,13 @@ pub fn backing_ports(scale: Scale) -> Table {
             contention.to_string(),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Front-end ablation: the register cache under different conditional
 /// branch predictors (the mis-speculation loop interacts with the
 /// cache's replay loop).
-pub fn predictors(scale: Scale) -> Table {
+pub fn predictors(scale: Scale) -> Result<Table, SuiteError> {
     use ubrc_sim::BranchPredictorKind as B;
     let mut t = Table::new(["predictor", "geomean-ipc", "mispredict%"]);
     for (name, kind) in [
@@ -772,17 +775,17 @@ pub fn predictors(scale: Scale) -> Table {
     ] {
         let mut cfg = SimConfig::paper_default();
         cfg.branch_predictor = kind;
-        let res = run_suite(&cfg, scale);
+        let res = run_suite(&cfg, scale)?;
         let mr = res.mean_of(|r| r.branch_mispredict_rate()).unwrap_or(0.0);
         t.row_f64(name, [res.geomean_ipc(), mr * 100.0], 4);
     }
-    t
+    Ok(t)
 }
 
 /// Extension: miss rate of the three schemes under synthetic programs
 /// with controlled degree-of-use distributions (not in the paper; shows
 /// directly that use-based management keys on the distribution).
-pub fn synthetic_sweep(_scale: Scale) -> Table {
+pub fn synthetic_sweep(_scale: Scale) -> Result<Table, SuiteError> {
     let specs = [
         ("single-use-heavy", SyntheticSpec::single_use_heavy(11)),
         ("high-use", SyntheticSpec::high_use(11)),
@@ -798,7 +801,7 @@ pub fn synthetic_sweep(_scale: Scale) -> Table {
         let w = spec.build();
         let mut row = vec![name.to_string()];
         for (_, cfg) in schemes(64, 2, 2) {
-            let r = ubrc_sim::simulate_workload(&w, cfg);
+            let r = run_one(&w, cfg)?;
             let miss = r
                 .regcache
                 .as_ref()
@@ -808,17 +811,19 @@ pub fn synthetic_sweep(_scale: Scale) -> Table {
         }
         t.row(row);
     }
-    t
+    Ok(t)
 }
 
 /// Every experiment, as `(id, description, runner)` triples, in paper
-/// order. The harness binary and the smoke tests iterate this.
-pub type ExperimentFn = fn(Scale) -> Table;
+/// order. The harness binary and the smoke tests iterate this. A
+/// failing run reports the offending workload via [`SuiteError`]
+/// instead of unwinding through the harness.
+pub type ExperimentFn = fn(Scale) -> Result<Table, SuiteError>;
 
 /// The experiment registry.
 pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
-    fn table1_entry(_: Scale) -> Table {
-        table1()
+    fn table1_entry(_: Scale) -> Result<Table, SuiteError> {
+        Ok(table1())
     }
     vec![
         ("table1", "simulated machine configuration", table1_entry),

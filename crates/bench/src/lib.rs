@@ -15,5 +15,7 @@
 
 pub mod experiments;
 mod runner;
+mod trajectory;
 
-pub use runner::{run_suite, suite_geomean_ipc, SuiteResult};
+pub use runner::{max_workers, run_one, run_suite, suite_geomean_ipc, SuiteError, SuiteResult};
+pub use trajectory::{pipeline_trajectory, trajectory_configs, SCHEMA as TRAJECTORY_SCHEMA};

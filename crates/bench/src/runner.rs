@@ -1,6 +1,109 @@
+//! Suite runner: executes simulation cells on a process-wide bounded
+//! worker pool.
+//!
+//! Every simulation in this crate — whether launched from one
+//! [`run_suite`] call or from dozens of experiments running
+//! concurrently in the harness binary — acquires a slot from a single
+//! gate sized to the machine's parallelism before it burns CPU. That
+//! lets the experiments driver fan out (experiment × config) cells
+//! freely: coordinator threads are cheap, and the gate keeps the
+//! number of *running* simulations bounded.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
 use ubrc_sim::{simulate_workload, SimConfig, SimResult};
 use ubrc_stats::geomean;
-use ubrc_workloads::{suite, Scale};
+use ubrc_workloads::{suite, Scale, Workload};
+
+/// A simulation cell failed: which workload, and why.
+#[derive(Clone, Debug)]
+pub struct SuiteError {
+    /// Name of the kernel whose simulation failed.
+    pub workload: &'static str,
+    /// The panic/abort message from the simulator.
+    pub reason: String,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload `{}` failed: {}", self.workload, self.reason)
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// Counting semaphore bounding concurrently *running* simulations.
+struct WorkerGate {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+struct Permit<'a>(&'a WorkerGate);
+
+impl WorkerGate {
+    fn acquire(&self) -> Permit<'_> {
+        let mut free = self
+            .cv
+            .wait_while(self.free.lock().expect("gate poisoned"), |f| *f == 0)
+            .expect("gate poisoned");
+        *free -= 1;
+        Permit(self)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.free.lock().expect("gate poisoned") += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// Maximum simulations running at once (defaults to the machine's
+/// available parallelism; override with `UBRC_BENCH_WORKERS`).
+pub fn max_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("UBRC_BENCH_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(4)
+            })
+    })
+}
+
+fn gate() -> &'static WorkerGate {
+    static GATE: OnceLock<WorkerGate> = OnceLock::new();
+    GATE.get_or_init(|| WorkerGate {
+        free: Mutex::new(max_workers()),
+        cv: Condvar::new(),
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "simulation panicked".to_string()
+    }
+}
+
+/// Runs one simulation cell through the worker gate, converting a
+/// simulator panic (deadlock assertion, faulting workload) into a
+/// [`SuiteError`] naming the kernel.
+pub fn run_one(w: &Workload, config: SimConfig) -> Result<SimResult, SuiteError> {
+    let _permit = gate().acquire();
+    catch_unwind(AssertUnwindSafe(|| simulate_workload(w, config))).map_err(|p| SuiteError {
+        workload: w.name,
+        reason: panic_message(p),
+    })
+}
 
 /// Results of running the full benchmark suite under one configuration.
 #[derive(Clone, Debug)]
@@ -14,6 +117,11 @@ impl SuiteResult {
     pub fn geomean_ipc(&self) -> f64 {
         let ipcs: Vec<f64> = self.runs.iter().map(|(_, r)| r.ipc()).collect();
         geomean(&ipcs).unwrap_or(0.0)
+    }
+
+    /// Total instructions retired across the suite.
+    pub fn total_retired(&self) -> u64 {
+        self.runs.iter().map(|(_, r)| r.retired).sum()
     }
 
     /// Arithmetic mean of a per-benchmark metric, skipping benchmarks
@@ -31,30 +139,39 @@ impl SuiteResult {
     }
 }
 
-/// Runs the whole kernel suite under `config`, one thread per kernel.
-pub fn run_suite(config: &SimConfig, scale: Scale) -> SuiteResult {
+/// Runs the whole kernel suite under `config`, kernels in parallel on
+/// the shared worker pool.
+///
+/// # Errors
+///
+/// Returns a [`SuiteError`] naming the first (in suite order) kernel
+/// whose simulation panicked.
+pub fn run_suite(config: &SimConfig, scale: Scale) -> Result<SuiteResult, SuiteError> {
     let workloads = suite(scale);
-    let mut runs: Vec<Option<(&'static str, SimResult)>> = Vec::new();
+    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
     runs.resize_with(workloads.len(), || None);
     std::thread::scope(|scope| {
         for (slot, w) in runs.iter_mut().zip(&workloads) {
             let cfg = config.clone();
             scope.spawn(move || {
-                *slot = Some((w.name, simulate_workload(w, cfg)));
+                *slot = Some(run_one(w, cfg));
             });
         }
     });
-    SuiteResult {
-        runs: runs
-            .into_iter()
-            .map(|r| r.expect("thread completed"))
-            .collect(),
+    let mut out = Vec::with_capacity(workloads.len());
+    for (r, w) in runs.into_iter().zip(&workloads) {
+        out.push((w.name, r.expect("scope joined every worker")?));
     }
+    Ok(SuiteResult { runs: out })
 }
 
 /// Convenience: geometric-mean IPC of the suite under `config`.
-pub fn suite_geomean_ipc(config: &SimConfig, scale: Scale) -> f64 {
-    run_suite(config, scale).geomean_ipc()
+///
+/// # Errors
+///
+/// Propagates the [`SuiteError`] of a failing kernel.
+pub fn suite_geomean_ipc(config: &SimConfig, scale: Scale) -> Result<f64, SuiteError> {
+    Ok(run_suite(config, scale)?.geomean_ipc())
 }
 
 #[cfg(test)]
@@ -63,18 +180,30 @@ mod tests {
 
     #[test]
     fn suite_runs_in_parallel_and_orders_results() {
-        let r = run_suite(&SimConfig::paper_default(), Scale::Tiny);
+        let r = run_suite(&SimConfig::paper_default(), Scale::Tiny).unwrap();
         assert_eq!(r.runs.len(), 12);
         assert_eq!(r.runs[0].0, "qsort");
         assert!(r.geomean_ipc() > 0.1);
+        assert!(r.total_retired() > 0);
     }
 
     #[test]
     fn mean_of_skips_undefined_metrics() {
-        let r = run_suite(&SimConfig::paper_default(), Scale::Tiny);
+        let r = run_suite(&SimConfig::paper_default(), Scale::Tiny).unwrap();
         let m = r.mean_of(|res| res.regcache.as_ref().and_then(|c| c.miss_rate()));
         assert!(m.unwrap() > 0.0);
         let none = r.mean_of(|_| None::<f64>);
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn failing_simulation_names_the_workload() {
+        // An impossible configuration panics inside the simulator; the
+        // runner must say *which* kernel died instead of unwinding.
+        let mut cfg = SimConfig::paper_default();
+        cfg.phys_regs = 8; // fewer physical than architectural registers
+        let err = run_suite(&cfg, Scale::Tiny).unwrap_err();
+        assert_eq!(err.workload, "qsort");
+        assert!(!err.reason.is_empty());
     }
 }

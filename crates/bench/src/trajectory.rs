@@ -1,0 +1,140 @@
+//! Machine-readable benchmark trajectory (`BENCH_pipeline.json`).
+//!
+//! `experiments --json` runs the kernel suite under a fixed matrix of
+//! register-storage configurations and records, per configuration, the
+//! harness wall time, the simulated instruction count, the simulation
+//! throughput (simulated instructions per wall second), and the
+//! geometric-mean IPC. Successive checkins can compare the files to
+//! track simulator performance without re-deriving anything from logs.
+//!
+//! The schema is documented in DESIGN.md (§Performance).
+
+use crate::runner::{max_workers, run_suite, SuiteError};
+use std::time::Instant;
+use ubrc_core::{IndexPolicy, RegCacheConfig};
+use ubrc_sim::{RegStorage, SimConfig};
+use ubrc_stats::Json;
+use ubrc_workloads::Scale;
+
+/// Version tag embedded in the emitted document.
+pub const SCHEMA: &str = "ubrc-bench-pipeline/1";
+
+fn cached(cache: RegCacheConfig, index: IndexPolicy) -> SimConfig {
+    SimConfig::table1(RegStorage::Cached {
+        cache,
+        index,
+        backing_read: 2,
+        backing_write: 2,
+    })
+}
+
+/// The fixed configuration matrix the trajectory tracks: the paper's
+/// three caching schemes plus the monolithic register-file baselines.
+pub fn trajectory_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        (
+            "rf-1",
+            SimConfig::table1(RegStorage::Monolithic {
+                read_latency: 1,
+                write_latency: 1,
+            }),
+        ),
+        (
+            "rf-3",
+            SimConfig::table1(RegStorage::Monolithic {
+                read_latency: 3,
+                write_latency: 3,
+            }),
+        ),
+        (
+            "lru",
+            cached(RegCacheConfig::lru(64, 2), IndexPolicy::RoundRobin),
+        ),
+        (
+            "non-bypass",
+            cached(RegCacheConfig::non_bypass(64, 2), IndexPolicy::RoundRobin),
+        ),
+        (
+            "use-based",
+            cached(
+                RegCacheConfig::use_based(64, 2),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+    ]
+}
+
+/// Runs the trajectory matrix and builds the `BENCH_pipeline.json`
+/// document.
+///
+/// # Errors
+///
+/// Propagates the [`SuiteError`] of the first failing kernel.
+pub fn pipeline_trajectory(scale: Scale) -> Result<Json, SuiteError> {
+    let t_total = Instant::now();
+    let mut configs = Vec::new();
+    let mut total_insts: u64 = 0;
+    for (name, cfg) in trajectory_configs() {
+        let t0 = Instant::now();
+        let res = run_suite(&cfg, scale)?;
+        let wall = t0.elapsed().as_secs_f64();
+        let insts = res.total_retired();
+        total_insts += insts;
+        let kernels = Json::arr(res.runs.iter().map(|(kname, r)| {
+            Json::obj([
+                ("name", Json::from(*kname)),
+                ("cycles", Json::from(r.cycles)),
+                ("retired", Json::from(r.retired)),
+                ("ipc", Json::from(r.ipc())),
+            ])
+        }));
+        configs.push(Json::obj([
+            ("name", Json::from(name)),
+            ("wall_seconds", Json::from(wall)),
+            ("instructions", Json::from(insts)),
+            (
+                "sim_insts_per_sec",
+                Json::from(insts as f64 / wall.max(1e-9)),
+            ),
+            ("geomean_ipc", Json::from(res.geomean_ipc())),
+            ("kernels", kernels),
+        ]));
+    }
+    let total_wall = t_total.elapsed().as_secs_f64();
+    Ok(Json::obj([
+        ("schema", Json::from(SCHEMA)),
+        ("scale", Json::from(format!("{scale:?}").to_lowercase())),
+        ("workers", Json::from(max_workers())),
+        ("total_wall_seconds", Json::from(total_wall)),
+        (
+            "total_sim_insts_per_sec",
+            Json::from(total_insts as f64 / total_wall.max(1e-9)),
+        ),
+        ("configs", Json::arr(configs)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_document_has_the_published_schema() {
+        let doc = pipeline_trajectory(Scale::Tiny).unwrap();
+        let s = doc.to_string();
+        assert!(s.starts_with(&format!(r#"{{"schema":"{SCHEMA}""#)));
+        for key in [
+            r#""scale":"tiny""#,
+            r#""workers":"#,
+            r#""total_wall_seconds":"#,
+            r#""total_sim_insts_per_sec":"#,
+            r#""configs":["#,
+            r#""name":"use-based""#,
+            r#""geomean_ipc":"#,
+            r#""sim_insts_per_sec":"#,
+            r#""kernels":["#,
+        ] {
+            assert!(s.contains(key), "missing `{key}` in {s}");
+        }
+    }
+}

@@ -35,14 +35,24 @@ fn registry_covers_every_paper_table_and_figure() {
 
 #[test]
 fn quick_experiments_run_at_tiny_scale() {
-    let heavy = ["fig6", "fig11", "fig12", "maxuse", "defaults", "filtered-params"];
+    let heavy = [
+        "fig6",
+        "fig11",
+        "fig12",
+        "maxuse",
+        "defaults",
+        "filtered-params",
+    ];
     for (id, _, f) in registry() {
         if heavy.contains(&id) {
             continue;
         }
-        let table = f(Scale::Tiny);
+        let table = f(Scale::Tiny).unwrap_or_else(|e| panic!("experiment `{id}` failed: {e}"));
         assert!(!table.is_empty(), "experiment `{id}` produced no rows");
         let text = table.to_string();
-        assert!(text.lines().count() >= 3, "experiment `{id}` table too small");
+        assert!(
+            text.lines().count() >= 3,
+            "experiment `{id}` table too small"
+        );
     }
 }

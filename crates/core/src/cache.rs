@@ -365,6 +365,9 @@ impl RegisterCache {
     /// miss is classified into the statistics and `false` is returned;
     /// the caller fetches the value from the backing file and calls
     /// [`RegisterCache::fill`].
+    // `now` is only forwarded to the shadow cache, but it keeps the
+    // read/write/fill signatures uniform for callers.
+    #[allow(clippy::only_used_in_recursion)]
     pub fn read(&mut self, preg: PhysReg, set: u16, now: u64) -> bool {
         self.stats.reads += 1;
         self.tick += 1;

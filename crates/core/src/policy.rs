@@ -102,7 +102,7 @@ impl RegCacheConfig {
     pub fn sets(&self) -> usize {
         assert!(self.ways >= 1, "ways must be at least 1");
         assert!(
-            self.entries % self.ways == 0,
+            self.entries.is_multiple_of(self.ways),
             "entries must divide into ways"
         );
         self.entries / self.ways

@@ -198,8 +198,10 @@ impl Machine {
         if r.is_int() {
             if !r.is_zero() {
                 if self.spec.is_some() {
-                    self.undo
-                        .push(Undo::IntReg(r.bank_index(), self.int_regs[r.bank_index() as usize]));
+                    self.undo.push(Undo::IntReg(
+                        r.bank_index(),
+                        self.int_regs[r.bank_index() as usize],
+                    ));
                 }
                 self.int_regs[r.bank_index() as usize] = v;
             }
@@ -211,8 +213,10 @@ impl Machine {
     fn write_fp(&mut self, r: Reg, v: f64) {
         debug_assert!(r.is_fp());
         if self.spec.is_some() {
-            self.undo
-                .push(Undo::FpReg(r.bank_index(), self.fp_regs[r.bank_index() as usize]));
+            self.undo.push(Undo::FpReg(
+                r.bank_index(),
+                self.fp_regs[r.bank_index() as usize],
+            ));
         }
         self.fp_regs[r.bank_index() as usize] = v;
     }

@@ -44,11 +44,10 @@ fn history_predictors_learn_correlated_pairs() {
     // Branch B's outcome equals branch A's previous outcome.
     let mut gshare = Gshare::default();
     let mut hist = GlobalHistory::new();
-    let mut a_outcome = false;
     let mut correct = 0u32;
     let mut total = 0u32;
     for i in 0..2000 {
-        a_outcome = (i * 7) % 3 == 0; // pseudo-random-ish but deterministic
+        let a_outcome = (i * 7) % 3 == 0; // pseudo-random-ish but deterministic
         let _ap = gshare.predict(0x100, hist);
         gshare.update(0x100, hist, a_outcome);
         hist.push(a_outcome);

@@ -271,6 +271,10 @@ fn inst_size(mnemonic: &str, operands: &[Operand]) -> usize {
     }
 }
 
+/// A boxed emit action for one mnemonic family; the dispatch table in
+/// [`Emitter::emit`] builds these from the shared operand list.
+type EmitFn<'e> = Box<dyn for<'x> Fn(&mut Emitter<'x>) -> Result<(), AsmError> + 'e>;
+
 struct Emitter<'a> {
     symbols: &'a BTreeMap<String, u64>,
     out: Vec<Inst>,
@@ -382,8 +386,8 @@ impl Emitter<'_> {
     }
 
     fn emit(&mut self, mnemonic: &str, ops: &[Operand], line: usize) -> Result<(), AsmError> {
-        let alu = |op: AluOp| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-            Box::new(move |e: &mut Self| {
+        let alu = |op: AluOp| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
                 let rd = e.want_reg(ops.first(), line)?;
                 let rs = e.want_reg(ops.get(1), line)?;
                 let rt = e.want_reg(ops.get(2), line)?;
@@ -391,8 +395,8 @@ impl Emitter<'_> {
                 Ok(())
             })
         };
-        let alu_imm = |op: AluImmOp| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-            Box::new(move |e: &mut Self| {
+        let alu_imm = |op: AluImmOp| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
                 let rd = e.want_reg(ops.first(), line)?;
                 let rs = e.want_reg(ops.get(1), line)?;
                 let imm = e.want_imm16(ops.get(2), line)?;
@@ -400,23 +404,22 @@ impl Emitter<'_> {
                 Ok(())
             })
         };
-        let load =
-            |width: MemWidth, signed: bool| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-                Box::new(move |e: &mut Self| {
-                    let rd = e.want_reg(ops.first(), line)?;
-                    let (off, base) = e.want_mem(ops.get(1), line)?;
-                    e.out.push(Inst::Load {
-                        width,
-                        signed,
-                        rd,
-                        base,
-                        off,
-                    });
-                    Ok(())
-                })
-            };
-        let store = |width: MemWidth| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-            Box::new(move |e: &mut Self| {
+        let load = |width: MemWidth, signed: bool| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
+                let rd = e.want_reg(ops.first(), line)?;
+                let (off, base) = e.want_mem(ops.get(1), line)?;
+                e.out.push(Inst::Load {
+                    width,
+                    signed,
+                    rd,
+                    base,
+                    off,
+                });
+                Ok(())
+            })
+        };
+        let store = |width: MemWidth| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
                 let src = e.want_reg(ops.first(), line)?;
                 let (off, base) = e.want_mem(ops.get(1), line)?;
                 e.out.push(Inst::Store {
@@ -428,22 +431,19 @@ impl Emitter<'_> {
                 Ok(())
             })
         };
-        let branch =
-            |cond: BranchCond, swap: bool| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-                Box::new(move |e: &mut Self| {
-                    let a = e.want_reg(ops.first(), line)?;
-                    let b = e.want_reg(ops.get(1), line)?;
-                    let off = e.branch_off(ops.get(2), line)?;
-                    let (rs, rt) = if swap { (b, a) } else { (a, b) };
-                    e.out.push(Inst::Branch { cond, rs, rt, off });
-                    Ok(())
-                })
-            };
+        let branch = |cond: BranchCond, swap: bool| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
+                let a = e.want_reg(ops.first(), line)?;
+                let b = e.want_reg(ops.get(1), line)?;
+                let off = e.branch_off(ops.get(2), line)?;
+                let (rs, rt) = if swap { (b, a) } else { (a, b) };
+                e.out.push(Inst::Branch { cond, rs, rt, off });
+                Ok(())
+            })
+        };
         // Branch pseudo against zero: `beqz rs, target`.
-        let branch_z = |cond: BranchCond,
-                        zero_first: bool|
-         -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-            Box::new(move |e: &mut Self| {
+        let branch_z = |cond: BranchCond, zero_first: bool| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
                 let r = e.want_reg(ops.first(), line)?;
                 let off = e.branch_off(ops.get(1), line)?;
                 let z = Reg::int(0);
@@ -452,8 +452,8 @@ impl Emitter<'_> {
                 Ok(())
             })
         };
-        let fpu3 = |op: FpuOp| -> Box<dyn Fn(&mut Self) -> Result<(), AsmError>> {
-            Box::new(move |e: &mut Self| {
+        let fpu3 = |op: FpuOp| -> EmitFn<'_> {
+            Box::new(move |e: &mut Emitter| {
                 let rd = e.want_reg(ops.first(), line)?;
                 let rs = e.want_reg(ops.get(1), line)?;
                 let rt = e.want_reg(ops.get(2), line)?;
@@ -799,7 +799,7 @@ pub fn assemble_at(source: &str, text_base: u64, data_base: u64) -> Result<Progr
                     data.extend_from_slice(&d.to_bits().to_le_bytes());
                 }
             }
-            Stmt::Space(n) => data.extend(std::iter::repeat(0u8).take(*n as usize)),
+            Stmt::Space(n) => data.extend(std::iter::repeat_n(0u8, *n as usize)),
             Stmt::Align(n) => {
                 let target = (data.len() as u64).next_multiple_of(*n) as usize;
                 data.resize(target, 0);

@@ -205,7 +205,7 @@ impl Inst {
                 off as u16,
             ),
             Inst::Jump { link, off } => {
-                if off < -(1 << 25) || off >= (1 << 25) {
+                if !(-(1 << 25)..(1 << 25)).contains(&off) {
                     return Err(EncodeInstError { offset: off });
                 }
                 let op = if link { OP_JAL } else { OP_J };

@@ -44,7 +44,7 @@ impl Program {
     /// The instruction at byte address `pc`, or `None` outside the text
     /// segment (including unaligned addresses).
     pub fn fetch(&self, pc: u64) -> Option<Inst> {
-        if pc < self.text_base || (pc - self.text_base) % 4 != 0 {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(4) {
             return None;
         }
         self.text.get(((pc - self.text_base) / 4) as usize).copied()

@@ -22,7 +22,10 @@ impl CacheConfig {
             "line size must be a power of two"
         );
         let lines = self.size_bytes / self.line_bytes;
-        assert!(lines % self.ways == 0, "capacity must divide into ways");
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "capacity must divide into ways"
+        );
         let sets = lines / self.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets

@@ -67,6 +67,54 @@ impl PregTime {
     fn on_bypass(&self, now: u64) -> bool {
         now >= self.bypass_start && now <= self.bypass_end
     }
+
+    /// Earliest cycle `>= t` at which the operand is readable.
+    ///
+    /// A lower bound, not a promise: the producer's timing can only be
+    /// revised *later* (load-miss retimes, register-cache misses), so a
+    /// consumer woken here re-checks and re-keys itself if needed.
+    fn next_ready_at(&self, t: u64) -> u64 {
+        if t < self.bypass_start {
+            self.bypass_start
+        } else if t <= self.bypass_end {
+            t
+        } else {
+            t.max(self.storage_avail)
+        }
+    }
+}
+
+/// Deferred timed events with an O(1) "anything due?" fast path, so
+/// quiet cycles skip the scan entirely.
+///
+/// Firing cycles run the exact same index/`swap_remove` scan the model
+/// has always used (the within-cycle processing order is part of the
+/// golden-snapshot contract); only the no-op scans are elided.
+struct EventQueue<T> {
+    items: Vec<(u64, T)>,
+    next_due: u64,
+}
+
+impl<T> EventQueue<T> {
+    fn new() -> Self {
+        EventQueue {
+            items: Vec::new(),
+            next_due: u64::MAX,
+        }
+    }
+
+    fn push(&mut self, at: u64, event: T) {
+        self.next_due = self.next_due.min(at);
+        self.items.push((at, event));
+    }
+
+    fn due(&self, now: u64) -> bool {
+        now >= self.next_due
+    }
+
+    fn refresh_due(&mut self) {
+        self.next_due = self.items.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
+    }
 }
 
 /// Per-value lifecycle bookkeeping.
@@ -139,6 +187,11 @@ struct FetchedEntry {
     wrong_path: bool,
 }
 
+// One `Storage` exists per simulator and it is accessed on every
+// operand read in the issue loop; boxing the cached variants would
+// trade this one-time size imbalance for a pointer chase on the hot
+// path.
+#[allow(clippy::large_enum_variant)]
 enum Storage {
     Monolithic {
         write_latency: u32,
@@ -198,25 +251,42 @@ pub struct Simulator {
     rob: VecDeque<DynInst>,
     window_count: usize,
 
+    // Event-driven wake-up/select. `sched[i]` is `rob[i]`'s wake
+    // deadline: the earliest cycle its operands could be ready, a lower
+    // bound derived from its sources' `PregTime`, or `u64::MAX` once it
+    // has issued or while it is parked on a producer whose timing is
+    // unknown (re-armed from `preg_waiters` when the producer issues).
+    // Kept as a dense parallel array so the per-cycle select scan
+    // filters the whole window on one word per slot instead of walking
+    // the fat `DynInst` entries.
+    sched: VecDeque<u64>,
+    preg_waiters: Vec<Vec<u64>>,
+    // Reused per-cycle scratch (hoisted allocations).
+    due_buf: Vec<usize>,
+    selected_buf: Vec<(u64, usize)>,
+    squash_buf: Vec<DynInst>,
+
     // Storage under test.
     storage: Storage,
     read_latency: u32,
 
-    // Deferred register-cache events: (time, preg, set, generation).
+    // Deferred register-cache events: time -> (preg, set, generation).
     // The generation guards against a physical register being freed and
     // reallocated before a stale event fires (possible when a producer
     // retires in the same cycle its cache write is scheduled).
-    pending_writes: Vec<(u64, u16, u16, u32)>,
-    pending_fills: Vec<(u64, u16, u16, u32)>,
-    pending_bypass_decs: Vec<(u64, u16, u16, u32)>,
+    pending_writes: EventQueue<(u16, u16, u32)>,
+    pending_fills: EventQueue<(u16, u16, u32)>,
+    pending_bypass_decs: EventQueue<(u16, u16, u32)>,
     preg_gen: Vec<u32>,
 
     // Replay model: issue groups in these cycles are squashed (register
-    // cache misses and load-hit mis-speculations both land here).
-    squash_cycles: std::collections::HashSet<u64>,
-    // Load-hit speculation: (detect_time, preg, gen, true timing) —
+    // cache misses and load-hit mis-speculations both land here). A
+    // handful of near-future cycles at most, so a plain vec beats a
+    // hash set.
+    squash_cycles: Vec<u64>,
+    // Load-hit speculation: detect_time -> (preg, gen, true timing) —
     // the destination's advertised timing is corrected at detection.
-    pending_retimes: Vec<(u64, u16, u32, PregTime)>,
+    pending_retimes: EventQueue<(u16, u32, PregTime)>,
     load_replay_squashes: u64,
 
     // Memory disambiguation: in-flight stores per 8-byte granule, in
@@ -358,14 +428,19 @@ impl Simulator {
             preg_info,
             rob: VecDeque::new(),
             window_count: 0,
+            sched: VecDeque::new(),
+            preg_waiters: vec![Vec::new(); npregs],
+            due_buf: Vec::new(),
+            selected_buf: Vec::new(),
+            squash_buf: Vec::new(),
             storage,
             read_latency,
-            pending_writes: Vec::new(),
-            pending_fills: Vec::new(),
-            pending_bypass_decs: Vec::new(),
+            pending_writes: EventQueue::new(),
+            pending_fills: EventQueue::new(),
+            pending_bypass_decs: EventQueue::new(),
             preg_gen: vec![0; npregs],
-            squash_cycles: std::collections::HashSet::new(),
-            pending_retimes: Vec::new(),
+            squash_cycles: Vec::new(),
+            pending_retimes: EventQueue::new(),
             load_replay_squashes: 0,
             store_granules: std::collections::HashMap::new(),
             store_forward_stalls: 0,
@@ -433,11 +508,14 @@ impl Simulator {
     /// for the true latency (those in the shadow were squashed when the
     /// miss was detected).
     fn process_retimes(&mut self, now: u64) {
+        if !self.pending_retimes.due(now) {
+            return;
+        }
         let mut i = 0;
-        while i < self.pending_retimes.len() {
-            let (t, p, gen, timing) = self.pending_retimes[i];
+        while i < self.pending_retimes.items.len() {
+            let (t, (p, gen, timing)) = self.pending_retimes.items[i];
             if t == now {
-                self.pending_retimes.swap_remove(i);
+                self.pending_retimes.items.swap_remove(i);
                 if self.preg_gen[p as usize] == gen {
                     self.preg_time[p as usize] = timing;
                 }
@@ -445,6 +523,7 @@ impl Simulator {
                 i += 1;
             }
         }
+        self.pending_retimes.refresh_due();
     }
 
     // ----- deferred register-cache events ------------------------------
@@ -454,47 +533,56 @@ impl Simulator {
             return;
         };
         // Initial writes the cycle after execution completes.
-        let mut i = 0;
-        while i < self.pending_writes.len() {
-            let (t, p, set, gen) = self.pending_writes[i];
-            if t == now {
-                self.pending_writes.swap_remove(i);
-                if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
-                    let remaining = tracker.remaining(PhysReg(p));
-                    let pinned = tracker.is_pinned(PhysReg(p));
-                    let bypasses = self.preg_info[p as usize].pre_write_bypasses;
-                    cache.write(PhysReg(p), set, remaining, pinned, bypasses, now);
+        if self.pending_writes.due(now) {
+            let mut i = 0;
+            while i < self.pending_writes.items.len() {
+                let (t, (p, set, gen)) = self.pending_writes.items[i];
+                if t == now {
+                    self.pending_writes.items.swap_remove(i);
+                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        let remaining = tracker.remaining(PhysReg(p));
+                        let pinned = tracker.is_pinned(PhysReg(p));
+                        let bypasses = self.preg_info[p as usize].pre_write_bypasses;
+                        cache.write(PhysReg(p), set, remaining, pinned, bypasses, now);
+                    }
+                } else {
+                    i += 1;
                 }
-            } else {
-                i += 1;
             }
+            self.pending_writes.refresh_due();
         }
         // Fills completing after a backing-file read.
-        let mut i = 0;
-        while i < self.pending_fills.len() {
-            let (t, p, set, gen) = self.pending_fills[i];
-            if t == now {
-                self.pending_fills.swap_remove(i);
-                if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
-                    cache.fill(PhysReg(p), set, now);
+        if self.pending_fills.due(now) {
+            let mut i = 0;
+            while i < self.pending_fills.items.len() {
+                let (t, (p, set, gen)) = self.pending_fills.items[i];
+                if t == now {
+                    self.pending_fills.items.swap_remove(i);
+                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        cache.fill(PhysReg(p), set, now);
+                    }
+                } else {
+                    i += 1;
                 }
-            } else {
-                i += 1;
             }
+            self.pending_fills.refresh_due();
         }
         // Second-stage bypass consumers decrement the entry after the
         // write lands (§3.1: they cannot affect the write decision).
-        let mut i = 0;
-        while i < self.pending_bypass_decs.len() {
-            let (t, p, set, gen) = self.pending_bypass_decs[i];
-            if t <= now {
-                self.pending_bypass_decs.swap_remove(i);
-                if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
-                    cache.bypass_consume(PhysReg(p), set);
+        if self.pending_bypass_decs.due(now) {
+            let mut i = 0;
+            while i < self.pending_bypass_decs.items.len() {
+                let (t, (p, set, gen)) = self.pending_bypass_decs.items[i];
+                if t <= now {
+                    self.pending_bypass_decs.items.swap_remove(i);
+                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        cache.bypass_consume(PhysReg(p), set);
+                    }
+                } else {
+                    i += 1;
                 }
-            } else {
-                i += 1;
             }
+            self.pending_bypass_decs.refresh_due();
         }
     }
 
@@ -518,6 +606,7 @@ impl Simulator {
                 stores += 1;
             }
             let inst = self.rob.pop_front().expect("checked non-empty");
+            self.sched.pop_front();
             debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
             self.retired += 1;
             if self.config.model_store_forwarding && inst.rec.inst.is_store() {
@@ -531,8 +620,8 @@ impl Simulator {
                     }
                 }
             }
-            if (inst.seq as usize) < self.trace.len() {
-                self.trace[inst.seq as usize].retire = now;
+            if let Some(t) = self.trace.get_mut(inst.seq as usize) {
+                t.retire = now;
             }
             self.last_retired_seq = inst.seq;
             self.last_progress = now;
@@ -579,31 +668,130 @@ impl Simulator {
         self.preg_info[p as usize] = PregInfo::EMPTY;
         self.preg_time[p as usize] = PregTime::UNKNOWN;
         self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
+        // In-order retirement guarantees every correct-path consumer
+        // issued before the overwriting instruction retires, so any
+        // waiter left here is a squashed seq — drop it.
+        self.preg_waiters[p as usize].clear();
         self.freelist.push(p);
     }
 
     // ----- issue ---------------------------------------------------------
 
+    /// ROB position of a live instruction, by seq. The ROB is sorted by
+    /// seq but *not* contiguous: a wrong-path squash removes the tail
+    /// without rolling back the seq counter, leaving a gap. `None`
+    /// means retired or squashed.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        self.rob.binary_search_by(|i| i.seq.cmp(&seq)).ok()
+    }
+
+    /// Re-arms a waiting instruction's `next_wake` deadline: if a
+    /// source's timing is unknown it parks on that register's waiter
+    /// list (re-armed when the producer issues); otherwise the deadline
+    /// becomes the earliest cycle every operand could be ready.
+    ///
+    /// Deadlines are lower bounds — readiness only moves *later* after
+    /// being advertised (miss-raised `storage_avail`, load retimes),
+    /// and an instruction that fails its ready check at the deadline
+    /// simply re-arms itself — so no wake-up is ever lost.
+    fn rearm_wake(&mut self, idx: usize, lower: u64) {
+        let inst = &self.rob[idx];
+        let seq = inst.seq;
+        let srcs = inst.srcs;
+        let mut wake = lower.max(inst.earliest_issue);
+        loop {
+            let mut next = wake;
+            for &p in srcs.iter().flatten() {
+                let pt = self.preg_time[p as usize];
+                if !pt.known {
+                    self.preg_waiters[p as usize].push(seq);
+                    self.sched[idx] = u64::MAX;
+                    return;
+                }
+                next = next.max(pt.next_ready_at(next));
+            }
+            if next == wake {
+                break;
+            }
+            wake = next;
+        }
+        self.sched[idx] = wake;
+    }
+
+    /// Un-parks everything waiting on `p`, called when the producer
+    /// issues and `p`'s timing becomes known. The deadline is reset
+    /// lazily to the next cycle; the select scan recomputes it from the
+    /// now-known timing on examination.
+    fn wake_preg_waiters(&mut self, p: u16, now: u64) {
+        if self.preg_waiters[p as usize].is_empty() {
+            return;
+        }
+        let mut waiters = std::mem::take(&mut self.preg_waiters[p as usize]);
+        for seq in waiters.drain(..) {
+            if let Some(idx) = self.rob_index(seq) {
+                if self.rob[idx].status == Status::Waiting {
+                    self.sched[idx] = now + 1;
+                }
+            }
+        }
+        // Hand the (empty) buffer back to keep its capacity.
+        self.preg_waiters[p as usize] = waiters;
+    }
+
+    fn mark_squash_cycle(&mut self, cycle: u64) {
+        if !self.squash_cycles.contains(&cycle) {
+            self.squash_cycles.push(cycle);
+        }
+    }
+
+    fn take_squash_cycle(&mut self, now: u64) -> bool {
+        match self.squash_cycles.iter().position(|&c| c == now) {
+            Some(i) => {
+                self.squash_cycles.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn issue(&mut self, now: u64) {
-        let squashing = self.squash_cycles.remove(&now);
+        let squashing = self.take_squash_cycle(now);
         let mut pool_used = [0usize; FuPools::NUM_POOLS];
         let mut total = 0;
-        let mut selected: Vec<usize> = Vec::new();
-        for (i, inst) in self.rob.iter().enumerate() {
+
+        // Select oldest-ready-first, in age order (the exact order the
+        // full-window scan visited) but filtering the window down to
+        // the instructions whose wake deadline has arrived on one word
+        // per slot. Instructions losing a slot to issue width or a
+        // full FU pool keep a due deadline and are re-examined next
+        // cycle; a failed ready check re-arms the deadline.
+        let mut due = std::mem::take(&mut self.due_buf);
+        let mut selected = std::mem::take(&mut self.selected_buf);
+        due.clear();
+        selected.clear();
+        due.extend(
+            self.sched
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &w)| (w <= now).then_some(i)),
+        );
+        for &i in &due {
             if total == self.config.issue_width {
                 break;
             }
-            if inst.status != Status::Waiting || inst.earliest_issue > now {
-                continue;
-            }
-            let ready = inst
-                .srcs
-                .iter()
-                .flatten()
-                .all(|&p| self.preg_time[p as usize].operand_ready(now));
+            let inst = &self.rob[i];
+            debug_assert_eq!(inst.status, Status::Waiting);
+            let ready = inst.earliest_issue <= now
+                && inst
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .all(|&p| self.preg_time[p as usize].operand_ready(now));
             if !ready {
+                self.rearm_wake(i, now + 1);
                 continue;
             }
+            let inst = &self.rob[i];
             if self.config.model_store_forwarding && inst.rec.inst.is_load() {
                 let granule = inst.rec.mem_addr.expect("load has an address") / 8;
                 if let Some(stores) = self.store_granules.get(&granule) {
@@ -613,7 +801,7 @@ impl Simulator {
                         .iter()
                         .rev()
                         .find(|&&(sseq, _)| sseq < inst.seq)
-                        .is_some_and(|&(_, done)| done.map_or(true, |d| d > now));
+                        .is_some_and(|&(_, done)| done.is_none_or(|d| d > now));
                     if blocking {
                         self.store_forward_stalls += 1;
                         continue;
@@ -626,32 +814,33 @@ impl Simulator {
             }
             pool_used[pool] += 1;
             total += 1;
-            selected.push(i);
+            selected.push((inst.seq, i));
         }
 
         if squashing {
             // Register-cache miss in the previous cycle: everything
             // issuing now replays (§5.2). The slots are consumed but no
-            // effects occur; independents may reissue next cycle.
+            // effects occur; independents may reissue next cycle (their
+            // deadlines stay due).
             self.replayed += selected.len() as u64;
-            for i in selected {
+            for &(seq, i) in &selected {
                 self.rob[i].earliest_issue = now + 1;
-                let seq = self.rob[i].seq;
-                if (seq as usize) < self.trace.len() {
-                    self.trace[seq as usize].replays += 1;
+                if let Some(t) = self.trace.get_mut(seq as usize) {
+                    t.replays += 1;
                 }
             }
-            return;
-        }
-
-        for i in selected {
-            // A wrong-path squash during this loop removes the ROB
-            // tail; later selections pointing into it are gone.
-            if i >= self.rob.len() {
-                continue;
+        } else {
+            for &(seq, i) in &selected {
+                // A wrong-path squash during this loop removes the ROB
+                // tail; later selections pointing into it are gone.
+                if self.rob.get(i).is_none_or(|inst| inst.seq != seq) {
+                    continue;
+                }
+                self.issue_one(i, now);
             }
-            self.issue_one(i, now);
         }
+        self.due_buf = due;
+        self.selected_buf = selected;
     }
 
     fn issue_one(&mut self, idx: usize, now: u64) {
@@ -692,7 +881,8 @@ impl Simulator {
                         // the write has landed.
                         let set = self.preg_info[p as usize].set;
                         let gen = self.preg_gen[p as usize];
-                        self.pending_bypass_decs.push((t.storage_avail, p, set, gen));
+                        self.pending_bypass_decs
+                            .push(t.storage_avail, (p, set, gen));
                     }
                 }
             } else {
@@ -708,9 +898,9 @@ impl Simulator {
                         // single port, after the producer's write.
                         let avail = backing.read(PhysReg(p), now + 1);
                         let gen = self.preg_gen[p as usize];
-                        self.pending_fills.push((avail, p, set, gen));
+                        self.pending_fills.push(avail, (p, set, gen));
                         self.preg_time[p as usize].storage_avail = avail + 1;
-                        self.squash_cycles.insert(now + 1);
+                        self.mark_squash_cycle(now + 1);
                         self.miss_events += 1;
                         miss_avail = miss_avail.max(avail);
                     }
@@ -719,10 +909,12 @@ impl Simulator {
             // Common consumer bookkeeping. The value is actually read
             // when the consumer enters execute (issue + storage read),
             // which is what the live-time statistics measure.
-            let read_at = now + self.read_latency as u64 + 1;
             let info = &mut self.preg_info[p as usize];
             info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
-            info.last_use = info.last_use.max(read_at);
+            if self.lifetimes.is_some() {
+                let read_at = now + self.read_latency as u64 + 1;
+                info.last_use = info.last_use.max(read_at);
+            }
             if info.consumers_outstanding == 0 {
                 if let Some(rseq) = info.reassigned_seq {
                     if let Storage::TwoLevel { file } = &mut self.storage {
@@ -784,14 +976,20 @@ impl Simulator {
                 bypass_end,
                 storage_avail,
             };
+            // The value's timing just became known: wake consumers
+            // parked on it. (On a load-hit mis-speculation they wake
+            // against the advertised timing, issue into the squashed
+            // shadow, and re-key — exactly as the scan model replayed
+            // them.)
+            self.wake_preg_waiters(d, now);
             if speculate_hit {
                 // The miss is detected as the first shadow dependents
                 // head for execute: both advertised bypass cycles are
                 // squashed (the 21264's two-cycle shadow) and the true
                 // timing is installed at the end of the shadow.
                 let detect = bypass_end;
-                self.squash_cycles.insert(bypass_start);
-                self.squash_cycles.insert(detect);
+                self.mark_squash_cycle(bypass_start);
+                self.mark_squash_cycle(detect);
                 self.load_replay_squashes += 1;
                 let real_bypass_start = eff_issue + x as u64;
                 let real_bypass_end = real_bypass_start + self.config.bypass_stages as u64 - 1;
@@ -806,16 +1004,19 @@ impl Simulator {
                     storage_avail: real_storage,
                 };
                 self.pending_retimes
-                    .push((detect, d, self.preg_gen[d as usize], real));
+                    .push(detect, (d, self.preg_gen[d as usize], real));
             }
+            let collect_lifetimes = self.lifetimes.is_some();
             let info = &mut self.preg_info[d as usize];
-            info.write_time = exec_done;
-            info.last_use = info.last_use.max(exec_done);
+            if collect_lifetimes {
+                info.write_time = exec_done;
+                info.last_use = info.last_use.max(exec_done);
+            }
             let set = info.set;
             if let Storage::Cached { backing, .. } = &mut self.storage {
                 backing.write(PhysReg(d), exec_done + 1);
                 let gen = self.preg_gen[d as usize];
-                self.pending_writes.push((exec_done + 1, d, set, gen));
+                self.pending_writes.push(exec_done + 1, (d, set, gen));
             }
         }
 
@@ -850,9 +1051,9 @@ impl Simulator {
         let inst = &mut self.rob[idx];
         inst.status = Status::Issued;
         inst.exec_done = exec_done;
+        self.sched[idx] = u64::MAX;
         self.window_count -= 1;
-        if (seq as usize) < self.trace.len() {
-            let t = &mut self.trace[seq as usize];
+        if let Some(t) = self.trace.get_mut(seq as usize) {
             t.issue = now;
             t.exec_start = eff_issue + rl + 1;
             t.exec_done = exec_done;
@@ -1010,6 +1211,7 @@ impl Simulator {
             mispredicted: entry.mispredicted,
             wrong_path: entry.wrong_path,
         });
+        self.sched.push_back(now + 1);
         self.window_count += 1;
 
         // The rename map as of the mispredicted branch is what the
@@ -1030,7 +1232,10 @@ impl Simulator {
             .iter()
             .position(|i| i.seq > branch_seq)
             .unwrap_or(self.rob.len());
-        let removed: Vec<DynInst> = self.rob.drain(keep..).collect();
+        let mut removed = std::mem::take(&mut self.squash_buf);
+        removed.clear();
+        removed.extend(self.rob.drain(keep..));
+        self.sched.truncate(keep);
         for inst in removed.iter().rev() {
             debug_assert!(inst.wrong_path, "squashed a correct-path instruction");
             self.wp_squashed += 1;
@@ -1040,8 +1245,7 @@ impl Simulator {
                 for p in inst.srcs.iter().flatten() {
                     let info = &mut self.preg_info[*p as usize];
                     if info.active {
-                        info.consumers_outstanding =
-                            info.consumers_outstanding.saturating_sub(1);
+                        info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
                     }
                 }
             }
@@ -1069,6 +1273,7 @@ impl Simulator {
                 }
             }
         }
+        self.squash_buf = removed;
 
         // Restore the front end to the branch point.
         self.map = self
@@ -1107,6 +1312,9 @@ impl Simulator {
         self.preg_info[p as usize] = PregInfo::EMPTY;
         self.preg_time[p as usize] = PregTime::UNKNOWN;
         self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
+        // Anything parked on a wrong-path value is wrong-path itself
+        // and is being squashed with it.
+        self.preg_waiters[p as usize].clear();
         self.freelist.push(p);
     }
 
@@ -1305,7 +1513,7 @@ impl Simulator {
             douse: *self.douse.stats(),
             memsys: *self.memsys.stats(),
             lifetimes: self.lifetimes.map(|lt| lt.finalize(now)),
-            timeline: (!self.trace.is_empty()).then(|| Timeline { insts: self.trace }),
+            timeline: (!self.trace.is_empty()).then_some(Timeline { insts: self.trace }),
         }
     }
 }

@@ -248,7 +248,11 @@ fn timeline_tracing_records_stages_in_order() {
         assert!(t.fetch <= t.dispatch, "seq {}: fetch after dispatch", t.seq);
         if t.issue == 0 {
             // Squashed before issuing: must be wrong-path.
-            assert!(t.wrong_path, "seq {} never issued on the correct path", t.seq);
+            assert!(
+                t.wrong_path,
+                "seq {} never issued on the correct path",
+                t.seq
+            );
             continue;
         }
         assert!(t.dispatch < t.issue, "seq {}: dispatch after issue", t.seq);

@@ -94,7 +94,10 @@ fn free_list_is_conserved_across_squashes() {
 fn mispredicted_indirect_jumps_follow_predicted_targets() {
     let w = workload_by_name("dispatch", Scale::Tiny).unwrap();
     let r = simulate_workload(&w, SimConfig::paper_default());
-    assert!(r.indirect_mispredicts > 0, "cold jump table must mispredict");
+    assert!(
+        r.indirect_mispredicts > 0,
+        "cold jump table must mispredict"
+    );
     // Early indirect mispredictions have no predicted target (stall);
     // trained-but-wrong ones fetch the stale target as a wrong path.
     assert!(r.retired > 0);
@@ -111,7 +114,10 @@ fn timeline_marks_wrong_path_instructions() {
     cfg.trace_instructions = 40;
     let r = simulate(assemble(src).unwrap(), cfg);
     let tl = r.timeline.unwrap();
-    assert!(tl.insts.iter().any(|t| t.wrong_path), "no wrong path traced");
+    assert!(
+        tl.insts.iter().any(|t| t.wrong_path),
+        "no wrong path traced"
+    );
     let text = tl.render(100);
     assert!(text.contains(" WP"), "render must flag wrong-path rows");
 }

@@ -1,0 +1,213 @@
+//! Minimal JSON emitter (no external dependencies).
+//!
+//! The bench harness writes machine-readable trajectories
+//! (`BENCH_pipeline.json`); pulling in `serde` for that would be the
+//! only external dependency in the workspace, so this module provides
+//! the small value type and serializer the harness actually needs.
+//!
+//! Numbers are emitted via Rust's shortest-roundtrip float formatting;
+//! non-finite floats have no JSON representation and serialize as
+//! `null`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ubrc_stats::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::from("suite")),
+//!     ("ipc", Json::from(1.25)),
+//!     ("cells", Json::arr([Json::from(1u64), Json::from(2u64)])),
+//! ]);
+//! assert_eq!(
+//!     doc.to_string(),
+//!     r#"{"name":"suite","ipc":1.25,"cells":[1,2]}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value tree.
+///
+/// Objects preserve insertion order (stable output for goldens and
+/// diffs), which is why this is a `Vec` of pairs rather than a map.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a `(key, value)` pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`Json::Obj`].
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::Num(n) if n.is_finite() => {
+                // An integral f64 prints as "1.0" by default; JSON
+                // convention (and every consumer) prefers "1".
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    v.write(f)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    v.write(f)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting() {
+        let j = Json::obj([
+            ("a", Json::Null),
+            ("b", Json::from(true)),
+            ("c", Json::from(2.5)),
+            ("d", Json::from(7u64)),
+            (
+                "e",
+                Json::arr([Json::from("x"), Json::obj([("y", Json::from(1u64))])]),
+            ),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"a":null,"b":true,"c":2.5,"d":7,"e":["x",{"y":1}]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn push_extends_objects_in_order() {
+        let mut j = Json::obj::<&str>([]);
+        j.push("first", Json::from(1u64));
+        j.push("second", Json::from(2u64));
+        assert_eq!(j.to_string(), r#"{"first":1,"second":2}"#);
+    }
+}

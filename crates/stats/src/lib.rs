@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod json;
 mod mean;
 mod table;
 
 pub use histogram::{CdfPoint, Histogram};
+pub use json::Json;
 pub use mean::{geomean, Ratio, RunningMean, TimeWeighted};
 pub use table::Table;

@@ -78,6 +78,13 @@ pub enum WorkloadError {
         /// The value actually observed.
         actual: u64,
     },
+    /// A [`Check::MemU64`] named a symbol the program does not define
+    /// (a bug in the kernel generator, reported instead of panicking so
+    /// the harness can say which workload is broken).
+    UnknownCheckSymbol {
+        /// The missing data symbol.
+        symbol: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -88,6 +95,9 @@ impl fmt::Display for WorkloadError {
             WorkloadError::DidNotHalt => write!(f, "program did not halt within budget"),
             WorkloadError::CheckFailed { check, actual } => {
                 write!(f, "check {check:?} failed: actual {actual:#x}")
+            }
+            WorkloadError::UnknownCheckSymbol { symbol } => {
+                write!(f, "check references unknown data symbol `{symbol}`")
             }
         }
     }
@@ -150,10 +160,11 @@ impl Workload {
             let actual = match check {
                 Check::IntReg { reg, .. } => m.int_reg(*reg),
                 Check::MemU64 { symbol, .. } => {
-                    let addr = m
-                        .program()
-                        .symbol(symbol)
-                        .unwrap_or_else(|| panic!("unknown check symbol `{symbol}`"));
+                    let addr = m.program().symbol(symbol).ok_or_else(|| {
+                        WorkloadError::UnknownCheckSymbol {
+                            symbol: symbol.clone(),
+                        }
+                    })?;
                     m.read_u64(addr)?
                 }
             };

@@ -146,7 +146,7 @@ fn use_based_policy_prefers_predictable_reuse() {
     // any value that bypassed once) must miss far more than use-based
     // management.
     use ubrc::workloads::synthetic::SyntheticSpec;
-    let w = SyntheticSpec::high_use(17).build();
+    let w = SyntheticSpec::high_use(1).build();
     let cached = |cache| {
         SimConfig::table1(RegStorage::Cached {
             cache,

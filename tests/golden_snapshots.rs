@@ -1,0 +1,165 @@
+//! Golden cycle-accuracy snapshots.
+//!
+//! The hot-loop refactors in `ubrc-sim` must be *cycle-accurate
+//! neutral*: every scheduling change is an implementation detail, so
+//! every `SimResult` has to stay bit-identical to the model that
+//! produced `tests/golden_snapshots.txt`. This test runs the full
+//! Tiny-scale kernel suite under all four [`IndexPolicy`] variants
+//! crossed with both replacement designs (use-based / LRU) and
+//! compares cycles, retirement, replays, and the per-class miss
+//! counts against the stored goldens.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! UBRC_BLESS=1 cargo test --release --test golden_snapshots
+//! ```
+//!
+//! and justify the diff of `golden_snapshots.txt` in the PR.
+
+use ubrc::core::{IndexPolicy, RegCacheConfig};
+use ubrc::sim::{simulate_workload, RegStorage, SimConfig};
+use ubrc::workloads::{suite, Scale};
+
+const GOLDEN: &str = include_str!("golden_snapshots.txt");
+
+const INDEX_POLICIES: [(&str, IndexPolicy); 4] = [
+    ("standard", IndexPolicy::Standard),
+    ("roundrobin", IndexPolicy::RoundRobin),
+    ("minimum", IndexPolicy::Minimum),
+    ("filtered", IndexPolicy::FilteredRoundRobin),
+];
+
+/// One snapshot row: identity, timing, and miss classification.
+#[derive(Debug, PartialEq, Eq)]
+struct Snap {
+    kernel: String,
+    config: String,
+    cycles: u64,
+    retired: u64,
+    replayed: u64,
+    reads: u64,
+    read_hits: u64,
+    read_misses: u64,
+    misses_not_written: u64,
+    misses_capacity: u64,
+    misses_conflict: u64,
+}
+
+impl Snap {
+    fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} {} {} {} {} {}",
+            self.kernel,
+            self.config,
+            self.cycles,
+            self.retired,
+            self.replayed,
+            self.reads,
+            self.read_hits,
+            self.read_misses,
+            self.misses_not_written,
+            self.misses_capacity,
+            self.misses_conflict,
+        )
+    }
+
+    fn parse(line: &str) -> Option<Snap> {
+        let mut f = line.split_whitespace();
+        let kernel = f.next()?.to_string();
+        let config = f.next()?.to_string();
+        let mut n = || f.next()?.parse().ok();
+        Some(Snap {
+            kernel,
+            config,
+            cycles: n()?,
+            retired: n()?,
+            replayed: n()?,
+            reads: n()?,
+            read_hits: n()?,
+            read_misses: n()?,
+            misses_not_written: n()?,
+            misses_capacity: n()?,
+            misses_conflict: n()?,
+        })
+    }
+}
+
+fn cache_variants() -> Vec<(&'static str, RegCacheConfig)> {
+    let mut ub = RegCacheConfig::use_based(64, 2);
+    let mut lru = RegCacheConfig::lru(64, 2);
+    // Miss classification must survive the refactor too.
+    ub.classify_misses = true;
+    lru.classify_misses = true;
+    vec![("usebased", ub), ("lru", lru)]
+}
+
+fn capture() -> Vec<Snap> {
+    let mut snaps = Vec::new();
+    for w in suite(Scale::Tiny) {
+        for (idx_name, index) in INDEX_POLICIES {
+            for (cache_name, cache) in cache_variants() {
+                let cfg = SimConfig::table1(RegStorage::Cached {
+                    cache,
+                    index,
+                    backing_read: 2,
+                    backing_write: 2,
+                });
+                let r = simulate_workload(&w, cfg);
+                let c = r.regcache.as_ref().expect("cached run has cache stats");
+                snaps.push(Snap {
+                    kernel: w.name.to_string(),
+                    config: format!("{idx_name}-{cache_name}"),
+                    cycles: r.cycles,
+                    retired: r.retired,
+                    replayed: r.replayed,
+                    reads: c.reads,
+                    read_hits: c.read_hits,
+                    read_misses: c.read_misses,
+                    misses_not_written: c.misses_not_written,
+                    misses_capacity: c.misses_capacity,
+                    misses_conflict: c.misses_conflict,
+                });
+            }
+        }
+    }
+    snaps
+}
+
+#[test]
+fn sim_results_match_golden_snapshots() {
+    let actual = capture();
+
+    if std::env::var_os("UBRC_BLESS").is_some() {
+        let mut out = String::from(
+            "# kernel config cycles retired replayed reads read_hits \
+             read_misses misses_not_written misses_capacity misses_conflict\n",
+        );
+        for s in &actual {
+            out.push_str(&s.to_line());
+            out.push('\n');
+        }
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_snapshots.txt");
+        std::fs::write(path, out).expect("write goldens");
+        return;
+    }
+
+    let golden: Vec<Snap> = GOLDEN
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| Snap::parse(l).unwrap_or_else(|| panic!("malformed golden line: {l}")))
+        .collect();
+    assert_eq!(
+        golden.len(),
+        actual.len(),
+        "snapshot count changed; rebless if intentional"
+    );
+    for (g, a) in golden.iter().zip(&actual) {
+        assert_eq!(
+            g, a,
+            "cycle-accuracy drift at {}/{} — the timing model changed; \
+             rebless only if that is intentional",
+            a.kernel, a.config
+        );
+    }
+}

@@ -181,11 +181,10 @@ proptest! {
                     cache.write(PhysReg(preg as u16), 0, remaining, pinned, bypasses as u32, now);
                     life[preg as usize] = Life::Written;
                 }
-                Op::Read { preg } if life[preg as usize] == Life::Written => {
-                    if !cache.read(PhysReg(preg as u16), 0, now) {
+                Op::Read { preg } if life[preg as usize] == Life::Written
+                    && !cache.read(PhysReg(preg as u16), 0, now) => {
                         cache.fill(PhysReg(preg as u16), 0, now);
                     }
-                }
                 Op::Free { preg } if life[preg as usize] != Life::Free => {
                     cache.free(PhysReg(preg as u16), 0, now);
                     life[preg as usize] = Life::Free;

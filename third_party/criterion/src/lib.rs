@@ -1,0 +1,113 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors this minimal harness implementing the API surface the
+//! benches use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], [`criterion_group!`], and [`criterion_main!`].
+//!
+//! Timing is a plain wall-clock mean over a fixed iteration budget —
+//! no statistics, no warm-up modeling, no HTML reports. Good enough to
+//! spot order-of-magnitude regressions in a sandboxed environment.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness entry point (stub of the upstream type).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time target (accepted but unused: this
+    /// stub always runs a fixed sample count).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs `f` repeatedly and prints the mean wall time per sample.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // One untimed warm-up sample.
+        f(&mut b);
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!(
+            "bench {name:<40} {per_iter:>12.2?}/iter ({} iters)",
+            b.iters
+        );
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group (stub of the upstream macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (stub of the upstream macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
