@@ -4,8 +4,16 @@
 //!
 //! ```text
 //! experiments <id|all> [--scale tiny|small|default] [--json [PATH]]
+//!             [--check] [--timeout SECS]
 //! experiments --json            # trajectory only -> BENCH_pipeline.json
 //! ```
+//!
+//! `--check` turns on full runtime checking (lockstep co-simulation
+//! oracle + per-cycle invariant checker) for every simulation;
+//! `--timeout SECS` gives each simulation cell a wall-clock budget,
+//! after which it is cancelled and reported as a typed timeout. Both
+//! reach the runner through the `UBRC_CHECK` / `UBRC_TIMEOUT_SECS`
+//! environment variables, so they compose with every experiment.
 //!
 //! Selected experiments run concurrently: each gets a coordinator
 //! thread, and every individual simulation anywhere in the process
@@ -24,6 +32,8 @@ struct Cli {
     which: Option<String>,
     scale: Scale,
     json: Option<String>,
+    check: bool,
+    timeout: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -31,6 +41,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         which: None,
         scale: Scale::Default,
         json: None,
+        check: false,
+        timeout: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -58,6 +70,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 };
                 cli.json = Some(path);
             }
+            "--check" => cli.check = true,
+            "--timeout" => {
+                i += 1;
+                cli.timeout = match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) if s > 0 => Some(s),
+                    _ => return Err("--timeout needs a positive integer of seconds".into()),
+                };
+            }
             other if cli.which.is_none() && !other.starts_with("--") => {
                 cli.which = Some(other.to_string())
             }
@@ -75,12 +95,23 @@ fn main() {
         std::process::exit(2);
     });
 
+    // The runner picks these up per cell (`RunOptions::from_env`).
+    if cli.check {
+        std::env::set_var("UBRC_CHECK", "1");
+    }
+    if let Some(secs) = cli.timeout {
+        std::env::set_var("UBRC_TIMEOUT_SECS", secs.to_string());
+    }
+
     let reg = registry();
     if cli.which.is_none() && cli.json.is_none() {
         eprintln!(
             "usage: experiments <id|all> [--scale tiny|small|default] [--json [PATH]]\n\
+             \x20                 [--check] [--timeout SECS]\n\
              \n\
              --json [PATH]  also run the benchmark trajectory and write it as JSON\n\
+             --check        enable the co-simulation oracle and invariant checker\n\
+             --timeout SECS wall-clock budget per simulation cell\n\
              \n\
              available experiments:"
         );
@@ -135,20 +166,18 @@ fn main() {
     }
 
     if let Some(path) = cli.json {
-        match pipeline_trajectory(scale) {
-            Ok(doc) => {
-                let body = format!("{doc}\n");
-                if let Err(e) = std::fs::write(&path, body) {
-                    eprintln!("cannot write `{path}`: {e}");
-                    failed = true;
-                } else {
-                    eprintln!("wrote {path}");
-                }
-            }
-            Err(e) => {
-                eprintln!("benchmark trajectory FAILED: {e}");
-                failed = true;
-            }
+        // Partial results are still written: a failing cell appears as
+        // an error object in the document, and the run exits non-zero.
+        let out = pipeline_trajectory(scale);
+        let body = format!("{}\n", out.doc);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write `{path}`: {e}");
+            failed = true;
+        } else if out.failed > 0 {
+            eprintln!("wrote {path} ({} cells FAILED)", out.failed);
+            failed = true;
+        } else {
+            eprintln!("wrote {path}");
         }
     }
 

@@ -17,5 +17,10 @@ pub mod experiments;
 mod runner;
 mod trajectory;
 
-pub use runner::{max_workers, run_one, run_suite, suite_geomean_ipc, SuiteError, SuiteResult};
-pub use trajectory::{pipeline_trajectory, trajectory_configs, SCHEMA as TRAJECTORY_SCHEMA};
+pub use runner::{
+    max_workers, run_one, run_one_with, run_suite, run_suite_robust, suite_geomean_ipc, RunOptions,
+    SuiteError, SuiteFailure, SuiteReport, SuiteResult,
+};
+pub use trajectory::{
+    pipeline_trajectory, trajectory_configs, TrajectoryOutcome, SCHEMA as TRAJECTORY_SCHEMA,
+};

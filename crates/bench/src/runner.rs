@@ -11,27 +11,117 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, OnceLock};
-use ubrc_sim::{simulate_workload, SimConfig, SimResult};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+use ubrc_isa::Program;
+use ubrc_sim::{CheckConfig, SimConfig, SimError, SimResult, Simulator};
 use ubrc_stats::geomean;
 use ubrc_workloads::{suite, Scale, Workload};
 
-/// A simulation cell failed: which workload, and why.
+/// A simulation cell failed: which workload, and how.
 #[derive(Clone, Debug)]
 pub struct SuiteError {
     /// Name of the kernel whose simulation failed.
     pub workload: &'static str,
-    /// The panic/abort message from the simulator.
-    pub reason: String,
+    /// What went wrong.
+    pub failure: SuiteFailure,
+}
+
+impl SuiteError {
+    /// Human-readable description of the failure (without the kernel
+    /// name).
+    pub fn reason(&self) -> String {
+        self.failure.to_string()
+    }
 }
 
 impl fmt::Display for SuiteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "workload `{}` failed: {}", self.workload, self.reason)
+        write!(f, "workload `{}` failed: {}", self.workload, self.failure)
     }
 }
 
 impl std::error::Error for SuiteError {}
+
+/// How a simulation cell failed.
+#[derive(Clone, Debug)]
+pub enum SuiteFailure {
+    /// The workload program failed to assemble.
+    Asm(ubrc_isa::AsmError),
+    /// The checked simulator reported a structured error (divergence,
+    /// invariant violation, watchdog deadlock, emulator fault).
+    Sim(Box<SimError>),
+    /// The cell exceeded its wall-clock budget and was cancelled.
+    Timeout {
+        /// The budget that was exceeded, in seconds.
+        secs: u64,
+    },
+    /// The simulator panicked (a simulator bug the structured paths
+    /// did not cover).
+    Panic(String),
+}
+
+impl SuiteFailure {
+    /// Short machine-readable tag for JSON reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SuiteFailure::Asm(_) => "asm",
+            SuiteFailure::Sim(e) => match **e {
+                SimError::Divergence(_) => "divergence",
+                SimError::Invariant(_) => "invariant",
+                SimError::Watchdog(_) => "watchdog",
+                SimError::Emu(_) => "emu",
+                SimError::Cancelled { .. } => "cancelled",
+            },
+            SuiteFailure::Timeout { .. } => "timeout",
+            SuiteFailure::Panic(_) => "panic",
+        }
+    }
+}
+
+impl fmt::Display for SuiteFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteFailure::Asm(e) => write!(f, "assembly failed: {e}"),
+            SuiteFailure::Sim(e) => write!(f, "{e}"),
+            SuiteFailure::Timeout { secs } => {
+                write!(f, "timed out after {secs}s wall-clock")
+            }
+            SuiteFailure::Panic(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Per-run options for the suite runner, normally derived from the
+/// environment (which is how the `experiments` binary's `--check` and
+/// `--timeout` flags reach every cell without threading a parameter
+/// through every experiment signature).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Enable full runtime checking ([`CheckConfig::full`]) on every
+    /// cell, overriding the per-config setting.
+    pub check: bool,
+    /// Wall-clock budget per cell; a cell still running at the deadline
+    /// is cancelled and reported as [`SuiteFailure::Timeout`].
+    pub timeout: Option<Duration>,
+}
+
+impl RunOptions {
+    /// Reads `UBRC_CHECK` (any non-empty value other than `0`) and
+    /// `UBRC_TIMEOUT_SECS` (integer seconds).
+    pub fn from_env() -> Self {
+        let check = std::env::var("UBRC_CHECK")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        let timeout = std::env::var("UBRC_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .map(Duration::from_secs);
+        Self { check, timeout }
+    }
+}
 
 /// Counting semaphore bounding concurrently *running* simulations.
 struct WorkerGate {
@@ -94,15 +184,70 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one simulation cell through the worker gate, converting a
-/// simulator panic (deadlock assertion, faulting workload) into a
-/// [`SuiteError`] naming the kernel.
+/// Runs one simulation cell through the worker gate with options from
+/// the environment (see [`RunOptions::from_env`]), converting every
+/// failure mode — assembly error, structured [`SimError`], wall-clock
+/// timeout, residual panic — into a [`SuiteError`] naming the kernel.
 pub fn run_one(w: &Workload, config: SimConfig) -> Result<SimResult, SuiteError> {
+    run_one_with(w, config, RunOptions::from_env())
+}
+
+/// [`run_one`] with explicit options.
+pub fn run_one_with(
+    w: &Workload,
+    mut config: SimConfig,
+    opts: RunOptions,
+) -> Result<SimResult, SuiteError> {
     let _permit = gate().acquire();
-    catch_unwind(AssertUnwindSafe(|| simulate_workload(w, config))).map_err(|p| SuiteError {
+    let fail = |failure| SuiteError {
         workload: w.name,
-        reason: panic_message(p),
-    })
+        failure,
+    };
+    let program = w.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?;
+    if opts.check {
+        config.check = CheckConfig::full();
+    }
+    match opts.timeout {
+        Some(budget) => run_with_deadline(program, config, budget).map_err(fail),
+        None => catch_unwind(AssertUnwindSafe(|| {
+            Simulator::new(program, config).run_checked()
+        }))
+        .map_err(|p| fail(SuiteFailure::Panic(panic_message(p))))?
+        .map_err(|e| fail(SuiteFailure::Sim(e))),
+    }
+}
+
+/// Runs one simulation on a worker thread with a wall-clock deadline.
+/// At the deadline the simulator's cancellation flag is raised (it
+/// polls every 1024 cycles) and the cell is reported as a timeout; the
+/// worker unwinds shortly after on its own.
+fn run_with_deadline(
+    program: Program,
+    config: SimConfig,
+    budget: Duration,
+) -> Result<SimResult, SuiteFailure> {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let flag = cancel.clone();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let mut sim = Simulator::new(program, config);
+            sim.set_cancel(flag);
+            sim.run_checked()
+        }));
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(budget) {
+        Ok(Ok(Ok(res))) => Ok(res),
+        Ok(Ok(Err(e))) => Err(SuiteFailure::Sim(e)),
+        Ok(Err(p)) => Err(SuiteFailure::Panic(panic_message(p))),
+        Err(_) => {
+            cancel.store(true, Ordering::Relaxed);
+            Err(SuiteFailure::Timeout {
+                secs: budget.as_secs(),
+            })
+        }
+    }
 }
 
 /// Results of running the full benchmark suite under one configuration.
@@ -174,6 +319,58 @@ pub fn suite_geomean_ipc(config: &SimConfig, scale: Scale) -> Result<f64, SuiteE
     Ok(run_suite(config, scale)?.geomean_ipc())
 }
 
+/// Results of a whole-suite run that keeps going past failures: one
+/// entry per kernel, in suite order, each either a result or the
+/// kernel's own [`SuiteError`].
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// Per-kernel `(name, outcome)` pairs in suite order.
+    pub runs: Vec<(&'static str, Result<SimResult, SuiteError>)>,
+}
+
+impl SuiteReport {
+    /// The successful cells, as a [`SuiteResult`] (for the usual
+    /// aggregate statistics over whatever completed).
+    pub fn successes(&self) -> SuiteResult {
+        SuiteResult {
+            runs: self
+                .runs
+                .iter()
+                .filter_map(|(n, r)| r.as_ref().ok().map(|res| (*n, res.clone())))
+                .collect(),
+        }
+    }
+
+    /// Number of failed cells.
+    pub fn failed(&self) -> usize {
+        self.runs.iter().filter(|(_, r)| r.is_err()).count()
+    }
+}
+
+/// Runs the whole kernel suite under `config` like [`run_suite`], but
+/// degrades gracefully: a failing kernel is recorded in place and the
+/// rest of the suite still runs, so callers can emit partial results.
+pub fn run_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
+    let workloads = suite(scale);
+    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    runs.resize_with(workloads.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, w) in runs.iter_mut().zip(&workloads) {
+            let cfg = config.clone();
+            scope.spawn(move || {
+                *slot = Some(run_one(w, cfg));
+            });
+        }
+    });
+    SuiteReport {
+        runs: runs
+            .into_iter()
+            .zip(&workloads)
+            .map(|(r, w)| (w.name, r.expect("scope joined every worker")))
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +401,51 @@ mod tests {
         cfg.phys_regs = 8; // fewer physical than architectural registers
         let err = run_suite(&cfg, Scale::Tiny).unwrap_err();
         assert_eq!(err.workload, "qsort");
-        assert!(!err.reason.is_empty());
+        assert!(!err.reason().is_empty());
+        assert!(matches!(err.failure, SuiteFailure::Panic(_)));
+    }
+
+    #[test]
+    fn robust_suite_reports_every_cell() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.phys_regs = 8;
+        let report = run_suite_robust(&cfg, Scale::Tiny);
+        assert_eq!(report.runs.len(), 12);
+        assert_eq!(report.failed(), 12);
+        assert!(report.successes().runs.is_empty());
+        for (name, r) in &report.runs {
+            let err = r.as_ref().unwrap_err();
+            assert_eq!(err.workload, *name);
+        }
+    }
+
+    #[test]
+    fn timeout_cancels_a_running_cell() {
+        let w = ubrc_workloads::workload_by_name("qsort", Scale::Tiny).unwrap();
+        let opts = RunOptions {
+            check: false,
+            timeout: Some(Duration::from_millis(0)),
+        };
+        let err = run_one_with(&w, SimConfig::paper_default(), opts).unwrap_err();
+        assert!(matches!(err.failure, SuiteFailure::Timeout { secs: 0 }));
+        assert_eq!(err.failure.kind(), "timeout");
+        assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn checked_run_matches_unchecked() {
+        // `--check` must be observation-only: identical SimResult.
+        let w = ubrc_workloads::workload_by_name("crc", Scale::Tiny).unwrap();
+        let plain = run_one_with(&w, SimConfig::paper_default(), RunOptions::default()).unwrap();
+        let opts = RunOptions {
+            check: true,
+            timeout: Some(Duration::from_secs(120)),
+        };
+        let checked = run_one_with(&w, SimConfig::paper_default(), opts).unwrap();
+        assert_eq!(plain.cycles, checked.cycles);
+        assert_eq!(plain.retired, checked.retired);
+        assert_eq!(plain.replayed, checked.replayed);
+        assert_eq!(plain.miss_events, checked.miss_events);
+        assert_eq!(plain.operands_bypassed, checked.operands_bypassed);
     }
 }

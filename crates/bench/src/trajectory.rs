@@ -9,7 +9,7 @@
 //!
 //! The schema is documented in DESIGN.md (§Performance).
 
-use crate::runner::{max_workers, run_suite, SuiteError};
+use crate::runner::{max_workers, run_suite_robust};
 use std::time::Instant;
 use ubrc_core::{IndexPolicy, RegCacheConfig};
 use ubrc_sim::{RegStorage, SimConfig};
@@ -64,29 +64,58 @@ pub fn trajectory_configs() -> Vec<(&'static str, SimConfig)> {
     ]
 }
 
+/// Outcome of a trajectory run: the (possibly partial) document plus
+/// the number of failed cells. The document is always emitted — a
+/// failing kernel is recorded in place as an error object — so a broken
+/// configuration still leaves a usable partial trajectory on disk.
+#[derive(Debug)]
+pub struct TrajectoryOutcome {
+    /// The `BENCH_pipeline.json` document.
+    pub doc: Json,
+    /// Number of simulation cells that failed across the whole matrix.
+    pub failed: usize,
+}
+
 /// Runs the trajectory matrix and builds the `BENCH_pipeline.json`
-/// document.
-///
-/// # Errors
-///
-/// Propagates the [`SuiteError`] of the first failing kernel.
-pub fn pipeline_trajectory(scale: Scale) -> Result<Json, SuiteError> {
+/// document, degrading gracefully: failed cells become
+/// `{"name", "error": {"kind", "message"}}` objects and are counted in
+/// [`TrajectoryOutcome::failed`], while aggregate statistics cover the
+/// cells that completed.
+pub fn pipeline_trajectory(scale: Scale) -> TrajectoryOutcome {
+    trajectory_over(trajectory_configs(), scale)
+}
+
+fn trajectory_over(matrix: Vec<(&'static str, SimConfig)>, scale: Scale) -> TrajectoryOutcome {
     let t_total = Instant::now();
     let mut configs = Vec::new();
     let mut total_insts: u64 = 0;
-    for (name, cfg) in trajectory_configs() {
+    let mut total_failed = 0usize;
+    for (name, cfg) in matrix {
         let t0 = Instant::now();
-        let res = run_suite(&cfg, scale)?;
+        let report = run_suite_robust(&cfg, scale);
         let wall = t0.elapsed().as_secs_f64();
-        let insts = res.total_retired();
+        let ok = report.successes();
+        let failed = report.failed();
+        total_failed += failed;
+        let insts = ok.total_retired();
         total_insts += insts;
-        let kernels = Json::arr(res.runs.iter().map(|(kname, r)| {
-            Json::obj([
+        let kernels = Json::arr(report.runs.iter().map(|(kname, r)| match r {
+            Ok(r) => Json::obj([
                 ("name", Json::from(*kname)),
                 ("cycles", Json::from(r.cycles)),
                 ("retired", Json::from(r.retired)),
                 ("ipc", Json::from(r.ipc())),
-            ])
+            ]),
+            Err(e) => Json::obj([
+                ("name", Json::from(*kname)),
+                (
+                    "error",
+                    Json::obj([
+                        ("kind", Json::from(e.failure.kind())),
+                        ("message", Json::from(e.reason())),
+                    ]),
+                ),
+            ]),
         }));
         configs.push(Json::obj([
             ("name", Json::from(name)),
@@ -96,12 +125,13 @@ pub fn pipeline_trajectory(scale: Scale) -> Result<Json, SuiteError> {
                 "sim_insts_per_sec",
                 Json::from(insts as f64 / wall.max(1e-9)),
             ),
-            ("geomean_ipc", Json::from(res.geomean_ipc())),
+            ("geomean_ipc", Json::from(ok.geomean_ipc())),
+            ("failed", Json::from(failed)),
             ("kernels", kernels),
         ]));
     }
     let total_wall = t_total.elapsed().as_secs_f64();
-    Ok(Json::obj([
+    let doc = Json::obj([
         ("schema", Json::from(SCHEMA)),
         ("scale", Json::from(format!("{scale:?}").to_lowercase())),
         ("workers", Json::from(max_workers())),
@@ -110,8 +140,13 @@ pub fn pipeline_trajectory(scale: Scale) -> Result<Json, SuiteError> {
             "total_sim_insts_per_sec",
             Json::from(total_insts as f64 / total_wall.max(1e-9)),
         ),
+        ("failed", Json::from(total_failed)),
         ("configs", Json::arr(configs)),
-    ]))
+    ]);
+    TrajectoryOutcome {
+        doc,
+        failed: total_failed,
+    }
 }
 
 #[cfg(test)]
@@ -120,8 +155,9 @@ mod tests {
 
     #[test]
     fn trajectory_document_has_the_published_schema() {
-        let doc = pipeline_trajectory(Scale::Tiny).unwrap();
-        let s = doc.to_string();
+        let out = pipeline_trajectory(Scale::Tiny);
+        assert_eq!(out.failed, 0);
+        let s = out.doc.to_string();
         assert!(s.starts_with(&format!(r#"{{"schema":"{SCHEMA}""#)));
         for key in [
             r#""scale":"tiny""#,
@@ -136,5 +172,25 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing `{key}` in {s}");
         }
+    }
+
+    #[test]
+    fn trajectory_degrades_to_partial_results() {
+        // One broken configuration in the matrix: its kernels become
+        // error objects, the document still renders, and the failure
+        // count is surfaced for the binary's non-zero exit.
+        let mut broken = SimConfig::paper_default();
+        broken.phys_regs = 8;
+        let matrix = vec![("good", SimConfig::paper_default()), ("broken", broken)];
+        let out = trajectory_over(matrix, Scale::Tiny);
+        assert_eq!(out.failed, 12);
+        let s = out.doc.to_string();
+        assert!(s.contains(r#""name":"good""#));
+        assert!(s.contains(r#""name":"broken""#));
+        assert!(
+            s.contains(r#""error":{"kind":"panic""#),
+            "missing error object in {s}"
+        );
+        assert!(s.contains(r#""failed":12"#));
     }
 }

@@ -149,10 +149,30 @@ struct Entry {
     preg: u16,
     uses: u8,
     pinned: bool,
+    from_fill: bool,
     lru: u64,
     reads: u64,
     inserted_at: u64,
     valid: bool,
+}
+
+/// Read-only snapshot of one valid cache entry, for external invariant
+/// checking (the timing simulator's `check` mode audits these against
+/// its own mirror of the use tracker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryView {
+    /// The set this entry resides in.
+    pub set: u16,
+    /// Physical register tag.
+    pub preg: PhysReg,
+    /// Remaining-use counter.
+    pub uses: u8,
+    /// Pinned (saturated prediction) — immune to use decrement and
+    /// deprioritized for replacement.
+    pub pinned: bool,
+    /// Entry was (re)installed by a miss fill, so its counter carries
+    /// the fill default rather than the tracker's prediction.
+    pub from_fill: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -278,7 +298,15 @@ impl RegisterCache {
     }
 
     /// Installs `preg` into `set`, evicting if necessary.
-    fn insert(&mut self, preg: PhysReg, set: u16, uses: u8, pinned: bool, now: u64) {
+    fn insert(
+        &mut self,
+        preg: PhysReg,
+        set: u16,
+        uses: u8,
+        pinned: bool,
+        from_fill: bool,
+        now: u64,
+    ) {
         debug_assert!(self.find(preg, set).is_none(), "double insert");
         self.tick += 1;
         let tick = self.tick;
@@ -302,6 +330,7 @@ impl RegisterCache {
             preg: preg.0,
             uses,
             pinned,
+            from_fill,
             lru: tick,
             reads: 0,
             inserted_at: now,
@@ -353,7 +382,7 @@ impl RegisterCache {
             return WriteOutcome::Filtered;
         }
         self.stats.writes_inserted += 1;
-        self.insert(preg, set, remaining, pinned, now);
+        self.insert(preg, set, remaining, pinned, false, now);
         if let Some(s) = &mut self.shadow {
             s.write(preg, 0, remaining, pinned, first_stage_bypasses, now);
         }
@@ -420,7 +449,7 @@ impl RegisterCache {
         // from the backing file; the filled entry starts with the fill
         // default (the use count was lost at eviction).
         if self.find(preg, set).is_none() {
-            self.insert(preg, set, self.config.fill_default, false, now);
+            self.insert(preg, set, self.config.fill_default, false, true, now);
         }
         if let Some(s) = &mut self.shadow {
             s.fill(preg, 0, now);
@@ -489,6 +518,80 @@ impl RegisterCache {
             .iter()
             .find(|e| e.valid && e.preg == preg.0)
             .map(|e| e.pinned)
+    }
+
+    /// Snapshots every valid entry, for external invariant checking.
+    pub fn entries(&self) -> impl Iterator<Item = EntryView> + '_ {
+        let w = self.config.ways;
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .map(move |(i, e)| EntryView {
+                set: (i / w) as u16,
+                preg: PhysReg(e.preg),
+                uses: e.uses,
+                pinned: e.pinned,
+                from_fill: e.from_fill,
+            })
+    }
+
+    /// Structural self-audit: checks that the cached `valid_count`
+    /// matches the entry array, no physical register is resident twice,
+    /// and every counter respects the configured saturation limit.
+    /// Returns a description of the first violated invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(description)` when internal state is inconsistent
+    /// (only possible after external corruption, e.g. fault injection).
+    pub fn audit(&self) -> Result<(), String> {
+        let live = self.entries.iter().filter(|e| e.valid).count();
+        if live != self.valid_count {
+            return Err(format!(
+                "valid_count {} disagrees with {} live entries",
+                self.valid_count, live
+            ));
+        }
+        let mut seen = vec![false; self.per_preg.len()];
+        for e in self.entries.iter().filter(|e| e.valid) {
+            let p = e.preg as usize;
+            if p >= seen.len() {
+                return Err(format!("entry tag p{p} out of range"));
+            }
+            if seen[p] {
+                return Err(format!("p{p} resident in two entries"));
+            }
+            seen[p] = true;
+            if e.uses > self.config.max_use_count {
+                return Err(format!(
+                    "p{p} remaining-use counter {} exceeds max_use_count {}",
+                    e.uses, self.config.max_use_count
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook: corrupts the replacement metadata of the
+    /// `nth` valid entry (modulo occupancy) by unpinning it and forcing
+    /// its remaining-use counter to 255 — the bit pattern a real SRAM
+    /// upset could leave. Returns the victim's tag, or `None` when the
+    /// cache is empty.
+    pub fn corrupt_metadata(&mut self, nth: usize) -> Option<PhysReg> {
+        if self.valid_count == 0 {
+            return None;
+        }
+        let target = nth % self.valid_count;
+        let e = self
+            .entries
+            .iter_mut()
+            .filter(|e| e.valid)
+            .nth(target)
+            .expect("target < valid_count");
+        e.pinned = false;
+        e.uses = 255;
+        Some(PhysReg(e.preg))
     }
 }
 

@@ -51,7 +51,7 @@ mod twolevel;
 mod usetrack;
 
 pub use backing::{BackingFile, BackingStats};
-pub use cache::{MissClass, RegCacheStats, RegisterCache, WriteOutcome};
+pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome};
 pub use index::{IndexAssigner, IndexPolicy};
 pub use policy::{InsertionPolicy, RegCacheConfig, ReplacementPolicy};
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};

@@ -89,9 +89,29 @@ impl UseTracker {
         self.states[preg.0 as usize].pinned
     }
 
+    /// True while a live value occupies this physical register
+    /// (between [`UseTracker::init`] and [`UseTracker::clear`]).
+    pub fn is_active(&self, preg: PhysReg) -> bool {
+        self.states[preg.0 as usize].active
+    }
+
     /// Clears the state when the physical register is freed.
     pub fn clear(&mut self, preg: PhysReg) {
         self.states[preg.0 as usize] = State::default();
+    }
+
+    /// Fault-injection hook: flips the low bits of a live value's
+    /// stored remaining-use counter and clears its pinned flag, as a
+    /// bit upset in the counter SRAM would. Returns `false` (no fault
+    /// landed) when the register holds no live value.
+    pub fn corrupt_counter(&mut self, preg: PhysReg) -> bool {
+        let s = &mut self.states[preg.0 as usize];
+        if !s.active {
+            return false;
+        }
+        s.remaining ^= 0b111;
+        s.pinned = false;
+        true
     }
 }
 

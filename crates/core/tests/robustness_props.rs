@@ -1,0 +1,196 @@
+//! Property tests for the robustness-critical bookkeeping: remaining-use
+//! counters must saturate instead of underflowing, pinned counters must
+//! never move, and no operation sequence may drive a cache set past its
+//! associativity or break the cache's internal audit.
+
+use proptest::prelude::*;
+use ubrc_core::{PhysReg, RegCacheConfig, RegisterCache, UseTracker};
+
+const NPREGS: usize = 32;
+const MAX_USE: u8 = 7;
+
+/// One randomly-chosen tracker or cache operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Init {
+        preg: u8,
+        degree: Option<u8>,
+    },
+    Consume {
+        preg: u8,
+    },
+    Write {
+        preg: u8,
+        remaining: u8,
+        pinned: bool,
+    },
+    Read {
+        preg: u8,
+    },
+    Fill {
+        preg: u8,
+    },
+    Free {
+        preg: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let preg = 0u8..NPREGS as u8;
+    prop_oneof![
+        (preg.clone(), proptest::option::of(0u8..12))
+            .prop_map(|(preg, degree)| Op::Init { preg, degree }),
+        preg.clone().prop_map(|preg| Op::Consume { preg }),
+        (preg.clone(), 0u8..=MAX_USE, any::<bool>()).prop_map(|(preg, remaining, pinned)| {
+            Op::Write {
+                preg,
+                remaining,
+                pinned,
+            }
+        }),
+        preg.clone().prop_map(|preg| Op::Read { preg }),
+        preg.clone().prop_map(|preg| Op::Fill { preg }),
+        preg.prop_map(|preg| Op::Free { preg }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn use_counters_saturate_and_never_underflow(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut t = UseTracker::new(NPREGS);
+        // Reference model: what the counter must read after each op.
+        let mut model: Vec<Option<(u8, bool)>> = vec![None; NPREGS];
+        for op in ops {
+            match op {
+                Op::Init { preg, degree } => {
+                    let p = PhysReg(preg as u16);
+                    t.init(p, degree, 1, MAX_USE);
+                    let d = degree.unwrap_or(1);
+                    model[preg as usize] = Some((d.min(MAX_USE), d >= MAX_USE));
+                }
+                Op::Consume { preg } | Op::Read { preg } => {
+                    let p = PhysReg(preg as u16);
+                    t.consume(p);
+                    if let Some((r, pinned)) = &mut model[preg as usize] {
+                        if !*pinned {
+                            *r = r.saturating_sub(1);
+                        }
+                    }
+                }
+                Op::Free { preg } => {
+                    t.clear(PhysReg(preg as u16));
+                    model[preg as usize] = None;
+                }
+                Op::Write { .. } | Op::Fill { .. } => {}
+            }
+            for (i, m) in model.iter().enumerate() {
+                let p = PhysReg(i as u16);
+                match m {
+                    Some((r, pinned)) => {
+                        prop_assert!(t.is_active(p));
+                        prop_assert_eq!(t.remaining(p), *r, "p{} counter drifted", i);
+                        prop_assert_eq!(t.is_pinned(p), *pinned);
+                        prop_assert!(t.remaining(p) <= MAX_USE, "p{} counter overflow", i);
+                    }
+                    None => prop_assert!(!t.is_active(p)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_sets_never_exceed_associativity(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        // 8 sets x 2 ways; each preg keeps the fixed set assignment the
+        // pipeline's index assigner would give it for its lifetime, and
+        // the ops respect the produce-once/write-once value lifecycle
+        // the pipeline guarantees.
+        let cfg = RegCacheConfig::use_based(16, 2);
+        let ways = cfg.ways;
+        let nsets = cfg.entries / cfg.ways;
+        let mut cache = RegisterCache::new(cfg, NPREGS);
+        let set_of = |preg: u8| (preg as usize % nsets) as u16;
+        let mut live = [false; NPREGS];
+        let mut written = [false; NPREGS];
+        for op in ops {
+            let i = match op {
+                Op::Init { preg, .. }
+                | Op::Consume { preg }
+                | Op::Write { preg, .. }
+                | Op::Read { preg }
+                | Op::Fill { preg }
+                | Op::Free { preg } => preg as usize,
+            };
+            let p = PhysReg(i as u16);
+            match op {
+                Op::Init { .. } => {
+                    // Re-allocating a live register frees it first,
+                    // exactly as the rename free-list does.
+                    if live[i] {
+                        cache.free(p, set_of(i as u8), 0);
+                    }
+                    cache.produce(p);
+                    live[i] = true;
+                    written[i] = false;
+                }
+                Op::Write { remaining, pinned, .. } if live[i] && !written[i] => {
+                    cache.write(p, set_of(i as u8), remaining, pinned, 0, 0);
+                    written[i] = true;
+                }
+                Op::Read { .. } | Op::Consume { .. } if live[i] => {
+                    cache.read(p, set_of(i as u8), 0);
+                }
+                Op::Fill { .. } if live[i] && written[i] => {
+                    cache.fill(p, set_of(i as u8), 0);
+                }
+                Op::Free { .. } if live[i] => {
+                    cache.free(p, set_of(i as u8), 0);
+                    live[i] = false;
+                }
+                _ => {}
+            }
+            prop_assert!(cache.audit().is_ok(), "audit failed: {:?}", cache.audit());
+            let mut per_set = vec![0usize; nsets];
+            for e in cache.entries() {
+                per_set[e.set as usize] += 1;
+                prop_assert!(
+                    e.pinned || e.uses <= MAX_USE,
+                    "{} counter {} out of range",
+                    e.preg,
+                    e.uses
+                );
+            }
+            for (s, &n) in per_set.iter().enumerate() {
+                prop_assert!(n <= ways, "set {s} holds {n} entries for {ways} ways");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_metadata_is_always_caught_by_audit(
+        writes in proptest::collection::vec((0u8..NPREGS as u8, 1u8..=MAX_USE), 1..20),
+        nth in any::<usize>(),
+    ) {
+        let cfg = RegCacheConfig::use_based(16, 2);
+        let nsets = cfg.entries / cfg.ways;
+        let mut cache = RegisterCache::new(cfg, NPREGS);
+        let mut seen = [false; NPREGS];
+        for (preg, remaining) in writes {
+            if std::mem::replace(&mut seen[preg as usize], true) {
+                continue; // each value is produced and written once
+            }
+            let set = (preg as usize % nsets) as u16;
+            cache.produce(PhysReg(preg as u16));
+            cache.write(PhysReg(preg as u16), set, remaining, false, 0, 0);
+        }
+        prop_assert!(cache.audit().is_ok());
+        // The injector's metadata corruption must never pass the audit.
+        prop_assert!(cache.corrupt_metadata(nth).is_some());
+        prop_assert!(cache.audit().is_err());
+    }
+}

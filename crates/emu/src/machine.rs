@@ -21,6 +21,13 @@ pub enum EmuError {
         /// The out-of-range effective address.
         addr: u64,
     },
+    /// The program's data segment does not fit in the machine's memory.
+    ProgramTooLarge {
+        /// First byte past the end of the data segment.
+        required: u64,
+        /// Bytes of memory actually available.
+        available: u64,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -29,6 +36,15 @@ impl fmt::Display for EmuError {
             EmuError::BadPc { pc } => write!(f, "bad program counter {pc:#x}"),
             EmuError::BadAccess { pc, addr } => {
                 write!(f, "bad memory access to {addr:#x} at pc {pc:#x}")
+            }
+            EmuError::ProgramTooLarge {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "data segment needs {required} bytes but only {available} are available"
+                )
             }
         }
     }
@@ -105,15 +121,35 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the program's data segment does not fit in memory.
+    /// Use [`Machine::try_with_mem_size`] for a fallible variant.
     pub fn with_mem_size(program: Program, mem_size: usize) -> Self {
+        match Self::try_with_mem_size(program, mem_size) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: returns [`EmuError::ProgramTooLarge`]
+    /// instead of panicking when the data segment does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::ProgramTooLarge`] when the program's data
+    /// segment extends past `mem_size`.
+    pub fn try_with_mem_size(program: Program, mem_size: usize) -> Result<Self, EmuError> {
         let mut mem = vec![0u8; mem_size];
         let base = program.data_base as usize;
         let end = base + program.data.len();
-        assert!(end <= mem.len(), "data segment does not fit in memory");
+        if end > mem.len() {
+            return Err(EmuError::ProgramTooLarge {
+                required: end as u64,
+                available: mem.len() as u64,
+            });
+        }
         mem[base..end].copy_from_slice(&program.data);
         let mut int_regs = [0u64; 32];
         int_regs[ubrc_isa::SP.index() as usize] = (mem_size as u64 - 64) & !15;
-        Self {
+        Ok(Self {
             pc: program.entry,
             program,
             mem,
@@ -123,7 +159,7 @@ impl Machine {
             icount: 0,
             spec: None,
             undo: Vec::new(),
-        }
+        })
     }
 
     /// The current program counter.
@@ -281,6 +317,7 @@ impl Machine {
         let mut next_pc = pc + 4;
         let mut taken = false;
         let mut mem_addr = None;
+        let mut dest_val = None;
 
         match inst {
             Inst::Nop => {}
@@ -319,6 +356,7 @@ impl Machine {
                     AluOp::Sltu => (a < b) as u64,
                 };
                 self.write_reg(rd, v);
+                dest_val = Some(v);
             }
             Inst::AluImm { op, rd, rs, imm } => {
                 let a = self.reg_u64(rs);
@@ -336,9 +374,12 @@ impl Machine {
                     AluImmOp::Sltiu => (a < se) as u64,
                 };
                 self.write_reg(rd, v);
+                dest_val = Some(v);
             }
             Inst::Lui { rd, imm } => {
-                self.write_reg(rd, (imm as u64) << 16);
+                let v = (imm as u64) << 16;
+                self.write_reg(rd, v);
+                dest_val = Some(v);
             }
             Inst::Load {
                 width,
@@ -357,6 +398,7 @@ impl Machine {
                     raw
                 };
                 self.write_reg(rd, v);
+                dest_val = Some(v);
             }
             Inst::Store {
                 width,
@@ -372,6 +414,7 @@ impl Machine {
                     self.reg_u64(src)
                 };
                 self.mem_write(pc, addr, width, v)?;
+                dest_val = Some(v);
             }
             Inst::Branch { cond, rs, rt, off } => {
                 let a = self.reg_u64(rs);
@@ -394,6 +437,7 @@ impl Machine {
                 taken = true;
                 if link {
                     self.write_reg(ubrc_isa::RA, pc + 4);
+                    dest_val = Some(pc + 4);
                 }
                 next_pc = pc
                     .wrapping_add(4)
@@ -404,31 +448,48 @@ impl Machine {
                 let target = self.reg_u64(rs);
                 if link {
                     self.write_reg(rd, pc + 4);
+                    dest_val = Some(pc + 4);
                 }
                 next_pc = target;
             }
             Inst::Fpu { op, rd, rs, rt } => {
                 let a = self.reg_f64(rs);
-                match op {
-                    FpuOp::Fadd => self.write_fp(rd, a + self.reg_f64(rt)),
-                    FpuOp::Fsub => self.write_fp(rd, a - self.reg_f64(rt)),
-                    FpuOp::Fmul => self.write_fp(rd, a * self.reg_f64(rt)),
-                    FpuOp::Fdiv => self.write_fp(rd, a / self.reg_f64(rt)),
-                    FpuOp::Fneg => self.write_fp(rd, -a),
-                    FpuOp::Fmov => self.write_fp(rd, a),
-                    FpuOp::Feq => self.write_reg(rd, (a == self.reg_f64(rt)) as u64),
-                    FpuOp::Flt => self.write_reg(rd, (a < self.reg_f64(rt)) as u64),
-                    FpuOp::Fle => self.write_reg(rd, (a <= self.reg_f64(rt)) as u64),
+                enum FpuResult {
+                    Fp(f64),
+                    Int(u64),
+                }
+                let v = match op {
+                    FpuOp::Fadd => FpuResult::Fp(a + self.reg_f64(rt)),
+                    FpuOp::Fsub => FpuResult::Fp(a - self.reg_f64(rt)),
+                    FpuOp::Fmul => FpuResult::Fp(a * self.reg_f64(rt)),
+                    FpuOp::Fdiv => FpuResult::Fp(a / self.reg_f64(rt)),
+                    FpuOp::Fneg => FpuResult::Fp(-a),
+                    FpuOp::Fmov => FpuResult::Fp(a),
+                    FpuOp::Feq => FpuResult::Int((a == self.reg_f64(rt)) as u64),
+                    FpuOp::Flt => FpuResult::Int((a < self.reg_f64(rt)) as u64),
+                    FpuOp::Fle => FpuResult::Int((a <= self.reg_f64(rt)) as u64),
+                };
+                match v {
+                    FpuResult::Fp(x) => {
+                        self.write_fp(rd, x);
+                        dest_val = Some(x.to_bits());
+                    }
+                    FpuResult::Int(x) => {
+                        self.write_reg(rd, x);
+                        dest_val = Some(x);
+                    }
                 }
             }
             Inst::Cvt { dir, rd, rs } => match dir {
                 CvtDir::IntToFp => {
                     let v = self.reg_u64(rs) as i64 as f64;
                     self.write_fp(rd, v);
+                    dest_val = Some(v.to_bits());
                 }
                 CvtDir::FpToInt => {
                     let v = self.reg_f64(rs) as i64 as u64;
                     self.write_reg(rd, v);
+                    dest_val = Some(v);
                 }
             },
         }
@@ -443,6 +504,7 @@ impl Machine {
             next_pc,
             taken,
             mem_addr,
+            dest_val,
         };
         self.pc = next_pc;
         self.icount += 1;

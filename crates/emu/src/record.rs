@@ -22,6 +22,11 @@ pub struct ExecRecord {
     pub taken: bool,
     /// Effective address for loads and stores.
     pub mem_addr: Option<u64>,
+    /// Architectural result as raw bits: the value written to the
+    /// destination register (FP results via `to_bits`), or the value
+    /// stored to memory for stores. `None` for instructions with no
+    /// data result (nops, branches, plain jumps, halt).
+    pub dest_val: Option<u64>,
 }
 
 impl ExecRecord {
@@ -44,6 +49,7 @@ mod tests {
             next_pc: 0x1004,
             taken: false,
             mem_addr: None,
+            dest_val: None,
         };
         assert!(!r.redirects());
         let r2 = ExecRecord {

@@ -126,3 +126,30 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn oversized_data_segment_is_a_typed_error() {
+    let src = ".data\nbuf: .space 4096\n.text\nmain: halt\n";
+    let program = ubrc_isa::assemble(src).unwrap();
+    let err = Machine::try_with_mem_size(program, 1024).unwrap_err();
+    match err {
+        ubrc_emu::EmuError::ProgramTooLarge {
+            required,
+            available,
+        } => {
+            assert!(required > available);
+            assert_eq!(available, 1024);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert!(err.to_string().contains("data segment"));
+}
+
+#[test]
+fn out_of_range_access_is_a_typed_error() {
+    let src = "main: li r1, 0x7fffffff\nld r2, 0(r1)\nhalt\n";
+    let program = ubrc_isa::assemble(src).unwrap();
+    let mut m = Machine::new(program);
+    let err = m.run(10).unwrap_err();
+    assert!(matches!(err, ubrc_emu::EmuError::BadAccess { .. }));
+}

@@ -91,6 +91,12 @@ fn parse_reg(tok: &str) -> Option<Reg> {
         "ra" => return Some(crate::reg::RA),
         _ => {}
     }
+    // `split_at(1)` would panic on an empty token (e.g. from the
+    // malformed memory operand `0()`) or a multi-byte first char, so
+    // split bytewise and reject anything that is not ASCII `r`/`f`.
+    if !tok.is_ascii() || tok.len() < 2 {
+        return None;
+    }
     let (bank, rest) = tok.split_at(1);
     let idx: u8 = rest.parse().ok()?;
     if idx >= 32 {

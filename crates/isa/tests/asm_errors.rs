@@ -47,6 +47,22 @@ fn memory_operand_errors() {
 }
 
 #[test]
+fn degenerate_memory_operands_do_not_panic() {
+    // `0()` leaves an empty base token; the register parser used to
+    // slice into it byte-blind. These must all be line-numbered errors.
+    for src in [
+        "main: ld r1, 0()\n",
+        "main: sd r1, ()\n",
+        "main: ld r1, 8(é)\n",
+        "main: ld r1, 8(r)\n",
+        "main: add r1, é, r2\n",
+    ] {
+        let e = err_of(src);
+        assert_eq!(e.line, 1, "wrong line for {src:?}");
+    }
+}
+
+#[test]
 fn branch_out_of_range_is_detected() {
     // Place the target > 32767 instructions away.
     let mut src = String::from("main: beq r0, r0, far\n");

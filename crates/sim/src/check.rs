@@ -1,0 +1,384 @@
+//! Runtime correctness checking: structured error types for the
+//! checked run API plus the invariant checker's mirror state.
+//!
+//! Everything here is *observation-only*: with checking enabled the
+//! simulator produces bit-identical [`crate::SimResult`]s — the
+//! checker maintains its own mirrors of the use tracker and the fill
+//! schedule and cross-checks them against the real structures at the
+//! end of every cycle, but never writes into the timing model.
+
+use std::fmt;
+use ubrc_core::{PhysReg, RegisterCache, UseTracker};
+use ubrc_emu::EmuError;
+
+/// Runtime-checking configuration (`SimConfig::check`).
+///
+/// The default is everything off except the forward-progress watchdog,
+/// which has always guarded the pipeline (it replaces the old
+/// hard-coded deadlock assertion and keeps its 500k-cycle budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Run the functional emulator in lockstep and compare every
+    /// retired instruction's architectural record against it.
+    pub oracle: bool,
+    /// Cross-check pipeline/core invariants at the end of every cycle.
+    pub invariants: bool,
+    /// Abort with a diagnostic dump if no instruction retires for this
+    /// many cycles (0 is treated as 1; the watchdog cannot be disabled,
+    /// only widened).
+    pub watchdog_cycles: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            oracle: false,
+            invariants: false,
+            watchdog_cycles: 500_000,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Oracle and invariant checking both on, default watchdog.
+    pub fn full() -> Self {
+        Self {
+            oracle: true,
+            invariants: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One retired instruction, as remembered by the oracle's history ring.
+#[derive(Clone, Debug)]
+pub struct RetiredEvent {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Cycle it retired.
+    pub cycle: u64,
+    /// Fetch address.
+    pub pc: u64,
+    /// Disassembly.
+    pub asm: String,
+}
+
+/// The pipeline retired an instruction whose architectural record
+/// disagrees with the lockstep functional emulator.
+#[derive(Clone, Debug)]
+pub struct DivergenceReport {
+    /// Cycle of the divergent retirement.
+    pub cycle: u64,
+    /// Dynamic sequence number of the divergent instruction.
+    pub seq: u64,
+    /// Its ROB slot at retirement (always the head).
+    pub rob_slot: usize,
+    /// Fetch address according to the pipeline.
+    pub pc: u64,
+    /// Disassembly of the pipeline's instruction.
+    pub asm: String,
+    /// Which architectural field diverged first.
+    pub field: &'static str,
+    /// The oracle's value for that field.
+    pub expected: String,
+    /// The pipeline's value.
+    pub actual: String,
+    /// The last instructions retired before the divergence, oldest
+    /// first.
+    pub recent: Vec<RetiredEvent>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "co-simulation divergence at cycle {}: seq {} (rob slot {}) pc {:#x} `{}`",
+            self.cycle, self.seq, self.rob_slot, self.pc, self.asm
+        )?;
+        writeln!(f, "  field    {}", self.field)?;
+        writeln!(f, "  expected {}", self.expected)?;
+        writeln!(f, "  actual   {}", self.actual)?;
+        writeln!(f, "  last {} retired:", self.recent.len())?;
+        for e in &self.recent {
+            writeln!(
+                f,
+                "    seq {:>8} @ cycle {:>8}  pc {:#08x}  {}",
+                e.seq, e.cycle, e.pc, e.asm
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A per-cycle pipeline/core invariant failed.
+#[derive(Clone, Debug)]
+pub struct InvariantViolation {
+    /// The cycle whose end-of-cycle audit failed.
+    pub cycle: u64,
+    /// Short name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated at cycle {}: {}",
+            self.invariant, self.cycle, self.detail
+        )
+    }
+}
+
+/// Forward-progress watchdog report: nothing retired within the
+/// configured budget, with a snapshot of the stuck machine.
+#[derive(Clone, Debug)]
+pub struct DiagnosticDump {
+    /// Cycle the watchdog fired.
+    pub cycle: u64,
+    /// Cycle of the last retirement.
+    pub last_progress: u64,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// Occupied fetch-queue slots.
+    pub fetch_queue: usize,
+    /// Window slots holding un-issued instructions.
+    pub window_count: usize,
+    /// One line per ROB-head entry: seq, pc, status, deadline.
+    pub rob_head: Vec<String>,
+    /// One line per deferred-event queue: name, length, next due time.
+    pub event_queues: Vec<String>,
+}
+
+impl fmt::Display for DiagnosticDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline deadlock at cycle {} (retired {}, rob {}, fetchq {})",
+            self.cycle,
+            self.retired,
+            self.rob_head.len(),
+            self.fetch_queue
+        )?;
+        writeln!(
+            f,
+            "  last retirement at cycle {}; window holds {} waiting",
+            self.last_progress, self.window_count
+        )?;
+        writeln!(f, "  rob head:")?;
+        for line in &self.rob_head {
+            writeln!(f, "    {line}")?;
+        }
+        writeln!(f, "  event queues:")?;
+        for line in &self.event_queues {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A checked simulation ended abnormally.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The co-simulation oracle caught an architectural divergence.
+    Divergence(Box<DivergenceReport>),
+    /// The per-cycle invariant checker caught corrupted state.
+    Invariant(Box<InvariantViolation>),
+    /// The forward-progress watchdog fired.
+    Watchdog(Box<DiagnosticDump>),
+    /// The functional emulator faulted on the correct path.
+    Emu(EmuError),
+    /// An external cancellation flag (see
+    /// [`crate::Simulator::set_cancel`]) stopped the run.
+    Cancelled {
+        /// Cycle at which the cancellation was observed.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Divergence(r) => write!(f, "{r}"),
+            SimError::Invariant(v) => write!(f, "{v}"),
+            SimError::Watchdog(d) => write!(f, "{d}"),
+            SimError::Emu(e) => write!(f, "functional execution faulted: {e}"),
+            SimError::Cancelled { cycle } => {
+                write!(f, "simulation cancelled at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// An expected register-cache fill that has been scheduled but not yet
+/// applied.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FillObligation {
+    pub preg: u16,
+    pub gen: u32,
+    pub due: u64,
+}
+
+/// Mirror state for the invariant checker.
+///
+/// The mirrors are rebuilt from the same pipeline events that drive
+/// the real [`UseTracker`] and fill schedule; a fault injected directly
+/// into the real structures (or a future refactoring bug that forgets
+/// a bookkeeping step) shows up as a mirror mismatch at the end of the
+/// cycle.
+pub(crate) struct Checker {
+    remaining: Vec<u8>,
+    pinned: Vec<bool>,
+    active: Vec<bool>,
+    pub(crate) fill_obligations: Vec<FillObligation>,
+}
+
+impl Checker {
+    pub(crate) fn new(npregs: usize) -> Self {
+        Self {
+            remaining: vec![0; npregs],
+            pinned: vec![false; npregs],
+            active: vec![false; npregs],
+            fill_obligations: Vec::new(),
+        }
+    }
+
+    /// Mirrors `UseTracker::init` (clamped remaining + pinned flag).
+    pub(crate) fn on_init(&mut self, preg: u16, remaining: u8, pinned: bool) {
+        let i = preg as usize;
+        self.remaining[i] = remaining;
+        self.pinned[i] = pinned;
+        self.active[i] = true;
+    }
+
+    /// Mirrors `UseTracker::consume`.
+    pub(crate) fn on_consume(&mut self, preg: u16) {
+        let i = preg as usize;
+        if self.active[i] && !self.pinned[i] {
+            self.remaining[i] = self.remaining[i].saturating_sub(1);
+        }
+    }
+
+    /// Mirrors `UseTracker::clear` and retires any fill obligations for
+    /// the freed register.
+    pub(crate) fn on_clear(&mut self, preg: u16) {
+        let i = preg as usize;
+        self.remaining[i] = 0;
+        self.pinned[i] = false;
+        self.active[i] = false;
+        self.fill_obligations.retain(|o| o.preg != preg);
+    }
+
+    /// A fill was scheduled for `due`; it must land by then (unless the
+    /// register is freed first).
+    pub(crate) fn on_fill_scheduled(&mut self, preg: u16, gen: u32, due: u64) {
+        self.fill_obligations
+            .push(FillObligation { preg, gen, due });
+    }
+
+    /// A scheduled fill event fired (whether or not the entry was
+    /// already resident): discharge the earliest-due matching
+    /// obligation. Two misses on the same register can be in flight at
+    /// once, and `swap_remove` scrambles vector order, so matching by
+    /// position alone could discharge the later fill and leave the
+    /// earlier obligation to go stale.
+    pub(crate) fn on_fill_applied(&mut self, preg: u16, gen: u32) {
+        if let Some(i) = self
+            .fill_obligations
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.preg == preg && o.gen == gen)
+            .min_by_key(|(_, o)| o.due)
+            .map(|(i, _)| i)
+        {
+            self.fill_obligations.swap_remove(i);
+        }
+    }
+
+    /// Cross-checks the real use tracker against the mirror.
+    pub(crate) fn check_tracker(
+        &self,
+        tracker: &UseTracker,
+        cycle: u64,
+    ) -> Option<Box<InvariantViolation>> {
+        for (i, &active) in self.active.iter().enumerate() {
+            let p = PhysReg(i as u16);
+            if tracker.is_active(p) != active {
+                return Some(Box::new(InvariantViolation {
+                    cycle,
+                    invariant: "use-tracker-liveness",
+                    detail: format!(
+                        "{p}: tracker active={}, mirror active={active}",
+                        tracker.is_active(p)
+                    ),
+                }));
+            }
+            if !active {
+                continue;
+            }
+            if tracker.remaining(p) != self.remaining[i] {
+                return Some(Box::new(InvariantViolation {
+                    cycle,
+                    invariant: "use-counter",
+                    detail: format!(
+                        "{p}: tracker remaining={}, mirror={} (counter corrupted or \
+                         decremented past zero)",
+                        tracker.remaining(p),
+                        self.remaining[i]
+                    ),
+                }));
+            }
+            if tracker.is_pinned(p) != self.pinned[i] {
+                return Some(Box::new(InvariantViolation {
+                    cycle,
+                    invariant: "use-counter-pin",
+                    detail: format!(
+                        "{p}: tracker pinned={}, mirror pinned={}",
+                        tracker.is_pinned(p),
+                        self.pinned[i]
+                    ),
+                }));
+            }
+        }
+        None
+    }
+
+    /// Audits the register cache: internal consistency plus the
+    /// pinned-entry cross-check against the tracker. Fill-installed
+    /// entries are exempt from the pin check — a pinned value evicted
+    /// and later re-fetched legitimately re-enters unpinned with the
+    /// fill default (§3.3).
+    pub(crate) fn check_cache(
+        &self,
+        cache: &RegisterCache,
+        tracker: &UseTracker,
+        cycle: u64,
+    ) -> Option<Box<InvariantViolation>> {
+        if let Err(detail) = cache.audit() {
+            return Some(Box::new(InvariantViolation {
+                cycle,
+                invariant: "cache-audit",
+                detail,
+            }));
+        }
+        for e in cache.entries() {
+            if e.from_fill || !tracker.is_active(e.preg) {
+                continue;
+            }
+            if tracker.is_pinned(e.preg) && !e.pinned {
+                return Some(Box::new(InvariantViolation {
+                    cycle,
+                    invariant: "pinned-entry",
+                    detail: format!(
+                        "{}: tracker says pinned but the resident entry (set {}) is not",
+                        e.preg, e.set
+                    ),
+                }));
+            }
+        }
+        None
+    }
+}

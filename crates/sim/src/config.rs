@@ -1,3 +1,5 @@
+use crate::check::CheckConfig;
+use crate::inject::FaultPlan;
 use ubrc_core::{IndexPolicy, RegCacheConfig, TwoLevelConfig};
 use ubrc_frontend::DouseConfig;
 use ubrc_isa::ExecClass;
@@ -192,6 +194,14 @@ pub struct SimConfig {
     /// miss, everything issued in the two-cycle shadow replays, exactly
     /// like a register-cache miss (§2.2/§5.2).
     pub load_hit_speculation: bool,
+    /// Runtime correctness checking (lockstep oracle, per-cycle
+    /// invariants, forward-progress watchdog). Observation-only:
+    /// enabling it never changes the simulated timing.
+    pub check: CheckConfig,
+    /// Deterministic fault-injection plan (`None` = no faults). Used by
+    /// the robustness tests to prove the oracle/checker detect each
+    /// corruption class.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -220,6 +230,8 @@ impl SimConfig {
             trace_instructions: 0,
             model_store_forwarding: true,
             load_hit_speculation: true,
+            check: CheckConfig::default(),
+            fault_plan: None,
         }
     }
 

@@ -22,12 +22,19 @@
 
 #![warn(missing_docs)]
 
+mod check;
 mod config;
+mod inject;
+mod oracle;
 mod pipeline;
 mod stats;
 pub mod trace;
 
+pub use check::{
+    CheckConfig, DiagnosticDump, DivergenceReport, InvariantViolation, RetiredEvent, SimError,
+};
 pub use config::{BranchPredictorKind, FuPools, RegStorage, SimConfig};
+pub use inject::{FaultKind, FaultPlan, FaultSpec};
 pub use pipeline::Simulator;
 pub use stats::{LifetimeCollector, LifetimeStats, SimResult};
 pub use trace::{InstTrace, OperandPath, Timeline};
@@ -54,4 +61,16 @@ pub fn simulate(program: Program, config: SimConfig) -> SimResult {
 pub fn simulate_workload(workload: &Workload, config: SimConfig) -> SimResult {
     let program = workload.assemble().expect("workload assembles");
     simulate(program, config)
+}
+
+/// Simulates a program to completion, returning abnormal endings —
+/// oracle divergence, invariant violation, watchdog deadlock, emulator
+/// fault, cancellation — as a structured [`SimError`] instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered.
+pub fn simulate_checked(program: Program, config: SimConfig) -> Result<SimResult, Box<SimError>> {
+    Simulator::new(program, config).run_checked()
 }

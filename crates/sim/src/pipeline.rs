@@ -20,10 +20,15 @@
 //!   cycle and fetches the value through the backing file's single
 //!   read port, waiting out the producer's backing-file write.
 
+use crate::check::{Checker, DiagnosticDump, InvariantViolation, SimError};
 use crate::config::{BranchPredictorKind, FuPools, RegStorage, SimConfig};
+use crate::inject::{FaultKind, Injector};
+use crate::oracle::Oracle;
 use crate::stats::{LifetimeCollector, SimResult};
 use crate::trace::{InstTrace, OperandPath, Timeline};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use ubrc_core::{BackingFile, IndexAssigner, PhysReg, RegisterCache, TwoLevelFile, UseTracker};
 use ubrc_emu::{ExecRecord, Machine, StepOutcome};
 use ubrc_frontend::{
@@ -308,6 +313,15 @@ pub struct Simulator {
     operands_from_storage: u64,
     lifetimes: Option<LifetimeCollector>,
     trace: Vec<InstTrace>,
+
+    // Runtime checking and fault injection (`SimConfig::check` /
+    // `SimConfig::fault_plan`). All observation-only except the
+    // injector, whose whole point is corrupting live state.
+    oracle: Option<Oracle>,
+    checker: Option<Checker>,
+    injector: Option<Injector>,
+    error: Option<Box<SimError>>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Simulator {
@@ -325,6 +339,10 @@ impl Simulator {
             "need more physical than architectural registers"
         );
         assert!(config.issue_width > 0 && config.fetch_width > 0);
+
+        let oracle = config.check.oracle.then(|| Oracle::new(program.clone()));
+        let mut checker = config.check.invariants.then(|| Checker::new(npregs));
+        let injector = config.fault_plan.as_ref().map(Injector::new);
 
         let mut storage = match &config.storage {
             RegStorage::Monolithic { write_latency, .. } => Storage::Monolithic {
@@ -378,6 +396,9 @@ impl Simulator {
                 } => {
                     cache.produce(PhysReg(p));
                     tracker.init(PhysReg(p), Some(0), 0, u8::MAX);
+                    if let Some(ck) = checker.as_mut() {
+                        ck.on_init(p, 0, false);
+                    }
                     let set = assigner.assign(PhysReg(p), 1);
                     preg_info[p as usize].set = set;
                     preg_info[p as usize].predicted = 1;
@@ -456,8 +477,21 @@ impl Simulator {
             operands_from_storage: 0,
             lifetimes,
             trace: Vec::new(),
+            oracle,
+            checker,
+            injector,
+            error: None,
+            cancel: None,
             config,
         }
+    }
+
+    /// Installs a cancellation flag polled periodically by
+    /// [`Simulator::run_checked`]; setting it makes the run return
+    /// [`SimError::Cancelled`]. Used by the bench runner's wall-clock
+    /// timeout so a hung configuration's worker thread can be reaped.
+    pub fn set_cancel(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
     }
 
     /// Runs the simulation to completion (program halt or the
@@ -467,28 +501,273 @@ impl Simulator {
     ///
     /// Panics if the pipeline deadlocks (an internal invariant
     /// violation) or the functional emulator faults (a bad workload).
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        match self.run_checked() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation to completion like [`Simulator::run`], but
+    /// returns abnormal endings — oracle divergence, invariant
+    /// violation, watchdog timeout, emulator fault, cancellation — as
+    /// a structured [`SimError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered; the simulation
+    /// cannot be resumed afterwards.
+    pub fn run_checked(mut self) -> Result<SimResult, Box<SimError>> {
         let budget = if self.config.max_instructions == 0 {
             u64::MAX
         } else {
             self.config.max_instructions
         };
+        let watchdog = self.config.check.watchdog_cycles.max(1);
         while !self.halted && self.retired < budget {
             self.cycle();
-            assert!(
-                self.now - self.last_progress < 500_000,
-                "pipeline deadlock at cycle {} (retired {}, rob {}, fetchq {})",
-                self.now,
-                self.retired,
-                self.rob.len(),
-                self.fetch_queue.len()
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
+            if self.checker.is_some() {
+                if let Some(v) = self.check_invariants() {
+                    return Err(Box::new(SimError::Invariant(v)));
+                }
+            }
+            if self.now - self.last_progress >= watchdog {
+                return Err(Box::new(SimError::Watchdog(self.diagnostic_dump())));
+            }
+            if let Some(flag) = &self.cancel {
+                if self.now & 0x3FF == 0 && flag.load(Ordering::Relaxed) {
+                    return Err(Box::new(SimError::Cancelled { cycle: self.now }));
+                }
+            }
+        }
+        Ok(self.finish())
+    }
+
+    /// Snapshot of the stuck machine for the watchdog report.
+    fn diagnostic_dump(&self) -> Box<DiagnosticDump> {
+        let rob_head = self
+            .rob
+            .iter()
+            .enumerate()
+            .take(8)
+            .map(|(i, inst)| {
+                let deadline = match self.sched.get(i) {
+                    Some(&u64::MAX) | None => "-".to_string(),
+                    Some(&t) => t.to_string(),
+                };
+                format!(
+                    "seq {:>8} pc {:#08x} `{}` {:?} earliest_issue {} wake {}",
+                    inst.seq,
+                    inst.rec.pc,
+                    inst.rec.inst,
+                    inst.status,
+                    inst.earliest_issue,
+                    deadline
+                )
+            })
+            .collect();
+        let queue_line = |name: &str, items: usize, next: u64| {
+            let next = if next == u64::MAX {
+                "-".to_string()
+            } else {
+                next.to_string()
+            };
+            format!("{name}: {items} queued, next due {next}")
+        };
+        let event_queues = vec![
+            queue_line(
+                "pending_writes",
+                self.pending_writes.items.len(),
+                self.pending_writes.next_due,
+            ),
+            queue_line(
+                "pending_fills",
+                self.pending_fills.items.len(),
+                self.pending_fills.next_due,
+            ),
+            queue_line(
+                "pending_bypass_decs",
+                self.pending_bypass_decs.items.len(),
+                self.pending_bypass_decs.next_due,
+            ),
+            queue_line(
+                "pending_retimes",
+                self.pending_retimes.items.len(),
+                self.pending_retimes.next_due,
+            ),
+            format!("squash_cycles: {:?}", self.squash_cycles),
+        ];
+        Box::new(DiagnosticDump {
+            cycle: self.now,
+            last_progress: self.last_progress,
+            retired: self.retired,
+            fetch_queue: self.fetch_queue.len(),
+            window_count: self.window_count,
+            rob_head,
+            event_queues,
+        })
+    }
+
+    /// End-of-cycle invariant audit (`check.invariants`). Read-only:
+    /// returns the first violation found, if any.
+    fn check_invariants(&self) -> Option<Box<InvariantViolation>> {
+        let cycle = self.now.saturating_sub(1);
+        let viol = |invariant: &'static str, detail: String| {
+            Some(Box::new(InvariantViolation {
+                cycle,
+                invariant,
+                detail,
+            }))
+        };
+        if self.sched.len() != self.rob.len() {
+            return viol(
+                "sched-rob-lockstep",
+                format!(
+                    "{} wake deadlines for {} rob entries",
+                    self.sched.len(),
+                    self.rob.len()
+                ),
             );
         }
-        self.finish()
+        let waiting = self
+            .rob
+            .iter()
+            .filter(|i| i.status == Status::Waiting)
+            .count();
+        if waiting != self.window_count {
+            return viol(
+                "window-count",
+                format!(
+                    "{waiting} waiting instructions but window_count={}",
+                    self.window_count
+                ),
+            );
+        }
+        let active = self.preg_info.iter().filter(|i| i.active).count();
+        if active + self.freelist.len() != self.config.phys_regs {
+            return viol(
+                "preg-accounting",
+                format!(
+                    "{active} live + {} free != {} physical registers",
+                    self.freelist.len(),
+                    self.config.phys_regs
+                ),
+            );
+        }
+        // Event queues drain monotonically: everything due by the cycle
+        // just completed must have been consumed by its processor.
+        let queues: [(&str, Option<u64>); 4] = [
+            (
+                "pending_writes",
+                self.pending_writes.items.iter().map(|e| e.0).min(),
+            ),
+            (
+                "pending_fills",
+                self.pending_fills.items.iter().map(|e| e.0).min(),
+            ),
+            (
+                "pending_bypass_decs",
+                self.pending_bypass_decs.items.iter().map(|e| e.0).min(),
+            ),
+            (
+                "pending_retimes",
+                self.pending_retimes.items.iter().map(|e| e.0).min(),
+            ),
+        ];
+        for (name, min_due) in queues {
+            if let Some(t) = min_due {
+                if t <= cycle {
+                    return viol(
+                        "event-drain",
+                        format!("{name} still holds an event due at cycle {t}"),
+                    );
+                }
+            }
+        }
+        if let Storage::Cached { cache, tracker, .. } = &self.storage {
+            if let Some(ck) = &self.checker {
+                if let Some(v) = ck.check_tracker(tracker, cycle) {
+                    return Some(v);
+                }
+                if let Some(v) = ck.check_cache(cache, tracker, cycle) {
+                    return Some(v);
+                }
+                for o in &ck.fill_obligations {
+                    if o.due <= cycle
+                        && self.preg_gen[o.preg as usize] == o.gen
+                        && self.preg_info[o.preg as usize].active
+                    {
+                        return viol(
+                            "fill-obligation",
+                            format!(
+                                "fill for p{} scheduled for cycle {} never applied",
+                                o.preg, o.due
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Lands armed faults whose target state exists this cycle.
+    fn apply_faults(&mut self, now: u64) {
+        let Some(mut inj) = self.injector.take() else {
+            return;
+        };
+        inj.arm(now);
+        let mut i = 0;
+        while i < inj.armed.len() {
+            let landed = match inj.armed[i] {
+                FaultKind::FlipUsePrediction => {
+                    let r = inj.next_u64() as usize;
+                    if let Storage::Cached { tracker, .. } = &mut self.storage {
+                        let n = self.config.phys_regs;
+                        (0..n).any(|k| tracker.corrupt_counter(PhysReg(((r + k) % n) as u16)))
+                    } else {
+                        false
+                    }
+                }
+                FaultKind::CorruptReplacement => {
+                    let r = inj.next_u64() as usize;
+                    if let Storage::Cached { cache, .. } = &mut self.storage {
+                        cache.corrupt_metadata(r).is_some()
+                    } else {
+                        false
+                    }
+                }
+                FaultKind::DropFill => {
+                    if self.pending_fills.items.is_empty() {
+                        false
+                    } else {
+                        let idx = (inj.next_u64() as usize) % self.pending_fills.items.len();
+                        self.pending_fills.items.swap_remove(idx);
+                        self.pending_fills.refresh_due();
+                        true
+                    }
+                }
+                // Lands on the fetch path when a correct-path record
+                // with a data result comes by.
+                FaultKind::CorruptRecord => false,
+            };
+            if landed {
+                inj.armed.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.injector = Some(inj);
     }
 
     fn cycle(&mut self) {
         let now = self.now;
+        if self.injector.is_some() {
+            self.apply_faults(now);
+        }
         self.process_retimes(now);
         self.process_cache_events(now);
         self.retire(now);
@@ -560,6 +839,9 @@ impl Simulator {
                     self.pending_fills.items.swap_remove(i);
                     if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
                         cache.fill(PhysReg(p), set, now);
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_fill_applied(p, gen);
+                        }
                     }
                 } else {
                     i += 1;
@@ -625,6 +907,12 @@ impl Simulator {
             }
             self.last_retired_seq = inst.seq;
             self.last_progress = now;
+            if let Some(oracle) = self.oracle.as_mut() {
+                if let Err(report) = oracle.check_retire(now, &inst.rec) {
+                    self.error = Some(Box::new(SimError::Divergence(report)));
+                    return;
+                }
+            }
             if inst.rec.inst == Inst::Halt {
                 self.halted = true;
                 return;
@@ -664,6 +952,9 @@ impl Simulator {
         }
         if let Some(lt) = &mut self.lifetimes {
             lt.record_value(info.alloc_time, info.write_time, info.last_use, now);
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_clear(p);
         }
         self.preg_info[p as usize] = PregInfo::EMPTY;
         self.preg_time[p as usize] = PregTime::UNKNOWN;
@@ -876,6 +1167,9 @@ impl Simulator {
                         // decision (§3.1).
                         tracker.consume(PhysReg(p));
                         self.preg_info[p as usize].pre_write_bypasses += 1;
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_consume(p);
+                        }
                     } else {
                         // Later stage: decrement the cache entry once
                         // the write has landed.
@@ -899,6 +1193,9 @@ impl Simulator {
                         let avail = backing.read(PhysReg(p), now + 1);
                         let gen = self.preg_gen[p as usize];
                         self.pending_fills.push(avail, (p, set, gen));
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_fill_scheduled(p, gen, avail);
+                        }
                         self.preg_time[p as usize].storage_avail = avail + 1;
                         self.mark_squash_cycle(now + 1);
                         self.miss_events += 1;
@@ -1161,6 +1458,13 @@ impl Simulator {
                         cfg.max_use_count,
                     );
                     let degree = tracker.predicted(PhysReg(p));
+                    if let Some(ck) = self.checker.as_mut() {
+                        ck.on_init(
+                            p,
+                            tracker.remaining(PhysReg(p)),
+                            tracker.is_pinned(PhysReg(p)),
+                        );
+                    }
                     info.predicted = degree;
                     info.set = assigner.assign(PhysReg(p), degree);
                     cache.produce(PhysReg(p));
@@ -1301,6 +1605,9 @@ impl Simulator {
     fn squash_free_preg(&mut self, p: u16, now: u64) {
         let info = self.preg_info[p as usize];
         debug_assert!(info.active, "squash-freeing an inactive preg");
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_clear(p);
+        }
         match &mut self.storage {
             Storage::Cached { cache, tracker, .. } => {
                 cache.free(PhysReg(p), info.set, now);
@@ -1332,15 +1639,23 @@ impl Simulator {
                 Ok(StepOutcome::Halted) | Err(_) => None,
             };
         }
-        match self.machine.step().expect("functional execution faulted") {
-            StepOutcome::Executed(r) => {
+        match self.machine.step() {
+            Ok(StepOutcome::Executed(r)) => {
                 if r.inst == Inst::Halt {
                     self.stream_done = true;
                 }
                 Some(r)
             }
-            StepOutcome::Halted => {
+            Ok(StepOutcome::Halted) => {
                 self.stream_done = true;
+                None
+            }
+            Err(e) => {
+                // A correct-path fault means the workload itself is
+                // broken; surface it as a structured error at the end
+                // of this cycle instead of panicking mid-fetch.
+                self.stream_done = true;
+                self.error = Some(Box::new(SimError::Emu(e)));
                 None
             }
         }
@@ -1367,7 +1682,17 @@ impl Simulator {
                 }
                 line = Some(this_line);
             }
-            let rec = self.take_record().expect("peeked");
+            let mut rec = self.take_record().expect("peeked");
+            if let Some(inj) = self.injector.as_mut() {
+                if inj.armed_for(FaultKind::CorruptRecord) && !self.wrong_path {
+                    if let Some(v) = rec.dest_val.filter(|_| rec.inst != Inst::Halt) {
+                        // Timing-neutral: `dest_val` never feeds the
+                        // timing model, so only the oracle can see this.
+                        rec.dest_val = Some(v ^ (1u64 << (inj.next_u64() % 64)));
+                        inj.disarm(FaultKind::CorruptRecord);
+                    }
+                }
+            }
             let hist = self.ghist;
             let mut mispredicted = false;
             let mut end_block = false;

@@ -14,4 +14,8 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== oracle-on smoke: Tiny suite with full runtime checking"
+cargo run --release -q -p ubrc-bench --bin experiments -- \
+  charstats --scale tiny --check --timeout 300 >/dev/null
+
 echo "all checks passed"

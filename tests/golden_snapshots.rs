@@ -94,17 +94,20 @@ fn cache_variants() -> Vec<(&'static str, RegCacheConfig)> {
     vec![("usebased", ub), ("lru", lru)]
 }
 
-fn capture() -> Vec<Snap> {
+fn capture(check: bool) -> Vec<Snap> {
     let mut snaps = Vec::new();
     for w in suite(Scale::Tiny) {
         for (idx_name, index) in INDEX_POLICIES {
             for (cache_name, cache) in cache_variants() {
-                let cfg = SimConfig::table1(RegStorage::Cached {
+                let mut cfg = SimConfig::table1(RegStorage::Cached {
                     cache,
                     index,
                     backing_read: 2,
                     backing_write: 2,
                 });
+                if check {
+                    cfg.check = ubrc::sim::CheckConfig::full();
+                }
                 let r = simulate_workload(&w, cfg);
                 let c = r.regcache.as_ref().expect("cached run has cache stats");
                 snaps.push(Snap {
@@ -128,7 +131,7 @@ fn capture() -> Vec<Snap> {
 
 #[test]
 fn sim_results_match_golden_snapshots() {
-    let actual = capture();
+    let actual = capture(false);
 
     if std::env::var_os("UBRC_BLESS").is_some() {
         let mut out = String::from(
@@ -159,6 +162,31 @@ fn sim_results_match_golden_snapshots() {
             g, a,
             "cycle-accuracy drift at {}/{} — the timing model changed; \
              rebless only if that is intentional",
+            a.kernel, a.config
+        );
+    }
+}
+
+/// The runtime checker (lockstep oracle + per-cycle invariants) must be
+/// observation-only: the same 96 cells, checked, must reproduce the
+/// goldens bit for bit.
+#[test]
+fn checked_sim_results_match_golden_snapshots() {
+    if std::env::var_os("UBRC_BLESS").is_some() {
+        return; // blessing is handled by the unchecked capture
+    }
+    let actual = capture(true);
+    let golden: Vec<Snap> = GOLDEN
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| Snap::parse(l).unwrap_or_else(|| panic!("malformed golden line: {l}")))
+        .collect();
+    assert_eq!(golden.len(), actual.len());
+    for (g, a) in golden.iter().zip(&actual) {
+        assert_eq!(
+            g, a,
+            "checked run diverged from goldens at {}/{} — the checker \
+             perturbed the timing model (it must be observation-only)",
             a.kernel, a.config
         );
     }
