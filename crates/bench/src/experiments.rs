@@ -814,6 +814,32 @@ pub fn synthetic_sweep(_scale: Scale) -> Result<Table, SuiteError> {
     Ok(t)
 }
 
+/// Extension: replacement-scorer comparison at the design point
+/// (64-entry, 2-way, filtered round-robin indexing). `expected-hit-count`
+/// is the first policy added through the [`ubrc_core::ReplacementScorer`]
+/// trait seam: identical to use-based fewest-remaining-uses except that
+/// fill-installed entries are floored at one expected hit — the miss
+/// that forced the fill is evidence the degree prediction undercounted
+/// (after Vakil Ghahani et al., "Making Belady-Inspired Replacement
+/// Policies More Effective Using Expected Hit Count").
+pub fn ehc(scale: Scale) -> Result<Table, SuiteError> {
+    let mut t = Table::new(["replacement", "geomean-ipc", "miss/operand %"]);
+    for (name, cache) in [
+        ("lru", RegCacheConfig::lru(64, 2)),
+        ("fewest-uses (paper)", RegCacheConfig::use_based(64, 2)),
+        (
+            "expected-hit-count",
+            RegCacheConfig::expected_hit_count(64, 2),
+        ),
+    ] {
+        let cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, 2);
+        let res = run_suite(&cfg, scale)?;
+        let miss = res.mean_of(|r| r.miss_rate_per_operand()).unwrap_or(0.0);
+        t.row_f64(name, [res.geomean_ipc(), miss * 100.0], 4);
+    }
+    Ok(t)
+}
+
 /// Every experiment, as `(id, description, runner)` triples, in paper
 /// order. The harness binary and the smoke tests iterate this. A
 /// failing run reports the offending workload via [`SuiteError`]
@@ -891,6 +917,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             extended,
         ),
         ("lsq", "store-to-load ordering cost (extension)", lsq),
+        (
+            "ehc",
+            "expected-hit-count replacement scorer (extension)",
+            ehc,
+        ),
         (
             "douse-size",
             "degree-of-use predictor capacity (extension)",

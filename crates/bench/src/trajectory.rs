@@ -61,6 +61,13 @@ pub fn trajectory_configs() -> Vec<(&'static str, SimConfig)> {
                 IndexPolicy::FilteredRoundRobin,
             ),
         ),
+        (
+            "ehc",
+            cached(
+                RegCacheConfig::expected_hit_count(64, 2),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
     ]
 }
 
@@ -166,6 +173,7 @@ mod tests {
             r#""total_sim_insts_per_sec":"#,
             r#""configs":["#,
             r#""name":"use-based""#,
+            r#""name":"ehc""#,
             r#""geomean_ipc":"#,
             r#""sim_insts_per_sec":"#,
             r#""kernels":["#,

@@ -1,4 +1,6 @@
-use crate::policy::{InsertionPolicy, RegCacheConfig, ReplacementPolicy};
+use crate::policy::{
+    InsertionContext, InsertionDecider, RegCacheConfig, ReplacementScorer, VictimView,
+};
 use crate::PhysReg;
 use ubrc_stats::TimeWeighted;
 
@@ -202,6 +204,10 @@ pub struct RegisterCache {
     per_preg: Vec<PregState>,
     stats: RegCacheStats,
     shadow: Option<Box<RegisterCache>>,
+    // The behavioral halves of `config.insertion` / `config.replacement`,
+    // instantiated once at construction (see `ubrc_core::policy`).
+    insertion: Box<dyn InsertionDecider>,
+    replacement: Box<dyn ReplacementScorer>,
 }
 
 impl RegisterCache {
@@ -230,6 +236,8 @@ impl RegisterCache {
             per_preg: vec![PregState::default(); num_pregs],
             stats: RegCacheStats::default(),
             shadow,
+            insertion: config.insertion.decider(),
+            replacement: config.replacement.scorer(),
         }
     }
 
@@ -241,6 +249,12 @@ impl RegisterCache {
     /// Accumulated statistics.
     pub fn stats(&self) -> &RegCacheStats {
         &self.stats
+    }
+
+    /// Consumes the cache and returns its accumulated statistics
+    /// without copying them (the simulator's end-of-run path).
+    pub fn into_stats(self) -> RegCacheStats {
+        self.stats
     }
 
     /// Number of currently valid entries.
@@ -255,12 +269,6 @@ impl RegisterCache {
         if let Some(s) = &mut self.shadow {
             s.finalize(now);
         }
-    }
-
-    fn set_slice(&mut self, set: u16) -> &mut [Entry] {
-        let s = set as usize % self.sets;
-        let w = self.config.ways;
-        &mut self.entries[s * w..(s + 1) * w]
     }
 
     fn find(&self, preg: PhysReg, set: u16) -> Option<usize> {
@@ -310,23 +318,31 @@ impl RegisterCache {
         debug_assert!(self.find(preg, set).is_none(), "double insert");
         self.tick += 1;
         let tick = self.tick;
-        let replacement = self.config.replacement;
-        let slice = self.set_slice(set);
-        let victim_idx = if let Some((i, _)) = slice.iter().enumerate().find(|(_, e)| !e.valid) {
+        let s = set as usize % self.sets;
+        let w = self.config.ways;
+        let base = s * w;
+        let slice = &self.entries[base..base + w];
+        let victim_idx = if let Some(i) = slice.iter().position(|e| !e.valid) {
             i
         } else {
+            let scorer = &*self.replacement;
             let (i, _) = slice
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, e)| match replacement {
-                    ReplacementPolicy::Lru => (false, 0u8, e.lru),
-                    ReplacementPolicy::FewestUses => (e.pinned, e.uses, e.lru),
+                .min_by_key(|(_, e)| {
+                    scorer.score(&VictimView {
+                        uses: e.uses,
+                        pinned: e.pinned,
+                        from_fill: e.from_fill,
+                        lru: e.lru,
+                        reads: e.reads,
+                    })
                 })
                 .expect("ways >= 1");
             i
         };
-        let victim = slice[victim_idx];
-        slice[victim_idx] = Entry {
+        let victim = self.entries[base + victim_idx];
+        self.entries[base + victim_idx] = Entry {
             preg: preg.0,
             uses,
             pinned,
@@ -369,11 +385,11 @@ impl RegisterCache {
         now: u64,
     ) -> WriteOutcome {
         self.stats.writes_attempted += 1;
-        let insert = match self.config.insertion {
-            InsertionPolicy::WriteAll => true,
-            InsertionPolicy::NonBypass => first_stage_bypasses == 0,
-            InsertionPolicy::UseBased => pinned || remaining > 0,
-        };
+        let insert = self.insertion.should_insert(&InsertionContext {
+            remaining,
+            pinned,
+            first_stage_bypasses,
+        });
         if !insert {
             self.stats.writes_filtered += 1;
             if let Some(s) = &mut self.shadow {
@@ -735,6 +751,34 @@ mod tests {
     }
 
     #[test]
+    fn expected_hit_count_spares_fill_entries() {
+        // One set of two ways, EHC replacement. A zero-use fill entry
+        // outranks a zero-use write entry, so the write entry is the
+        // victim — FewestUses would have evicted the *fill* entry (its
+        // older tie-break tick loses).
+        let mk = |cfg: RegCacheConfig| {
+            let mut c = RegisterCache::new(cfg, NPREGS);
+            c.produce(PhysReg(1));
+            c.write(PhysReg(1), 0, 0, false, 1, 1); // filtered
+            assert!(!c.read(PhysReg(1), 0, 2)); // miss
+            c.fill(PhysReg(1), 0, 3); // fill-installed, 0 uses
+            c.produce(PhysReg(2));
+            c.write(PhysReg(2), 0, 1, false, 0, 4);
+            assert!(c.read(PhysReg(2), 0, 5)); // preg 2 now 0 uses, newer tick
+            c.produce(PhysReg(3));
+            c.write(PhysReg(3), 0, 1, false, 0, 6); // forces an eviction
+            c
+        };
+        let ehc = mk(RegCacheConfig::expected_hit_count(2, 2));
+        assert!(ehc.contains(PhysReg(1)), "fill entry must survive");
+        assert!(!ehc.contains(PhysReg(2)));
+
+        let fu = mk(RegCacheConfig::use_based(2, 2));
+        assert!(!fu.contains(PhysReg(1)), "FewestUses evicts the older");
+        assert!(fu.contains(PhysReg(2)));
+    }
+
+    #[test]
     fn lru_replacement_ignores_use_counts() {
         let mut c = RegisterCache::new(RegCacheConfig::lru(2, 2), NPREGS);
         c.produce(PhysReg(1));
@@ -794,7 +838,6 @@ mod tests {
     fn miss_classification_not_written_vs_conflict_vs_capacity() {
         let mut cfg = RegCacheConfig::use_based(2, 1); // 2 sets, direct-mapped
         cfg.classify_misses = true;
-        cfg.insertion = InsertionPolicy::UseBased;
         let mut c = RegisterCache::new(cfg, NPREGS);
 
         // Not-written: filtered value.

@@ -6,11 +6,14 @@
 //! from
 //!
 //! * [`RegisterCache`] — a small set-associative cache over the physical
-//!   register file, with pluggable [`InsertionPolicy`] (write-all /
-//!   non-bypass / use-based) and [`ReplacementPolicy`] (LRU /
-//!   fewest-remaining-uses), per-entry remaining-use counters with
-//!   pinning, and miss classification (not-written / capacity /
-//!   conflict) against a fully-associative shadow;
+//!   register file, with pluggable policies behind the object-safe
+//!   [`InsertionDecider`] / [`ReplacementScorer`] traits (named at the
+//!   configuration level by [`InsertionPolicy`] and
+//!   [`ReplacementPolicy`]: write-all / non-bypass / use-based
+//!   insertion, LRU / fewest-remaining-uses / expected-hit-count
+//!   replacement), per-entry remaining-use counters with pinning, and
+//!   miss classification (not-written / capacity / conflict) against a
+//!   fully-associative shadow;
 //! * [`IndexAssigner`] — decoupled indexing: register-cache set indices
 //!   assigned at rename time, independent of the physical register tag,
 //!   by one of four policies ([`IndexPolicy`]);
@@ -53,7 +56,11 @@ mod usetrack;
 pub use backing::{BackingFile, BackingStats};
 pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome};
 pub use index::{IndexAssigner, IndexPolicy};
-pub use policy::{InsertionPolicy, RegCacheConfig, ReplacementPolicy};
+pub use policy::{
+    ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider, InsertionPolicy,
+    LruScorer, NonBypassInsertion, RegCacheConfig, ReplacementPolicy, ReplacementScorer,
+    UseBasedInsertion, VictimScore, VictimView, WriteAllInsertion,
+};
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};
 pub use usetrack::UseTracker;
 

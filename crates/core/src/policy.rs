@@ -1,5 +1,14 @@
+use std::fmt;
+
 /// Register-cache insertion policy: which produced values get written
 /// into the cache at all.
+///
+/// This enum is the *configuration-level* name of a policy — `Copy`,
+/// `Eq`, `Hash`, cheap to put in sweep matrices. The behavior itself
+/// lives behind the object-safe [`InsertionDecider`] trait;
+/// [`InsertionPolicy::decider`] is the factory connecting the two. New
+/// policies are added by implementing the trait and (optionally) naming
+/// them here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InsertionPolicy {
     /// Every produced value is written (Yung & Wilhelm's original
@@ -15,8 +24,23 @@ pub enum InsertionPolicy {
     UseBased,
 }
 
+impl InsertionPolicy {
+    /// Builds the decider implementing this policy.
+    pub fn decider(self) -> Box<dyn InsertionDecider> {
+        match self {
+            InsertionPolicy::WriteAll => Box::new(WriteAllInsertion),
+            InsertionPolicy::NonBypass => Box::new(NonBypassInsertion),
+            InsertionPolicy::UseBased => Box::new(UseBasedInsertion),
+        }
+    }
+}
+
 /// Register-cache replacement policy: which entry of a full set is
 /// evicted.
+///
+/// Like [`InsertionPolicy`], this is the configuration-level name; the
+/// behavior is an object-safe [`ReplacementScorer`] built by
+/// [`ReplacementPolicy::scorer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ReplacementPolicy {
     /// Least-recently-used entry.
@@ -25,6 +49,192 @@ pub enum ReplacementPolicy {
     /// entries are never chosen unless every entry in the set is pinned
     /// (§3.2).
     FewestUses,
+    /// Fewest *expected hits*: like [`ReplacementPolicy::FewestUses`],
+    /// but a fill-installed entry's expectation is floored at one — the
+    /// miss that refetched it is direct evidence the degree prediction
+    /// undercounted, so it likely has more unpredicted readers coming.
+    /// The observed-behavior-over-static-prediction idea follows Vakil
+    /// Ghahani et al., *Making Belady-Inspired Replacement Policies
+    /// More Effective Using Expected Hit Count*.
+    ExpectedHitCount,
+}
+
+impl ReplacementPolicy {
+    /// Builds the scorer implementing this policy.
+    pub fn scorer(self) -> Box<dyn ReplacementScorer> {
+        match self {
+            ReplacementPolicy::Lru => Box::new(LruScorer),
+            ReplacementPolicy::FewestUses => Box::new(FewestUsesScorer),
+            ReplacementPolicy::ExpectedHitCount => Box::new(ExpectedHitCountScorer),
+        }
+    }
+}
+
+/// Everything an insertion decision may consult about a produced value
+/// arriving at the cache-write port.
+#[derive(Clone, Copy, Debug)]
+pub struct InsertionContext {
+    /// Predicted uses still outstanding after first-stage bypasses were
+    /// deducted (from [`crate::UseTracker`]).
+    pub remaining: u8,
+    /// The predicted degree saturated the counter (§3.3): the value is
+    /// expected to be read many times and is pinned while cached.
+    pub pinned: bool,
+    /// Consumers already satisfied from the first bypass stage — the
+    /// only consumers visible to the write decision (§3.1).
+    pub first_stage_bypasses: u32,
+}
+
+/// Object-safe insertion decision: should this produced value occupy a
+/// cache entry at all?
+///
+/// Implementations must be pure functions of the context — the cache
+/// calls them on the configured write path and expects deterministic,
+/// state-free answers (determinism is what the golden-snapshot matrix
+/// pins).
+pub trait InsertionDecider: fmt::Debug + Send {
+    /// `true` to write the value into the cache, `false` to filter it.
+    fn should_insert(&self, ctx: &InsertionContext) -> bool;
+    /// Clones the decider behind the object (used by the shadow cache
+    /// and by cloning simulators).
+    fn clone_box(&self) -> Box<dyn InsertionDecider>;
+}
+
+impl Clone for Box<dyn InsertionDecider> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// What a replacement decision may consult about one candidate victim.
+#[derive(Clone, Copy, Debug)]
+pub struct VictimView {
+    /// Remaining-use counter of the entry.
+    pub uses: u8,
+    /// Entry is pinned (saturated predicted degree).
+    pub pinned: bool,
+    /// Entry was installed by a miss fill rather than the initial
+    /// write, so its counter carries the fill default instead of the
+    /// tracker's prediction.
+    pub from_fill: bool,
+    /// Last-touch tick for recency ordering (larger = more recent).
+    pub lru: u64,
+    /// Hits this entry has served since installation.
+    pub reads: u64,
+}
+
+/// A replacement preference key: the candidate with the *smallest* score
+/// in the set is evicted, compared lexicographically as
+/// `(keep_class, expected_value, recency)`. Ties fall back to the
+/// recency tick, which is unique, so victim selection is total and
+/// deterministic.
+pub type VictimScore = (bool, u64, u64);
+
+/// Object-safe replacement scoring: rank a full set's entries for
+/// eviction.
+///
+/// Implementations must be deterministic functions of the
+/// [`VictimView`]; the cache evicts the entry whose score is smallest.
+pub trait ReplacementScorer: fmt::Debug + Send {
+    /// Scores one candidate; the set's minimum is evicted.
+    fn score(&self, v: &VictimView) -> VictimScore;
+    /// Clones the scorer behind the object.
+    fn clone_box(&self) -> Box<dyn ReplacementScorer>;
+}
+
+impl Clone for Box<dyn ReplacementScorer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// [`InsertionPolicy::WriteAll`] as a decider.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteAllInsertion;
+
+impl InsertionDecider for WriteAllInsertion {
+    fn should_insert(&self, _ctx: &InsertionContext) -> bool {
+        true
+    }
+    fn clone_box(&self) -> Box<dyn InsertionDecider> {
+        Box::new(*self)
+    }
+}
+
+/// [`InsertionPolicy::NonBypass`] as a decider.
+#[derive(Clone, Copy, Debug)]
+pub struct NonBypassInsertion;
+
+impl InsertionDecider for NonBypassInsertion {
+    fn should_insert(&self, ctx: &InsertionContext) -> bool {
+        ctx.first_stage_bypasses == 0
+    }
+    fn clone_box(&self) -> Box<dyn InsertionDecider> {
+        Box::new(*self)
+    }
+}
+
+/// [`InsertionPolicy::UseBased`] as a decider (§3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct UseBasedInsertion;
+
+impl InsertionDecider for UseBasedInsertion {
+    fn should_insert(&self, ctx: &InsertionContext) -> bool {
+        ctx.pinned || ctx.remaining > 0
+    }
+    fn clone_box(&self) -> Box<dyn InsertionDecider> {
+        Box::new(*self)
+    }
+}
+
+/// [`ReplacementPolicy::Lru`] as a scorer: pure recency, blind to use
+/// counts and pinning.
+#[derive(Clone, Copy, Debug)]
+pub struct LruScorer;
+
+impl ReplacementScorer for LruScorer {
+    fn score(&self, v: &VictimView) -> VictimScore {
+        (false, 0, v.lru)
+    }
+    fn clone_box(&self) -> Box<dyn ReplacementScorer> {
+        Box::new(*self)
+    }
+}
+
+/// [`ReplacementPolicy::FewestUses`] as a scorer (§3.2): fewest
+/// remaining uses, LRU tie-break, pinned entries last.
+#[derive(Clone, Copy, Debug)]
+pub struct FewestUsesScorer;
+
+impl ReplacementScorer for FewestUsesScorer {
+    fn score(&self, v: &VictimView) -> VictimScore {
+        (v.pinned, v.uses as u64, v.lru)
+    }
+    fn clone_box(&self) -> Box<dyn ReplacementScorer> {
+        Box::new(*self)
+    }
+}
+
+/// [`ReplacementPolicy::ExpectedHitCount`] as a scorer: fewest
+/// *expected* hits. The expectation is the remaining-use counter, but
+/// an entry installed by a miss fill is floored at one expected hit —
+/// the fill proves the static prediction undercounted this value, so
+/// its `fill_default` counter (usually 0) understates its future.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpectedHitCountScorer;
+
+impl ReplacementScorer for ExpectedHitCountScorer {
+    fn score(&self, v: &VictimView) -> VictimScore {
+        let expected = if v.from_fill {
+            (v.uses as u64).max(1)
+        } else {
+            v.uses as u64
+        };
+        (v.pinned, expected, v.lru)
+    }
+    fn clone_box(&self) -> Box<dyn ReplacementScorer> {
+        Box::new(*self)
+    }
 }
 
 /// Full configuration of a [`crate::RegisterCache`].
@@ -87,6 +297,16 @@ impl RegCacheConfig {
         Self {
             insertion: InsertionPolicy::NonBypass,
             replacement: ReplacementPolicy::Lru,
+            ..Self::use_based(entries, ways)
+        }
+    }
+
+    /// The expected-hit-count extension: use-based insertion with
+    /// [`ReplacementPolicy::ExpectedHitCount`] replacement (fill-backed
+    /// entries are credited with at least one expected future hit).
+    pub fn expected_hit_count(entries: usize, ways: usize) -> Self {
+        Self {
+            replacement: ReplacementPolicy::ExpectedHitCount,
             ..Self::use_based(entries, ways)
         }
     }
@@ -154,5 +374,87 @@ mod tests {
     #[should_panic(expected = "divide into ways")]
     fn inconsistent_geometry_rejected() {
         let _ = RegCacheConfig::use_based(64, 3).sets();
+    }
+
+    fn view(uses: u8, pinned: bool, from_fill: bool, lru: u64) -> VictimView {
+        VictimView {
+            uses,
+            pinned,
+            from_fill,
+            lru,
+            reads: 0,
+        }
+    }
+
+    #[test]
+    fn deciders_match_their_enum_semantics() {
+        let ctx = |remaining, pinned, first_stage_bypasses| InsertionContext {
+            remaining,
+            pinned,
+            first_stage_bypasses,
+        };
+        let write_all = InsertionPolicy::WriteAll.decider();
+        assert!(write_all.should_insert(&ctx(0, false, 5)));
+
+        let non_bypass = InsertionPolicy::NonBypass.decider();
+        assert!(non_bypass.should_insert(&ctx(0, false, 0)));
+        assert!(!non_bypass.should_insert(&ctx(3, false, 1)));
+
+        let use_based = InsertionPolicy::UseBased.decider();
+        assert!(use_based.should_insert(&ctx(1, false, 4)));
+        assert!(use_based.should_insert(&ctx(0, true, 4)));
+        assert!(!use_based.should_insert(&ctx(0, false, 1)));
+    }
+
+    #[test]
+    fn scorers_rank_victims_like_their_enum_semantics() {
+        let lru = ReplacementPolicy::Lru.scorer();
+        // Pure recency: a pinned high-use entry with an older tick loses.
+        assert!(lru.score(&view(7, true, false, 1)) < lru.score(&view(0, false, false, 2)));
+
+        let fu = ReplacementPolicy::FewestUses.scorer();
+        assert!(fu.score(&view(0, false, false, 9)) < fu.score(&view(1, false, false, 1)));
+        // Pinned entries are only chosen when everything is pinned.
+        assert!(fu.score(&view(7, false, false, 9)) < fu.score(&view(0, true, false, 1)));
+    }
+
+    #[test]
+    fn expected_hit_count_floors_fill_entries_at_one() {
+        let ehc = ReplacementPolicy::ExpectedHitCount.scorer();
+        let fu = ReplacementPolicy::FewestUses.scorer();
+        // A zero-use write-installed entry is a better victim than a
+        // zero-use fill-installed one (the fill is evidence of future
+        // hits); FewestUses cannot tell them apart.
+        let dead_write = view(0, false, false, 5);
+        let dead_fill = view(0, false, true, 1);
+        assert!(ehc.score(&dead_write) < ehc.score(&dead_fill));
+        assert!(fu.score(&dead_fill) < fu.score(&dead_write));
+        // Above zero the floor is inert: counters dominate as usual.
+        assert!(ehc.score(&view(1, false, true, 9)) < ehc.score(&view(2, false, false, 1)));
+    }
+
+    #[test]
+    fn boxed_policies_clone_and_stay_deterministic() {
+        let scorer = ReplacementPolicy::ExpectedHitCount.scorer();
+        let cloned = scorer.clone();
+        let v = view(3, false, true, 17);
+        assert_eq!(scorer.score(&v), cloned.score(&v));
+
+        let decider = InsertionPolicy::UseBased.decider();
+        let cloned = decider.clone();
+        let c = InsertionContext {
+            remaining: 0,
+            pinned: true,
+            first_stage_bypasses: 2,
+        };
+        assert_eq!(decider.should_insert(&c), cloned.should_insert(&c));
+    }
+
+    #[test]
+    fn expected_hit_count_preset() {
+        let c = RegCacheConfig::expected_hit_count(64, 2);
+        assert_eq!(c.insertion, InsertionPolicy::UseBased);
+        assert_eq!(c.replacement, ReplacementPolicy::ExpectedHitCount);
+        assert_eq!(c.sets(), 32);
     }
 }

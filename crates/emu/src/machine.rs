@@ -82,7 +82,7 @@ struct SpecCheckpoint {
 /// See the crate docs for an end-to-end example.
 #[derive(Clone)]
 pub struct Machine {
-    program: Program,
+    program: std::sync::Arc<Program>,
     mem: Vec<u8>,
     int_regs: [u64; 32],
     fp_regs: [f64; 32],
@@ -137,6 +137,19 @@ impl Machine {
     /// Returns [`EmuError::ProgramTooLarge`] when the program's data
     /// segment extends past `mem_size`.
     pub fn try_with_mem_size(program: Program, mem_size: usize) -> Result<Self, EmuError> {
+        Self::from_shared(std::sync::Arc::new(program), mem_size)
+    }
+
+    /// Creates a fresh machine — initial architectural state, memory
+    /// reloaded from the data segment — over the *same* program, shared
+    /// rather than deep-copied. This is how the lockstep oracle gets
+    /// its second machine without duplicating the instruction stream.
+    pub fn fork_fresh(&self) -> Self {
+        Self::from_shared(std::sync::Arc::clone(&self.program), self.mem.len())
+            .expect("the source machine already loaded this program")
+    }
+
+    fn from_shared(program: std::sync::Arc<Program>, mem_size: usize) -> Result<Self, EmuError> {
         let mut mem = vec![0u8; mem_size];
         let base = program.data_base as usize;
         let end = base + program.data.len();

@@ -51,6 +51,19 @@ impl ReturnAddressStack {
         self.depth = (self.depth + 1).min(self.entries.len());
     }
 
+    /// Copies another stack's state into this one, reusing the
+    /// existing storage (no allocation). Used for the wrong-path fetch
+    /// checkpoint, which is saved on every mispredicted branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stacks have different capacities.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.entries.copy_from_slice(&other.entries);
+        self.top = other.top;
+        self.depth = other.depth;
+    }
+
     /// Pops the predicted return target, or `None` when empty.
     pub fn pop(&mut self) -> Option<u64> {
         if self.depth == 0 {

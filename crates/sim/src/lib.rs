@@ -27,6 +27,7 @@ mod config;
 mod inject;
 mod oracle;
 mod pipeline;
+mod stage;
 mod stats;
 pub mod trace;
 

@@ -13,7 +13,6 @@
 use crate::check::{DivergenceReport, RetiredEvent};
 use std::collections::VecDeque;
 use ubrc_emu::{ExecRecord, Machine, StepOutcome};
-use ubrc_isa::Program;
 
 /// How many retirements the divergence report replays.
 const HISTORY: usize = 8;
@@ -24,9 +23,12 @@ pub(crate) struct Oracle {
 }
 
 impl Oracle {
-    pub(crate) fn new(program: Program) -> Self {
+    /// Builds the oracle as a fresh fork of the pipeline's own machine:
+    /// same (shared) program, initial architectural state, no deep copy
+    /// of the instruction stream.
+    pub(crate) fn for_machine(machine: &Machine) -> Self {
         Self {
-            machine: Machine::new(program),
+            machine: machine.fork_fresh(),
             recent: VecDeque::with_capacity(HISTORY),
         }
     }

@@ -1,12 +1,19 @@
 //! The cycle-level out-of-order pipeline model.
 //!
 //! Execution-driven, functional-first: the emulator (`ubrc-emu`) runs
-//! ahead and supplies [`ExecRecord`]s; this model charges cycles. The
-//! pipeline implements the machine of Table 1 — 8-wide fetch with one
-//! taken branch per block, an 11-stage front end, a 128-entry issue
-//! window with oldest-ready-first issue, 512 physical registers, a
-//! two-stage bypass network, the Alpha-21264-style register-cache miss
-//! replay model (§5.2), and retirement at 8 per cycle (≤2 stores).
+//! ahead and supplies [`ExecRecord`](ubrc_emu::ExecRecord)s; this model
+//! charges cycles. The pipeline implements the machine of Table 1 —
+//! 8-wide fetch with one taken branch per block, an 11-stage front end,
+//! a 128-entry issue window with oldest-ready-first issue, 512 physical
+//! registers, a two-stage bypass network, the Alpha-21264-style
+//! register-cache miss replay model (§5.2), and retirement at 8 per
+//! cycle (≤2 stores).
+//!
+//! The stage logic itself lives in the [`crate::stage`] modules
+//! (`fetch`, `rename`, `issue`, `execute`, `retire`, `squash`), each an
+//! `impl` block over the shared `CoreState`; one cycle is the
+//! declarative stage schedule (`stage::SCHEDULE`). This module owns
+//! construction and the run loop.
 //!
 //! Timing rules (derived from Figure 3; see DESIGN.md):
 //!
@@ -20,308 +27,27 @@
 //!   cycle and fetches the value through the backing file's single
 //!   read port, waiting out the producer's backing-file write.
 
-use crate::check::{Checker, DiagnosticDump, InvariantViolation, SimError};
-use crate::config::{BranchPredictorKind, FuPools, RegStorage, SimConfig};
-use crate::inject::{FaultKind, Injector};
+use crate::check::{Checker, SimError};
+use crate::config::{BranchPredictorKind, RegStorage, SimConfig};
+use crate::inject::Injector;
 use crate::oracle::Oracle;
+use crate::stage::{CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, Storage};
 use crate::stats::{LifetimeCollector, SimResult};
-use crate::trace::{InstTrace, OperandPath, Timeline};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use ubrc_core::{BackingFile, IndexAssigner, PhysReg, RegisterCache, TwoLevelFile, UseTracker};
-use ubrc_emu::{ExecRecord, Machine, StepOutcome};
+use ubrc_emu::Machine;
 use ubrc_frontend::{
     Bimodal, CascadingIndirect, DegreeOfUsePredictor, DirectionPredictor, GlobalHistory, Gshare,
     ReturnAddressStack, Yags,
 };
-use ubrc_isa::{ExecClass, Inst, Program};
+use ubrc_isa::Program;
 use ubrc_memsys::MemSys;
 
-/// Per-value timing: when consumers may issue against this physical
-/// register.
-#[derive(Clone, Copy, Debug)]
-struct PregTime {
-    known: bool,
-    bypass_start: u64,
-    bypass_end: u64,
-    storage_avail: u64,
-}
-
-impl PregTime {
-    const UNKNOWN: PregTime = PregTime {
-        known: false,
-        bypass_start: 0,
-        bypass_end: 0,
-        storage_avail: 0,
-    };
-    /// Available-from-storage-forever (initial architectural values).
-    const ANCIENT: PregTime = PregTime {
-        known: true,
-        bypass_start: 0,
-        bypass_end: 0,
-        storage_avail: 0,
-    };
-
-    fn operand_ready(&self, now: u64) -> bool {
-        self.known
-            && now >= self.bypass_start
-            && (now <= self.bypass_end || now >= self.storage_avail)
-    }
-
-    fn on_bypass(&self, now: u64) -> bool {
-        now >= self.bypass_start && now <= self.bypass_end
-    }
-
-    /// Earliest cycle `>= t` at which the operand is readable.
-    ///
-    /// A lower bound, not a promise: the producer's timing can only be
-    /// revised *later* (load-miss retimes, register-cache misses), so a
-    /// consumer woken here re-checks and re-keys itself if needed.
-    fn next_ready_at(&self, t: u64) -> u64 {
-        if t < self.bypass_start {
-            self.bypass_start
-        } else if t <= self.bypass_end {
-            t
-        } else {
-            t.max(self.storage_avail)
-        }
-    }
-}
-
-/// Deferred timed events with an O(1) "anything due?" fast path, so
-/// quiet cycles skip the scan entirely.
-///
-/// Firing cycles run the exact same index/`swap_remove` scan the model
-/// has always used (the within-cycle processing order is part of the
-/// golden-snapshot contract); only the no-op scans are elided.
-struct EventQueue<T> {
-    items: Vec<(u64, T)>,
-    next_due: u64,
-}
-
-impl<T> EventQueue<T> {
-    fn new() -> Self {
-        EventQueue {
-            items: Vec::new(),
-            next_due: u64::MAX,
-        }
-    }
-
-    fn push(&mut self, at: u64, event: T) {
-        self.next_due = self.next_due.min(at);
-        self.items.push((at, event));
-    }
-
-    fn due(&self, now: u64) -> bool {
-        now >= self.next_due
-    }
-
-    fn refresh_due(&mut self) {
-        self.next_due = self.items.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
-    }
-}
-
-/// Per-value lifecycle bookkeeping.
-#[derive(Clone, Copy, Debug)]
-struct PregInfo {
-    producer_pc: u64,
-    producer_hist: GlobalHistory,
-    trainable: bool,
-    consumers_renamed: u32,
-    consumers_outstanding: u32,
-    set: u16,
-    predicted: u8,
-    pre_write_bypasses: u32,
-    alloc_time: u64,
-    write_time: u64,
-    last_use: u64,
-    reassigned_seq: Option<u64>,
-    active: bool,
-}
-
-impl PregInfo {
-    const EMPTY: PregInfo = PregInfo {
-        producer_pc: 0,
-        producer_hist: GlobalHistory::new(),
-        trainable: false,
-        consumers_renamed: 0,
-        consumers_outstanding: 0,
-        set: 0,
-        predicted: 0,
-        pre_write_bypasses: 0,
-        alloc_time: 0,
-        write_time: 0,
-        last_use: 0,
-        reassigned_seq: None,
-        active: false,
-    };
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Status {
-    Waiting,
-    Issued,
-}
-
-#[derive(Clone, Debug)]
-struct DynInst {
-    seq: u64,
-    rec: ExecRecord,
-    class: ExecClass,
-    srcs: [Option<u16>; 2],
-    dest: Option<u16>,
-    prev: Option<u16>,
-    status: Status,
-    earliest_issue: u64,
-    exec_done: u64,
-    fetch_cycle: u64,
-    mispredicted: bool,
-    wrong_path: bool,
-}
-
-#[derive(Clone, Debug)]
-struct FetchedEntry {
-    rec: ExecRecord,
-    ready_at: u64,
-    fetch_cycle: u64,
-    hist: GlobalHistory,
-    mispredicted: bool,
-    /// The speculatively-fetched wrong target of a mispredicted branch
-    /// (begins wrong-path fetch when the entry is created).
-    wrong_path: bool,
-}
-
-// One `Storage` exists per simulator and it is accessed on every
-// operand read in the issue loop; boxing the cached variants would
-// trade this one-time size imbalance for a pointer chase on the hot
-// path.
-#[allow(clippy::large_enum_variant)]
-enum Storage {
-    Monolithic {
-        write_latency: u32,
-    },
-    Cached {
-        cache: RegisterCache,
-        backing: BackingFile,
-        assigner: IndexAssigner,
-        tracker: UseTracker,
-    },
-    TwoLevel {
-        file: TwoLevelFile,
-    },
-}
-
-/// The simulator: pipeline state plus all substrate models.
+/// The simulator: the shared pipeline core plus the run loop.
 pub struct Simulator {
-    config: SimConfig,
-    machine: Machine,
-    stream_done: bool,
-    peeked: Option<ExecRecord>,
-
-    now: u64,
-    seq: u64,
-    retired: u64,
-    last_retired_seq: u64,
-    last_progress: u64,
-    halted: bool,
-
-    // Front end.
-    fetch_resume: u64,
-    waiting_on_branch: Option<u64>, // seq of unresolved mispredicted control inst
-    // Wrong-path (speculative) fetch state: set when fetch follows a
-    // mispredicted branch's predicted target; cleared by the squash at
-    // resolution.
-    wrong_path: bool,
-    wp_resolve_seq: Option<u64>,
-    wp_map_checkpoint: Option<Vec<u16>>,
-    wp_ghist: GlobalHistory,
-    wp_ras: Option<ReturnAddressStack>,
-    wp_squashed: u64,
-    fetch_queue: VecDeque<FetchedEntry>,
-    ghist: GlobalHistory,
-    branch_pred: DirectionPredictor,
-    ras: ReturnAddressStack,
-    indirect: CascadingIndirect,
-    douse: DegreeOfUsePredictor,
-    halt_fetched: bool,
-
-    // Rename.
-    map: Vec<u16>, // arch reg -> preg
-    freelist: Vec<u16>,
-    preg_time: Vec<PregTime>,
-    preg_info: Vec<PregInfo>,
-
-    // Window / ROB.
-    rob: VecDeque<DynInst>,
-    window_count: usize,
-
-    // Event-driven wake-up/select. `sched[i]` is `rob[i]`'s wake
-    // deadline: the earliest cycle its operands could be ready, a lower
-    // bound derived from its sources' `PregTime`, or `u64::MAX` once it
-    // has issued or while it is parked on a producer whose timing is
-    // unknown (re-armed from `preg_waiters` when the producer issues).
-    // Kept as a dense parallel array so the per-cycle select scan
-    // filters the whole window on one word per slot instead of walking
-    // the fat `DynInst` entries.
-    sched: VecDeque<u64>,
-    preg_waiters: Vec<Vec<u64>>,
-    // Reused per-cycle scratch (hoisted allocations).
-    due_buf: Vec<usize>,
-    selected_buf: Vec<(u64, usize)>,
-    squash_buf: Vec<DynInst>,
-
-    // Storage under test.
-    storage: Storage,
-    read_latency: u32,
-
-    // Deferred register-cache events: time -> (preg, set, generation).
-    // The generation guards against a physical register being freed and
-    // reallocated before a stale event fires (possible when a producer
-    // retires in the same cycle its cache write is scheduled).
-    pending_writes: EventQueue<(u16, u16, u32)>,
-    pending_fills: EventQueue<(u16, u16, u32)>,
-    pending_bypass_decs: EventQueue<(u16, u16, u32)>,
-    preg_gen: Vec<u32>,
-
-    // Replay model: issue groups in these cycles are squashed (register
-    // cache misses and load-hit mis-speculations both land here). A
-    // handful of near-future cycles at most, so a plain vec beats a
-    // hash set.
-    squash_cycles: Vec<u64>,
-    // Load-hit speculation: detect_time -> (preg, gen, true timing) —
-    // the destination's advertised timing is corrected at detection.
-    pending_retimes: EventQueue<(u16, u32, PregTime)>,
-    load_replay_squashes: u64,
-
-    // Memory disambiguation: in-flight stores per 8-byte granule, in
-    // program order -> (seq, exec_done once issued).
-    store_granules: std::collections::HashMap<u64, Vec<(u64, Option<u64>)>>,
-    store_forward_stalls: u64,
-
-    memsys: MemSys,
-
-    // Statistics.
-    cond_branches: u64,
-    branch_mispredicts: u64,
-    indirect_branches: u64,
-    indirect_mispredicts: u64,
-    replayed: u64,
-    miss_events: u64,
-    dispatch_stall_pregs: u64,
-    operands_bypassed: u64,
-    operands_from_storage: u64,
-    lifetimes: Option<LifetimeCollector>,
-    trace: Vec<InstTrace>,
-
-    // Runtime checking and fault injection (`SimConfig::check` /
-    // `SimConfig::fault_plan`). All observation-only except the
-    // injector, whose whole point is corrupting live state.
-    oracle: Option<Oracle>,
-    checker: Option<Checker>,
-    injector: Option<Injector>,
-    error: Option<Box<SimError>>,
-    cancel: Option<Arc<AtomicBool>>,
+    pub(crate) core: CoreState,
 }
 
 impl Simulator {
@@ -340,7 +66,11 @@ impl Simulator {
         );
         assert!(config.issue_width > 0 && config.fetch_width > 0);
 
-        let oracle = config.check.oracle.then(|| Oracle::new(program.clone()));
+        let machine = Machine::new(program);
+        // The oracle forks the pipeline's machine: same shared program,
+        // fresh architectural state — no deep copy of the instruction
+        // stream.
+        let oracle = config.check.oracle.then(|| Oracle::for_machine(&machine));
         let mut checker = config.check.invariants.then(|| Checker::new(npregs));
         let injector = config.fault_plan.as_ref().map(Injector::new);
 
@@ -413,8 +143,8 @@ impl Simulator {
         let lifetimes = config.collect_lifetimes.then(LifetimeCollector::new);
         let memsys = MemSys::new(config.memsys);
         let douse = DegreeOfUsePredictor::new(config.douse);
-        Self {
-            machine: Machine::new(program),
+        let core = CoreState {
+            machine,
             stream_done: false,
             peeked: None,
             now: 0,
@@ -427,11 +157,13 @@ impl Simulator {
             waiting_on_branch: None,
             wrong_path: false,
             wp_resolve_seq: None,
-            wp_map_checkpoint: None,
+            wp_map_checkpoint: Vec::new(),
+            wp_map_saved: false,
             wp_ghist: GlobalHistory::new(),
-            wp_ras: None,
+            wp_ras: ReturnAddressStack::default(),
+            wp_ras_saved: false,
             wp_squashed: 0,
-            fetch_queue: VecDeque::new(),
+            fetch_latch: FetchLatch::new(),
             ghist: GlobalHistory::new(),
             branch_pred: match config.branch_predictor {
                 BranchPredictorKind::NotTaken => DirectionPredictor::AlwaysNotTaken,
@@ -456,12 +188,9 @@ impl Simulator {
             squash_buf: Vec::new(),
             storage,
             read_latency,
-            pending_writes: EventQueue::new(),
-            pending_fills: EventQueue::new(),
-            pending_bypass_decs: EventQueue::new(),
+            events: EventLatch::new(),
+            replay: ReplayLatch::new(),
             preg_gen: vec![0; npregs],
-            squash_cycles: Vec::new(),
-            pending_retimes: EventQueue::new(),
             load_replay_squashes: 0,
             store_granules: std::collections::HashMap::new(),
             store_forward_stalls: 0,
@@ -483,7 +212,8 @@ impl Simulator {
             error: None,
             cancel: None,
             config,
-        }
+        };
+        Self { core }
     }
 
     /// Installs a cancellation flag polled periodically by
@@ -491,7 +221,7 @@ impl Simulator {
     /// [`SimError::Cancelled`]. Used by the bench runner's wall-clock
     /// timeout so a hung configuration's worker thread can be reaped.
     pub fn set_cancel(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(flag);
+        self.core.cancel = Some(flag);
     }
 
     /// Runs the simulation to completion (program halt or the
@@ -517,1328 +247,33 @@ impl Simulator {
     ///
     /// Returns the first [`SimError`] encountered; the simulation
     /// cannot be resumed afterwards.
-    pub fn run_checked(mut self) -> Result<SimResult, Box<SimError>> {
-        let budget = if self.config.max_instructions == 0 {
+    pub fn run_checked(self) -> Result<SimResult, Box<SimError>> {
+        let mut core = self.core;
+        let budget = if core.config.max_instructions == 0 {
             u64::MAX
         } else {
-            self.config.max_instructions
+            core.config.max_instructions
         };
-        let watchdog = self.config.check.watchdog_cycles.max(1);
-        while !self.halted && self.retired < budget {
-            self.cycle();
-            if let Some(e) = self.error.take() {
+        let watchdog = core.config.check.watchdog_cycles.max(1);
+        while !core.halted && core.retired < budget {
+            core.cycle();
+            if let Some(e) = core.error.take() {
                 return Err(e);
             }
-            if self.checker.is_some() {
-                if let Some(v) = self.check_invariants() {
+            if core.checker.is_some() {
+                if let Some(v) = core.check_invariants() {
                     return Err(Box::new(SimError::Invariant(v)));
                 }
             }
-            if self.now - self.last_progress >= watchdog {
-                return Err(Box::new(SimError::Watchdog(self.diagnostic_dump())));
+            if core.now - core.last_progress >= watchdog {
+                return Err(Box::new(SimError::Watchdog(core.diagnostic_dump())));
             }
-            if let Some(flag) = &self.cancel {
-                if self.now & 0x3FF == 0 && flag.load(Ordering::Relaxed) {
-                    return Err(Box::new(SimError::Cancelled { cycle: self.now }));
+            if let Some(flag) = &core.cancel {
+                if core.now & 0x3FF == 0 && flag.load(Ordering::Relaxed) {
+                    return Err(Box::new(SimError::Cancelled { cycle: core.now }));
                 }
             }
         }
-        Ok(self.finish())
-    }
-
-    /// Snapshot of the stuck machine for the watchdog report.
-    fn diagnostic_dump(&self) -> Box<DiagnosticDump> {
-        let rob_head = self
-            .rob
-            .iter()
-            .enumerate()
-            .take(8)
-            .map(|(i, inst)| {
-                let deadline = match self.sched.get(i) {
-                    Some(&u64::MAX) | None => "-".to_string(),
-                    Some(&t) => t.to_string(),
-                };
-                format!(
-                    "seq {:>8} pc {:#08x} `{}` {:?} earliest_issue {} wake {}",
-                    inst.seq,
-                    inst.rec.pc,
-                    inst.rec.inst,
-                    inst.status,
-                    inst.earliest_issue,
-                    deadline
-                )
-            })
-            .collect();
-        let queue_line = |name: &str, items: usize, next: u64| {
-            let next = if next == u64::MAX {
-                "-".to_string()
-            } else {
-                next.to_string()
-            };
-            format!("{name}: {items} queued, next due {next}")
-        };
-        let event_queues = vec![
-            queue_line(
-                "pending_writes",
-                self.pending_writes.items.len(),
-                self.pending_writes.next_due,
-            ),
-            queue_line(
-                "pending_fills",
-                self.pending_fills.items.len(),
-                self.pending_fills.next_due,
-            ),
-            queue_line(
-                "pending_bypass_decs",
-                self.pending_bypass_decs.items.len(),
-                self.pending_bypass_decs.next_due,
-            ),
-            queue_line(
-                "pending_retimes",
-                self.pending_retimes.items.len(),
-                self.pending_retimes.next_due,
-            ),
-            format!("squash_cycles: {:?}", self.squash_cycles),
-        ];
-        Box::new(DiagnosticDump {
-            cycle: self.now,
-            last_progress: self.last_progress,
-            retired: self.retired,
-            fetch_queue: self.fetch_queue.len(),
-            window_count: self.window_count,
-            rob_head,
-            event_queues,
-        })
-    }
-
-    /// End-of-cycle invariant audit (`check.invariants`). Read-only:
-    /// returns the first violation found, if any.
-    fn check_invariants(&self) -> Option<Box<InvariantViolation>> {
-        let cycle = self.now.saturating_sub(1);
-        let viol = |invariant: &'static str, detail: String| {
-            Some(Box::new(InvariantViolation {
-                cycle,
-                invariant,
-                detail,
-            }))
-        };
-        if self.sched.len() != self.rob.len() {
-            return viol(
-                "sched-rob-lockstep",
-                format!(
-                    "{} wake deadlines for {} rob entries",
-                    self.sched.len(),
-                    self.rob.len()
-                ),
-            );
-        }
-        let waiting = self
-            .rob
-            .iter()
-            .filter(|i| i.status == Status::Waiting)
-            .count();
-        if waiting != self.window_count {
-            return viol(
-                "window-count",
-                format!(
-                    "{waiting} waiting instructions but window_count={}",
-                    self.window_count
-                ),
-            );
-        }
-        let active = self.preg_info.iter().filter(|i| i.active).count();
-        if active + self.freelist.len() != self.config.phys_regs {
-            return viol(
-                "preg-accounting",
-                format!(
-                    "{active} live + {} free != {} physical registers",
-                    self.freelist.len(),
-                    self.config.phys_regs
-                ),
-            );
-        }
-        // Event queues drain monotonically: everything due by the cycle
-        // just completed must have been consumed by its processor.
-        let queues: [(&str, Option<u64>); 4] = [
-            (
-                "pending_writes",
-                self.pending_writes.items.iter().map(|e| e.0).min(),
-            ),
-            (
-                "pending_fills",
-                self.pending_fills.items.iter().map(|e| e.0).min(),
-            ),
-            (
-                "pending_bypass_decs",
-                self.pending_bypass_decs.items.iter().map(|e| e.0).min(),
-            ),
-            (
-                "pending_retimes",
-                self.pending_retimes.items.iter().map(|e| e.0).min(),
-            ),
-        ];
-        for (name, min_due) in queues {
-            if let Some(t) = min_due {
-                if t <= cycle {
-                    return viol(
-                        "event-drain",
-                        format!("{name} still holds an event due at cycle {t}"),
-                    );
-                }
-            }
-        }
-        if let Storage::Cached { cache, tracker, .. } = &self.storage {
-            if let Some(ck) = &self.checker {
-                if let Some(v) = ck.check_tracker(tracker, cycle) {
-                    return Some(v);
-                }
-                if let Some(v) = ck.check_cache(cache, tracker, cycle) {
-                    return Some(v);
-                }
-                for o in &ck.fill_obligations {
-                    if o.due <= cycle
-                        && self.preg_gen[o.preg as usize] == o.gen
-                        && self.preg_info[o.preg as usize].active
-                    {
-                        return viol(
-                            "fill-obligation",
-                            format!(
-                                "fill for p{} scheduled for cycle {} never applied",
-                                o.preg, o.due
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    /// Lands armed faults whose target state exists this cycle.
-    fn apply_faults(&mut self, now: u64) {
-        let Some(mut inj) = self.injector.take() else {
-            return;
-        };
-        inj.arm(now);
-        let mut i = 0;
-        while i < inj.armed.len() {
-            let landed = match inj.armed[i] {
-                FaultKind::FlipUsePrediction => {
-                    let r = inj.next_u64() as usize;
-                    if let Storage::Cached { tracker, .. } = &mut self.storage {
-                        let n = self.config.phys_regs;
-                        (0..n).any(|k| tracker.corrupt_counter(PhysReg(((r + k) % n) as u16)))
-                    } else {
-                        false
-                    }
-                }
-                FaultKind::CorruptReplacement => {
-                    let r = inj.next_u64() as usize;
-                    if let Storage::Cached { cache, .. } = &mut self.storage {
-                        cache.corrupt_metadata(r).is_some()
-                    } else {
-                        false
-                    }
-                }
-                FaultKind::DropFill => {
-                    if self.pending_fills.items.is_empty() {
-                        false
-                    } else {
-                        let idx = (inj.next_u64() as usize) % self.pending_fills.items.len();
-                        self.pending_fills.items.swap_remove(idx);
-                        self.pending_fills.refresh_due();
-                        true
-                    }
-                }
-                // Lands on the fetch path when a correct-path record
-                // with a data result comes by.
-                FaultKind::CorruptRecord => false,
-            };
-            if landed {
-                inj.armed.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
-        self.injector = Some(inj);
-    }
-
-    fn cycle(&mut self) {
-        let now = self.now;
-        if self.injector.is_some() {
-            self.apply_faults(now);
-        }
-        self.process_retimes(now);
-        self.process_cache_events(now);
-        self.retire(now);
-        self.issue(now);
-        self.dispatch(now);
-        self.fetch(now);
-        if let Storage::TwoLevel { file } = &mut self.storage {
-            file.tick();
-        }
-        self.now += 1;
-    }
-
-    // ----- load-hit speculation -----------------------------------------
-
-    /// Corrects the advertised readiness of load results whose L1-hit
-    /// assumption just failed: dependents that have not issued yet wait
-    /// for the true latency (those in the shadow were squashed when the
-    /// miss was detected).
-    fn process_retimes(&mut self, now: u64) {
-        if !self.pending_retimes.due(now) {
-            return;
-        }
-        let mut i = 0;
-        while i < self.pending_retimes.items.len() {
-            let (t, (p, gen, timing)) = self.pending_retimes.items[i];
-            if t == now {
-                self.pending_retimes.items.swap_remove(i);
-                if self.preg_gen[p as usize] == gen {
-                    self.preg_time[p as usize] = timing;
-                }
-            } else {
-                i += 1;
-            }
-        }
-        self.pending_retimes.refresh_due();
-    }
-
-    // ----- deferred register-cache events ------------------------------
-
-    fn process_cache_events(&mut self, now: u64) {
-        let Storage::Cached { cache, tracker, .. } = &mut self.storage else {
-            return;
-        };
-        // Initial writes the cycle after execution completes.
-        if self.pending_writes.due(now) {
-            let mut i = 0;
-            while i < self.pending_writes.items.len() {
-                let (t, (p, set, gen)) = self.pending_writes.items[i];
-                if t == now {
-                    self.pending_writes.items.swap_remove(i);
-                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
-                        let remaining = tracker.remaining(PhysReg(p));
-                        let pinned = tracker.is_pinned(PhysReg(p));
-                        let bypasses = self.preg_info[p as usize].pre_write_bypasses;
-                        cache.write(PhysReg(p), set, remaining, pinned, bypasses, now);
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            self.pending_writes.refresh_due();
-        }
-        // Fills completing after a backing-file read.
-        if self.pending_fills.due(now) {
-            let mut i = 0;
-            while i < self.pending_fills.items.len() {
-                let (t, (p, set, gen)) = self.pending_fills.items[i];
-                if t == now {
-                    self.pending_fills.items.swap_remove(i);
-                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
-                        cache.fill(PhysReg(p), set, now);
-                        if let Some(ck) = self.checker.as_mut() {
-                            ck.on_fill_applied(p, gen);
-                        }
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            self.pending_fills.refresh_due();
-        }
-        // Second-stage bypass consumers decrement the entry after the
-        // write lands (§3.1: they cannot affect the write decision).
-        if self.pending_bypass_decs.due(now) {
-            let mut i = 0;
-            while i < self.pending_bypass_decs.items.len() {
-                let (t, (p, set, gen)) = self.pending_bypass_decs.items[i];
-                if t <= now {
-                    self.pending_bypass_decs.items.swap_remove(i);
-                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
-                        cache.bypass_consume(PhysReg(p), set);
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            self.pending_bypass_decs.refresh_due();
-        }
-    }
-
-    // ----- retirement ---------------------------------------------------
-
-    fn retire(&mut self, now: u64) {
-        let mut stores = 0;
-        for _ in 0..self.config.retire_width {
-            let Some(head) = self.rob.front() else { break };
-            if head.status != Status::Issued || head.exec_done > now {
-                break;
-            }
-            if head.rec.inst.is_store() {
-                if stores == self.config.max_stores_per_retire {
-                    break;
-                }
-                let addr = head.rec.mem_addr.expect("store has an address");
-                if !self.memsys.store_retire(addr, now) {
-                    break; // store buffer full: stall retirement
-                }
-                stores += 1;
-            }
-            let inst = self.rob.pop_front().expect("checked non-empty");
-            self.sched.pop_front();
-            debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
-            self.retired += 1;
-            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
-                // Younger loads are now ordered by the store buffer in
-                // the memory system, not the LSQ.
-                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
-                if let Some(stores) = self.store_granules.get_mut(&granule) {
-                    stores.retain(|&(sseq, _)| sseq != inst.seq);
-                    if stores.is_empty() {
-                        self.store_granules.remove(&granule);
-                    }
-                }
-            }
-            if let Some(t) = self.trace.get_mut(inst.seq as usize) {
-                t.retire = now;
-            }
-            self.last_retired_seq = inst.seq;
-            self.last_progress = now;
-            if let Some(oracle) = self.oracle.as_mut() {
-                if let Err(report) = oracle.check_retire(now, &inst.rec) {
-                    self.error = Some(Box::new(SimError::Divergence(report)));
-                    return;
-                }
-            }
-            if inst.rec.inst == Inst::Halt {
-                self.halted = true;
-                return;
-            }
-            // The set-assignment bookkeeping (minimum sums, filtered
-            // round-robin high-use counts) retires with the producing
-            // instruction (§4.2).
-            if let Some(d) = inst.dest {
-                if let Storage::Cached { assigner, .. } = &mut self.storage {
-                    let info = &self.preg_info[d as usize];
-                    assigner.release(info.set, info.predicted);
-                }
-            }
-            if let Some(prev) = inst.prev {
-                self.free_preg(prev, now);
-            }
-        }
-    }
-
-    fn free_preg(&mut self, p: u16, now: u64) {
-        let info = self.preg_info[p as usize];
-        debug_assert!(info.active, "freeing an inactive preg");
-        if info.trainable {
-            self.douse.train(
-                info.producer_pc,
-                info.producer_hist,
-                info.consumers_renamed.min(u8::MAX as u32) as u8,
-            );
-        }
-        match &mut self.storage {
-            Storage::Cached { cache, tracker, .. } => {
-                cache.free(PhysReg(p), info.set, now);
-                tracker.clear(PhysReg(p));
-            }
-            Storage::TwoLevel { file } => file.release(PhysReg(p)),
-            Storage::Monolithic { .. } => {}
-        }
-        if let Some(lt) = &mut self.lifetimes {
-            lt.record_value(info.alloc_time, info.write_time, info.last_use, now);
-        }
-        if let Some(ck) = self.checker.as_mut() {
-            ck.on_clear(p);
-        }
-        self.preg_info[p as usize] = PregInfo::EMPTY;
-        self.preg_time[p as usize] = PregTime::UNKNOWN;
-        self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
-        // In-order retirement guarantees every correct-path consumer
-        // issued before the overwriting instruction retires, so any
-        // waiter left here is a squashed seq — drop it.
-        self.preg_waiters[p as usize].clear();
-        self.freelist.push(p);
-    }
-
-    // ----- issue ---------------------------------------------------------
-
-    /// ROB position of a live instruction, by seq. The ROB is sorted by
-    /// seq but *not* contiguous: a wrong-path squash removes the tail
-    /// without rolling back the seq counter, leaving a gap. `None`
-    /// means retired or squashed.
-    fn rob_index(&self, seq: u64) -> Option<usize> {
-        self.rob.binary_search_by(|i| i.seq.cmp(&seq)).ok()
-    }
-
-    /// Re-arms a waiting instruction's `next_wake` deadline: if a
-    /// source's timing is unknown it parks on that register's waiter
-    /// list (re-armed when the producer issues); otherwise the deadline
-    /// becomes the earliest cycle every operand could be ready.
-    ///
-    /// Deadlines are lower bounds — readiness only moves *later* after
-    /// being advertised (miss-raised `storage_avail`, load retimes),
-    /// and an instruction that fails its ready check at the deadline
-    /// simply re-arms itself — so no wake-up is ever lost.
-    fn rearm_wake(&mut self, idx: usize, lower: u64) {
-        let inst = &self.rob[idx];
-        let seq = inst.seq;
-        let srcs = inst.srcs;
-        let mut wake = lower.max(inst.earliest_issue);
-        loop {
-            let mut next = wake;
-            for &p in srcs.iter().flatten() {
-                let pt = self.preg_time[p as usize];
-                if !pt.known {
-                    self.preg_waiters[p as usize].push(seq);
-                    self.sched[idx] = u64::MAX;
-                    return;
-                }
-                next = next.max(pt.next_ready_at(next));
-            }
-            if next == wake {
-                break;
-            }
-            wake = next;
-        }
-        self.sched[idx] = wake;
-    }
-
-    /// Un-parks everything waiting on `p`, called when the producer
-    /// issues and `p`'s timing becomes known. The deadline is reset
-    /// lazily to the next cycle; the select scan recomputes it from the
-    /// now-known timing on examination.
-    fn wake_preg_waiters(&mut self, p: u16, now: u64) {
-        if self.preg_waiters[p as usize].is_empty() {
-            return;
-        }
-        let mut waiters = std::mem::take(&mut self.preg_waiters[p as usize]);
-        for seq in waiters.drain(..) {
-            if let Some(idx) = self.rob_index(seq) {
-                if self.rob[idx].status == Status::Waiting {
-                    self.sched[idx] = now + 1;
-                }
-            }
-        }
-        // Hand the (empty) buffer back to keep its capacity.
-        self.preg_waiters[p as usize] = waiters;
-    }
-
-    fn mark_squash_cycle(&mut self, cycle: u64) {
-        if !self.squash_cycles.contains(&cycle) {
-            self.squash_cycles.push(cycle);
-        }
-    }
-
-    fn take_squash_cycle(&mut self, now: u64) -> bool {
-        match self.squash_cycles.iter().position(|&c| c == now) {
-            Some(i) => {
-                self.squash_cycles.swap_remove(i);
-                true
-            }
-            None => false,
-        }
-    }
-
-    fn issue(&mut self, now: u64) {
-        let squashing = self.take_squash_cycle(now);
-        let mut pool_used = [0usize; FuPools::NUM_POOLS];
-        let mut total = 0;
-
-        // Select oldest-ready-first, in age order (the exact order the
-        // full-window scan visited) but filtering the window down to
-        // the instructions whose wake deadline has arrived on one word
-        // per slot. Instructions losing a slot to issue width or a
-        // full FU pool keep a due deadline and are re-examined next
-        // cycle; a failed ready check re-arms the deadline.
-        let mut due = std::mem::take(&mut self.due_buf);
-        let mut selected = std::mem::take(&mut self.selected_buf);
-        due.clear();
-        selected.clear();
-        due.extend(
-            self.sched
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &w)| (w <= now).then_some(i)),
-        );
-        for &i in &due {
-            if total == self.config.issue_width {
-                break;
-            }
-            let inst = &self.rob[i];
-            debug_assert_eq!(inst.status, Status::Waiting);
-            let ready = inst.earliest_issue <= now
-                && inst
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .all(|&p| self.preg_time[p as usize].operand_ready(now));
-            if !ready {
-                self.rearm_wake(i, now + 1);
-                continue;
-            }
-            let inst = &self.rob[i];
-            if self.config.model_store_forwarding && inst.rec.inst.is_load() {
-                let granule = inst.rec.mem_addr.expect("load has an address") / 8;
-                if let Some(stores) = self.store_granules.get(&granule) {
-                    // The youngest store older than this load is the
-                    // one it forwards from; it must have executed.
-                    let blocking = stores
-                        .iter()
-                        .rev()
-                        .find(|&&(sseq, _)| sseq < inst.seq)
-                        .is_some_and(|&(_, done)| done.is_none_or(|d| d > now));
-                    if blocking {
-                        self.store_forward_stalls += 1;
-                        continue;
-                    }
-                }
-            }
-            let pool = FuPools::pool_index(inst.class);
-            if pool_used[pool] == self.config.fu.size(inst.class) {
-                continue;
-            }
-            pool_used[pool] += 1;
-            total += 1;
-            selected.push((inst.seq, i));
-        }
-
-        if squashing {
-            // Register-cache miss in the previous cycle: everything
-            // issuing now replays (§5.2). The slots are consumed but no
-            // effects occur; independents may reissue next cycle (their
-            // deadlines stay due).
-            self.replayed += selected.len() as u64;
-            for &(seq, i) in &selected {
-                self.rob[i].earliest_issue = now + 1;
-                if let Some(t) = self.trace.get_mut(seq as usize) {
-                    t.replays += 1;
-                }
-            }
-        } else {
-            for &(seq, i) in &selected {
-                // A wrong-path squash during this loop removes the ROB
-                // tail; later selections pointing into it are gone.
-                if self.rob.get(i).is_none_or(|inst| inst.seq != seq) {
-                    continue;
-                }
-                self.issue_one(i, now);
-            }
-        }
-        self.due_buf = due;
-        self.selected_buf = selected;
-    }
-
-    fn issue_one(&mut self, idx: usize, now: u64) {
-        let (srcs, class, rec, fetch_cycle, mispredicted, dest, seq) = {
-            let inst = &self.rob[idx];
-            (
-                inst.srcs,
-                inst.class,
-                inst.rec,
-                inst.fetch_cycle,
-                inst.mispredicted,
-                inst.dest,
-                inst.seq,
-            )
-        };
-
-        // Obtain each source operand: bypass, storage hit, or miss.
-        let mut miss_avail: u64 = 0;
-        let mut operand_paths: [Option<OperandPath>; 2] = [None, None];
-        for (slot, p) in srcs
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.map(|p| (i, p)))
-        {
-            let t = self.preg_time[p as usize];
-            if t.on_bypass(now) {
-                self.operands_bypassed += 1;
-                operand_paths[slot] = Some(OperandPath::Bypass((now - t.bypass_start) as u8));
-                let stage = now - t.bypass_start;
-                if let Storage::Cached { tracker, .. } = &mut self.storage {
-                    if stage == 0 {
-                        // First-stage bypass: visible to the write
-                        // decision (§3.1).
-                        tracker.consume(PhysReg(p));
-                        self.preg_info[p as usize].pre_write_bypasses += 1;
-                        if let Some(ck) = self.checker.as_mut() {
-                            ck.on_consume(p);
-                        }
-                    } else {
-                        // Later stage: decrement the cache entry once
-                        // the write has landed.
-                        let set = self.preg_info[p as usize].set;
-                        let gen = self.preg_gen[p as usize];
-                        self.pending_bypass_decs
-                            .push(t.storage_avail, (p, set, gen));
-                    }
-                }
-            } else {
-                // Storage path.
-                self.operands_from_storage += 1;
-                operand_paths[slot] = Some(OperandPath::Storage);
-                if let Storage::Cached { cache, backing, .. } = &mut self.storage {
-                    let set = self.preg_info[p as usize].set;
-                    operand_paths[slot] = Some(OperandPath::CacheHit);
-                    if !cache.read(PhysReg(p), set, now) {
-                        operand_paths[slot] = Some(OperandPath::CacheMiss);
-                        // Miss (Figure 3 star): file read through the
-                        // single port, after the producer's write.
-                        let avail = backing.read(PhysReg(p), now + 1);
-                        let gen = self.preg_gen[p as usize];
-                        self.pending_fills.push(avail, (p, set, gen));
-                        if let Some(ck) = self.checker.as_mut() {
-                            ck.on_fill_scheduled(p, gen, avail);
-                        }
-                        self.preg_time[p as usize].storage_avail = avail + 1;
-                        self.mark_squash_cycle(now + 1);
-                        self.miss_events += 1;
-                        miss_avail = miss_avail.max(avail);
-                    }
-                }
-            }
-            // Common consumer bookkeeping. The value is actually read
-            // when the consumer enters execute (issue + storage read),
-            // which is what the live-time statistics measure.
-            let info = &mut self.preg_info[p as usize];
-            info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
-            if self.lifetimes.is_some() {
-                let read_at = now + self.read_latency as u64 + 1;
-                info.last_use = info.last_use.max(read_at);
-            }
-            if info.consumers_outstanding == 0 {
-                if let Some(rseq) = info.reassigned_seq {
-                    if let Storage::TwoLevel { file } = &mut self.storage {
-                        file.mark_eligible(PhysReg(p), rseq);
-                    }
-                }
-            }
-        }
-
-        // Effective issue time: delayed by the latest miss (the value
-        // arrives at `avail`; execution begins the next cycle).
-        let eff_issue = if miss_avail > 0 {
-            now.max(miss_avail.saturating_sub(self.read_latency as u64))
-        } else {
-            now
-        };
-
-        // Execution latency; loads consult the memory hierarchy.
-        let mut load_missed = false;
-        let x = if class == ExecClass::Load {
-            let addr = rec.mem_addr.expect("load has an address");
-            let real = self.memsys.load_latency(addr, now);
-            load_missed = real > ExecClass::Load.latency();
-            real
-        } else {
-            class.latency()
-        };
-        let rl = self.read_latency as u64;
-        let exec_done = eff_issue + rl + x as u64;
-
-        // Load-hit speculation (21264-style, the model the paper reuses
-        // for register cache misses): the scheduler advertises the
-        // L1-hit latency; a miss squashes the two-cycle issue shadow
-        // and the true readiness is installed at detection.
-        let speculate_hit = load_missed && self.config.load_hit_speculation && dest.is_some();
-
-        // Destination value timing and deferred cache write.
-        if let Some(d) = dest {
-            let adv_x = if speculate_hit {
-                ExecClass::Load.latency() as u64
-            } else {
-                x as u64
-            };
-            let bypass_start = eff_issue + adv_x;
-            let bypass_end = bypass_start + self.config.bypass_stages as u64 - 1;
-            let storage_avail = match &self.storage {
-                // A monolithic file's value is readable only after the
-                // full write completes AND a full read can start after
-                // it: consumers in between stall (the issue-restriction
-                // gap of §2.2 that grows with file latency).
-                Storage::Monolithic { write_latency } => {
-                    eff_issue + adv_x + rl + *write_latency as u64
-                }
-                Storage::Cached { .. } | Storage::TwoLevel { .. } => bypass_end + 1,
-            };
-            self.preg_time[d as usize] = PregTime {
-                known: true,
-                bypass_start,
-                bypass_end,
-                storage_avail,
-            };
-            // The value's timing just became known: wake consumers
-            // parked on it. (On a load-hit mis-speculation they wake
-            // against the advertised timing, issue into the squashed
-            // shadow, and re-key — exactly as the scan model replayed
-            // them.)
-            self.wake_preg_waiters(d, now);
-            if speculate_hit {
-                // The miss is detected as the first shadow dependents
-                // head for execute: both advertised bypass cycles are
-                // squashed (the 21264's two-cycle shadow) and the true
-                // timing is installed at the end of the shadow.
-                let detect = bypass_end;
-                self.mark_squash_cycle(bypass_start);
-                self.mark_squash_cycle(detect);
-                self.load_replay_squashes += 1;
-                let real_bypass_start = eff_issue + x as u64;
-                let real_bypass_end = real_bypass_start + self.config.bypass_stages as u64 - 1;
-                let real_storage = match &self.storage {
-                    Storage::Monolithic { write_latency } => exec_done + *write_latency as u64,
-                    _ => real_bypass_end + 1,
-                };
-                let real = PregTime {
-                    known: true,
-                    bypass_start: real_bypass_start,
-                    bypass_end: real_bypass_end,
-                    storage_avail: real_storage,
-                };
-                self.pending_retimes
-                    .push(detect, (d, self.preg_gen[d as usize], real));
-            }
-            let collect_lifetimes = self.lifetimes.is_some();
-            let info = &mut self.preg_info[d as usize];
-            if collect_lifetimes {
-                info.write_time = exec_done;
-                info.last_use = info.last_use.max(exec_done);
-            }
-            let set = info.set;
-            if let Storage::Cached { backing, .. } = &mut self.storage {
-                backing.write(PhysReg(d), exec_done + 1);
-                let gen = self.preg_gen[d as usize];
-                self.pending_writes.push(exec_done + 1, (d, set, gen));
-            }
-        }
-
-        // Branch resolution redirects fetch (and squashes the wrong
-        // path when one was fetched).
-        if mispredicted {
-            let mut resume =
-                (exec_done + 1).max(fetch_cycle + self.config.min_branch_penalty as u64);
-            if self.wp_resolve_seq == Some(seq) {
-                self.squash_wrong_path(seq, now);
-            }
-            if let Storage::TwoLevel { file } = &mut self.storage {
-                // Values speculatively moved to the L2 by wrong-path
-                // reassignments return during the refill.
-                let count = file.on_mispredict(seq);
-                resume += file.recovery_stall(count, resume.saturating_sub(now));
-            }
-            self.fetch_resume = resume;
-            if self.waiting_on_branch == Some(seq) {
-                self.waiting_on_branch = None;
-            }
-        }
-
-        if self.config.model_store_forwarding && rec.inst.is_store() {
-            let granule = rec.mem_addr.expect("store has an address") / 8;
-            if let Some(stores) = self.store_granules.get_mut(&granule) {
-                if let Some(entry) = stores.iter_mut().find(|e| e.0 == seq) {
-                    entry.1 = Some(exec_done);
-                }
-            }
-        }
-        let inst = &mut self.rob[idx];
-        inst.status = Status::Issued;
-        inst.exec_done = exec_done;
-        self.sched[idx] = u64::MAX;
-        self.window_count -= 1;
-        if let Some(t) = self.trace.get_mut(seq as usize) {
-            t.issue = now;
-            t.exec_start = eff_issue + rl + 1;
-            t.exec_done = exec_done;
-            t.operands = operand_paths;
-        }
-    }
-
-    // ----- dispatch (rename) ----------------------------------------------
-
-    fn dispatch(&mut self, now: u64) {
-        for _ in 0..self.config.fetch_width {
-            let Some(front) = self.fetch_queue.front() else {
-                break;
-            };
-            if front.ready_at > now {
-                break;
-            }
-            if self.rob.len() == self.config.rob_entries
-                || self.window_count == self.config.window_entries
-            {
-                break;
-            }
-            let has_dest = front.rec.inst.dest().is_some();
-            if has_dest {
-                if self.freelist.is_empty() {
-                    self.dispatch_stall_pregs += 1;
-                    break;
-                }
-                if let Storage::TwoLevel { file } = &self.storage {
-                    if file.free_count() == 0 {
-                        self.dispatch_stall_pregs += 1;
-                        break;
-                    }
-                }
-            }
-            let entry = self.fetch_queue.pop_front().expect("checked non-empty");
-            self.rename_and_insert(entry, now);
-        }
-    }
-
-    fn rename_and_insert(&mut self, entry: FetchedEntry, now: u64) {
-        let rec = entry.rec;
-        let seq = self.seq;
-        self.seq += 1;
-
-        // Sources: current mappings.
-        let mut srcs = [None, None];
-        for (slot, src) in rec.inst.sources().into_iter().enumerate() {
-            if let Some(r) = src {
-                let p = self.map[r.index() as usize];
-                srcs[slot] = Some(p);
-                let info = &mut self.preg_info[p as usize];
-                info.consumers_renamed += 1;
-                info.consumers_outstanding += 1;
-            }
-        }
-
-        // Destination: allocate and remap.
-        let mut dest = None;
-        let mut prev = None;
-        if let Some(r) = rec.inst.dest() {
-            let p = self.freelist.pop().expect("dispatch checked the freelist");
-            let old = self.map[r.index() as usize];
-            self.map[r.index() as usize] = p;
-            prev = Some(old);
-            dest = Some(p);
-
-            // The old value's architectural name is gone: transfer
-            // eligibility (two-level) begins once consumers drain.
-            let old_info = &mut self.preg_info[old as usize];
-            old_info.reassigned_seq = Some(seq);
-            if old_info.consumers_outstanding == 0 {
-                if let Storage::TwoLevel { file } = &mut self.storage {
-                    file.mark_eligible(PhysReg(old), seq);
-                }
-            }
-
-            // Degree-of-use prediction for the new value.
-            let prediction = self.douse.predict(rec.pc, entry.hist);
-            self.preg_time[p as usize] = PregTime::UNKNOWN;
-            let mut info = PregInfo {
-                producer_pc: rec.pc,
-                producer_hist: entry.hist,
-                // Wrong-path values never complete a real lifetime, so
-                // they do not train the degree predictor (their *reads*
-                // of correct-path values still pollute use counts, as
-                // in §3.4).
-                trainable: !entry.wrong_path,
-                alloc_time: now,
-                active: true,
-                ..PregInfo::EMPTY
-            };
-            match &mut self.storage {
-                Storage::Cached {
-                    cache,
-                    assigner,
-                    tracker,
-                    ..
-                } => {
-                    let cfg = *cache.config();
-                    tracker.init(
-                        PhysReg(p),
-                        prediction,
-                        cfg.unknown_default,
-                        cfg.max_use_count,
-                    );
-                    let degree = tracker.predicted(PhysReg(p));
-                    if let Some(ck) = self.checker.as_mut() {
-                        ck.on_init(
-                            p,
-                            tracker.remaining(PhysReg(p)),
-                            tracker.is_pinned(PhysReg(p)),
-                        );
-                    }
-                    info.predicted = degree;
-                    info.set = assigner.assign(PhysReg(p), degree);
-                    cache.produce(PhysReg(p));
-                }
-                Storage::TwoLevel { file } => {
-                    let ok = file.try_allocate(PhysReg(p));
-                    debug_assert!(ok, "dispatch checked the L1 free count");
-                }
-                Storage::Monolithic { .. } => {}
-            }
-            self.preg_info[p as usize] = info;
-        }
-
-        if (seq as usize) < self.config.trace_instructions {
-            self.trace.push(InstTrace {
-                seq,
-                pc: rec.pc,
-                asm: rec.inst.to_string(),
-                fetch: entry.fetch_cycle,
-                dispatch: now,
-                issue: 0,
-                exec_start: 0,
-                exec_done: 0,
-                retire: 0,
-                operands: [None, None],
-                replays: 0,
-                wrong_path: entry.wrong_path,
-            });
-        }
-        if self.config.model_store_forwarding && rec.inst.is_store() {
-            let granule = rec.mem_addr.expect("store has an address") / 8;
-            self.store_granules
-                .entry(granule)
-                .or_default()
-                .push((seq, None));
-        }
-        self.rob.push_back(DynInst {
-            seq,
-            rec,
-            class: rec.inst.class(),
-            srcs,
-            dest,
-            prev,
-            status: Status::Waiting,
-            earliest_issue: now + 1,
-            exec_done: u64::MAX,
-            fetch_cycle: entry.fetch_cycle,
-            mispredicted: entry.mispredicted,
-            wrong_path: entry.wrong_path,
-        });
-        self.sched.push_back(now + 1);
-        self.window_count += 1;
-
-        // The rename map as of the mispredicted branch is what the
-        // squash restores.
-        if entry.mispredicted && self.wp_resolve_seq == Some(seq) {
-            self.wp_map_checkpoint = Some(self.map.clone());
-        }
-    }
-
-    // ----- wrong-path squash ------------------------------------------------
-
-    /// Squashes everything younger than the resolved mispredicted
-    /// branch: ROB/window entries, renamed registers, LSQ entries, the
-    /// fetch queue, and the speculative emulator state.
-    fn squash_wrong_path(&mut self, branch_seq: u64, now: u64) {
-        let keep = self
-            .rob
-            .iter()
-            .position(|i| i.seq > branch_seq)
-            .unwrap_or(self.rob.len());
-        let mut removed = std::mem::take(&mut self.squash_buf);
-        removed.clear();
-        removed.extend(self.rob.drain(keep..));
-        self.sched.truncate(keep);
-        for inst in removed.iter().rev() {
-            debug_assert!(inst.wrong_path, "squashed a correct-path instruction");
-            self.wp_squashed += 1;
-            if inst.status == Status::Waiting {
-                self.window_count -= 1;
-                // Issued instructions already consumed their reads.
-                for p in inst.srcs.iter().flatten() {
-                    let info = &mut self.preg_info[*p as usize];
-                    if info.active {
-                        info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
-                    }
-                }
-            }
-            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
-                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
-                if let Some(stores) = self.store_granules.get_mut(&granule) {
-                    stores.retain(|&(sseq, _)| sseq != inst.seq);
-                    if stores.is_empty() {
-                        self.store_granules.remove(&granule);
-                    }
-                }
-            }
-            if let Some(d) = inst.dest {
-                if let Storage::Cached { assigner, .. } = &mut self.storage {
-                    let info = &self.preg_info[d as usize];
-                    assigner.release(info.set, info.predicted);
-                }
-                self.squash_free_preg(d, now);
-                if let Some(prev) = inst.prev {
-                    // The architectural name reverts to the old value.
-                    let pi = &mut self.preg_info[prev as usize];
-                    if pi.active {
-                        pi.reassigned_seq = None;
-                    }
-                }
-            }
-        }
-        self.squash_buf = removed;
-
-        // Restore the front end to the branch point.
-        self.map = self
-            .wp_map_checkpoint
-            .take()
-            .expect("checkpoint saved when the branch dispatched");
-        self.ghist = self.wp_ghist;
-        self.ras = self.wp_ras.take().expect("RAS checkpoint saved");
-        debug_assert!(self.fetch_queue.iter().all(|e| e.wrong_path));
-        self.fetch_queue.clear();
-        self.peeked = None;
-        self.machine.abort_speculation();
-        self.wrong_path = false;
-        self.wp_resolve_seq = None;
-        if self.waiting_on_branch.is_some_and(|w| w > branch_seq) {
-            // An inner wrong-path misprediction was stalling fetch; it
-            // no longer exists.
-            self.waiting_on_branch = None;
-        }
-    }
-
-    /// Releases a wrong-path destination register: like a free at
-    /// retirement, but with no degree-predictor training and no
-    /// lifetime statistics (the value never completed a lifetime).
-    fn squash_free_preg(&mut self, p: u16, now: u64) {
-        let info = self.preg_info[p as usize];
-        debug_assert!(info.active, "squash-freeing an inactive preg");
-        if let Some(ck) = self.checker.as_mut() {
-            ck.on_clear(p);
-        }
-        match &mut self.storage {
-            Storage::Cached { cache, tracker, .. } => {
-                cache.free(PhysReg(p), info.set, now);
-                tracker.clear(PhysReg(p));
-            }
-            Storage::TwoLevel { file } => file.release(PhysReg(p)),
-            Storage::Monolithic { .. } => {}
-        }
-        self.preg_info[p as usize] = PregInfo::EMPTY;
-        self.preg_time[p as usize] = PregTime::UNKNOWN;
-        self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
-        // Anything parked on a wrong-path value is wrong-path itself
-        // and is being squashed with it.
-        self.preg_waiters[p as usize].clear();
-        self.freelist.push(p);
-    }
-
-    // ----- fetch -----------------------------------------------------------
-
-    fn next_record(&mut self) -> Option<ExecRecord> {
-        if self.stream_done {
-            return None;
-        }
-        if self.machine.in_speculation() {
-            // Wrong-path execution may fault or halt; either simply
-            // ends speculative fetch until the branch resolves.
-            return match self.machine.step() {
-                Ok(StepOutcome::Executed(r)) => Some(r),
-                Ok(StepOutcome::Halted) | Err(_) => None,
-            };
-        }
-        match self.machine.step() {
-            Ok(StepOutcome::Executed(r)) => {
-                if r.inst == Inst::Halt {
-                    self.stream_done = true;
-                }
-                Some(r)
-            }
-            Ok(StepOutcome::Halted) => {
-                self.stream_done = true;
-                None
-            }
-            Err(e) => {
-                // A correct-path fault means the workload itself is
-                // broken; surface it as a structured error at the end
-                // of this cycle instead of panicking mid-fetch.
-                self.stream_done = true;
-                self.error = Some(Box::new(SimError::Emu(e)));
-                None
-            }
-        }
-    }
-
-    fn fetch(&mut self, now: u64) {
-        if now < self.fetch_resume || self.waiting_on_branch.is_some() || self.halt_fetched {
-            return;
-        }
-        let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
-        let mut line: Option<u64> = None;
-        for _ in 0..self.config.fetch_width {
-            if self.fetch_queue.len() >= queue_cap {
-                break;
-            }
-            // Model the I-cache at line granularity.
-            let Some(rec) = self.peek_record() else { break };
-            let this_line = rec.pc / self.config.memsys.l1.line_bytes as u64;
-            if line != Some(this_line) {
-                let extra = self.memsys.fetch_latency(rec.pc);
-                if extra > 0 {
-                    self.fetch_resume = now + extra as u64;
-                    break;
-                }
-                line = Some(this_line);
-            }
-            let mut rec = self.take_record().expect("peeked");
-            if let Some(inj) = self.injector.as_mut() {
-                if inj.armed_for(FaultKind::CorruptRecord) && !self.wrong_path {
-                    if let Some(v) = rec.dest_val.filter(|_| rec.inst != Inst::Halt) {
-                        // Timing-neutral: `dest_val` never feeds the
-                        // timing model, so only the oracle can see this.
-                        rec.dest_val = Some(v ^ (1u64 << (inj.next_u64() % 64)));
-                        inj.disarm(FaultKind::CorruptRecord);
-                    }
-                }
-            }
-            let hist = self.ghist;
-            let mut mispredicted = false;
-            let mut end_block = false;
-
-            // The wrong target to fetch down on a misprediction, when
-            // one exists (None for unknown indirect targets).
-            let mut wrong_target: Option<u64> = None;
-            match rec.inst {
-                Inst::Branch { off, .. } => {
-                    self.cond_branches += 1;
-                    let pred = self.branch_pred.predict(rec.pc, self.ghist);
-                    self.branch_pred.update(rec.pc, self.ghist, rec.taken, pred);
-                    self.ghist.push(rec.taken);
-                    if pred != rec.taken {
-                        self.branch_mispredicts += 1;
-                        mispredicted = true;
-                        wrong_target = Some(if rec.taken {
-                            rec.pc + 4 // predicted not-taken: fall through
-                        } else {
-                            rec.pc
-                                .wrapping_add(4)
-                                .wrapping_add((off as i64 as u64).wrapping_mul(4))
-                        });
-                    }
-                    end_block = rec.taken;
-                }
-                Inst::Jump { link, .. } => {
-                    // Direct target + perfect BTB: never mispredicts.
-                    if link {
-                        self.ras.push(rec.pc + 4);
-                    }
-                    end_block = true;
-                }
-                Inst::JumpReg { .. } => {
-                    self.indirect_branches += 1;
-                    let predicted_target = if rec.inst.is_return() {
-                        self.ras.pop()
-                    } else {
-                        self.indirect.predict(rec.pc, self.ghist)
-                    };
-                    self.indirect.update(rec.pc, self.ghist, rec.next_pc);
-                    if rec.inst.is_call() {
-                        self.ras.push(rec.pc + 4);
-                    }
-                    if predicted_target != Some(rec.next_pc) {
-                        self.indirect_mispredicts += 1;
-                        mispredicted = true;
-                        wrong_target = predicted_target;
-                    }
-                    end_block = true;
-                }
-                _ => {}
-            }
-
-            let is_halt = rec.inst == Inst::Halt;
-            self.fetch_queue.push_back(FetchedEntry {
-                rec,
-                ready_at: now + self.config.frontend_stages as u64,
-                fetch_cycle: now,
-                hist,
-                mispredicted,
-                wrong_path: self.wrong_path,
-            });
-            if mispredicted {
-                let branch_seq = self.seq + self.fetch_queue.len() as u64 - 1;
-                if let (Some(wt), false) = (wrong_target, self.wrong_path) {
-                    // Begin wrong-path fetch at the predicted target.
-                    // Checkpoints restore the front end at the squash;
-                    // the rename map is snapshotted when the branch
-                    // dispatches.
-                    self.wrong_path = true;
-                    self.wp_resolve_seq = Some(branch_seq);
-                    self.wp_ghist = self.ghist;
-                    self.wp_ras = Some(self.ras.clone());
-                    self.peeked = None;
-                    self.machine.enter_speculation(wt);
-                } else {
-                    // Unknown wrong target, or already on a wrong path
-                    // (nested speculation): stall fetch until the
-                    // branch resolves.
-                    self.waiting_on_branch = Some(branch_seq);
-                }
-                break;
-            }
-            if is_halt {
-                if !self.wrong_path {
-                    self.halt_fetched = true;
-                }
-                break;
-            }
-            if end_block {
-                break;
-            }
-        }
-    }
-
-    // Small one-record lookahead buffer for fetch.
-    fn peek_record(&mut self) -> Option<ExecRecord> {
-        if self.peeked.is_none() {
-            self.peeked = self.next_record();
-        }
-        self.peeked
-    }
-
-    fn take_record(&mut self) -> Option<ExecRecord> {
-        self.peek_record();
-        self.peeked.take()
-    }
-
-    // ----- results ----------------------------------------------------------
-
-    fn finish(mut self) -> SimResult {
-        let now = self.now;
-        let (regcache, backing) = match &mut self.storage {
-            Storage::Cached { cache, backing, .. } => {
-                cache.finalize(now);
-                (Some(cache.stats().clone()), Some(*backing.stats()))
-            }
-            _ => (None, None),
-        };
-        let twolevel = match &self.storage {
-            Storage::TwoLevel { file } => Some(*file.stats()),
-            _ => None,
-        };
-        SimResult {
-            cycles: now,
-            retired: self.retired,
-            cond_branches: self.cond_branches,
-            branch_mispredicts: self.branch_mispredicts,
-            indirect_branches: self.indirect_branches,
-            indirect_mispredicts: self.indirect_mispredicts,
-            replayed: self.replayed,
-            miss_events: self.miss_events,
-            dispatch_stall_pregs: self.dispatch_stall_pregs,
-            operands_bypassed: self.operands_bypassed,
-            operands_from_storage: self.operands_from_storage,
-            store_forward_stalls: self.store_forward_stalls,
-            wrong_path_squashed: self.wp_squashed,
-            load_miss_speculations: self.load_replay_squashes,
-            regcache,
-            backing,
-            twolevel,
-            douse: *self.douse.stats(),
-            memsys: *self.memsys.stats(),
-            lifetimes: self.lifetimes.map(|lt| lt.finalize(now)),
-            timeline: (!self.trace.is_empty()).then_some(Timeline { insts: self.trace }),
-        }
+        Ok(core.finish())
     }
 }

@@ -1,0 +1,162 @@
+//! Execute stage: deferred-event processing.
+//!
+//! Execution itself is charged at issue time (the functional emulator
+//! already ran ahead); what remains per cycle is draining the
+//! [`EventLatch`](super::EventLatch): load-hit retimes, register-cache
+//! writes, backing-file fills, and late bypass decrements. Armed
+//! faults also land here, at the top of the cycle, before any event is
+//! processed.
+
+use super::{CoreState, Storage};
+use crate::inject::FaultKind;
+use ubrc_core::PhysReg;
+
+impl CoreState {
+    /// The fault-injection stage: a no-op unless a fault plan armed an
+    /// injector.
+    pub(crate) fn inject_stage(&mut self, now: u64) {
+        if self.injector.is_some() {
+            self.apply_faults(now);
+        }
+    }
+
+    /// The execute/deferred-event stage: corrects mis-speculated load
+    /// timings, then drains the due register-cache events.
+    pub(crate) fn execute_stage(&mut self, now: u64) {
+        self.process_retimes(now);
+        self.process_cache_events(now);
+    }
+
+    /// Lands armed faults whose target state exists this cycle.
+    fn apply_faults(&mut self, now: u64) {
+        let Some(mut inj) = self.injector.take() else {
+            return;
+        };
+        inj.arm(now);
+        let mut i = 0;
+        while i < inj.armed.len() {
+            let landed = match inj.armed[i] {
+                FaultKind::FlipUsePrediction => {
+                    let r = inj.next_u64() as usize;
+                    if let Storage::Cached { tracker, .. } = &mut self.storage {
+                        let n = self.config.phys_regs;
+                        (0..n).any(|k| tracker.corrupt_counter(PhysReg(((r + k) % n) as u16)))
+                    } else {
+                        false
+                    }
+                }
+                FaultKind::CorruptReplacement => {
+                    let r = inj.next_u64() as usize;
+                    if let Storage::Cached { cache, .. } = &mut self.storage {
+                        cache.corrupt_metadata(r).is_some()
+                    } else {
+                        false
+                    }
+                }
+                FaultKind::DropFill => {
+                    if self.events.fills.items.is_empty() {
+                        false
+                    } else {
+                        let idx = (inj.next_u64() as usize) % self.events.fills.items.len();
+                        self.events.fills.items.swap_remove(idx);
+                        self.events.fills.refresh_due();
+                        true
+                    }
+                }
+                // Lands on the fetch path when a correct-path record
+                // with a data result comes by.
+                FaultKind::CorruptRecord => false,
+            };
+            if landed {
+                inj.armed.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.injector = Some(inj);
+    }
+
+    /// Corrects the advertised readiness of load results whose L1-hit
+    /// assumption just failed: dependents that have not issued yet wait
+    /// for the true latency (those in the shadow were squashed when the
+    /// miss was detected).
+    fn process_retimes(&mut self, now: u64) {
+        if !self.events.retimes.due(now) {
+            return;
+        }
+        let mut i = 0;
+        while i < self.events.retimes.items.len() {
+            let (t, (p, gen, timing)) = self.events.retimes.items[i];
+            if t == now {
+                self.events.retimes.items.swap_remove(i);
+                if self.preg_gen[p as usize] == gen {
+                    self.preg_time[p as usize] = timing;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        self.events.retimes.refresh_due();
+    }
+
+    fn process_cache_events(&mut self, now: u64) {
+        let Storage::Cached { cache, tracker, .. } = &mut self.storage else {
+            return;
+        };
+        // Initial writes the cycle after execution completes.
+        if self.events.writes.due(now) {
+            let mut i = 0;
+            while i < self.events.writes.items.len() {
+                let (t, (p, set, gen)) = self.events.writes.items[i];
+                if t == now {
+                    self.events.writes.items.swap_remove(i);
+                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        let remaining = tracker.remaining(PhysReg(p));
+                        let pinned = tracker.is_pinned(PhysReg(p));
+                        let bypasses = self.preg_info[p as usize].pre_write_bypasses;
+                        cache.write(PhysReg(p), set, remaining, pinned, bypasses, now);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            self.events.writes.refresh_due();
+        }
+        // Fills completing after a backing-file read.
+        if self.events.fills.due(now) {
+            let mut i = 0;
+            while i < self.events.fills.items.len() {
+                let (t, (p, set, gen)) = self.events.fills.items[i];
+                if t == now {
+                    self.events.fills.items.swap_remove(i);
+                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        cache.fill(PhysReg(p), set, now);
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_fill_applied(p, gen);
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            self.events.fills.refresh_due();
+        }
+        // Second-stage bypass consumers decrement the entry after the
+        // write lands (§3.1: they cannot affect the write decision).
+        if self.events.bypass_decs.due(now) {
+            let mut i = 0;
+            while i < self.events.bypass_decs.items.len() {
+                let (t, (p, set, gen)) = self.events.bypass_decs.items[i];
+                if t <= now {
+                    self.events.bypass_decs.items.swap_remove(i);
+                    if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        cache.bypass_consume(PhysReg(p), set);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            self.events.bypass_decs.refresh_due();
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Fetch stage: pulls records from the functional emulator through the
+//! I-cache model, runs the branch predictors, and feeds the
+//! fetch→rename latch. Begins wrong-path fetch at mispredicted
+//! branches (checkpointing the front end) and back-pressures on a full
+//! latch.
+
+use super::{CoreState, FetchedEntry};
+use crate::check::SimError;
+use crate::inject::FaultKind;
+use ubrc_emu::{ExecRecord, StepOutcome};
+use ubrc_isa::Inst;
+
+impl CoreState {
+    fn next_record(&mut self) -> Option<ExecRecord> {
+        if self.stream_done {
+            return None;
+        }
+        if self.machine.in_speculation() {
+            // Wrong-path execution may fault or halt; either simply
+            // ends speculative fetch until the branch resolves.
+            return match self.machine.step() {
+                Ok(StepOutcome::Executed(r)) => Some(r),
+                Ok(StepOutcome::Halted) | Err(_) => None,
+            };
+        }
+        match self.machine.step() {
+            Ok(StepOutcome::Executed(r)) => {
+                if r.inst == Inst::Halt {
+                    self.stream_done = true;
+                }
+                Some(r)
+            }
+            Ok(StepOutcome::Halted) => {
+                self.stream_done = true;
+                None
+            }
+            Err(e) => {
+                // A correct-path fault means the workload itself is
+                // broken; surface it as a structured error at the end
+                // of this cycle instead of panicking mid-fetch.
+                self.stream_done = true;
+                self.error = Some(Box::new(SimError::Emu(e)));
+                None
+            }
+        }
+    }
+
+    pub(crate) fn fetch(&mut self, now: u64) {
+        if now < self.fetch_resume || self.waiting_on_branch.is_some() || self.halt_fetched {
+            return;
+        }
+        let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
+        let mut line: Option<u64> = None;
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_latch.queue.len() >= queue_cap {
+                break;
+            }
+            // Model the I-cache at line granularity.
+            let Some(rec) = self.peek_record() else { break };
+            let this_line = rec.pc / self.config.memsys.l1.line_bytes as u64;
+            if line != Some(this_line) {
+                let extra = self.memsys.fetch_latency(rec.pc);
+                if extra > 0 {
+                    self.fetch_resume = now + extra as u64;
+                    break;
+                }
+                line = Some(this_line);
+            }
+            let mut rec = self.take_record().expect("peeked");
+            if let Some(inj) = self.injector.as_mut() {
+                if inj.armed_for(FaultKind::CorruptRecord) && !self.wrong_path {
+                    if let Some(v) = rec.dest_val.filter(|_| rec.inst != Inst::Halt) {
+                        // Timing-neutral: `dest_val` never feeds the
+                        // timing model, so only the oracle can see this.
+                        rec.dest_val = Some(v ^ (1u64 << (inj.next_u64() % 64)));
+                        inj.disarm(FaultKind::CorruptRecord);
+                    }
+                }
+            }
+            let hist = self.ghist;
+            let mut mispredicted = false;
+            let mut end_block = false;
+
+            // The wrong target to fetch down on a misprediction, when
+            // one exists (None for unknown indirect targets).
+            let mut wrong_target: Option<u64> = None;
+            match rec.inst {
+                Inst::Branch { off, .. } => {
+                    self.cond_branches += 1;
+                    let pred = self.branch_pred.predict(rec.pc, self.ghist);
+                    self.branch_pred.update(rec.pc, self.ghist, rec.taken, pred);
+                    self.ghist.push(rec.taken);
+                    if pred != rec.taken {
+                        self.branch_mispredicts += 1;
+                        mispredicted = true;
+                        wrong_target = Some(if rec.taken {
+                            rec.pc + 4 // predicted not-taken: fall through
+                        } else {
+                            rec.pc
+                                .wrapping_add(4)
+                                .wrapping_add((off as i64 as u64).wrapping_mul(4))
+                        });
+                    }
+                    end_block = rec.taken;
+                }
+                Inst::Jump { link, .. } => {
+                    // Direct target + perfect BTB: never mispredicts.
+                    if link {
+                        self.ras.push(rec.pc + 4);
+                    }
+                    end_block = true;
+                }
+                Inst::JumpReg { .. } => {
+                    self.indirect_branches += 1;
+                    let predicted_target = if rec.inst.is_return() {
+                        self.ras.pop()
+                    } else {
+                        self.indirect.predict(rec.pc, self.ghist)
+                    };
+                    self.indirect.update(rec.pc, self.ghist, rec.next_pc);
+                    if rec.inst.is_call() {
+                        self.ras.push(rec.pc + 4);
+                    }
+                    if predicted_target != Some(rec.next_pc) {
+                        self.indirect_mispredicts += 1;
+                        mispredicted = true;
+                        wrong_target = predicted_target;
+                    }
+                    end_block = true;
+                }
+                _ => {}
+            }
+
+            let is_halt = rec.inst == Inst::Halt;
+            self.fetch_latch.queue.push_back(FetchedEntry {
+                rec,
+                ready_at: now + self.config.frontend_stages as u64,
+                fetch_cycle: now,
+                hist,
+                mispredicted,
+                wrong_path: self.wrong_path,
+            });
+            if mispredicted {
+                let branch_seq = self.seq + self.fetch_latch.queue.len() as u64 - 1;
+                if let (Some(wt), false) = (wrong_target, self.wrong_path) {
+                    // Begin wrong-path fetch at the predicted target.
+                    // Checkpoints restore the front end at the squash;
+                    // the rename map is snapshotted when the branch
+                    // dispatches. The RAS checkpoint copies into a
+                    // persistent buffer (no per-branch allocation).
+                    self.wrong_path = true;
+                    self.wp_resolve_seq = Some(branch_seq);
+                    self.wp_ghist = self.ghist;
+                    self.wp_ras.copy_from(&self.ras);
+                    self.wp_ras_saved = true;
+                    self.peeked = None;
+                    self.machine.enter_speculation(wt);
+                } else {
+                    // Unknown wrong target, or already on a wrong path
+                    // (nested speculation): stall fetch until the
+                    // branch resolves.
+                    self.waiting_on_branch = Some(branch_seq);
+                }
+                break;
+            }
+            if is_halt {
+                if !self.wrong_path {
+                    self.halt_fetched = true;
+                }
+                break;
+            }
+            if end_block {
+                break;
+            }
+        }
+    }
+
+    // Small one-record lookahead buffer for fetch.
+    fn peek_record(&mut self) -> Option<ExecRecord> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_record();
+        }
+        self.peeked
+    }
+
+    fn take_record(&mut self) -> Option<ExecRecord> {
+        self.peek_record();
+        self.peeked.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::Simulator;
+    use ubrc_workloads::{workload_by_name, Scale};
+
+    /// Fetch back-pressures on the fetch→rename latch: with dispatch
+    /// stalled by a tiny ROB, the latch fills to exactly
+    /// `fetch_width * (frontend_stages + 1)` entries and no further,
+    /// and the ROB itself never exceeds its capacity.
+    #[test]
+    fn fetch_stops_at_the_latch_capacity_when_dispatch_stalls() {
+        let w = workload_by_name("crc", Scale::Tiny).unwrap();
+        let mut config = SimConfig::paper_default();
+        config.rob_entries = 4;
+        let cap = config.fetch_width * (config.frontend_stages as usize + 1);
+        let mut sim = Simulator::new(w.assemble().unwrap(), config);
+        let mut latch_peak = 0;
+        for _ in 0..2_000 {
+            sim.core.cycle();
+            latch_peak = latch_peak.max(sim.core.fetch_latch.queue.len());
+            assert!(sim.core.fetch_latch.queue.len() <= cap, "latch overflow");
+            assert!(sim.core.rob.len() <= 4, "dispatch ignored the ROB cap");
+        }
+        assert_eq!(
+            latch_peak, cap,
+            "the latch should fill while the ROB stalls"
+        );
+    }
+}

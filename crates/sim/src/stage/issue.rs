@@ -1,0 +1,385 @@
+//! Issue stage: event-driven wake-up/select, operand acquisition
+//! (bypass / cache hit / miss), execution-latency charging, load-hit
+//! speculation, and branch-resolution redirects.
+
+use super::{CoreState, PregTime, Status, Storage};
+use crate::config::FuPools;
+use crate::trace::OperandPath;
+use ubrc_core::PhysReg;
+use ubrc_isa::ExecClass;
+
+impl CoreState {
+    /// ROB position of a live instruction, by seq. The ROB is sorted by
+    /// seq but *not* contiguous: a wrong-path squash removes the tail
+    /// without rolling back the seq counter, leaving a gap. `None`
+    /// means retired or squashed.
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        self.rob.binary_search_by(|i| i.seq.cmp(&seq)).ok()
+    }
+
+    /// Re-arms a waiting instruction's `next_wake` deadline: if a
+    /// source's timing is unknown it parks on that register's waiter
+    /// list (re-armed when the producer issues); otherwise the deadline
+    /// becomes the earliest cycle every operand could be ready.
+    ///
+    /// Deadlines are lower bounds — readiness only moves *later* after
+    /// being advertised (miss-raised `storage_avail`, load retimes),
+    /// and an instruction that fails its ready check at the deadline
+    /// simply re-arms itself — so no wake-up is ever lost.
+    fn rearm_wake(&mut self, idx: usize, lower: u64) {
+        let inst = &self.rob[idx];
+        let seq = inst.seq;
+        let srcs = inst.srcs;
+        let mut wake = lower.max(inst.earliest_issue);
+        loop {
+            let mut next = wake;
+            for &p in srcs.iter().flatten() {
+                let pt = self.preg_time[p as usize];
+                if !pt.known {
+                    self.preg_waiters[p as usize].push(seq);
+                    self.sched[idx] = u64::MAX;
+                    return;
+                }
+                next = next.max(pt.next_ready_at(next));
+            }
+            if next == wake {
+                break;
+            }
+            wake = next;
+        }
+        self.sched[idx] = wake;
+    }
+
+    /// Un-parks everything waiting on `p`, called when the producer
+    /// issues and `p`'s timing becomes known. The deadline is reset
+    /// lazily to the next cycle; the select scan recomputes it from the
+    /// now-known timing on examination.
+    fn wake_preg_waiters(&mut self, p: u16, now: u64) {
+        if self.preg_waiters[p as usize].is_empty() {
+            return;
+        }
+        let mut waiters = std::mem::take(&mut self.preg_waiters[p as usize]);
+        for seq in waiters.drain(..) {
+            if let Some(idx) = self.rob_index(seq) {
+                if self.rob[idx].status == Status::Waiting {
+                    self.sched[idx] = now + 1;
+                }
+            }
+        }
+        // Hand the (empty) buffer back to keep its capacity.
+        self.preg_waiters[p as usize] = waiters;
+    }
+
+    pub(crate) fn issue(&mut self, now: u64) {
+        let squashing = self.replay.take(now);
+        let mut pool_used = [0usize; FuPools::NUM_POOLS];
+        let mut total = 0;
+
+        // Select oldest-ready-first, in age order (the exact order the
+        // full-window scan visited) but filtering the window down to
+        // the instructions whose wake deadline has arrived on one word
+        // per slot. Instructions losing a slot to issue width or a
+        // full FU pool keep a due deadline and are re-examined next
+        // cycle; a failed ready check re-arms the deadline.
+        let mut due = std::mem::take(&mut self.due_buf);
+        let mut selected = std::mem::take(&mut self.selected_buf);
+        due.clear();
+        selected.clear();
+        due.extend(
+            self.sched
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &w)| (w <= now).then_some(i)),
+        );
+        for &i in &due {
+            if total == self.config.issue_width {
+                break;
+            }
+            let inst = &self.rob[i];
+            debug_assert_eq!(inst.status, Status::Waiting);
+            let ready = inst.earliest_issue <= now
+                && inst
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .all(|&p| self.preg_time[p as usize].operand_ready(now));
+            if !ready {
+                self.rearm_wake(i, now + 1);
+                continue;
+            }
+            let inst = &self.rob[i];
+            if self.config.model_store_forwarding && inst.rec.inst.is_load() {
+                let granule = inst.rec.mem_addr.expect("load has an address") / 8;
+                if let Some(stores) = self.store_granules.get(&granule) {
+                    // The youngest store older than this load is the
+                    // one it forwards from; it must have executed.
+                    let blocking = stores
+                        .iter()
+                        .rev()
+                        .find(|&&(sseq, _)| sseq < inst.seq)
+                        .is_some_and(|&(_, done)| done.is_none_or(|d| d > now));
+                    if blocking {
+                        self.store_forward_stalls += 1;
+                        continue;
+                    }
+                }
+            }
+            let pool = FuPools::pool_index(inst.class);
+            if pool_used[pool] == self.config.fu.size(inst.class) {
+                continue;
+            }
+            pool_used[pool] += 1;
+            total += 1;
+            selected.push((inst.seq, i));
+        }
+
+        if squashing {
+            // Register-cache miss in the previous cycle: everything
+            // issuing now replays (§5.2). The slots are consumed but no
+            // effects occur; independents may reissue next cycle (their
+            // deadlines stay due).
+            self.replayed += selected.len() as u64;
+            for &(seq, i) in &selected {
+                self.rob[i].earliest_issue = now + 1;
+                if let Some(t) = self.trace.get_mut(seq as usize) {
+                    t.replays += 1;
+                }
+            }
+        } else {
+            for &(seq, i) in &selected {
+                // A wrong-path squash during this loop removes the ROB
+                // tail; later selections pointing into it are gone.
+                if self.rob.get(i).is_none_or(|inst| inst.seq != seq) {
+                    continue;
+                }
+                self.issue_one(i, now);
+            }
+        }
+        self.due_buf = due;
+        self.selected_buf = selected;
+    }
+
+    fn issue_one(&mut self, idx: usize, now: u64) {
+        let (srcs, class, rec, fetch_cycle, mispredicted, dest, seq) = {
+            let inst = &self.rob[idx];
+            (
+                inst.srcs,
+                inst.class,
+                inst.rec,
+                inst.fetch_cycle,
+                inst.mispredicted,
+                inst.dest,
+                inst.seq,
+            )
+        };
+
+        // Obtain each source operand: bypass, storage hit, or miss.
+        let mut miss_avail: u64 = 0;
+        let mut operand_paths: [Option<OperandPath>; 2] = [None, None];
+        for (slot, p) in srcs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i, p)))
+        {
+            let t = self.preg_time[p as usize];
+            if t.on_bypass(now) {
+                self.operands_bypassed += 1;
+                operand_paths[slot] = Some(OperandPath::Bypass((now - t.bypass_start) as u8));
+                let stage = now - t.bypass_start;
+                if let Storage::Cached { tracker, .. } = &mut self.storage {
+                    if stage == 0 {
+                        // First-stage bypass: visible to the write
+                        // decision (§3.1).
+                        tracker.consume(PhysReg(p));
+                        self.preg_info[p as usize].pre_write_bypasses += 1;
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_consume(p);
+                        }
+                    } else {
+                        // Later stage: decrement the cache entry once
+                        // the write has landed.
+                        let set = self.preg_info[p as usize].set;
+                        let gen = self.preg_gen[p as usize];
+                        self.events.bypass_decs.push(t.storage_avail, (p, set, gen));
+                    }
+                }
+            } else {
+                // Storage path.
+                self.operands_from_storage += 1;
+                operand_paths[slot] = Some(OperandPath::Storage);
+                if let Storage::Cached { cache, backing, .. } = &mut self.storage {
+                    let set = self.preg_info[p as usize].set;
+                    operand_paths[slot] = Some(OperandPath::CacheHit);
+                    if !cache.read(PhysReg(p), set, now) {
+                        operand_paths[slot] = Some(OperandPath::CacheMiss);
+                        // Miss (Figure 3 star): file read through the
+                        // single port, after the producer's write.
+                        let avail = backing.read(PhysReg(p), now + 1);
+                        let gen = self.preg_gen[p as usize];
+                        self.events.fills.push(avail, (p, set, gen));
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_fill_scheduled(p, gen, avail);
+                        }
+                        self.preg_time[p as usize].storage_avail = avail + 1;
+                        self.replay.mark(now + 1);
+                        self.miss_events += 1;
+                        miss_avail = miss_avail.max(avail);
+                    }
+                }
+            }
+            // Common consumer bookkeeping. The value is actually read
+            // when the consumer enters execute (issue + storage read),
+            // which is what the live-time statistics measure.
+            let info = &mut self.preg_info[p as usize];
+            info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
+            if self.lifetimes.is_some() {
+                let read_at = now + self.read_latency as u64 + 1;
+                info.last_use = info.last_use.max(read_at);
+            }
+            if info.consumers_outstanding == 0 {
+                if let Some(rseq) = info.reassigned_seq {
+                    if let Storage::TwoLevel { file } = &mut self.storage {
+                        file.mark_eligible(PhysReg(p), rseq);
+                    }
+                }
+            }
+        }
+
+        // Effective issue time: delayed by the latest miss (the value
+        // arrives at `avail`; execution begins the next cycle).
+        let eff_issue = if miss_avail > 0 {
+            now.max(miss_avail.saturating_sub(self.read_latency as u64))
+        } else {
+            now
+        };
+
+        // Execution latency; loads consult the memory hierarchy.
+        let mut load_missed = false;
+        let x = if class == ExecClass::Load {
+            let addr = rec.mem_addr.expect("load has an address");
+            let real = self.memsys.load_latency(addr, now);
+            load_missed = real > ExecClass::Load.latency();
+            real
+        } else {
+            class.latency()
+        };
+        let rl = self.read_latency as u64;
+        let exec_done = eff_issue + rl + x as u64;
+
+        // Load-hit speculation (21264-style, the model the paper reuses
+        // for register cache misses): the scheduler advertises the
+        // L1-hit latency; a miss squashes the two-cycle issue shadow
+        // and the true readiness is installed at detection.
+        let speculate_hit = load_missed && self.config.load_hit_speculation && dest.is_some();
+
+        // Destination value timing and deferred cache write.
+        if let Some(d) = dest {
+            let adv_x = if speculate_hit {
+                ExecClass::Load.latency() as u64
+            } else {
+                x as u64
+            };
+            let bypass_start = eff_issue + adv_x;
+            let bypass_end = bypass_start + self.config.bypass_stages as u64 - 1;
+            let storage_avail = match &self.storage {
+                // A monolithic file's value is readable only after the
+                // full write completes AND a full read can start after
+                // it: consumers in between stall (the issue-restriction
+                // gap of §2.2 that grows with file latency).
+                Storage::Monolithic { write_latency } => {
+                    eff_issue + adv_x + rl + *write_latency as u64
+                }
+                Storage::Cached { .. } | Storage::TwoLevel { .. } => bypass_end + 1,
+            };
+            self.preg_time[d as usize] = PregTime {
+                known: true,
+                bypass_start,
+                bypass_end,
+                storage_avail,
+            };
+            // The value's timing just became known: wake consumers
+            // parked on it. (On a load-hit mis-speculation they wake
+            // against the advertised timing, issue into the squashed
+            // shadow, and re-key — exactly as the scan model replayed
+            // them.)
+            self.wake_preg_waiters(d, now);
+            if speculate_hit {
+                // The miss is detected as the first shadow dependents
+                // head for execute: both advertised bypass cycles are
+                // squashed (the 21264's two-cycle shadow) and the true
+                // timing is installed at the end of the shadow.
+                let detect = bypass_end;
+                self.replay.mark(bypass_start);
+                self.replay.mark(detect);
+                self.load_replay_squashes += 1;
+                let real_bypass_start = eff_issue + x as u64;
+                let real_bypass_end = real_bypass_start + self.config.bypass_stages as u64 - 1;
+                let real_storage = match &self.storage {
+                    Storage::Monolithic { write_latency } => exec_done + *write_latency as u64,
+                    _ => real_bypass_end + 1,
+                };
+                let real = PregTime {
+                    known: true,
+                    bypass_start: real_bypass_start,
+                    bypass_end: real_bypass_end,
+                    storage_avail: real_storage,
+                };
+                self.events
+                    .retimes
+                    .push(detect, (d, self.preg_gen[d as usize], real));
+            }
+            let collect_lifetimes = self.lifetimes.is_some();
+            let info = &mut self.preg_info[d as usize];
+            if collect_lifetimes {
+                info.write_time = exec_done;
+                info.last_use = info.last_use.max(exec_done);
+            }
+            let set = info.set;
+            if let Storage::Cached { backing, .. } = &mut self.storage {
+                backing.write(PhysReg(d), exec_done + 1);
+                let gen = self.preg_gen[d as usize];
+                self.events.writes.push(exec_done + 1, (d, set, gen));
+            }
+        }
+
+        // Branch resolution redirects fetch (and squashes the wrong
+        // path when one was fetched).
+        if mispredicted {
+            let mut resume =
+                (exec_done + 1).max(fetch_cycle + self.config.min_branch_penalty as u64);
+            if self.wp_resolve_seq == Some(seq) {
+                self.squash_wrong_path(seq, now);
+            }
+            if let Storage::TwoLevel { file } = &mut self.storage {
+                // Values speculatively moved to the L2 by wrong-path
+                // reassignments return during the refill.
+                let count = file.on_mispredict(seq);
+                resume += file.recovery_stall(count, resume.saturating_sub(now));
+            }
+            self.fetch_resume = resume;
+            if self.waiting_on_branch == Some(seq) {
+                self.waiting_on_branch = None;
+            }
+        }
+
+        if self.config.model_store_forwarding && rec.inst.is_store() {
+            let granule = rec.mem_addr.expect("store has an address") / 8;
+            if let Some(stores) = self.store_granules.get_mut(&granule) {
+                if let Some(entry) = stores.iter_mut().find(|e| e.0 == seq) {
+                    entry.1 = Some(exec_done);
+                }
+            }
+        }
+        let inst = &mut self.rob[idx];
+        inst.status = Status::Issued;
+        inst.exec_done = exec_done;
+        self.sched[idx] = u64::MAX;
+        self.window_count -= 1;
+        if let Some(t) = self.trace.get_mut(seq as usize) {
+            t.issue = now;
+            t.exec_start = eff_issue + rl + 1;
+            t.exec_done = exec_done;
+            t.operands = operand_paths;
+        }
+    }
+}

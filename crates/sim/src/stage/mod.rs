@@ -1,0 +1,653 @@
+//! Stage-modular pipeline core.
+//!
+//! The cycle-level model is decomposed into explicit stage modules —
+//! [`fetch`], [`rename`], [`issue`], [`execute`] (deferred events),
+//! [`retire`], and [`squash`] — each an `impl` block over the shared
+//! [`CoreState`]. Stages communicate only through `CoreState` fields
+//! and the explicit inter-stage latches:
+//!
+//! * [`FetchLatch`] — fetch → rename: the in-flight front-end queue
+//!   (entries mature for `frontend_stages` cycles before rename may
+//!   consume them; a full queue back-pressures fetch);
+//! * the ROB + `sched` deadline array — rename → issue: the issue
+//!   window itself;
+//! * [`EventLatch`] — issue → execute: deferred timed events (cache
+//!   writes, fills, late bypass decrements, load retimes) that the
+//!   issue stage schedules and the execute stage drains;
+//! * [`ReplayLatch`] — issue → issue: cycles whose entire issue group
+//!   replays (register-cache misses, load-hit mis-speculations).
+//!
+//! One cycle is the declarative [`SCHEDULE`]: a fixed list of stage
+//! functions applied to the core in order. The within-cycle order is
+//! part of the golden-snapshot contract — reordering stages is a model
+//! change, not a refactor.
+
+pub(crate) mod execute;
+pub(crate) mod fetch;
+pub(crate) mod issue;
+pub(crate) mod rename;
+pub(crate) mod retire;
+pub(crate) mod squash;
+
+use crate::check::{Checker, DiagnosticDump, InvariantViolation, SimError};
+use crate::config::SimConfig;
+use crate::inject::Injector;
+use crate::oracle::Oracle;
+use crate::stats::LifetimeCollector;
+use crate::trace::InstTrace;
+use std::collections::VecDeque;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use ubrc_core::{BackingFile, IndexAssigner, RegisterCache, TwoLevelFile, UseTracker};
+use ubrc_emu::{ExecRecord, Machine};
+use ubrc_frontend::{
+    CascadingIndirect, DegreeOfUsePredictor, DirectionPredictor, GlobalHistory, ReturnAddressStack,
+};
+use ubrc_isa::ExecClass;
+use ubrc_memsys::MemSys;
+
+/// Per-value timing: when consumers may issue against this physical
+/// register.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PregTime {
+    pub(crate) known: bool,
+    pub(crate) bypass_start: u64,
+    pub(crate) bypass_end: u64,
+    pub(crate) storage_avail: u64,
+}
+
+impl PregTime {
+    pub(crate) const UNKNOWN: PregTime = PregTime {
+        known: false,
+        bypass_start: 0,
+        bypass_end: 0,
+        storage_avail: 0,
+    };
+    /// Available-from-storage-forever (initial architectural values).
+    pub(crate) const ANCIENT: PregTime = PregTime {
+        known: true,
+        bypass_start: 0,
+        bypass_end: 0,
+        storage_avail: 0,
+    };
+
+    pub(crate) fn operand_ready(&self, now: u64) -> bool {
+        self.known
+            && now >= self.bypass_start
+            && (now <= self.bypass_end || now >= self.storage_avail)
+    }
+
+    pub(crate) fn on_bypass(&self, now: u64) -> bool {
+        now >= self.bypass_start && now <= self.bypass_end
+    }
+
+    /// Earliest cycle `>= t` at which the operand is readable.
+    ///
+    /// A lower bound, not a promise: the producer's timing can only be
+    /// revised *later* (load-miss retimes, register-cache misses), so a
+    /// consumer woken here re-checks and re-keys itself if needed.
+    pub(crate) fn next_ready_at(&self, t: u64) -> u64 {
+        if t < self.bypass_start {
+            self.bypass_start
+        } else if t <= self.bypass_end {
+            t
+        } else {
+            t.max(self.storage_avail)
+        }
+    }
+}
+
+/// Deferred timed events with an O(1) "anything due?" fast path, so
+/// quiet cycles skip the scan entirely.
+///
+/// Firing cycles run the exact same index/`swap_remove` scan the model
+/// has always used (the within-cycle processing order is part of the
+/// golden-snapshot contract); only the no-op scans are elided.
+pub(crate) struct EventQueue<T> {
+    pub(crate) items: Vec<(u64, T)>,
+    pub(crate) next_due: u64,
+}
+
+impl<T> EventQueue<T> {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            items: Vec::new(),
+            next_due: u64::MAX,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: u64, event: T) {
+        self.next_due = self.next_due.min(at);
+        self.items.push((at, event));
+    }
+
+    pub(crate) fn due(&self, now: u64) -> bool {
+        now >= self.next_due
+    }
+
+    pub(crate) fn refresh_due(&mut self) {
+        self.next_due = self.items.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
+    }
+}
+
+/// Per-value lifecycle bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PregInfo {
+    pub(crate) producer_pc: u64,
+    pub(crate) producer_hist: GlobalHistory,
+    pub(crate) trainable: bool,
+    pub(crate) consumers_renamed: u32,
+    pub(crate) consumers_outstanding: u32,
+    pub(crate) set: u16,
+    pub(crate) predicted: u8,
+    pub(crate) pre_write_bypasses: u32,
+    pub(crate) alloc_time: u64,
+    pub(crate) write_time: u64,
+    pub(crate) last_use: u64,
+    pub(crate) reassigned_seq: Option<u64>,
+    pub(crate) active: bool,
+}
+
+impl PregInfo {
+    pub(crate) const EMPTY: PregInfo = PregInfo {
+        producer_pc: 0,
+        producer_hist: GlobalHistory::new(),
+        trainable: false,
+        consumers_renamed: 0,
+        consumers_outstanding: 0,
+        set: 0,
+        predicted: 0,
+        pre_write_bypasses: 0,
+        alloc_time: 0,
+        write_time: 0,
+        last_use: 0,
+        reassigned_seq: None,
+        active: false,
+    };
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Waiting,
+    Issued,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct DynInst {
+    pub(crate) seq: u64,
+    pub(crate) rec: ExecRecord,
+    pub(crate) class: ExecClass,
+    pub(crate) srcs: [Option<u16>; 2],
+    pub(crate) dest: Option<u16>,
+    pub(crate) prev: Option<u16>,
+    pub(crate) status: Status,
+    pub(crate) earliest_issue: u64,
+    pub(crate) exec_done: u64,
+    pub(crate) fetch_cycle: u64,
+    pub(crate) mispredicted: bool,
+    pub(crate) wrong_path: bool,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct FetchedEntry {
+    pub(crate) rec: ExecRecord,
+    pub(crate) ready_at: u64,
+    pub(crate) fetch_cycle: u64,
+    pub(crate) hist: GlobalHistory,
+    pub(crate) mispredicted: bool,
+    /// The speculatively-fetched wrong target of a mispredicted branch
+    /// (begins wrong-path fetch when the entry is created).
+    pub(crate) wrong_path: bool,
+}
+
+// One `Storage` exists per simulator and it is accessed on every
+// operand read in the issue loop; boxing the cached variants would
+// trade this one-time size imbalance for a pointer chase on the hot
+// path.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Storage {
+    Monolithic {
+        write_latency: u32,
+    },
+    Cached {
+        cache: RegisterCache,
+        backing: BackingFile,
+        assigner: IndexAssigner,
+        tracker: UseTracker,
+    },
+    TwoLevel {
+        file: TwoLevelFile,
+    },
+}
+
+/// Fetch → rename latch: fetched records maturing through the front
+/// end. Entries become visible to rename `frontend_stages` cycles
+/// after fetch; a full queue back-pressures the fetch stage.
+pub(crate) struct FetchLatch {
+    pub(crate) queue: VecDeque<FetchedEntry>,
+}
+
+impl FetchLatch {
+    pub(crate) fn new() -> Self {
+        FetchLatch {
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Issue → execute latch: deferred timed events. The issue stage
+/// schedules them against future cycles; the execute stage drains the
+/// due ones at the top of each cycle.
+pub(crate) struct EventLatch {
+    /// Initial cache writes: time -> (preg, set, generation). The
+    /// generation guards against a physical register being freed and
+    /// reallocated before a stale event fires (possible when a producer
+    /// retires in the same cycle its cache write is scheduled).
+    pub(crate) writes: EventQueue<(u16, u16, u32)>,
+    /// Fills completing after a backing-file read.
+    pub(crate) fills: EventQueue<(u16, u16, u32)>,
+    /// Second-stage bypass decrements applied after the write lands.
+    pub(crate) bypass_decs: EventQueue<(u16, u16, u32)>,
+    /// Load-hit speculation: detect_time -> (preg, gen, true timing) —
+    /// the destination's advertised timing is corrected at detection.
+    pub(crate) retimes: EventQueue<(u16, u32, PregTime)>,
+}
+
+impl EventLatch {
+    pub(crate) fn new() -> Self {
+        EventLatch {
+            writes: EventQueue::new(),
+            fills: EventQueue::new(),
+            bypass_decs: EventQueue::new(),
+            retimes: EventQueue::new(),
+        }
+    }
+}
+
+/// Issue → issue replay latch: issue groups in these cycles are
+/// squashed (register-cache misses and load-hit mis-speculations both
+/// land here). A handful of near-future cycles at most, so a plain vec
+/// beats a hash set.
+pub(crate) struct ReplayLatch {
+    pub(crate) cycles: Vec<u64>,
+}
+
+impl ReplayLatch {
+    pub(crate) fn new() -> Self {
+        ReplayLatch { cycles: Vec::new() }
+    }
+
+    pub(crate) fn mark(&mut self, cycle: u64) {
+        if !self.cycles.contains(&cycle) {
+            self.cycles.push(cycle);
+        }
+    }
+
+    pub(crate) fn take(&mut self, now: u64) -> bool {
+        match self.cycles.iter().position(|&c| c == now) {
+            Some(i) => {
+                self.cycles.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The shared pipeline state every stage operates on: architectural
+/// substrate models, per-value bookkeeping, the inter-stage latches,
+/// and statistics.
+pub(crate) struct CoreState {
+    pub(crate) config: SimConfig,
+    pub(crate) machine: Machine,
+    pub(crate) stream_done: bool,
+    pub(crate) peeked: Option<ExecRecord>,
+
+    pub(crate) now: u64,
+    pub(crate) seq: u64,
+    pub(crate) retired: u64,
+    pub(crate) last_retired_seq: u64,
+    pub(crate) last_progress: u64,
+    pub(crate) halted: bool,
+
+    // Front end.
+    pub(crate) fetch_resume: u64,
+    /// Seq of an unresolved mispredicted control inst stalling fetch.
+    pub(crate) waiting_on_branch: Option<u64>,
+    // Wrong-path (speculative) fetch state: set when fetch follows a
+    // mispredicted branch's predicted target; cleared by the squash at
+    // resolution.
+    pub(crate) wrong_path: bool,
+    pub(crate) wp_resolve_seq: Option<u64>,
+    pub(crate) wp_map_checkpoint: Vec<u16>,
+    pub(crate) wp_map_saved: bool,
+    pub(crate) wp_ghist: GlobalHistory,
+    pub(crate) wp_ras: ReturnAddressStack,
+    pub(crate) wp_ras_saved: bool,
+    pub(crate) wp_squashed: u64,
+    pub(crate) fetch_latch: FetchLatch,
+    pub(crate) ghist: GlobalHistory,
+    pub(crate) branch_pred: DirectionPredictor,
+    pub(crate) ras: ReturnAddressStack,
+    pub(crate) indirect: CascadingIndirect,
+    pub(crate) douse: DegreeOfUsePredictor,
+    pub(crate) halt_fetched: bool,
+
+    // Rename.
+    pub(crate) map: Vec<u16>, // arch reg -> preg
+    pub(crate) freelist: Vec<u16>,
+    pub(crate) preg_time: Vec<PregTime>,
+    pub(crate) preg_info: Vec<PregInfo>,
+
+    // Window / ROB.
+    pub(crate) rob: VecDeque<DynInst>,
+    pub(crate) window_count: usize,
+
+    // Event-driven wake-up/select. `sched[i]` is `rob[i]`'s wake
+    // deadline: the earliest cycle its operands could be ready, a lower
+    // bound derived from its sources' `PregTime`, or `u64::MAX` once it
+    // has issued or while it is parked on a producer whose timing is
+    // unknown (re-armed from `preg_waiters` when the producer issues).
+    // Kept as a dense parallel array so the per-cycle select scan
+    // filters the whole window on one word per slot instead of walking
+    // the fat `DynInst` entries.
+    pub(crate) sched: VecDeque<u64>,
+    pub(crate) preg_waiters: Vec<Vec<u64>>,
+    // Reused per-cycle scratch (hoisted allocations).
+    pub(crate) due_buf: Vec<usize>,
+    pub(crate) selected_buf: Vec<(u64, usize)>,
+    pub(crate) squash_buf: Vec<DynInst>,
+
+    // Storage under test.
+    pub(crate) storage: Storage,
+    pub(crate) read_latency: u32,
+
+    // Inter-stage latches (see module docs).
+    pub(crate) events: EventLatch,
+    pub(crate) replay: ReplayLatch,
+    pub(crate) preg_gen: Vec<u32>,
+    pub(crate) load_replay_squashes: u64,
+
+    // Memory disambiguation: in-flight stores per 8-byte granule, in
+    // program order -> (seq, exec_done once issued).
+    pub(crate) store_granules: std::collections::HashMap<u64, Vec<(u64, Option<u64>)>>,
+    pub(crate) store_forward_stalls: u64,
+
+    pub(crate) memsys: MemSys,
+
+    // Statistics.
+    pub(crate) cond_branches: u64,
+    pub(crate) branch_mispredicts: u64,
+    pub(crate) indirect_branches: u64,
+    pub(crate) indirect_mispredicts: u64,
+    pub(crate) replayed: u64,
+    pub(crate) miss_events: u64,
+    pub(crate) dispatch_stall_pregs: u64,
+    pub(crate) operands_bypassed: u64,
+    pub(crate) operands_from_storage: u64,
+    pub(crate) lifetimes: Option<LifetimeCollector>,
+    pub(crate) trace: Vec<InstTrace>,
+
+    // Runtime checking and fault injection (`SimConfig::check` /
+    // `SimConfig::fault_plan`). All observation-only except the
+    // injector, whose whole point is corrupting live state.
+    pub(crate) oracle: Option<Oracle>,
+    pub(crate) checker: Option<Checker>,
+    pub(crate) injector: Option<Injector>,
+    pub(crate) error: Option<Box<SimError>>,
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
+}
+
+/// One entry of the declarative cycle schedule.
+pub(crate) struct StageDesc {
+    /// Stage name, for schedule introspection (read by the
+    /// schedule-order test; kept for diagnostics).
+    #[allow(dead_code)]
+    pub(crate) name: &'static str,
+    /// The stage function, applied to the core with the current cycle.
+    pub(crate) run: fn(&mut CoreState, u64),
+}
+
+/// The cycle schedule: every stage, in the exact order the monolithic
+/// `cycle()` always ran them. The order is part of the golden-snapshot
+/// contract.
+pub(crate) const SCHEDULE: &[StageDesc] = &[
+    StageDesc {
+        name: "inject",
+        run: CoreState::inject_stage,
+    },
+    StageDesc {
+        name: "execute",
+        run: CoreState::execute_stage,
+    },
+    StageDesc {
+        name: "retire",
+        run: CoreState::retire,
+    },
+    StageDesc {
+        name: "issue",
+        run: CoreState::issue,
+    },
+    StageDesc {
+        name: "rename",
+        run: CoreState::dispatch,
+    },
+    StageDesc {
+        name: "fetch",
+        run: CoreState::fetch,
+    },
+    StageDesc {
+        name: "storage-tick",
+        run: CoreState::storage_tick,
+    },
+];
+
+impl CoreState {
+    /// Runs one cycle: every stage of [`SCHEDULE`], then advances time.
+    pub(crate) fn cycle(&mut self) {
+        let now = self.now;
+        for stage in SCHEDULE {
+            (stage.run)(self, now);
+        }
+        self.now += 1;
+    }
+
+    /// The two-level file's background transfer engine advances at the
+    /// end of every cycle.
+    fn storage_tick(&mut self, _now: u64) {
+        if let Storage::TwoLevel { file } = &mut self.storage {
+            file.tick();
+        }
+    }
+
+    /// Snapshot of the stuck machine for the watchdog report.
+    pub(crate) fn diagnostic_dump(&self) -> Box<DiagnosticDump> {
+        let rob_head = self
+            .rob
+            .iter()
+            .enumerate()
+            .take(8)
+            .map(|(i, inst)| {
+                let deadline = match self.sched.get(i) {
+                    Some(&u64::MAX) | None => "-".to_string(),
+                    Some(&t) => t.to_string(),
+                };
+                format!(
+                    "seq {:>8} pc {:#08x} `{}` {:?} earliest_issue {} wake {}",
+                    inst.seq,
+                    inst.rec.pc,
+                    inst.rec.inst,
+                    inst.status,
+                    inst.earliest_issue,
+                    deadline
+                )
+            })
+            .collect();
+        let queue_line = |name: &str, items: usize, next: u64| {
+            let next = if next == u64::MAX {
+                "-".to_string()
+            } else {
+                next.to_string()
+            };
+            format!("{name}: {items} queued, next due {next}")
+        };
+        let event_queues = vec![
+            queue_line(
+                "pending_writes",
+                self.events.writes.items.len(),
+                self.events.writes.next_due,
+            ),
+            queue_line(
+                "pending_fills",
+                self.events.fills.items.len(),
+                self.events.fills.next_due,
+            ),
+            queue_line(
+                "pending_bypass_decs",
+                self.events.bypass_decs.items.len(),
+                self.events.bypass_decs.next_due,
+            ),
+            queue_line(
+                "pending_retimes",
+                self.events.retimes.items.len(),
+                self.events.retimes.next_due,
+            ),
+            format!("squash_cycles: {:?}", self.replay.cycles),
+        ];
+        Box::new(DiagnosticDump {
+            cycle: self.now,
+            last_progress: self.last_progress,
+            retired: self.retired,
+            fetch_queue: self.fetch_latch.queue.len(),
+            window_count: self.window_count,
+            rob_head,
+            event_queues,
+        })
+    }
+
+    /// End-of-cycle invariant audit (`check.invariants`). Read-only:
+    /// returns the first violation found, if any.
+    pub(crate) fn check_invariants(&self) -> Option<Box<InvariantViolation>> {
+        let cycle = self.now.saturating_sub(1);
+        let viol = |invariant: &'static str, detail: String| {
+            Some(Box::new(InvariantViolation {
+                cycle,
+                invariant,
+                detail,
+            }))
+        };
+        if self.sched.len() != self.rob.len() {
+            return viol(
+                "sched-rob-lockstep",
+                format!(
+                    "{} wake deadlines for {} rob entries",
+                    self.sched.len(),
+                    self.rob.len()
+                ),
+            );
+        }
+        let waiting = self
+            .rob
+            .iter()
+            .filter(|i| i.status == Status::Waiting)
+            .count();
+        if waiting != self.window_count {
+            return viol(
+                "window-count",
+                format!(
+                    "{waiting} waiting instructions but window_count={}",
+                    self.window_count
+                ),
+            );
+        }
+        let active = self.preg_info.iter().filter(|i| i.active).count();
+        if active + self.freelist.len() != self.config.phys_regs {
+            return viol(
+                "preg-accounting",
+                format!(
+                    "{active} live + {} free != {} physical registers",
+                    self.freelist.len(),
+                    self.config.phys_regs
+                ),
+            );
+        }
+        // Event queues drain monotonically: everything due by the cycle
+        // just completed must have been consumed by its processor.
+        let queues: [(&str, Option<u64>); 4] = [
+            (
+                "pending_writes",
+                self.events.writes.items.iter().map(|e| e.0).min(),
+            ),
+            (
+                "pending_fills",
+                self.events.fills.items.iter().map(|e| e.0).min(),
+            ),
+            (
+                "pending_bypass_decs",
+                self.events.bypass_decs.items.iter().map(|e| e.0).min(),
+            ),
+            (
+                "pending_retimes",
+                self.events.retimes.items.iter().map(|e| e.0).min(),
+            ),
+        ];
+        for (name, min_due) in queues {
+            if let Some(t) = min_due {
+                if t <= cycle {
+                    return viol(
+                        "event-drain",
+                        format!("{name} still holds an event due at cycle {t}"),
+                    );
+                }
+            }
+        }
+        if let Storage::Cached { cache, tracker, .. } = &self.storage {
+            if let Some(ck) = &self.checker {
+                if let Some(v) = ck.check_tracker(tracker, cycle) {
+                    return Some(v);
+                }
+                if let Some(v) = ck.check_cache(cache, tracker, cycle) {
+                    return Some(v);
+                }
+                for o in &ck.fill_obligations {
+                    if o.due <= cycle
+                        && self.preg_gen[o.preg as usize] == o.gen
+                        && self.preg_info[o.preg as usize].active
+                    {
+                        return viol(
+                            "fill-obligation",
+                            format!(
+                                "fill for p{} scheduled for cycle {} never applied",
+                                o.preg, o.due
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_preserves_the_historical_cycle_order() {
+        let names: Vec<&str> = SCHEDULE.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "inject",
+                "execute",
+                "retire",
+                "issue",
+                "rename",
+                "fetch",
+                "storage-tick"
+            ],
+            "the within-cycle stage order is part of the golden-snapshot contract"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Rename/dispatch stage: drains the fetch→rename latch, renames
+//! architectural registers against the map, allocates destinations
+//! from the freelist, and inserts into the ROB/window.
+//!
+//! Backpressure: dispatch stops at the ROB/window capacity or an empty
+//! freelist; the fetch latch then fills until fetch itself stalls.
+
+use super::{CoreState, DynInst, FetchedEntry, PregInfo, PregTime, Status, Storage};
+use crate::trace::InstTrace;
+use ubrc_core::PhysReg;
+
+impl CoreState {
+    pub(crate) fn dispatch(&mut self, now: u64) {
+        for _ in 0..self.config.fetch_width {
+            let Some(front) = self.fetch_latch.queue.front() else {
+                break;
+            };
+            if front.ready_at > now {
+                break;
+            }
+            if self.rob.len() == self.config.rob_entries
+                || self.window_count == self.config.window_entries
+            {
+                break;
+            }
+            let has_dest = front.rec.inst.dest().is_some();
+            if has_dest {
+                if self.freelist.is_empty() {
+                    self.dispatch_stall_pregs += 1;
+                    break;
+                }
+                if let Storage::TwoLevel { file } = &self.storage {
+                    if file.free_count() == 0 {
+                        self.dispatch_stall_pregs += 1;
+                        break;
+                    }
+                }
+            }
+            let entry = self
+                .fetch_latch
+                .queue
+                .pop_front()
+                .expect("checked non-empty");
+            self.rename_and_insert(entry, now);
+        }
+    }
+
+    fn rename_and_insert(&mut self, entry: FetchedEntry, now: u64) {
+        let rec = entry.rec;
+        let seq = self.seq;
+        self.seq += 1;
+
+        // Sources: current mappings.
+        let mut srcs = [None, None];
+        for (slot, src) in rec.inst.sources().into_iter().enumerate() {
+            if let Some(r) = src {
+                let p = self.map[r.index() as usize];
+                srcs[slot] = Some(p);
+                let info = &mut self.preg_info[p as usize];
+                info.consumers_renamed += 1;
+                info.consumers_outstanding += 1;
+            }
+        }
+
+        // Destination: allocate and remap.
+        let mut dest = None;
+        let mut prev = None;
+        if let Some(r) = rec.inst.dest() {
+            let p = self.freelist.pop().expect("dispatch checked the freelist");
+            let old = self.map[r.index() as usize];
+            self.map[r.index() as usize] = p;
+            prev = Some(old);
+            dest = Some(p);
+
+            // The old value's architectural name is gone: transfer
+            // eligibility (two-level) begins once consumers drain.
+            let old_info = &mut self.preg_info[old as usize];
+            old_info.reassigned_seq = Some(seq);
+            if old_info.consumers_outstanding == 0 {
+                if let Storage::TwoLevel { file } = &mut self.storage {
+                    file.mark_eligible(PhysReg(old), seq);
+                }
+            }
+
+            // Degree-of-use prediction for the new value.
+            let prediction = self.douse.predict(rec.pc, entry.hist);
+            self.preg_time[p as usize] = PregTime::UNKNOWN;
+            let mut info = PregInfo {
+                producer_pc: rec.pc,
+                producer_hist: entry.hist,
+                // Wrong-path values never complete a real lifetime, so
+                // they do not train the degree predictor (their *reads*
+                // of correct-path values still pollute use counts, as
+                // in §3.4).
+                trainable: !entry.wrong_path,
+                alloc_time: now,
+                active: true,
+                ..PregInfo::EMPTY
+            };
+            match &mut self.storage {
+                Storage::Cached {
+                    cache,
+                    assigner,
+                    tracker,
+                    ..
+                } => {
+                    let cfg = *cache.config();
+                    tracker.init(
+                        PhysReg(p),
+                        prediction,
+                        cfg.unknown_default,
+                        cfg.max_use_count,
+                    );
+                    let degree = tracker.predicted(PhysReg(p));
+                    if let Some(ck) = self.checker.as_mut() {
+                        ck.on_init(
+                            p,
+                            tracker.remaining(PhysReg(p)),
+                            tracker.is_pinned(PhysReg(p)),
+                        );
+                    }
+                    info.predicted = degree;
+                    info.set = assigner.assign(PhysReg(p), degree);
+                    cache.produce(PhysReg(p));
+                }
+                Storage::TwoLevel { file } => {
+                    let ok = file.try_allocate(PhysReg(p));
+                    debug_assert!(ok, "dispatch checked the L1 free count");
+                }
+                Storage::Monolithic { .. } => {}
+            }
+            self.preg_info[p as usize] = info;
+        }
+
+        if (seq as usize) < self.config.trace_instructions {
+            self.trace.push(InstTrace {
+                seq,
+                pc: rec.pc,
+                asm: rec.inst.to_string(),
+                fetch: entry.fetch_cycle,
+                dispatch: now,
+                issue: 0,
+                exec_start: 0,
+                exec_done: 0,
+                retire: 0,
+                operands: [None, None],
+                replays: 0,
+                wrong_path: entry.wrong_path,
+            });
+        }
+        if self.config.model_store_forwarding && rec.inst.is_store() {
+            let granule = rec.mem_addr.expect("store has an address") / 8;
+            self.store_granules
+                .entry(granule)
+                .or_default()
+                .push((seq, None));
+        }
+        self.rob.push_back(DynInst {
+            seq,
+            rec,
+            class: rec.inst.class(),
+            srcs,
+            dest,
+            prev,
+            status: Status::Waiting,
+            earliest_issue: now + 1,
+            exec_done: u64::MAX,
+            fetch_cycle: entry.fetch_cycle,
+            mispredicted: entry.mispredicted,
+            wrong_path: entry.wrong_path,
+        });
+        self.sched.push_back(now + 1);
+        self.window_count += 1;
+
+        // The rename map as of the mispredicted branch is what the
+        // squash restores. Copied into a persistent buffer (no
+        // per-branch allocation).
+        if entry.mispredicted && self.wp_resolve_seq == Some(seq) {
+            self.wp_map_checkpoint.clear();
+            self.wp_map_checkpoint.extend_from_slice(&self.map);
+            self.wp_map_saved = true;
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Retire stage: in-order retirement from the ROB head, physical
+//! register reclamation, degree-predictor training, and the
+//! end-of-run result collection.
+
+use super::{CoreState, PregInfo, PregTime, Status, Storage};
+use crate::check::SimError;
+use crate::stats::SimResult;
+use crate::trace::Timeline;
+use ubrc_core::PhysReg;
+use ubrc_isa::Inst;
+
+impl CoreState {
+    pub(crate) fn retire(&mut self, now: u64) {
+        let mut stores = 0;
+        for _ in 0..self.config.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.status != Status::Issued || head.exec_done > now {
+                break;
+            }
+            if head.rec.inst.is_store() {
+                if stores == self.config.max_stores_per_retire {
+                    break;
+                }
+                let addr = head.rec.mem_addr.expect("store has an address");
+                if !self.memsys.store_retire(addr, now) {
+                    break; // store buffer full: stall retirement
+                }
+                stores += 1;
+            }
+            let inst = self.rob.pop_front().expect("checked non-empty");
+            self.sched.pop_front();
+            debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
+            self.retired += 1;
+            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
+                // Younger loads are now ordered by the store buffer in
+                // the memory system, not the LSQ.
+                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
+                if let Some(stores) = self.store_granules.get_mut(&granule) {
+                    stores.retain(|&(sseq, _)| sseq != inst.seq);
+                    if stores.is_empty() {
+                        self.store_granules.remove(&granule);
+                    }
+                }
+            }
+            if let Some(t) = self.trace.get_mut(inst.seq as usize) {
+                t.retire = now;
+            }
+            self.last_retired_seq = inst.seq;
+            self.last_progress = now;
+            if let Some(oracle) = self.oracle.as_mut() {
+                if let Err(report) = oracle.check_retire(now, &inst.rec) {
+                    self.error = Some(Box::new(SimError::Divergence(report)));
+                    return;
+                }
+            }
+            if inst.rec.inst == Inst::Halt {
+                self.halted = true;
+                return;
+            }
+            // The set-assignment bookkeeping (minimum sums, filtered
+            // round-robin high-use counts) retires with the producing
+            // instruction (§4.2).
+            if let Some(d) = inst.dest {
+                if let Storage::Cached { assigner, .. } = &mut self.storage {
+                    let info = &self.preg_info[d as usize];
+                    assigner.release(info.set, info.predicted);
+                }
+            }
+            if let Some(prev) = inst.prev {
+                self.free_preg(prev, now);
+            }
+        }
+    }
+
+    fn free_preg(&mut self, p: u16, now: u64) {
+        let info = self.preg_info[p as usize];
+        debug_assert!(info.active, "freeing an inactive preg");
+        if info.trainable {
+            self.douse.train(
+                info.producer_pc,
+                info.producer_hist,
+                info.consumers_renamed.min(u8::MAX as u32) as u8,
+            );
+        }
+        match &mut self.storage {
+            Storage::Cached { cache, tracker, .. } => {
+                cache.free(PhysReg(p), info.set, now);
+                tracker.clear(PhysReg(p));
+            }
+            Storage::TwoLevel { file } => file.release(PhysReg(p)),
+            Storage::Monolithic { .. } => {}
+        }
+        if let Some(lt) = &mut self.lifetimes {
+            lt.record_value(info.alloc_time, info.write_time, info.last_use, now);
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_clear(p);
+        }
+        self.preg_info[p as usize] = PregInfo::EMPTY;
+        self.preg_time[p as usize] = PregTime::UNKNOWN;
+        self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
+        // In-order retirement guarantees every correct-path consumer
+        // issued before the overwriting instruction retires, so any
+        // waiter left here is a squashed seq — drop it.
+        self.preg_waiters[p as usize].clear();
+        self.freelist.push(p);
+    }
+
+    /// Collects the end-of-run results, consuming the core. Storage
+    /// statistics are moved out, not copied.
+    pub(crate) fn finish(self) -> SimResult {
+        let now = self.now;
+        let (regcache, backing, twolevel) = match self.storage {
+            Storage::Cached {
+                mut cache, backing, ..
+            } => {
+                cache.finalize(now);
+                let b = *backing.stats();
+                (Some(cache.into_stats()), Some(b), None)
+            }
+            Storage::TwoLevel { file } => (None, None, Some(*file.stats())),
+            Storage::Monolithic { .. } => (None, None, None),
+        };
+        SimResult {
+            cycles: now,
+            retired: self.retired,
+            cond_branches: self.cond_branches,
+            branch_mispredicts: self.branch_mispredicts,
+            indirect_branches: self.indirect_branches,
+            indirect_mispredicts: self.indirect_mispredicts,
+            replayed: self.replayed,
+            miss_events: self.miss_events,
+            dispatch_stall_pregs: self.dispatch_stall_pregs,
+            operands_bypassed: self.operands_bypassed,
+            operands_from_storage: self.operands_from_storage,
+            store_forward_stalls: self.store_forward_stalls,
+            wrong_path_squashed: self.wp_squashed,
+            load_miss_speculations: self.load_replay_squashes,
+            regcache,
+            backing,
+            twolevel,
+            douse: *self.douse.stats(),
+            memsys: *self.memsys.stats(),
+            lifetimes: self.lifetimes.map(|lt| lt.finalize(now)),
+            timeline: (!self.trace.is_empty()).then_some(Timeline { insts: self.trace }),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Wrong-path squash: tears down everything younger than a resolved
+//! mispredicted branch and restores the front-end checkpoints. Every
+//! inter-stage latch holding wrong-path work is cleared here.
+
+use super::{CoreState, PregInfo, PregTime, Status, Storage};
+use ubrc_core::PhysReg;
+
+impl CoreState {
+    /// Squashes everything younger than the resolved mispredicted
+    /// branch: ROB/window entries, renamed registers, LSQ entries, the
+    /// fetch latch, and the speculative emulator state.
+    pub(crate) fn squash_wrong_path(&mut self, branch_seq: u64, now: u64) {
+        let keep = self
+            .rob
+            .iter()
+            .position(|i| i.seq > branch_seq)
+            .unwrap_or(self.rob.len());
+        let mut removed = std::mem::take(&mut self.squash_buf);
+        removed.clear();
+        removed.extend(self.rob.drain(keep..));
+        self.sched.truncate(keep);
+        for inst in removed.iter().rev() {
+            debug_assert!(inst.wrong_path, "squashed a correct-path instruction");
+            self.wp_squashed += 1;
+            if inst.status == Status::Waiting {
+                self.window_count -= 1;
+                // Issued instructions already consumed their reads.
+                for p in inst.srcs.iter().flatten() {
+                    let info = &mut self.preg_info[*p as usize];
+                    if info.active {
+                        info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
+                    }
+                }
+            }
+            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
+                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
+                if let Some(stores) = self.store_granules.get_mut(&granule) {
+                    stores.retain(|&(sseq, _)| sseq != inst.seq);
+                    if stores.is_empty() {
+                        self.store_granules.remove(&granule);
+                    }
+                }
+            }
+            if let Some(d) = inst.dest {
+                if let Storage::Cached { assigner, .. } = &mut self.storage {
+                    let info = &self.preg_info[d as usize];
+                    assigner.release(info.set, info.predicted);
+                }
+                self.squash_free_preg(d, now);
+                if let Some(prev) = inst.prev {
+                    // The architectural name reverts to the old value.
+                    let pi = &mut self.preg_info[prev as usize];
+                    if pi.active {
+                        pi.reassigned_seq = None;
+                    }
+                }
+            }
+        }
+        self.squash_buf = removed;
+
+        // Restore the front end to the branch point. The map swaps
+        // with its persistent checkpoint buffer (no allocation; the
+        // stale wrong-path map is overwritten at the next save).
+        assert!(
+            self.wp_map_saved,
+            "checkpoint saved when the branch dispatched"
+        );
+        std::mem::swap(&mut self.map, &mut self.wp_map_checkpoint);
+        self.wp_map_saved = false;
+        self.ghist = self.wp_ghist;
+        assert!(self.wp_ras_saved, "RAS checkpoint saved");
+        std::mem::swap(&mut self.ras, &mut self.wp_ras);
+        self.wp_ras_saved = false;
+        debug_assert!(self.fetch_latch.queue.iter().all(|e| e.wrong_path));
+        self.fetch_latch.queue.clear();
+        self.peeked = None;
+        self.machine.abort_speculation();
+        self.wrong_path = false;
+        self.wp_resolve_seq = None;
+        if self.waiting_on_branch.is_some_and(|w| w > branch_seq) {
+            // An inner wrong-path misprediction was stalling fetch; it
+            // no longer exists.
+            self.waiting_on_branch = None;
+        }
+    }
+
+    /// Releases a wrong-path destination register: like a free at
+    /// retirement, but with no degree-predictor training and no
+    /// lifetime statistics (the value never completed a lifetime).
+    fn squash_free_preg(&mut self, p: u16, now: u64) {
+        let info = self.preg_info[p as usize];
+        debug_assert!(info.active, "squash-freeing an inactive preg");
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_clear(p);
+        }
+        match &mut self.storage {
+            Storage::Cached { cache, tracker, .. } => {
+                cache.free(PhysReg(p), info.set, now);
+                tracker.clear(PhysReg(p));
+            }
+            Storage::TwoLevel { file } => file.release(PhysReg(p)),
+            Storage::Monolithic { .. } => {}
+        }
+        self.preg_info[p as usize] = PregInfo::EMPTY;
+        self.preg_time[p as usize] = PregTime::UNKNOWN;
+        self.preg_gen[p as usize] = self.preg_gen[p as usize].wrapping_add(1);
+        // Anything parked on a wrong-path value is wrong-path itself
+        // and is being squashed with it.
+        self.preg_waiters[p as usize].clear();
+        self.freelist.push(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::Simulator;
+    use ubrc_workloads::{workload_by_name, Scale};
+
+    /// After any cycle on which the core is back on the correct path,
+    /// no wrong-path state survives in any latch: the fetch→rename
+    /// latch holds only correct-path entries, the ROB holds no
+    /// wrong-path instructions, and both front-end checkpoints
+    /// (rename map and RAS) have been released.
+    #[test]
+    fn squash_clears_wrong_path_state_from_every_latch() {
+        let w = workload_by_name("bfs", Scale::Tiny).unwrap();
+        let mut sim = Simulator::new(w.assemble().unwrap(), SimConfig::paper_default());
+        let mut last_squashed = 0;
+        let mut squash_cycles = 0;
+        while !sim.core.halted && sim.core.now < 200_000 {
+            sim.core.cycle();
+            if sim.core.wp_squashed > last_squashed {
+                last_squashed = sim.core.wp_squashed;
+                squash_cycles += 1;
+            }
+            if !sim.core.wrong_path {
+                assert!(
+                    sim.core.fetch_latch.queue.iter().all(|e| !e.wrong_path),
+                    "wrong-path entry left in the fetch latch after squash"
+                );
+                assert!(
+                    sim.core.rob.iter().all(|i| !i.wrong_path),
+                    "wrong-path instruction left in the ROB after squash"
+                );
+                assert!(!sim.core.wp_map_saved, "map checkpoint not released");
+                assert!(!sim.core.wp_ras_saved, "RAS checkpoint not released");
+                assert!(sim.core.wp_resolve_seq.is_none());
+            }
+        }
+        assert!(sim.core.halted, "bfs should run to completion");
+        assert!(squash_cycles > 0, "bfs must mispredict at least once");
+    }
+}

@@ -80,6 +80,40 @@ fn one_entry_register_cache_works() {
 }
 
 #[test]
+fn expected_hit_count_is_deterministic_and_distinct() {
+    // The first trait-seam policy must (a) run the whole suite under a
+    // checked configuration, (b) be reproducible bit for bit, and
+    // (c) actually diverge from fewest-remaining-uses somewhere — if it
+    // never picks a different victim the seam proved nothing.
+    let mk = |cache: RegCacheConfig| {
+        let mut cfg = SimConfig::table1(RegStorage::Cached {
+            cache,
+            index: IndexPolicy::FilteredRoundRobin,
+            backing_read: 2,
+            backing_write: 2,
+        });
+        cfg.check = ubrc_sim::CheckConfig::full();
+        cfg
+    };
+    let mut distinct = false;
+    for w in ubrc_workloads::suite(Scale::Tiny) {
+        let a = simulate_workload(&w, mk(RegCacheConfig::expected_hit_count(64, 2)));
+        let b = simulate_workload(&w, mk(RegCacheConfig::expected_hit_count(64, 2)));
+        assert_eq!(a.cycles, b.cycles, "{}: EHC must be deterministic", w.name);
+        assert_eq!(a.retired, b.retired);
+        let ub = simulate_workload(&w, mk(RegCacheConfig::use_based(64, 2)));
+        assert_eq!(a.retired, ub.retired, "{}: same program retires", w.name);
+        if a.cycles != ub.cycles {
+            distinct = true;
+        }
+    }
+    assert!(
+        distinct,
+        "expected-hit-count never diverged from fewest-uses on any kernel"
+    );
+}
+
+#[test]
 fn deep_frontend_lengthens_branch_loops() {
     let w = workload_by_name("qsort", Scale::Tiny).unwrap();
     let shallow = simulate_workload(&w, base());

@@ -10,6 +10,11 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "== cargo doc --no-deps (warnings denied)"
+# Vendored third_party crates are workspace members but not ours to fix.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude proptest --exclude criterion --exclude rand
+
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

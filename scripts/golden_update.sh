@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Golden-snapshot maintenance for tests/golden_snapshots.txt.
+#
+# Default: verify the current simulator against the committed goldens
+# and REFUSE to overwrite anything — if rows differ, the diff is shown
+# and the script exits non-zero. Rows are bit-exact cycle counts; a
+# diff means a semantic change to the timing model, which must be a
+# deliberate decision, not a side effect of a refactor.
+#
+# To accept a deliberate change:   scripts/golden_update.sh --bless
+# (re-captures the file, then shows `git diff` of it for review).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN=tests/golden_snapshots.txt
+BLESS=0
+case "${1:-}" in
+    --bless) BLESS=1 ;;
+    "") ;;
+    *)
+        echo "usage: $0 [--bless]" >&2
+        exit 2
+        ;;
+esac
+
+if [[ "$BLESS" == 1 ]]; then
+    echo "== re-capturing $GOLDEN (UBRC_BLESS=1)"
+    UBRC_BLESS=1 cargo test --release --test golden_snapshots -- --nocapture
+    echo "== resulting change (review before committing):"
+    git --no-pager diff --stat -- "$GOLDEN" || true
+    git --no-pager diff -- "$GOLDEN" | head -80 || true
+    echo "blessed. Re-run '$0' (no flags) to confirm determinism."
+    exit 0
+fi
+
+echo "== verifying simulator output against $GOLDEN (no overwrite)"
+if cargo test --release --test golden_snapshots; then
+    echo "goldens are up to date."
+else
+    cat >&2 <<EOF
+
+Golden snapshots DIFFER from the current simulator output.
+Refusing to overwrite $GOLDEN.
+
+If this change is intentional (a deliberate timing-model change, a new
+config row), re-run with:   $0 --bless
+and review the diff it prints before committing.
+EOF
+    exit 1
+fi

@@ -7,7 +7,9 @@
 //! Tiny-scale kernel suite under all four [`IndexPolicy`] variants
 //! crossed with both replacement designs (use-based / LRU) and
 //! compares cycles, retirement, replays, and the per-class miss
-//! counts against the stored goldens.
+//! counts against the stored goldens. A trailing block of
+//! `filtered-ehc` rows pins the expected-hit-count replacement scorer
+//! without disturbing the original 96-row matrix.
 //!
 //! To regenerate after an *intentional* model change:
 //!
@@ -94,37 +96,67 @@ fn cache_variants() -> Vec<(&'static str, RegCacheConfig)> {
     vec![("usebased", ub), ("lru", lru)]
 }
 
+fn snap_one(
+    w: &ubrc::workloads::Workload,
+    config: String,
+    cache: RegCacheConfig,
+    index: IndexPolicy,
+    check: bool,
+) -> Snap {
+    let mut cfg = SimConfig::table1(RegStorage::Cached {
+        cache,
+        index,
+        backing_read: 2,
+        backing_write: 2,
+    });
+    if check {
+        cfg.check = ubrc::sim::CheckConfig::full();
+    }
+    let r = simulate_workload(w, cfg);
+    let c = r.regcache.as_ref().expect("cached run has cache stats");
+    Snap {
+        kernel: w.name.to_string(),
+        config,
+        cycles: r.cycles,
+        retired: r.retired,
+        replayed: r.replayed,
+        reads: c.reads,
+        read_hits: c.read_hits,
+        read_misses: c.read_misses,
+        misses_not_written: c.misses_not_written,
+        misses_capacity: c.misses_capacity,
+        misses_conflict: c.misses_conflict,
+    }
+}
+
 fn capture(check: bool) -> Vec<Snap> {
     let mut snaps = Vec::new();
     for w in suite(Scale::Tiny) {
         for (idx_name, index) in INDEX_POLICIES {
             for (cache_name, cache) in cache_variants() {
-                let mut cfg = SimConfig::table1(RegStorage::Cached {
+                snaps.push(snap_one(
+                    &w,
+                    format!("{idx_name}-{cache_name}"),
                     cache,
                     index,
-                    backing_read: 2,
-                    backing_write: 2,
-                });
-                if check {
-                    cfg.check = ubrc::sim::CheckConfig::full();
-                }
-                let r = simulate_workload(&w, cfg);
-                let c = r.regcache.as_ref().expect("cached run has cache stats");
-                snaps.push(Snap {
-                    kernel: w.name.to_string(),
-                    config: format!("{idx_name}-{cache_name}"),
-                    cycles: r.cycles,
-                    retired: r.retired,
-                    replayed: r.replayed,
-                    reads: c.reads,
-                    read_hits: c.read_hits,
-                    read_misses: c.read_misses,
-                    misses_not_written: c.misses_not_written,
-                    misses_capacity: c.misses_capacity,
-                    misses_conflict: c.misses_conflict,
-                });
+                    check,
+                ));
             }
         }
+    }
+    // The expected-hit-count replacement scorer rows are appended *after*
+    // the original 96-row matrix so the pre-existing rows stay
+    // byte-identical across the policy-trait refactor.
+    for w in suite(Scale::Tiny) {
+        let mut ehc = RegCacheConfig::expected_hit_count(64, 2);
+        ehc.classify_misses = true;
+        snaps.push(snap_one(
+            &w,
+            "filtered-ehc".to_string(),
+            ehc,
+            IndexPolicy::FilteredRoundRobin,
+            check,
+        ));
     }
     snaps
 }
@@ -168,7 +200,7 @@ fn sim_results_match_golden_snapshots() {
 }
 
 /// The runtime checker (lockstep oracle + per-cycle invariants) must be
-/// observation-only: the same 96 cells, checked, must reproduce the
+/// observation-only: the same cells, checked, must reproduce the
 /// goldens bit for bit.
 #[test]
 fn checked_sim_results_match_golden_snapshots() {
