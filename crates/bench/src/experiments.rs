@@ -223,6 +223,7 @@ pub fn fig7(scale: Scale) -> Result<Table, SuiteError> {
         ("round-robin", IndexPolicy::RoundRobin),
         ("minimum", IndexPolicy::Minimum),
         ("filtered", IndexPolicy::FilteredRoundRobin),
+        ("min-load", IndexPolicy::MinLoad),
     ];
     for (name, policy) in policies {
         let mut row = vec![name.to_string()];
@@ -840,6 +841,39 @@ pub fn ehc(scale: Scale) -> Result<Table, SuiteError> {
     Ok(t)
 }
 
+/// Extension: SMT co-scheduling. Each [`ubrc_workloads::kernel_pairs`]
+/// pairing runs on one 2-thread core (replicated front end,
+/// partitioned register file, shared issue/execute/cache — see
+/// DESIGN.md, "SMT front end") and the aggregate IPC is compared with
+/// the single-thread suite geomean under the same storage scheme. Two
+/// threads double the pressure on the shared register cache without
+/// doubling its capacity, so the fewest-uses-vs-LRU gap should *widen*
+/// relative to the 1-thread column.
+pub fn smt(scale: Scale) -> Result<Table, SuiteError> {
+    let variants = [
+        (
+            "use-based",
+            cached_cfg(
+                RegCacheConfig::use_based(64, 2),
+                IndexPolicy::FilteredRoundRobin,
+                2,
+            ),
+        ),
+        (
+            "lru",
+            cached_cfg(RegCacheConfig::lru(64, 2), IndexPolicy::RoundRobin, 2),
+        ),
+        ("no-cache (RF 3-cycle)", mono_cfg(3)),
+    ];
+    let mut t = Table::new(["scheme", "1T-geomean-ipc", "2T-geomean-ipc", "2T/1T"]);
+    for (name, cfg) in variants {
+        let one = run_suite(&cfg, scale)?.geomean_ipc();
+        let two = crate::runner::run_pair_suite(&cfg, scale)?.geomean_ipc();
+        t.row_f64(name, [one, two, two / one], 4);
+    }
+    Ok(t)
+}
+
 /// Every experiment, as `(id, description, runner)` triples, in paper
 /// order. The harness binary and the smoke tests iterate this. A
 /// failing run reports the offending workload via [`SuiteError`]
@@ -931,6 +965,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "loadspec",
             "load-hit speculation vs oracle wakeup (extension)",
             loadspec,
+        ),
+        (
+            "smt",
+            "2-thread SMT kernel-pair co-scheduling (extension)",
+            smt,
         ),
     ]
 }

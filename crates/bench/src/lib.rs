@@ -18,9 +18,11 @@ mod runner;
 mod trajectory;
 
 pub use runner::{
-    max_workers, run_one, run_one_with, run_suite, run_suite_robust, suite_geomean_ipc, RunOptions,
-    SuiteError, SuiteFailure, SuiteReport, SuiteResult,
+    max_workers, run_one, run_one_with, run_pair, run_pair_suite, run_pair_suite_robust,
+    run_pair_with, run_suite, run_suite_robust, suite_geomean_ipc, RunOptions, SuiteError,
+    SuiteFailure, SuiteReport, SuiteResult,
 };
 pub use trajectory::{
-    pipeline_trajectory, trajectory_configs, TrajectoryOutcome, SCHEMA as TRAJECTORY_SCHEMA,
+    pipeline_trajectory, smt_trajectory_configs, trajectory_configs, TrajectoryOutcome,
+    SCHEMA as TRAJECTORY_SCHEMA,
 };

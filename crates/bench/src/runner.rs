@@ -208,7 +208,7 @@ pub fn run_one_with(
         config.check = CheckConfig::full();
     }
     match opts.timeout {
-        Some(budget) => run_with_deadline(program, config, budget).map_err(fail),
+        Some(budget) => run_with_deadline(vec![program], config, budget).map_err(fail),
         None => catch_unwind(AssertUnwindSafe(|| {
             Simulator::new(program, config).run_checked()
         }))
@@ -217,12 +217,66 @@ pub fn run_one_with(
     }
 }
 
+/// Runs one 2-thread SMT cell — a kernel pair co-scheduled on one core
+/// — through the worker gate with options from the environment.
+/// Failures name the pair as `a+b`.
+pub fn run_pair(a: &Workload, b: &Workload, config: SimConfig) -> Result<SimResult, SuiteError> {
+    run_pair_with(a, b, config, RunOptions::from_env())
+}
+
+/// [`run_pair`] with explicit options.
+pub fn run_pair_with(
+    a: &Workload,
+    b: &Workload,
+    mut config: SimConfig,
+    opts: RunOptions,
+) -> Result<SimResult, SuiteError> {
+    let _permit = gate().acquire();
+    let pair = pair_label(a.name, b.name);
+    let fail = |failure| SuiteError {
+        workload: pair,
+        failure,
+    };
+    let pa = a.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?;
+    let pb = b.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?;
+    if opts.check {
+        config.check = CheckConfig::full();
+    }
+    match opts.timeout {
+        Some(budget) => run_with_deadline(vec![pa, pb], config, budget).map_err(fail),
+        None => catch_unwind(AssertUnwindSafe(|| {
+            Simulator::new_smt(vec![pa, pb], config).run_checked()
+        }))
+        .map_err(|p| fail(SuiteFailure::Panic(panic_message(p))))?
+        .map_err(|e| fail(SuiteFailure::Sim(e))),
+    }
+}
+
+/// Interns a `a+b` pair label (the error and report types carry
+/// `&'static str` kernel names). The pair set is tiny and fixed, so
+/// the leak is bounded.
+fn pair_label(a: &str, b: &str) -> &'static str {
+    use std::collections::HashMap;
+    static LABELS: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut map = LABELS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("label map poisoned");
+    let key = format!("{a}+{b}");
+    if let Some(&s) = map.get(&key) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(key.clone().into_boxed_str());
+    map.insert(key, leaked);
+    leaked
+}
+
 /// Runs one simulation on a worker thread with a wall-clock deadline.
 /// At the deadline the simulator's cancellation flag is raised (it
 /// polls every 1024 cycles) and the cell is reported as a timeout; the
 /// worker unwinds shortly after on its own.
 fn run_with_deadline(
-    program: Program,
+    programs: Vec<Program>,
     config: SimConfig,
     budget: Duration,
 ) -> Result<SimResult, SuiteFailure> {
@@ -231,7 +285,7 @@ fn run_with_deadline(
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(move || {
-            let mut sim = Simulator::new(program, config);
+            let mut sim = Simulator::new_smt(programs, config);
             sim.set_cancel(flag);
             sim.run_checked()
         }));
@@ -310,6 +364,35 @@ pub fn run_suite(config: &SimConfig, scale: Scale) -> Result<SuiteResult, SuiteE
     Ok(SuiteResult { runs: out })
 }
 
+/// Runs every [`ubrc_workloads::kernel_pairs`] pairing as a 2-thread
+/// SMT cell under `config`, pairs in parallel on the shared worker
+/// pool. Each run's name is the `a+b` pair label and its IPC is the
+/// *aggregate* (both threads' retirement over shared cycles).
+///
+/// # Errors
+///
+/// Returns a [`SuiteError`] naming the first (in pair order) pair
+/// whose simulation failed.
+pub fn run_pair_suite(config: &SimConfig, scale: Scale) -> Result<SuiteResult, SuiteError> {
+    let pairs = ubrc_workloads::kernel_pairs(scale);
+    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    runs.resize_with(pairs.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, (a, b)) in runs.iter_mut().zip(&pairs) {
+            let cfg = config.clone();
+            scope.spawn(move || {
+                *slot = Some(run_pair(a, b, cfg));
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(pairs.len());
+    for (r, (a, b)) in runs.into_iter().zip(&pairs) {
+        let name = pair_label(a.name, b.name);
+        out.push((name, r.expect("scope joined every worker")?));
+    }
+    Ok(SuiteResult { runs: out })
+}
+
 /// Convenience: geometric-mean IPC of the suite under `config`.
 ///
 /// # Errors
@@ -344,6 +427,35 @@ impl SuiteReport {
     /// Number of failed cells.
     pub fn failed(&self) -> usize {
         self.runs.iter().filter(|(_, r)| r.is_err()).count()
+    }
+}
+
+/// Runs every kernel pair as a 2-thread SMT cell like
+/// [`run_pair_suite`], but degrades gracefully: a failing pair is
+/// recorded in place and the rest still runs.
+pub fn run_pair_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
+    let pairs = ubrc_workloads::kernel_pairs(scale);
+    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    runs.resize_with(pairs.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, (a, b)) in runs.iter_mut().zip(&pairs) {
+            let cfg = config.clone();
+            scope.spawn(move || {
+                *slot = Some(run_pair(a, b, cfg));
+            });
+        }
+    });
+    SuiteReport {
+        runs: runs
+            .into_iter()
+            .zip(&pairs)
+            .map(|(r, (a, b))| {
+                (
+                    pair_label(a.name, b.name),
+                    r.expect("scope joined every worker"),
+                )
+            })
+            .collect(),
     }
 }
 
@@ -421,7 +533,9 @@ mod tests {
 
     #[test]
     fn timeout_cancels_a_running_cell() {
-        let w = ubrc_workloads::workload_by_name("qsort", Scale::Tiny).unwrap();
+        // Default scale: the cell must still be running when the main
+        // thread reaches its 0ms deadline, even on a loaded machine.
+        let w = ubrc_workloads::workload_by_name("qsort", Scale::Default).unwrap();
         let opts = RunOptions {
             check: false,
             timeout: Some(Duration::from_millis(0)),

@@ -68,6 +68,29 @@ pub fn trajectory_configs() -> Vec<(&'static str, SimConfig)> {
                 IndexPolicy::FilteredRoundRobin,
             ),
         ),
+        (
+            "min-load",
+            cached(RegCacheConfig::use_based(64, 2), IndexPolicy::MinLoad),
+        ),
+    ]
+}
+
+/// The 2-thread SMT configurations the trajectory tracks: each cell
+/// runs every [`ubrc_workloads::kernel_pairs`] pairing co-scheduled on
+/// one core, so its `ipc` columns are aggregate (two-thread) IPC.
+pub fn smt_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        (
+            "smt2-use-based",
+            cached(
+                RegCacheConfig::use_based(64, 2),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "smt2-lru",
+            cached(RegCacheConfig::lru(64, 2), IndexPolicy::RoundRobin),
+        ),
     ]
 }
 
@@ -89,17 +112,29 @@ pub struct TrajectoryOutcome {
 /// [`TrajectoryOutcome::failed`], while aggregate statistics cover the
 /// cells that completed.
 pub fn pipeline_trajectory(scale: Scale) -> TrajectoryOutcome {
-    trajectory_over(trajectory_configs(), scale)
+    trajectory_over(trajectory_configs(), smt_trajectory_configs(), scale)
 }
 
-fn trajectory_over(matrix: Vec<(&'static str, SimConfig)>, scale: Scale) -> TrajectoryOutcome {
+fn trajectory_over(
+    matrix: Vec<(&'static str, SimConfig)>,
+    smt_matrix: Vec<(&'static str, SimConfig)>,
+    scale: Scale,
+) -> TrajectoryOutcome {
     let t_total = Instant::now();
     let mut configs = Vec::new();
     let mut total_insts: u64 = 0;
     let mut total_failed = 0usize;
-    for (name, cfg) in matrix {
+    let cells = matrix
+        .into_iter()
+        .map(|(name, cfg)| (name, cfg, false))
+        .chain(smt_matrix.into_iter().map(|(name, cfg)| (name, cfg, true)));
+    for (name, cfg, smt) in cells {
         let t0 = Instant::now();
-        let report = run_suite_robust(&cfg, scale);
+        let report = if smt {
+            crate::runner::run_pair_suite_robust(&cfg, scale)
+        } else {
+            run_suite_robust(&cfg, scale)
+        };
         let wall = t0.elapsed().as_secs_f64();
         let ok = report.successes();
         let failed = report.failed();
@@ -174,6 +209,9 @@ mod tests {
             r#""configs":["#,
             r#""name":"use-based""#,
             r#""name":"ehc""#,
+            r#""name":"min-load""#,
+            r#""name":"smt2-use-based""#,
+            r#""name":"smt2-lru""#,
             r#""geomean_ipc":"#,
             r#""sim_insts_per_sec":"#,
             r#""kernels":["#,
@@ -190,7 +228,7 @@ mod tests {
         let mut broken = SimConfig::paper_default();
         broken.phys_regs = 8;
         let matrix = vec![("good", SimConfig::paper_default()), ("broken", broken)];
-        let out = trajectory_over(matrix, Scale::Tiny);
+        let out = trajectory_over(matrix, vec![], Scale::Tiny);
         assert_eq!(out.failed, 12);
         let s = out.doc.to_string();
         assert!(s.contains(r#""name":"good""#));

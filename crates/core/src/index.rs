@@ -15,6 +15,12 @@ pub enum IndexPolicy {
     /// `associativity/2` high-use (predicted degree > 5) values are
     /// skipped.
     FilteredRoundRobin,
+    /// Decoupled: the least-subscribed set — the one with the fewest
+    /// values currently assigned to it, regardless of their predicted
+    /// degrees. Where [`IndexPolicy::Minimum`] balances predicted
+    /// *work*, min-load balances raw *population*, so a burst of
+    /// unknown-degree values cannot crowd one set.
+    MinLoad,
 }
 
 /// Rename-time set assignment for decoupled indexing.
@@ -42,6 +48,9 @@ pub struct IndexAssigner {
     cursor: usize,
     /// Minimum policy: per-set sum of predicted uses.
     use_sums: Vec<u64>,
+    /// Min-load policy: per-set count of live assignments (maintained
+    /// for every policy; only min-load reads it).
+    occupancy: Vec<u32>,
     /// Filtered round-robin: per-set count of high-use values.
     high_use_counts: Vec<u32>,
     /// Filtered round-robin: predicted degree above which a value is
@@ -71,6 +80,7 @@ impl IndexAssigner {
             sets,
             cursor: 0,
             use_sums: vec![0; sets],
+            occupancy: vec![0; sets],
             high_use_counts: vec![0; sets],
             high_use_degree: HIGH_USE_THRESHOLD,
             skip_above: (ways / 2) as u32,
@@ -132,8 +142,23 @@ impl IndexAssigner {
                 self.cursor = (s + 1) % self.sets;
                 s
             }
+            IndexPolicy::MinLoad => {
+                // Same rotating-start tie-break as `Minimum`, scanning
+                // live-assignment counts instead of predicted-use sums.
+                let start = self.cursor;
+                let mut best = start;
+                for k in 0..self.sets {
+                    let s = (start + k) % self.sets;
+                    if self.occupancy[s] < self.occupancy[best] {
+                        best = s;
+                    }
+                }
+                self.cursor = (start + 1) % self.sets;
+                best
+            }
         };
         self.use_sums[set] += predicted_uses as u64;
+        self.occupancy[set] += 1;
         if predicted_uses > self.high_use_degree {
             self.high_use_counts[set] += 1;
         }
@@ -146,6 +171,7 @@ impl IndexAssigner {
     pub fn release(&mut self, set: u16, predicted_uses: u8) {
         let set = set as usize % self.sets;
         self.use_sums[set] = self.use_sums[set].saturating_sub(predicted_uses as u64);
+        self.occupancy[set] = self.occupancy[set].saturating_sub(1);
         if predicted_uses > self.high_use_degree {
             self.high_use_counts[set] = self.high_use_counts[set].saturating_sub(1);
         }
@@ -245,6 +271,30 @@ mod tests {
             a.assign(PhysReg(i), 5);
         }
         assert_eq!(a.high_use_counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn min_load_picks_least_subscribed_set() {
+        let mut a = IndexAssigner::new(IndexPolicy::MinLoad, 2, 2);
+        // Predicted degrees are irrelevant: only population counts.
+        assert_eq!(a.assign(PhysReg(0), 9), 0); // occupancy [1, 0]
+        assert_eq!(a.assign(PhysReg(1), 9), 1); // occupancy [1, 1]
+        assert_eq!(a.assign(PhysReg(2), 1), 0); // tie -> rotating start
+        assert_eq!(a.assign(PhysReg(3), 1), 1); // occupancy [2, 2]
+        assert_eq!(a.assign(PhysReg(4), 1), 0);
+    }
+
+    #[test]
+    fn min_load_release_rebalances() {
+        let mut a = IndexAssigner::new(IndexPolicy::MinLoad, 2, 2);
+        assert_eq!(a.assign(PhysReg(0), 1), 0); // occupancy [1, 0]
+        assert_eq!(a.assign(PhysReg(1), 1), 1); // occupancy [1, 1]
+        a.release(0, 1); // occupancy [0, 1]
+        assert_eq!(a.assign(PhysReg(2), 1), 0);
+        // After releasing every assignment the counts return to zero.
+        a.release(0, 1);
+        a.release(1, 1);
+        assert_eq!(a.occupancy, vec![0, 0]);
     }
 
     #[test]

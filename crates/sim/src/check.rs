@@ -115,6 +115,10 @@ impl fmt::Display for DivergenceReport {
 pub struct InvariantViolation {
     /// The cycle whose end-of-cycle audit failed.
     pub cycle: u64,
+    /// The hardware thread context the violation belongs to, when the
+    /// invariant is per-thread (freelist partition accounting, ROB
+    /// lockstep); `None` for core-global invariants.
+    pub thread: Option<usize>,
     /// Short name of the violated invariant.
     pub invariant: &'static str,
     /// Human-readable specifics.
@@ -125,9 +129,13 @@ impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invariant `{}` violated at cycle {}: {}",
-            self.invariant, self.cycle, self.detail
-        )
+            "invariant `{}` violated at cycle {}",
+            self.invariant, self.cycle
+        )?;
+        if let Some(tid) = self.thread {
+            write!(f, " (thread {tid})")?;
+        }
+        write!(f, ": {}", self.detail)
     }
 }
 
@@ -141,11 +149,15 @@ pub struct DiagnosticDump {
     pub last_progress: u64,
     /// Instructions retired so far.
     pub retired: u64,
-    /// Occupied fetch-queue slots.
+    /// Occupied fetch-queue slots, summed across threads.
     pub fetch_queue: usize,
     /// Window slots holding un-issued instructions.
     pub window_count: usize,
-    /// One line per ROB-head entry: seq, pc, status, deadline.
+    /// One summary line per hardware thread context (retirement
+    /// progress, ROB/fetch occupancy, stall flags) so the report says
+    /// which context wedged.
+    pub threads: Vec<String>,
+    /// One line per ROB-head entry: thread, seq, pc, status, deadline.
     pub rob_head: Vec<String>,
     /// One line per deferred-event queue: name, length, next due time.
     pub event_queues: Vec<String>,
@@ -166,6 +178,10 @@ impl fmt::Display for DiagnosticDump {
             "  last retirement at cycle {}; window holds {} waiting",
             self.last_progress, self.window_count
         )?;
+        writeln!(f, "  threads:")?;
+        for line in &self.threads {
+            writeln!(f, "    {line}")?;
+        }
         writeln!(f, "  rob head:")?;
         for line in &self.rob_head {
             writeln!(f, "    {line}")?;
@@ -233,17 +249,25 @@ pub(crate) struct Checker {
     remaining: Vec<u8>,
     pinned: Vec<bool>,
     active: Vec<bool>,
+    /// Physical registers per thread partition, to attribute per-preg
+    /// violations to the owning hardware thread.
+    partition: usize,
     pub(crate) fill_obligations: Vec<FillObligation>,
 }
 
 impl Checker {
-    pub(crate) fn new(npregs: usize) -> Self {
+    pub(crate) fn new(npregs: usize, partition: usize) -> Self {
         Self {
             remaining: vec![0; npregs],
             pinned: vec![false; npregs],
             active: vec![false; npregs],
+            partition,
             fill_obligations: Vec::new(),
         }
+    }
+
+    fn thread_of(&self, preg: usize) -> Option<usize> {
+        Some(preg / self.partition)
     }
 
     /// Mirrors `UseTracker::init` (clamped remaining + pinned flag).
@@ -309,6 +333,7 @@ impl Checker {
             if tracker.is_active(p) != active {
                 return Some(Box::new(InvariantViolation {
                     cycle,
+                    thread: self.thread_of(i),
                     invariant: "use-tracker-liveness",
                     detail: format!(
                         "{p}: tracker active={}, mirror active={active}",
@@ -322,6 +347,7 @@ impl Checker {
             if tracker.remaining(p) != self.remaining[i] {
                 return Some(Box::new(InvariantViolation {
                     cycle,
+                    thread: self.thread_of(i),
                     invariant: "use-counter",
                     detail: format!(
                         "{p}: tracker remaining={}, mirror={} (counter corrupted or \
@@ -334,6 +360,7 @@ impl Checker {
             if tracker.is_pinned(p) != self.pinned[i] {
                 return Some(Box::new(InvariantViolation {
                     cycle,
+                    thread: self.thread_of(i),
                     invariant: "use-counter-pin",
                     detail: format!(
                         "{p}: tracker pinned={}, mirror pinned={}",
@@ -360,6 +387,7 @@ impl Checker {
         if let Err(detail) = cache.audit() {
             return Some(Box::new(InvariantViolation {
                 cycle,
+                thread: None,
                 invariant: "cache-audit",
                 detail,
             }));
@@ -371,6 +399,7 @@ impl Checker {
             if tracker.is_pinned(e.preg) && !e.pinned {
                 return Some(Box::new(InvariantViolation {
                     cycle,
+                    thread: self.thread_of(e.preg.0 as usize),
                     invariant: "pinned-entry",
                     detail: format!(
                         "{}: tracker says pinned but the resident entry (set {}) is not",

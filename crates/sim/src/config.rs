@@ -202,6 +202,13 @@ pub struct SimConfig {
     /// the robustness tests to prove the oracle/checker detect each
     /// corruption class.
     pub fault_plan: Option<FaultPlan>,
+    /// Hardware thread contexts (SMT). Set by
+    /// [`crate::Simulator::new_smt`] to the number of co-scheduled
+    /// programs; 1 for the classic single-threaded core. The physical
+    /// register file is partitioned evenly between contexts, so
+    /// `phys_regs` must divide by `nthreads` and leave each partition
+    /// more registers than the architectural set.
+    pub nthreads: usize,
 }
 
 impl SimConfig {
@@ -232,6 +239,7 @@ impl SimConfig {
             load_hit_speculation: true,
             check: CheckConfig::default(),
             fault_plan: None,
+            nthreads: 1,
         }
     }
 

@@ -27,6 +27,8 @@ mod config;
 mod inject;
 mod oracle;
 mod pipeline;
+#[cfg(test)]
+mod smt_tests;
 mod stage;
 mod stats;
 pub mod trace;
@@ -74,4 +76,31 @@ pub fn simulate_workload(workload: &Workload, config: SimConfig) -> SimResult {
 /// Returns the first [`SimError`] encountered.
 pub fn simulate_checked(program: Program, config: SimConfig) -> Result<SimResult, Box<SimError>> {
     Simulator::new(program, config).run_checked()
+}
+
+/// Co-schedules one program per hardware thread on a single SMT core
+/// and simulates until every thread halts. The front end is replicated
+/// per thread and the physical register file partitioned evenly; the
+/// issue window, execute units, register storage, and memory hierarchy
+/// are shared (see `DESIGN.md`, "SMT front end").
+///
+/// # Panics
+///
+/// Panics like [`simulate`], or if the configuration cannot be
+/// partitioned (see [`Simulator::new_smt`]).
+pub fn simulate_smt(programs: Vec<Program>, config: SimConfig) -> SimResult {
+    Simulator::new_smt(programs, config).run()
+}
+
+/// [`simulate_smt`] with structured error reporting, as in
+/// [`simulate_checked`].
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered.
+pub fn simulate_smt_checked(
+    programs: Vec<Program>,
+    config: SimConfig,
+) -> Result<SimResult, Box<SimError>> {
+    Simulator::new_smt(programs, config).run_checked()
 }

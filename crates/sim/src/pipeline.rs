@@ -1,19 +1,27 @@
 //! The cycle-level out-of-order pipeline model.
 //!
-//! Execution-driven, functional-first: the emulator (`ubrc-emu`) runs
-//! ahead and supplies [`ExecRecord`](ubrc_emu::ExecRecord)s; this model
-//! charges cycles. The pipeline implements the machine of Table 1 —
-//! 8-wide fetch with one taken branch per block, an 11-stage front end,
-//! a 128-entry issue window with oldest-ready-first issue, 512 physical
-//! registers, a two-stage bypass network, the Alpha-21264-style
-//! register-cache miss replay model (§5.2), and retirement at 8 per
-//! cycle (≤2 stores).
+//! Execution-driven, functional-first: one emulator (`ubrc-emu`) per
+//! hardware thread runs ahead and supplies
+//! [`ExecRecord`](ubrc_emu::ExecRecord)s; this model charges cycles.
+//! The pipeline implements the machine of Table 1 — 8-wide fetch with
+//! one taken branch per block, an 11-stage front end, a 128-entry issue
+//! window with oldest-ready-first issue, 512 physical registers, a
+//! two-stage bypass network, the Alpha-21264-style register-cache miss
+//! replay model (§5.2), and retirement at 8 per cycle (≤2 stores).
 //!
 //! The stage logic itself lives in the [`crate::stage`] modules
 //! (`fetch`, `rename`, `issue`, `execute`, `retire`, `squash`), each an
 //! `impl` block over the shared `CoreState`; one cycle is the
 //! declarative stage schedule (`stage::SCHEDULE`). This module owns
 //! construction and the run loop.
+//!
+//! SMT: [`Simulator::new_smt`] co-schedules several programs on one
+//! core. Each context gets a replicated front end and an even slice of
+//! the physical-register file ([`crate::stage::ThreadState`]); the
+//! issue window, execute units, register cache, backing file, and
+//! memory hierarchy are shared. With one program the construction and
+//! cycle-level behavior reduce exactly to the classic single-threaded
+//! core.
 //!
 //! Timing rules (derived from Figure 3; see DESIGN.md):
 //!
@@ -31,7 +39,9 @@ use crate::check::{Checker, SimError};
 use crate::config::{BranchPredictorKind, RegStorage, SimConfig};
 use crate::inject::Injector;
 use crate::oracle::Oracle;
-use crate::stage::{CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, Storage};
+use crate::stage::{
+    CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, Storage, ThreadState,
+};
 use crate::stats::{LifetimeCollector, SimResult};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,27 +61,56 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Builds a simulator over a loaded program.
+    /// Builds a single-threaded simulator over a loaded program.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (fewer physical
     /// registers than architectural, zero widths).
     pub fn new(program: Program, config: SimConfig) -> Self {
+        Self::new_smt(vec![program], config)
+    }
+
+    /// Builds a simulator co-scheduling one program per hardware
+    /// thread. `config.nthreads` is overwritten with the program count;
+    /// the physical register file is partitioned evenly between the
+    /// contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent: no programs, zero
+    /// widths, a register file that does not divide evenly into
+    /// partitions each larger than the architectural set, or a
+    /// two-level register file with more than one thread (its
+    /// transfer-eligibility bookkeeping is keyed by a single program
+    /// order).
+    pub fn new_smt(programs: Vec<Program>, mut config: SimConfig) -> Self {
+        let nthreads = programs.len();
+        assert!(nthreads > 0, "need at least one program");
+        config.nthreads = nthreads;
         let npregs = config.phys_regs;
         let narch = ubrc_isa::NUM_ARCH_REGS as usize;
         assert!(
-            npregs > narch,
-            "need more physical than architectural registers"
+            npregs.is_multiple_of(nthreads),
+            "physical registers must split evenly between threads"
+        );
+        let partition = npregs / nthreads;
+        assert!(
+            partition > narch,
+            "each thread partition needs more physical than architectural registers"
         );
         assert!(config.issue_width > 0 && config.fetch_width > 0);
+        if nthreads > 1 {
+            assert!(
+                !matches!(config.storage, RegStorage::TwoLevel(_)),
+                "the two-level register file is single-thread only"
+            );
+        }
 
-        let machine = Machine::new(program);
-        // The oracle forks the pipeline's machine: same shared program,
-        // fresh architectural state — no deep copy of the instruction
-        // stream.
-        let oracle = config.check.oracle.then(|| Oracle::for_machine(&machine));
-        let mut checker = config.check.invariants.then(|| Checker::new(npregs));
+        let mut checker = config
+            .check
+            .invariants
+            .then(|| Checker::new(npregs, partition));
         let injector = config.fault_plan.as_ref().map(Injector::new);
 
         let mut storage = match &config.storage {
@@ -106,82 +145,105 @@ impl Simulator {
         };
         let read_latency = config.storage.read_latency();
 
-        // Initial architectural state: arch reg i -> preg i.
-        let map: Vec<u16> = (0..narch as u16).collect();
-        let freelist: Vec<u16> = (narch as u16..npregs as u16).rev().collect();
         let mut preg_time = vec![PregTime::UNKNOWN; npregs];
         let mut preg_info = vec![PregInfo::EMPTY; npregs];
-        for p in 0..narch as u16 {
-            preg_time[p as usize] = PregTime::ANCIENT;
-            preg_info[p as usize] = PregInfo {
-                active: true,
-                ..PregInfo::EMPTY
-            };
-            match &mut storage {
-                Storage::Cached {
-                    cache,
-                    assigner,
-                    tracker,
-                    ..
-                } => {
-                    cache.produce(PhysReg(p));
-                    tracker.init(PhysReg(p), Some(0), 0, u8::MAX);
-                    if let Some(ck) = checker.as_mut() {
-                        ck.on_init(p, 0, false);
+        let mut threads = Vec::with_capacity(nthreads);
+        for (tid, program) in programs.into_iter().enumerate() {
+            let lo = (tid * partition) as u16;
+            let hi = ((tid + 1) * partition) as u16;
+            let machine = Machine::new(program);
+            // The oracle forks the thread's machine: same shared
+            // program, fresh architectural state — no deep copy of the
+            // instruction stream.
+            let oracle = config.check.oracle.then(|| Oracle::for_machine(&machine));
+
+            // Initial architectural state: arch reg i -> preg lo + i,
+            // the rest of the partition free.
+            let map: Vec<u16> = (lo..lo + narch as u16).collect();
+            let freelist: Vec<u16> = (lo + narch as u16..hi).rev().collect();
+            for p in lo..lo + narch as u16 {
+                preg_time[p as usize] = PregTime::ANCIENT;
+                preg_info[p as usize] = PregInfo {
+                    active: true,
+                    ..PregInfo::EMPTY
+                };
+                match &mut storage {
+                    Storage::Cached {
+                        cache,
+                        assigner,
+                        tracker,
+                        ..
+                    } => {
+                        cache.produce(PhysReg(p));
+                        tracker.init(PhysReg(p), Some(0), 0, u8::MAX);
+                        if let Some(ck) = checker.as_mut() {
+                            ck.on_init(p, 0, false);
+                        }
+                        let set = assigner.assign(PhysReg(p), 1);
+                        preg_info[p as usize].set = set;
+                        preg_info[p as usize].predicted = 1;
                     }
-                    let set = assigner.assign(PhysReg(p), 1);
-                    preg_info[p as usize].set = set;
-                    preg_info[p as usize].predicted = 1;
+                    Storage::TwoLevel { file } => {
+                        assert!(file.try_allocate(PhysReg(p)), "L1 too small for arch state");
+                    }
+                    Storage::Monolithic { .. } => {}
                 }
-                Storage::TwoLevel { file } => {
-                    assert!(file.try_allocate(PhysReg(p)), "L1 too small for arch state");
-                }
-                Storage::Monolithic { .. } => {}
             }
+
+            threads.push(ThreadState {
+                machine,
+                stream_done: false,
+                peeked: None,
+                seq: 0,
+                retired: 0,
+                last_retired_seq: 0,
+                halted: false,
+                fetch_resume: 0,
+                waiting_on_branch: None,
+                wrong_path: false,
+                wp_resolve_seq: None,
+                wp_map_checkpoint: Vec::new(),
+                wp_map_saved: false,
+                wp_ghist: GlobalHistory::new(),
+                wp_ras: ReturnAddressStack::default(),
+                wp_ras_saved: false,
+                fetch_latch: FetchLatch::new(),
+                ghist: GlobalHistory::new(),
+                branch_pred: match config.branch_predictor {
+                    BranchPredictorKind::NotTaken => DirectionPredictor::AlwaysNotTaken,
+                    BranchPredictorKind::Bimodal => DirectionPredictor::Bimodal(Bimodal::default()),
+                    BranchPredictorKind::Gshare => DirectionPredictor::Gshare(Gshare::default()),
+                    BranchPredictorKind::Yags => DirectionPredictor::Yags(Yags::default()),
+                },
+                ras: ReturnAddressStack::default(),
+                indirect: CascadingIndirect::default(),
+                douse: DegreeOfUsePredictor::new(config.douse),
+                halt_fetched: false,
+                map,
+                preg_lo: lo,
+                preg_hi: hi,
+                freelist,
+                rob: VecDeque::new(),
+                sched: VecDeque::new(),
+                store_granules: std::collections::HashMap::new(),
+                oracle,
+            });
         }
 
         let lifetimes = config.collect_lifetimes.then(LifetimeCollector::new);
         let memsys = MemSys::new(config.memsys);
-        let douse = DegreeOfUsePredictor::new(config.douse);
         let core = CoreState {
-            machine,
-            stream_done: false,
-            peeked: None,
+            threads,
+            partition,
             now: 0,
-            seq: 0,
+            age: 0,
             retired: 0,
-            last_retired_seq: 0,
             last_progress: 0,
             halted: false,
-            fetch_resume: 0,
-            waiting_on_branch: None,
-            wrong_path: false,
-            wp_resolve_seq: None,
-            wp_map_checkpoint: Vec::new(),
-            wp_map_saved: false,
-            wp_ghist: GlobalHistory::new(),
-            wp_ras: ReturnAddressStack::default(),
-            wp_ras_saved: false,
             wp_squashed: 0,
-            fetch_latch: FetchLatch::new(),
-            ghist: GlobalHistory::new(),
-            branch_pred: match config.branch_predictor {
-                BranchPredictorKind::NotTaken => DirectionPredictor::AlwaysNotTaken,
-                BranchPredictorKind::Bimodal => DirectionPredictor::Bimodal(Bimodal::default()),
-                BranchPredictorKind::Gshare => DirectionPredictor::Gshare(Gshare::default()),
-                BranchPredictorKind::Yags => DirectionPredictor::Yags(Yags::default()),
-            },
-            ras: ReturnAddressStack::default(),
-            indirect: CascadingIndirect::default(),
-            douse,
-            halt_fetched: false,
-            map,
-            freelist,
             preg_time,
             preg_info,
-            rob: VecDeque::new(),
             window_count: 0,
-            sched: VecDeque::new(),
             preg_waiters: vec![Vec::new(); npregs],
             due_buf: Vec::new(),
             selected_buf: Vec::new(),
@@ -192,7 +254,6 @@ impl Simulator {
             replay: ReplayLatch::new(),
             preg_gen: vec![0; npregs],
             load_replay_squashes: 0,
-            store_granules: std::collections::HashMap::new(),
             store_forward_stalls: 0,
             memsys,
             cond_branches: 0,
@@ -206,7 +267,6 @@ impl Simulator {
             operands_from_storage: 0,
             lifetimes,
             trace: Vec::new(),
-            oracle,
             checker,
             injector,
             error: None,

@@ -1,0 +1,161 @@
+//! SMT-specific tests: per-thread squash isolation, freelist-partition
+//! exhaustion without cross-thread stealing, and ICOUNT fetch-chooser
+//! determinism. These need `pub(crate)` access to pipeline internals,
+//! so they live inside the crate rather than under `tests/`.
+
+use crate::check::CheckConfig;
+use crate::config::SimConfig;
+use crate::Simulator;
+use ubrc_isa::Program;
+use ubrc_workloads::{workload_by_name, Scale};
+
+fn program(name: &str) -> Program {
+    workload_by_name(name, Scale::Tiny)
+        .expect("kernel exists")
+        .assemble()
+        .expect("kernel assembles")
+}
+
+/// Squashing thread 0's wrong path must not disturb thread 1's front
+/// end: its rename map, freelist, ROB contents, sequence counter, and
+/// fetch latch are all byte-identical across the squash, and every
+/// register thread 0 freed lands back in thread 0's own partition.
+#[test]
+fn squash_on_one_thread_leaves_the_other_untouched() {
+    let mut sim = Simulator::new_smt(
+        vec![program("bfs"), program("crc")],
+        SimConfig::paper_default(),
+    );
+    while sim.core.now < 200_000 {
+        let t0 = &sim.core.threads[0];
+        if t0.wrong_path && t0.wp_map_saved && t0.wp_ras_saved && sim.core.threads[1].seq > 0 {
+            break;
+        }
+        sim.core.cycle();
+        assert!(sim.core.error.is_none(), "clean run expected");
+    }
+    let branch_seq = sim.core.threads[0]
+        .wp_resolve_seq
+        .expect("bfs must go wrong-path within the budget");
+
+    let t1 = &sim.core.threads[1];
+    let snap_map = t1.map.clone();
+    let snap_freelist = t1.freelist.clone();
+    let snap_rob: Vec<u64> = t1.rob.iter().map(|i| i.seq).collect();
+    let snap_latch = t1.fetch_latch.queue.len();
+    let snap_seq = t1.seq;
+
+    let now = sim.core.now;
+    sim.core.squash_wrong_path(0, branch_seq, now);
+
+    let t1 = &sim.core.threads[1];
+    assert_eq!(t1.map, snap_map, "thread 1 map changed by thread 0 squash");
+    assert_eq!(t1.freelist, snap_freelist, "thread 1 freelist changed");
+    let rob_after: Vec<u64> = t1.rob.iter().map(|i| i.seq).collect();
+    assert_eq!(rob_after, snap_rob, "thread 1 ROB changed");
+    assert_eq!(t1.fetch_latch.queue.len(), snap_latch);
+    assert_eq!(t1.seq, snap_seq);
+
+    let t0 = &sim.core.threads[0];
+    assert!(!t0.wrong_path);
+    assert!(t0.wp_resolve_seq.is_none());
+    assert!(t0.rob.iter().all(|i| i.seq <= branch_seq));
+    assert!(
+        t0.freelist
+            .iter()
+            .all(|&p| (t0.preg_lo..t0.preg_hi).contains(&p)),
+        "thread 0 freed a register outside its partition"
+    );
+}
+
+/// With a deliberately tight register file (8 rename registers per
+/// thread) each thread's freelist runs dry constantly. Exhaustion must
+/// stall that thread's dispatch — never steal from the other
+/// partition — and both programs still retire exactly as many
+/// instructions as they do running alone.
+#[test]
+fn freelist_exhaustion_stalls_without_stealing() {
+    let solo = |name: &str| {
+        let mut cfg = SimConfig::paper_default();
+        cfg.phys_regs = 72;
+        Simulator::new(program(name), cfg).run().retired
+    };
+    let expect = [solo("bfs"), solo("hash")];
+
+    let mut cfg = SimConfig::paper_default();
+    cfg.phys_regs = 144; // two partitions of 72: 64 arch + 8 rename regs
+    let mut sim = Simulator::new_smt(vec![program("bfs"), program("hash")], cfg);
+    while !sim.core.halted && sim.core.now < 2_000_000 {
+        sim.core.cycle();
+        assert!(sim.core.error.is_none(), "clean run expected");
+        for t in &sim.core.threads {
+            let own = t.preg_lo..t.preg_hi;
+            assert!(
+                t.map.iter().all(|p| own.contains(p)),
+                "map entry outside the thread's partition"
+            );
+            assert!(
+                t.freelist.iter().all(|p| own.contains(p)),
+                "freelist entry outside the thread's partition"
+            );
+        }
+    }
+    assert!(sim.core.halted, "both threads must run to completion");
+    assert!(
+        sim.core.dispatch_stall_pregs > 0,
+        "a 8-rename-reg partition must hit freelist exhaustion"
+    );
+    let retired: Vec<u64> = sim.core.threads.iter().map(|t| t.retired).collect();
+    assert_eq!(
+        retired,
+        expect.to_vec(),
+        "SMT co-scheduling changed a thread's committed instruction count"
+    );
+}
+
+/// The ICOUNT fetch chooser is a pure function of architectural and
+/// pipeline state — no seed, no host randomness — so two identical
+/// 2-thread runs replay cycle-for-cycle.
+#[test]
+fn icount_scheduling_is_deterministic() {
+    let run = || {
+        Simulator::new_smt(
+            vec![program("listchase"), program("strsearch")],
+            SimConfig::paper_default(),
+        )
+        .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.thread_retired, b.thread_retired);
+    assert_eq!(a.replayed, b.replayed);
+    assert_eq!(a.miss_events, b.miss_events);
+    assert_eq!(a.branch_mispredicts, b.branch_mispredicts);
+    assert_eq!(a.wrong_path_squashed, b.wrong_path_squashed);
+    assert_eq!(a.operands_bypassed, b.operands_bypassed);
+    assert_eq!(a.thread_retired.len(), 2);
+    assert!(a.thread_retired.iter().all(|&r| r > 0));
+}
+
+/// A fully-checked 2-thread run — per-thread retirement oracles plus
+/// the invariant checker's partition-containment and per-thread
+/// lockstep validation — completes cleanly and is observation-only
+/// (same timing as the unchecked run).
+#[test]
+fn checked_smt_run_is_clean_and_observation_only() {
+    let plain = Simulator::new_smt(
+        vec![program("qsort"), program("rle")],
+        SimConfig::paper_default(),
+    )
+    .run();
+    let mut cfg = SimConfig::paper_default();
+    cfg.check = CheckConfig::full();
+    let checked = Simulator::new_smt(vec![program("qsort"), program("rle")], cfg)
+        .run_checked()
+        .expect("checked SMT run is clean");
+    assert_eq!(plain.cycles, checked.cycles);
+    assert_eq!(plain.retired, checked.retired);
+    assert_eq!(plain.thread_retired, checked.thread_retired);
+}

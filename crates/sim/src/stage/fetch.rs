@@ -1,74 +1,104 @@
-//! Fetch stage: pulls records from the functional emulator through the
-//! I-cache model, runs the branch predictors, and feeds the
-//! fetch→rename latch. Begins wrong-path fetch at mispredicted
-//! branches (checkpointing the front end) and back-pressures on a full
-//! latch.
+//! Fetch stage: picks a hardware thread with an ICOUNT-style chooser,
+//! pulls its records from the functional emulator through the I-cache
+//! model, runs the (per-thread) branch predictors, and feeds the
+//! thread's fetch→rename latch. Begins wrong-path fetch at mispredicted
+//! branches (checkpointing that thread's front end) and back-pressures
+//! on a full latch.
 
-use super::{CoreState, FetchedEntry};
+use super::{CoreState, FetchedEntry, ThreadId};
 use crate::check::SimError;
 use crate::inject::FaultKind;
 use ubrc_emu::{ExecRecord, StepOutcome};
 use ubrc_isa::Inst;
 
 impl CoreState {
-    fn next_record(&mut self) -> Option<ExecRecord> {
-        if self.stream_done {
+    fn next_record(&mut self, tid: ThreadId) -> Option<ExecRecord> {
+        let t = &mut self.threads[tid];
+        if t.stream_done {
             return None;
         }
-        if self.machine.in_speculation() {
+        if t.machine.in_speculation() {
             // Wrong-path execution may fault or halt; either simply
             // ends speculative fetch until the branch resolves.
-            return match self.machine.step() {
+            return match t.machine.step() {
                 Ok(StepOutcome::Executed(r)) => Some(r),
                 Ok(StepOutcome::Halted) | Err(_) => None,
             };
         }
-        match self.machine.step() {
+        match t.machine.step() {
             Ok(StepOutcome::Executed(r)) => {
                 if r.inst == Inst::Halt {
-                    self.stream_done = true;
+                    t.stream_done = true;
                 }
                 Some(r)
             }
             Ok(StepOutcome::Halted) => {
-                self.stream_done = true;
+                t.stream_done = true;
                 None
             }
             Err(e) => {
                 // A correct-path fault means the workload itself is
                 // broken; surface it as a structured error at the end
                 // of this cycle instead of panicking mid-fetch.
-                self.stream_done = true;
+                t.stream_done = true;
                 self.error = Some(Box::new(SimError::Emu(e)));
                 None
             }
         }
     }
 
+    /// ICOUNT-style fetch chooser (fewest in-flight instructions):
+    /// among the threads able to fetch this cycle, pick the one with
+    /// the fewest instructions between fetch and retirement (fetch
+    /// latch + ROB), breaking ties toward the lower thread id. A pure
+    /// function of architectural state — seedless, so replays are
+    /// bit-identical.
+    fn choose_fetch_thread(&self, now: u64) -> Option<ThreadId> {
+        let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !t.halt_fetched
+                    && t.waiting_on_branch.is_none()
+                    && now >= t.fetch_resume
+                    && t.fetch_latch.queue.len() < queue_cap
+            })
+            .min_by_key(|&(tid, t)| (t.fetch_latch.queue.len() + t.rob.len(), tid))
+            .map(|(tid, _)| tid)
+    }
+
     pub(crate) fn fetch(&mut self, now: u64) {
-        if now < self.fetch_resume || self.waiting_on_branch.is_some() || self.halt_fetched {
+        let Some(tid) = self.choose_fetch_thread(now) else {
             return;
-        }
+        };
+        self.fetch_thread(tid, now);
+    }
+
+    fn fetch_thread(&mut self, tid: ThreadId, now: u64) {
         let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
         let mut line: Option<u64> = None;
         for _ in 0..self.config.fetch_width {
-            if self.fetch_latch.queue.len() >= queue_cap {
+            if self.threads[tid].fetch_latch.queue.len() >= queue_cap {
                 break;
             }
             // Model the I-cache at line granularity.
-            let Some(rec) = self.peek_record() else { break };
+            let Some(rec) = self.peek_record(tid) else {
+                break;
+            };
             let this_line = rec.pc / self.config.memsys.l1.line_bytes as u64;
             if line != Some(this_line) {
                 let extra = self.memsys.fetch_latency(rec.pc);
                 if extra > 0 {
-                    self.fetch_resume = now + extra as u64;
+                    self.threads[tid].fetch_resume = now + extra as u64;
                     break;
                 }
                 line = Some(this_line);
             }
-            let mut rec = self.take_record().expect("peeked");
+            let mut rec = self.take_record(tid).expect("peeked");
+            let on_wrong_path = self.threads[tid].wrong_path;
             if let Some(inj) = self.injector.as_mut() {
-                if inj.armed_for(FaultKind::CorruptRecord) && !self.wrong_path {
+                if inj.armed_for(FaultKind::CorruptRecord) && !on_wrong_path {
                     if let Some(v) = rec.dest_val.filter(|_| rec.inst != Inst::Halt) {
                         // Timing-neutral: `dest_val` never feeds the
                         // timing model, so only the oracle can see this.
@@ -77,7 +107,8 @@ impl CoreState {
                     }
                 }
             }
-            let hist = self.ghist;
+            let t = &mut self.threads[tid];
+            let hist = t.ghist;
             let mut mispredicted = false;
             let mut end_block = false;
 
@@ -87,9 +118,10 @@ impl CoreState {
             match rec.inst {
                 Inst::Branch { off, .. } => {
                     self.cond_branches += 1;
-                    let pred = self.branch_pred.predict(rec.pc, self.ghist);
-                    self.branch_pred.update(rec.pc, self.ghist, rec.taken, pred);
-                    self.ghist.push(rec.taken);
+                    let t = &mut self.threads[tid];
+                    let pred = t.branch_pred.predict(rec.pc, t.ghist);
+                    t.branch_pred.update(rec.pc, t.ghist, rec.taken, pred);
+                    t.ghist.push(rec.taken);
                     if pred != rec.taken {
                         self.branch_mispredicts += 1;
                         mispredicted = true;
@@ -106,20 +138,21 @@ impl CoreState {
                 Inst::Jump { link, .. } => {
                     // Direct target + perfect BTB: never mispredicts.
                     if link {
-                        self.ras.push(rec.pc + 4);
+                        t.ras.push(rec.pc + 4);
                     }
                     end_block = true;
                 }
                 Inst::JumpReg { .. } => {
                     self.indirect_branches += 1;
+                    let t = &mut self.threads[tid];
                     let predicted_target = if rec.inst.is_return() {
-                        self.ras.pop()
+                        t.ras.pop()
                     } else {
-                        self.indirect.predict(rec.pc, self.ghist)
+                        t.indirect.predict(rec.pc, t.ghist)
                     };
-                    self.indirect.update(rec.pc, self.ghist, rec.next_pc);
+                    t.indirect.update(rec.pc, t.ghist, rec.next_pc);
                     if rec.inst.is_call() {
-                        self.ras.push(rec.pc + 4);
+                        t.ras.push(rec.pc + 4);
                     }
                     if predicted_target != Some(rec.next_pc) {
                         self.indirect_mispredicts += 1;
@@ -132,40 +165,43 @@ impl CoreState {
             }
 
             let is_halt = rec.inst == Inst::Halt;
-            self.fetch_latch.queue.push_back(FetchedEntry {
+            let t = &mut self.threads[tid];
+            t.fetch_latch.queue.push_back(FetchedEntry {
                 rec,
                 ready_at: now + self.config.frontend_stages as u64,
                 fetch_cycle: now,
                 hist,
                 mispredicted,
-                wrong_path: self.wrong_path,
+                wrong_path: t.wrong_path,
             });
             if mispredicted {
-                let branch_seq = self.seq + self.fetch_latch.queue.len() as u64 - 1;
-                if let (Some(wt), false) = (wrong_target, self.wrong_path) {
+                // The seq the branch will get at rename: the thread's
+                // latch renames FIFO with consecutive per-thread seqs.
+                let branch_seq = t.seq + t.fetch_latch.queue.len() as u64 - 1;
+                if let (Some(wt), false) = (wrong_target, t.wrong_path) {
                     // Begin wrong-path fetch at the predicted target.
                     // Checkpoints restore the front end at the squash;
                     // the rename map is snapshotted when the branch
                     // dispatches. The RAS checkpoint copies into a
                     // persistent buffer (no per-branch allocation).
-                    self.wrong_path = true;
-                    self.wp_resolve_seq = Some(branch_seq);
-                    self.wp_ghist = self.ghist;
-                    self.wp_ras.copy_from(&self.ras);
-                    self.wp_ras_saved = true;
-                    self.peeked = None;
-                    self.machine.enter_speculation(wt);
+                    t.wrong_path = true;
+                    t.wp_resolve_seq = Some(branch_seq);
+                    t.wp_ghist = t.ghist;
+                    t.wp_ras.copy_from(&t.ras);
+                    t.wp_ras_saved = true;
+                    t.peeked = None;
+                    t.machine.enter_speculation(wt);
                 } else {
                     // Unknown wrong target, or already on a wrong path
                     // (nested speculation): stall fetch until the
                     // branch resolves.
-                    self.waiting_on_branch = Some(branch_seq);
+                    t.waiting_on_branch = Some(branch_seq);
                 }
                 break;
             }
             if is_halt {
-                if !self.wrong_path {
-                    self.halt_fetched = true;
+                if !t.wrong_path {
+                    t.halt_fetched = true;
                 }
                 break;
             }
@@ -176,16 +212,16 @@ impl CoreState {
     }
 
     // Small one-record lookahead buffer for fetch.
-    fn peek_record(&mut self) -> Option<ExecRecord> {
-        if self.peeked.is_none() {
-            self.peeked = self.next_record();
+    fn peek_record(&mut self, tid: ThreadId) -> Option<ExecRecord> {
+        if self.threads[tid].peeked.is_none() {
+            self.threads[tid].peeked = self.next_record(tid);
         }
-        self.peeked
+        self.threads[tid].peeked
     }
 
-    fn take_record(&mut self) -> Option<ExecRecord> {
-        self.peek_record();
-        self.peeked.take()
+    fn take_record(&mut self, tid: ThreadId) -> Option<ExecRecord> {
+        self.peek_record(tid);
+        self.threads[tid].peeked.take()
     }
 }
 
@@ -209,9 +245,10 @@ mod tests {
         let mut latch_peak = 0;
         for _ in 0..2_000 {
             sim.core.cycle();
-            latch_peak = latch_peak.max(sim.core.fetch_latch.queue.len());
-            assert!(sim.core.fetch_latch.queue.len() <= cap, "latch overflow");
-            assert!(sim.core.rob.len() <= 4, "dispatch ignored the ROB cap");
+            let t = &sim.core.threads[0];
+            latch_peak = latch_peak.max(t.fetch_latch.queue.len());
+            assert!(t.fetch_latch.queue.len() <= cap, "latch overflow");
+            assert!(t.rob.len() <= 4, "dispatch ignored the ROB cap");
         }
         assert_eq!(
             latch_peak, cap,

@@ -1,20 +1,26 @@
 //! Issue stage: event-driven wake-up/select, operand acquisition
 //! (bypass / cache hit / miss), execution-latency charging, load-hit
 //! speculation, and branch-resolution redirects.
+//!
+//! The window is shared between threads; select merges each thread's
+//! due instructions oldest-first by the global dispatch `age` stamp.
 
-use super::{CoreState, PregTime, Status, Storage};
+use super::{CoreState, PregTime, Status, Storage, ThreadId};
 use crate::config::FuPools;
 use crate::trace::OperandPath;
 use ubrc_core::PhysReg;
 use ubrc_isa::ExecClass;
 
 impl CoreState {
-    /// ROB position of a live instruction, by seq. The ROB is sorted by
-    /// seq but *not* contiguous: a wrong-path squash removes the tail
-    /// without rolling back the seq counter, leaving a gap. `None`
-    /// means retired or squashed.
-    fn rob_index(&self, seq: u64) -> Option<usize> {
-        self.rob.binary_search_by(|i| i.seq.cmp(&seq)).ok()
+    /// ROB position of a live instruction in its thread, by per-thread
+    /// seq. Each thread's ROB is sorted by seq but *not* contiguous: a
+    /// wrong-path squash removes the tail without rolling back the seq
+    /// counter, leaving a gap. `None` means retired or squashed.
+    fn rob_index(&self, tid: ThreadId, seq: u64) -> Option<usize> {
+        self.threads[tid]
+            .rob
+            .binary_search_by(|i| i.seq.cmp(&seq))
+            .ok()
     }
 
     /// Re-arms a waiting instruction's `next_wake` deadline: if a
@@ -26,8 +32,12 @@ impl CoreState {
     /// being advertised (miss-raised `storage_avail`, load retimes),
     /// and an instruction that fails its ready check at the deadline
     /// simply re-arms itself — so no wake-up is ever lost.
-    fn rearm_wake(&mut self, idx: usize, lower: u64) {
-        let inst = &self.rob[idx];
+    ///
+    /// A register's waiters are always instructions of the thread that
+    /// owns its partition (maps never hold another thread's pregs), so
+    /// the waiter list stores the bare per-thread seq.
+    fn rearm_wake(&mut self, tid: ThreadId, idx: usize, lower: u64) {
+        let inst = &self.threads[tid].rob[idx];
         let seq = inst.seq;
         let srcs = inst.srcs;
         let mut wake = lower.max(inst.earliest_issue);
@@ -37,7 +47,7 @@ impl CoreState {
                 let pt = self.preg_time[p as usize];
                 if !pt.known {
                     self.preg_waiters[p as usize].push(seq);
-                    self.sched[idx] = u64::MAX;
+                    self.threads[tid].sched[idx] = u64::MAX;
                     return;
                 }
                 next = next.max(pt.next_ready_at(next));
@@ -47,7 +57,7 @@ impl CoreState {
             }
             wake = next;
         }
-        self.sched[idx] = wake;
+        self.threads[tid].sched[idx] = wake;
     }
 
     /// Un-parks everything waiting on `p`, called when the producer
@@ -58,11 +68,13 @@ impl CoreState {
         if self.preg_waiters[p as usize].is_empty() {
             return;
         }
+        let tid = self.thread_of_preg(p);
         let mut waiters = std::mem::take(&mut self.preg_waiters[p as usize]);
         for seq in waiters.drain(..) {
-            if let Some(idx) = self.rob_index(seq) {
-                if self.rob[idx].status == Status::Waiting {
-                    self.sched[idx] = now + 1;
+            if let Some(idx) = self.rob_index(tid, seq) {
+                let t = &mut self.threads[tid];
+                if t.rob[idx].status == Status::Waiting {
+                    t.sched[idx] = now + 1;
                 }
             }
         }
@@ -75,27 +87,37 @@ impl CoreState {
         let mut pool_used = [0usize; FuPools::NUM_POOLS];
         let mut total = 0;
 
-        // Select oldest-ready-first, in age order (the exact order the
-        // full-window scan visited) but filtering the window down to
-        // the instructions whose wake deadline has arrived on one word
-        // per slot. Instructions losing a slot to issue width or a
-        // full FU pool keep a due deadline and are re-examined next
-        // cycle; a failed ready check re-arms the deadline.
+        // Select oldest-ready-first across threads, in global dispatch
+        // `age` order (with one thread this is exactly the order the
+        // full-window scan visited), filtering each window slice down
+        // to the instructions whose wake deadline has arrived.
+        // Instructions losing a slot to issue width or a full FU pool
+        // keep a due deadline and are re-examined next cycle; a failed
+        // ready check re-arms the deadline.
         let mut due = std::mem::take(&mut self.due_buf);
         let mut selected = std::mem::take(&mut self.selected_buf);
         due.clear();
         selected.clear();
-        due.extend(
-            self.sched
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &w)| (w <= now).then_some(i)),
-        );
-        for &i in &due {
+        for (tid, t) in self.threads.iter().enumerate() {
+            due.extend(
+                t.sched
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w <= now)
+                    .map(|(i, _)| (t.rob[i].age, tid as u32, i as u32)),
+            );
+        }
+        if self.threads.len() > 1 {
+            // Per-thread slices are each age-sorted already; merging is
+            // only needed when a second thread interleaves.
+            due.sort_unstable();
+        }
+        for &(_, tid, i) in &due {
+            let (tid, i) = (tid as usize, i as usize);
             if total == self.config.issue_width {
                 break;
             }
-            let inst = &self.rob[i];
+            let inst = &self.threads[tid].rob[i];
             debug_assert_eq!(inst.status, Status::Waiting);
             let ready = inst.earliest_issue <= now
                 && inst
@@ -104,13 +126,13 @@ impl CoreState {
                     .flatten()
                     .all(|&p| self.preg_time[p as usize].operand_ready(now));
             if !ready {
-                self.rearm_wake(i, now + 1);
+                self.rearm_wake(tid, i, now + 1);
                 continue;
             }
-            let inst = &self.rob[i];
+            let inst = &self.threads[tid].rob[i];
             if self.config.model_store_forwarding && inst.rec.inst.is_load() {
                 let granule = inst.rec.mem_addr.expect("load has an address") / 8;
-                if let Some(stores) = self.store_granules.get(&granule) {
+                if let Some(stores) = self.threads[tid].store_granules.get(&granule) {
                     // The youngest store older than this load is the
                     // one it forwards from; it must have executed.
                     let blocking = stores
@@ -124,13 +146,14 @@ impl CoreState {
                     }
                 }
             }
+            let inst = &self.threads[tid].rob[i];
             let pool = FuPools::pool_index(inst.class);
             if pool_used[pool] == self.config.fu.size(inst.class) {
                 continue;
             }
             pool_used[pool] += 1;
             total += 1;
-            selected.push((inst.seq, i));
+            selected.push((inst.seq, tid as u32, i as u32));
         }
 
         if squashing {
@@ -139,29 +162,37 @@ impl CoreState {
             // effects occur; independents may reissue next cycle (their
             // deadlines stay due).
             self.replayed += selected.len() as u64;
-            for &(seq, i) in &selected {
-                self.rob[i].earliest_issue = now + 1;
-                if let Some(t) = self.trace.get_mut(seq as usize) {
+            for &(_, tid, i) in &selected {
+                let inst = &mut self.threads[tid as usize].rob[i as usize];
+                inst.earliest_issue = now + 1;
+                let age = inst.age;
+                if let Some(t) = self.trace.get_mut(age as usize) {
                     t.replays += 1;
                 }
             }
         } else {
-            for &(seq, i) in &selected {
-                // A wrong-path squash during this loop removes the ROB
-                // tail; later selections pointing into it are gone.
-                if self.rob.get(i).is_none_or(|inst| inst.seq != seq) {
+            for &(seq, tid, i) in &selected {
+                // A wrong-path squash during this loop removes a
+                // thread's ROB tail; later selections pointing into it
+                // are gone.
+                let (tid, i) = (tid as usize, i as usize);
+                if self.threads[tid]
+                    .rob
+                    .get(i)
+                    .is_none_or(|inst| inst.seq != seq)
+                {
                     continue;
                 }
-                self.issue_one(i, now);
+                self.issue_one(tid, i, now);
             }
         }
         self.due_buf = due;
         self.selected_buf = selected;
     }
 
-    fn issue_one(&mut self, idx: usize, now: u64) {
-        let (srcs, class, rec, fetch_cycle, mispredicted, dest, seq) = {
-            let inst = &self.rob[idx];
+    fn issue_one(&mut self, tid: ThreadId, idx: usize, now: u64) {
+        let (srcs, class, rec, fetch_cycle, mispredicted, dest, seq, age) = {
+            let inst = &self.threads[tid].rob[idx];
             (
                 inst.srcs,
                 inst.class,
@@ -170,6 +201,7 @@ impl CoreState {
                 inst.mispredicted,
                 inst.dest,
                 inst.seq,
+                inst.age,
             )
         };
 
@@ -342,13 +374,14 @@ impl CoreState {
             }
         }
 
-        // Branch resolution redirects fetch (and squashes the wrong
-        // path when one was fetched).
+        // Branch resolution redirects this thread's fetch (and squashes
+        // the wrong path when one was fetched); the other thread's
+        // front end never notices.
         if mispredicted {
             let mut resume =
                 (exec_done + 1).max(fetch_cycle + self.config.min_branch_penalty as u64);
-            if self.wp_resolve_seq == Some(seq) {
-                self.squash_wrong_path(seq, now);
+            if self.threads[tid].wp_resolve_seq == Some(seq) {
+                self.squash_wrong_path(tid, seq, now);
             }
             if let Storage::TwoLevel { file } = &mut self.storage {
                 // Values speculatively moved to the L2 by wrong-path
@@ -356,26 +389,28 @@ impl CoreState {
                 let count = file.on_mispredict(seq);
                 resume += file.recovery_stall(count, resume.saturating_sub(now));
             }
-            self.fetch_resume = resume;
-            if self.waiting_on_branch == Some(seq) {
-                self.waiting_on_branch = None;
+            let t = &mut self.threads[tid];
+            t.fetch_resume = resume;
+            if t.waiting_on_branch == Some(seq) {
+                t.waiting_on_branch = None;
             }
         }
 
         if self.config.model_store_forwarding && rec.inst.is_store() {
             let granule = rec.mem_addr.expect("store has an address") / 8;
-            if let Some(stores) = self.store_granules.get_mut(&granule) {
+            if let Some(stores) = self.threads[tid].store_granules.get_mut(&granule) {
                 if let Some(entry) = stores.iter_mut().find(|e| e.0 == seq) {
                     entry.1 = Some(exec_done);
                 }
             }
         }
-        let inst = &mut self.rob[idx];
+        let t = &mut self.threads[tid];
+        let inst = &mut t.rob[idx];
         inst.status = Status::Issued;
         inst.exec_done = exec_done;
-        self.sched[idx] = u64::MAX;
+        t.sched[idx] = u64::MAX;
         self.window_count -= 1;
-        if let Some(t) = self.trace.get_mut(seq as usize) {
+        if let Some(t) = self.trace.get_mut(age as usize) {
             t.issue = now;
             t.exec_start = eff_issue + rl + 1;
             t.exec_done = exec_done;

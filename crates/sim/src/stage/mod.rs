@@ -174,7 +174,14 @@ pub(crate) enum Status {
 
 #[derive(Clone, Debug)]
 pub(crate) struct DynInst {
+    /// Owning hardware thread context.
+    pub(crate) tid: ThreadId,
+    /// Per-thread sequence number (the thread's program order).
     pub(crate) seq: u64,
+    /// Global dispatch-order stamp, unique across threads: the age used
+    /// for cross-thread oldest-first issue and trace indexing. Equal to
+    /// `seq` in single-threaded runs.
+    pub(crate) age: u64,
     pub(crate) rec: ExecRecord,
     pub(crate) class: ExecClass,
     pub(crate) srcs: [Option<u16>; 2],
@@ -294,23 +301,29 @@ impl ReplayLatch {
     }
 }
 
-/// The shared pipeline state every stage operates on: architectural
-/// substrate models, per-value bookkeeping, the inter-stage latches,
-/// and statistics.
-pub(crate) struct CoreState {
-    pub(crate) config: SimConfig,
+/// Identifies one hardware thread context. Thread 0 is the only
+/// context of a single-threaded core.
+pub(crate) type ThreadId = usize;
+
+/// One hardware thread context: everything the SMT front end
+/// replicates (fetch stream, predictors, checkpoints, rename map) or
+/// partitions (freelist, ROB slice), per the sharing matrix in
+/// DESIGN.md. The issue window budget, execute units, register cache,
+/// backing file, and memory hierarchy stay shared in [`CoreState`].
+pub(crate) struct ThreadState {
+    /// The thread's functional emulator, running ahead of the pipeline.
     pub(crate) machine: Machine,
     pub(crate) stream_done: bool,
     pub(crate) peeked: Option<ExecRecord>,
 
-    pub(crate) now: u64,
+    /// Next per-thread sequence number (the thread's program order;
+    /// cross-thread age ordering uses `DynInst::age`).
     pub(crate) seq: u64,
     pub(crate) retired: u64,
     pub(crate) last_retired_seq: u64,
-    pub(crate) last_progress: u64,
     pub(crate) halted: bool,
 
-    // Front end.
+    // Front end (fully replicated).
     pub(crate) fetch_resume: u64,
     /// Seq of an unresolved mispredicted control inst stalling fetch.
     pub(crate) waiting_on_branch: Option<u64>,
@@ -324,7 +337,6 @@ pub(crate) struct CoreState {
     pub(crate) wp_ghist: GlobalHistory,
     pub(crate) wp_ras: ReturnAddressStack,
     pub(crate) wp_ras_saved: bool,
-    pub(crate) wp_squashed: u64,
     pub(crate) fetch_latch: FetchLatch,
     pub(crate) ghist: GlobalHistory,
     pub(crate) branch_pred: DirectionPredictor,
@@ -333,44 +345,95 @@ pub(crate) struct CoreState {
     pub(crate) douse: DegreeOfUsePredictor,
     pub(crate) halt_fetched: bool,
 
-    // Rename.
+    // Rename (replicated map over a partitioned freelist).
     pub(crate) map: Vec<u16>, // arch reg -> preg
+    /// This thread's slice of the physical-register space. The thread
+    /// owns pregs `[preg_lo, preg_hi)`; its map and freelist only ever
+    /// hold registers from that partition, so one thread exhausting its
+    /// partition can never steal another's registers.
+    pub(crate) preg_lo: u16,
+    pub(crate) preg_hi: u16,
     pub(crate) freelist: Vec<u16>,
+
+    // The thread's ROB slice, in per-thread program order, with its
+    // `sched` wake-deadline array in lockstep (see `CoreState` docs).
+    // Retirement and squash walk only this thread's slice, so one
+    // thread's misprediction never disturbs the other's window.
+    pub(crate) rob: VecDeque<DynInst>,
+    pub(crate) sched: VecDeque<u64>,
+
+    // Memory disambiguation: in-flight stores per 8-byte granule, in
+    // program order -> (seq, exec_done once issued). Per-thread because
+    // each context runs in its own address space (its own machine) —
+    // stores never forward across threads.
+    pub(crate) store_granules: std::collections::HashMap<u64, Vec<(u64, Option<u64>)>>,
+
+    /// Lockstep co-simulation oracle: one functional machine per
+    /// thread, replaying that thread's retirement stream.
+    pub(crate) oracle: Option<Oracle>,
+}
+
+/// The shared pipeline state every stage operates on: the hardware
+/// thread contexts, architectural substrate models, per-value
+/// bookkeeping, the inter-stage latches, and statistics.
+pub(crate) struct CoreState {
+    pub(crate) config: SimConfig,
+    /// The hardware thread contexts (one for single-threaded runs).
+    pub(crate) threads: Vec<ThreadState>,
+    /// Physical registers per thread partition
+    /// (`phys_regs / nthreads`); thread `t` owns pregs
+    /// `[t * partition, (t + 1) * partition)`.
+    pub(crate) partition: usize,
+
+    pub(crate) now: u64,
+    /// Global dispatch-order counter: stamps every renamed instruction
+    /// with a cross-thread age (`DynInst::age`).
+    pub(crate) age: u64,
+    /// Total retirements across all threads (budget + IPC).
+    pub(crate) retired: u64,
+    pub(crate) last_progress: u64,
+    /// All threads halted.
+    pub(crate) halted: bool,
+    pub(crate) wp_squashed: u64,
+
+    // Shared per-value bookkeeping, indexed by physical register (the
+    // preg space is partitioned between threads; see `ThreadState`).
     pub(crate) preg_time: Vec<PregTime>,
     pub(crate) preg_info: Vec<PregInfo>,
 
-    // Window / ROB.
-    pub(crate) rob: VecDeque<DynInst>,
+    // Shared issue-window occupancy across all threads' ROB slices.
     pub(crate) window_count: usize,
 
-    // Event-driven wake-up/select. `sched[i]` is `rob[i]`'s wake
-    // deadline: the earliest cycle its operands could be ready, a lower
-    // bound derived from its sources' `PregTime`, or `u64::MAX` once it
-    // has issued or while it is parked on a producer whose timing is
-    // unknown (re-armed from `preg_waiters` when the producer issues).
-    // Kept as a dense parallel array so the per-cycle select scan
-    // filters the whole window on one word per slot instead of walking
-    // the fat `DynInst` entries.
-    pub(crate) sched: VecDeque<u64>,
+    // Event-driven wake-up/select. `threads[t].sched[i]` is
+    // `threads[t].rob[i]`'s wake deadline: the earliest cycle its
+    // operands could be ready, a lower bound derived from its sources'
+    // `PregTime`, or `u64::MAX` once it has issued or while it is
+    // parked on a producer whose timing is unknown (re-armed from
+    // `preg_waiters` when the producer issues). Kept as a dense
+    // parallel array so the per-cycle select scan filters the whole
+    // window on one word per slot instead of walking the fat `DynInst`
+    // entries. `preg_waiters` holds per-thread seqs; the owning thread
+    // is recovered from the register's partition.
     pub(crate) preg_waiters: Vec<Vec<u64>>,
-    // Reused per-cycle scratch (hoisted allocations).
-    pub(crate) due_buf: Vec<usize>,
-    pub(crate) selected_buf: Vec<(u64, usize)>,
+    // Reused per-cycle scratch (hoisted allocations): (age, tid, idx)
+    // for the due scan, (seq, tid, idx) for the issue group.
+    pub(crate) due_buf: Vec<(u64, u32, u32)>,
+    pub(crate) selected_buf: Vec<(u64, u32, u32)>,
     pub(crate) squash_buf: Vec<DynInst>,
 
-    // Storage under test.
+    // Storage under test (shared: the register cache, backing file, and
+    // set assigner serve both threads' values).
     pub(crate) storage: Storage,
     pub(crate) read_latency: u32,
 
-    // Inter-stage latches (see module docs).
+    // Inter-stage latches (see module docs). The event and replay
+    // latches are shared: a register-cache miss squashes the whole
+    // issue group regardless of thread (one shared cache port).
     pub(crate) events: EventLatch,
     pub(crate) replay: ReplayLatch,
     pub(crate) preg_gen: Vec<u32>,
     pub(crate) load_replay_squashes: u64,
 
-    // Memory disambiguation: in-flight stores per 8-byte granule, in
-    // program order -> (seq, exec_done once issued).
-    pub(crate) store_granules: std::collections::HashMap<u64, Vec<(u64, Option<u64>)>>,
     pub(crate) store_forward_stalls: u64,
 
     pub(crate) memsys: MemSys,
@@ -390,8 +453,8 @@ pub(crate) struct CoreState {
 
     // Runtime checking and fault injection (`SimConfig::check` /
     // `SimConfig::fault_plan`). All observation-only except the
-    // injector, whose whole point is corrupting live state.
-    pub(crate) oracle: Option<Oracle>,
+    // injector, whose whole point is corrupting live state. The
+    // per-thread oracles live in `ThreadState`.
     pub(crate) checker: Option<Checker>,
     pub(crate) injector: Option<Injector>,
     pub(crate) error: Option<Box<SimError>>,
@@ -460,26 +523,62 @@ impl CoreState {
         }
     }
 
+    /// The thread owning a physical register, from the partition map.
+    #[inline]
+    pub(crate) fn thread_of_preg(&self, p: u16) -> ThreadId {
+        p as usize / self.partition
+    }
+
+    /// Total ROB occupancy across all thread slices (the shared ROB
+    /// capacity applies to the sum).
+    #[inline]
+    pub(crate) fn rob_len_total(&self) -> usize {
+        self.threads.iter().map(|t| t.rob.len()).sum()
+    }
+
     /// Snapshot of the stuck machine for the watchdog report.
     pub(crate) fn diagnostic_dump(&self) -> Box<DiagnosticDump> {
         let rob_head = self
-            .rob
+            .threads
             .iter()
             .enumerate()
-            .take(8)
-            .map(|(i, inst)| {
-                let deadline = match self.sched.get(i) {
-                    Some(&u64::MAX) | None => "-".to_string(),
-                    Some(&t) => t.to_string(),
-                };
+            .flat_map(|(tid, t)| {
+                t.rob.iter().enumerate().take(8).map(move |(i, inst)| {
+                    let deadline = match t.sched.get(i) {
+                        Some(&u64::MAX) | None => "-".to_string(),
+                        Some(&w) => w.to_string(),
+                    };
+                    format!(
+                        "t{tid} seq {:>8} pc {:#08x} `{}` {:?} earliest_issue {} wake {}",
+                        inst.seq,
+                        inst.rec.pc,
+                        inst.rec.inst,
+                        inst.status,
+                        inst.earliest_issue,
+                        deadline
+                    )
+                })
+            })
+            .collect();
+        let threads = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| {
                 format!(
-                    "seq {:>8} pc {:#08x} `{}` {:?} earliest_issue {} wake {}",
-                    inst.seq,
-                    inst.rec.pc,
-                    inst.rec.inst,
-                    inst.status,
-                    inst.earliest_issue,
-                    deadline
+                    "t{tid}: retired {} (last seq {}), rob {}, fetchq {}, free pregs {}{}{}{}",
+                    t.retired,
+                    t.last_retired_seq,
+                    t.rob.len(),
+                    t.fetch_latch.queue.len(),
+                    t.freelist.len(),
+                    if t.halted { ", halted" } else { "" },
+                    if t.wrong_path { ", wrong-path" } else { "" },
+                    if t.waiting_on_branch.is_some() {
+                        ", waiting-on-branch"
+                    } else {
+                        ""
+                    },
                 )
             })
             .collect();
@@ -518,8 +617,9 @@ impl CoreState {
             cycle: self.now,
             last_progress: self.last_progress,
             retired: self.retired,
-            fetch_queue: self.fetch_latch.queue.len(),
+            fetch_queue: self.threads.iter().map(|t| t.fetch_latch.queue.len()).sum(),
             window_count: self.window_count,
+            threads,
             rob_head,
             event_queues,
         })
@@ -529,30 +629,36 @@ impl CoreState {
     /// returns the first violation found, if any.
     pub(crate) fn check_invariants(&self) -> Option<Box<InvariantViolation>> {
         let cycle = self.now.saturating_sub(1);
-        let viol = |invariant: &'static str, detail: String| {
+        let viol = |thread: Option<usize>, invariant: &'static str, detail: String| {
             Some(Box::new(InvariantViolation {
                 cycle,
+                thread,
                 invariant,
                 detail,
             }))
         };
-        if self.sched.len() != self.rob.len() {
-            return viol(
-                "sched-rob-lockstep",
-                format!(
-                    "{} wake deadlines for {} rob entries",
-                    self.sched.len(),
-                    self.rob.len()
-                ),
-            );
+        for (tid, t) in self.threads.iter().enumerate() {
+            if t.sched.len() != t.rob.len() {
+                return viol(
+                    Some(tid),
+                    "sched-rob-lockstep",
+                    format!(
+                        "{} wake deadlines for {} rob entries",
+                        t.sched.len(),
+                        t.rob.len()
+                    ),
+                );
+            }
         }
         let waiting = self
-            .rob
+            .threads
             .iter()
+            .flat_map(|t| t.rob.iter())
             .filter(|i| i.status == Status::Waiting)
             .count();
         if waiting != self.window_count {
             return viol(
+                None,
                 "window-count",
                 format!(
                     "{waiting} waiting instructions but window_count={}",
@@ -560,16 +666,38 @@ impl CoreState {
                 ),
             );
         }
-        let active = self.preg_info.iter().filter(|i| i.active).count();
-        if active + self.freelist.len() != self.config.phys_regs {
-            return viol(
-                "preg-accounting",
-                format!(
-                    "{active} live + {} free != {} physical registers",
-                    self.freelist.len(),
-                    self.config.phys_regs
-                ),
-            );
+        // Physical-register accounting holds per thread partition:
+        // every preg a thread owns is either live or on its freelist,
+        // and nothing it maps or frees strays outside its partition.
+        for (tid, t) in self.threads.iter().enumerate() {
+            let (lo, hi) = (t.preg_lo as usize, t.preg_hi as usize);
+            let active = self.preg_info[lo..hi].iter().filter(|i| i.active).count();
+            if active + t.freelist.len() != hi - lo {
+                return viol(
+                    Some(tid),
+                    "preg-accounting",
+                    format!(
+                        "{active} live + {} free != partition of {} physical registers",
+                        t.freelist.len(),
+                        hi - lo
+                    ),
+                );
+            }
+            let out_of_partition = |p: &&u16| (**p as usize) < lo || (**p as usize) >= hi;
+            if let Some(&p) = t.freelist.iter().find(out_of_partition) {
+                return viol(
+                    Some(tid),
+                    "preg-partition",
+                    format!("freelist holds p{p}, outside the partition [{lo}, {hi})"),
+                );
+            }
+            if let Some(&p) = t.map.iter().find(out_of_partition) {
+                return viol(
+                    Some(tid),
+                    "preg-partition",
+                    format!("rename map holds p{p}, outside the partition [{lo}, {hi})"),
+                );
+            }
         }
         // Event queues drain monotonically: everything due by the cycle
         // just completed must have been consumed by its processor.
@@ -595,6 +723,7 @@ impl CoreState {
             if let Some(t) = min_due {
                 if t <= cycle {
                     return viol(
+                        None,
                         "event-drain",
                         format!("{name} still holds an event due at cycle {t}"),
                     );
@@ -615,6 +744,7 @@ impl CoreState {
                         && self.preg_info[o.preg as usize].active
                     {
                         return viol(
+                            Some(self.thread_of_preg(o.preg)),
                             "fill-obligation",
                             format!(
                                 "fill for p{} scheduled for cycle {} never applied",

@@ -1,60 +1,76 @@
-//! Rename/dispatch stage: drains the fetch→rename latch, renames
-//! architectural registers against the map, allocates destinations
-//! from the freelist, and inserts into the ROB/window.
+//! Rename/dispatch stage: drains each thread's fetch→rename latch,
+//! renames architectural registers against that thread's map, allocates
+//! destinations from its freelist partition, and inserts into the
+//! (shared-budget) ROB/window.
 //!
-//! Backpressure: dispatch stops at the ROB/window capacity or an empty
-//! freelist; the fetch latch then fills until fetch itself stalls.
+//! Backpressure: dispatch stops at the shared ROB/window capacity; a
+//! thread whose freelist partition is empty stalls alone, letting the
+//! other thread keep dispatching from the shared width budget.
 
-use super::{CoreState, DynInst, FetchedEntry, PregInfo, PregTime, Status, Storage};
+use super::{CoreState, DynInst, FetchedEntry, PregInfo, PregTime, Status, Storage, ThreadId};
 use crate::trace::InstTrace;
 use ubrc_core::PhysReg;
 
 impl CoreState {
     pub(crate) fn dispatch(&mut self, now: u64) {
-        for _ in 0..self.config.fetch_width {
-            let Some(front) = self.fetch_latch.queue.front() else {
-                break;
-            };
-            if front.ready_at > now {
-                break;
-            }
-            if self.rob.len() == self.config.rob_entries
-                || self.window_count == self.config.window_entries
-            {
-                break;
-            }
-            let has_dest = front.rec.inst.dest().is_some();
-            if has_dest {
-                if self.freelist.is_empty() {
-                    self.dispatch_stall_pregs += 1;
+        let mut budget = self.config.fetch_width;
+        for tid in 0..self.threads.len() {
+            while budget > 0 {
+                let Some(front) = self.threads[tid].fetch_latch.queue.front() else {
+                    break;
+                };
+                if front.ready_at > now {
                     break;
                 }
-                if let Storage::TwoLevel { file } = &self.storage {
-                    if file.free_count() == 0 {
+                if self.rob_len_total() == self.config.rob_entries
+                    || self.window_count == self.config.window_entries
+                {
+                    // Shared capacity exhausted: no thread can dispatch.
+                    return;
+                }
+                let has_dest = front.rec.inst.dest().is_some();
+                if has_dest {
+                    if self.threads[tid].freelist.is_empty() {
+                        // Only this thread's partition is dry.
                         self.dispatch_stall_pregs += 1;
                         break;
                     }
+                    if let Storage::TwoLevel { file } = &self.storage {
+                        if file.free_count() == 0 {
+                            self.dispatch_stall_pregs += 1;
+                            return;
+                        }
+                    }
                 }
+                let entry = self.threads[tid]
+                    .fetch_latch
+                    .queue
+                    .pop_front()
+                    .expect("checked non-empty");
+                self.rename_and_insert(tid, entry, now);
+                budget -= 1;
             }
-            let entry = self
-                .fetch_latch
-                .queue
-                .pop_front()
-                .expect("checked non-empty");
-            self.rename_and_insert(entry, now);
+            if budget == 0 {
+                break;
+            }
         }
     }
 
-    fn rename_and_insert(&mut self, entry: FetchedEntry, now: u64) {
+    fn rename_and_insert(&mut self, tid: ThreadId, entry: FetchedEntry, now: u64) {
         let rec = entry.rec;
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = self.threads[tid].seq;
+        self.threads[tid].seq += 1;
+        // Global dispatch-order stamp: orders instructions across
+        // threads for oldest-first select (equal to `seq` when only
+        // one thread runs).
+        let age = self.age;
+        self.age += 1;
 
-        // Sources: current mappings.
+        // Sources: current mappings in this thread's map table.
         let mut srcs = [None, None];
         for (slot, src) in rec.inst.sources().into_iter().enumerate() {
             if let Some(r) = src {
-                let p = self.map[r.index() as usize];
+                let p = self.threads[tid].map[r.index() as usize];
                 srcs[slot] = Some(p);
                 let info = &mut self.preg_info[p as usize];
                 info.consumers_renamed += 1;
@@ -62,13 +78,16 @@ impl CoreState {
             }
         }
 
-        // Destination: allocate and remap.
+        // Destination: allocate from this thread's partition and remap.
         let mut dest = None;
         let mut prev = None;
         if let Some(r) = rec.inst.dest() {
-            let p = self.freelist.pop().expect("dispatch checked the freelist");
-            let old = self.map[r.index() as usize];
-            self.map[r.index() as usize] = p;
+            let p = self.threads[tid]
+                .freelist
+                .pop()
+                .expect("dispatch checked the freelist");
+            let old = self.threads[tid].map[r.index() as usize];
+            self.threads[tid].map[r.index() as usize] = p;
             prev = Some(old);
             dest = Some(p);
 
@@ -83,7 +102,7 @@ impl CoreState {
             }
 
             // Degree-of-use prediction for the new value.
-            let prediction = self.douse.predict(rec.pc, entry.hist);
+            let prediction = self.threads[tid].douse.predict(rec.pc, entry.hist);
             self.preg_time[p as usize] = PregTime::UNKNOWN;
             let mut info = PregInfo {
                 producer_pc: rec.pc,
@@ -132,7 +151,7 @@ impl CoreState {
             self.preg_info[p as usize] = info;
         }
 
-        if (seq as usize) < self.config.trace_instructions {
+        if (age as usize) < self.config.trace_instructions {
             self.trace.push(InstTrace {
                 seq,
                 pc: rec.pc,
@@ -150,13 +169,17 @@ impl CoreState {
         }
         if self.config.model_store_forwarding && rec.inst.is_store() {
             let granule = rec.mem_addr.expect("store has an address") / 8;
-            self.store_granules
+            self.threads[tid]
+                .store_granules
                 .entry(granule)
                 .or_default()
                 .push((seq, None));
         }
-        self.rob.push_back(DynInst {
+        let t = &mut self.threads[tid];
+        t.rob.push_back(DynInst {
+            tid,
             seq,
+            age,
             rec,
             class: rec.inst.class(),
             srcs,
@@ -169,16 +192,16 @@ impl CoreState {
             mispredicted: entry.mispredicted,
             wrong_path: entry.wrong_path,
         });
-        self.sched.push_back(now + 1);
+        t.sched.push_back(now + 1);
         self.window_count += 1;
 
         // The rename map as of the mispredicted branch is what the
         // squash restores. Copied into a persistent buffer (no
         // per-branch allocation).
-        if entry.mispredicted && self.wp_resolve_seq == Some(seq) {
-            self.wp_map_checkpoint.clear();
-            self.wp_map_checkpoint.extend_from_slice(&self.map);
-            self.wp_map_saved = true;
+        if entry.mispredicted && t.wp_resolve_seq == Some(seq) {
+            t.wp_map_checkpoint.clear();
+            t.wp_map_checkpoint.extend_from_slice(&t.map);
+            t.wp_map_saved = true;
         }
     }
 }

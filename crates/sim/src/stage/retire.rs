@@ -1,73 +1,90 @@
-//! Retire stage: in-order retirement from the ROB head, physical
-//! register reclamation, degree-predictor training, and the
-//! end-of-run result collection.
+//! Retire stage: in-order retirement from each thread's ROB head,
+//! physical register reclamation into the owning thread's freelist
+//! partition, degree-predictor training, and the end-of-run result
+//! collection. The retire width is a shared budget, spent across
+//! threads in thread-id order.
 
 use super::{CoreState, PregInfo, PregTime, Status, Storage};
 use crate::check::SimError;
 use crate::stats::SimResult;
 use crate::trace::Timeline;
 use ubrc_core::PhysReg;
+use ubrc_frontend::DouseStats;
 use ubrc_isa::Inst;
 
 impl CoreState {
     pub(crate) fn retire(&mut self, now: u64) {
+        let mut budget = self.config.retire_width;
         let mut stores = 0;
-        for _ in 0..self.config.retire_width {
-            let Some(head) = self.rob.front() else { break };
-            if head.status != Status::Issued || head.exec_done > now {
-                break;
-            }
-            if head.rec.inst.is_store() {
-                if stores == self.config.max_stores_per_retire {
+        for tid in 0..self.threads.len() {
+            while budget > 0 {
+                let Some(head) = self.threads[tid].rob.front() else {
+                    break;
+                };
+                if head.status != Status::Issued || head.exec_done > now {
                     break;
                 }
-                let addr = head.rec.mem_addr.expect("store has an address");
-                if !self.memsys.store_retire(addr, now) {
-                    break; // store buffer full: stall retirement
+                if head.rec.inst.is_store() {
+                    if stores == self.config.max_stores_per_retire {
+                        break;
+                    }
+                    let addr = head.rec.mem_addr.expect("store has an address");
+                    if !self.memsys.store_retire(addr, now) {
+                        break; // store buffer full: stall this thread
+                    }
+                    stores += 1;
                 }
-                stores += 1;
-            }
-            let inst = self.rob.pop_front().expect("checked non-empty");
-            self.sched.pop_front();
-            debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
-            self.retired += 1;
-            if self.config.model_store_forwarding && inst.rec.inst.is_store() {
-                // Younger loads are now ordered by the store buffer in
-                // the memory system, not the LSQ.
-                let granule = inst.rec.mem_addr.expect("store has an address") / 8;
-                if let Some(stores) = self.store_granules.get_mut(&granule) {
-                    stores.retain(|&(sseq, _)| sseq != inst.seq);
-                    if stores.is_empty() {
-                        self.store_granules.remove(&granule);
+                let t = &mut self.threads[tid];
+                let inst = t.rob.pop_front().expect("checked non-empty");
+                t.sched.pop_front();
+                debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
+                budget -= 1;
+                self.retired += 1;
+                t.retired += 1;
+                if self.config.model_store_forwarding && inst.rec.inst.is_store() {
+                    // Younger loads are now ordered by the store buffer
+                    // in the memory system, not the LSQ.
+                    let granule = inst.rec.mem_addr.expect("store has an address") / 8;
+                    if let Some(stores) = t.store_granules.get_mut(&granule) {
+                        stores.retain(|&(sseq, _)| sseq != inst.seq);
+                        if stores.is_empty() {
+                            t.store_granules.remove(&granule);
+                        }
                     }
                 }
-            }
-            if let Some(t) = self.trace.get_mut(inst.seq as usize) {
-                t.retire = now;
-            }
-            self.last_retired_seq = inst.seq;
-            self.last_progress = now;
-            if let Some(oracle) = self.oracle.as_mut() {
-                if let Err(report) = oracle.check_retire(now, &inst.rec) {
-                    self.error = Some(Box::new(SimError::Divergence(report)));
-                    return;
+                if let Some(tr) = self.trace.get_mut(inst.age as usize) {
+                    tr.retire = now;
+                }
+                t.last_retired_seq = inst.seq;
+                self.last_progress = now;
+                if let Some(oracle) = t.oracle.as_mut() {
+                    if let Err(report) = oracle.check_retire(now, &inst.rec) {
+                        self.error = Some(Box::new(SimError::Divergence(report)));
+                        return;
+                    }
+                }
+                if inst.rec.inst == Inst::Halt {
+                    t.halted = true;
+                    if self.threads.iter().all(|t| t.halted) {
+                        self.halted = true;
+                    }
+                    break;
+                }
+                // The set-assignment bookkeeping (minimum sums, filtered
+                // round-robin high-use counts) retires with the
+                // producing instruction (§4.2).
+                if let Some(d) = inst.dest {
+                    if let Storage::Cached { assigner, .. } = &mut self.storage {
+                        let info = &self.preg_info[d as usize];
+                        assigner.release(info.set, info.predicted);
+                    }
+                }
+                if let Some(prev) = inst.prev {
+                    self.free_preg(prev, now);
                 }
             }
-            if inst.rec.inst == Inst::Halt {
-                self.halted = true;
-                return;
-            }
-            // The set-assignment bookkeeping (minimum sums, filtered
-            // round-robin high-use counts) retires with the producing
-            // instruction (§4.2).
-            if let Some(d) = inst.dest {
-                if let Storage::Cached { assigner, .. } = &mut self.storage {
-                    let info = &self.preg_info[d as usize];
-                    assigner.release(info.set, info.predicted);
-                }
-            }
-            if let Some(prev) = inst.prev {
-                self.free_preg(prev, now);
+            if budget == 0 {
+                break;
             }
         }
     }
@@ -75,8 +92,10 @@ impl CoreState {
     fn free_preg(&mut self, p: u16, now: u64) {
         let info = self.preg_info[p as usize];
         debug_assert!(info.active, "freeing an inactive preg");
+        // A preg always returns to the partition it came from.
+        let tid = self.thread_of_preg(p);
         if info.trainable {
-            self.douse.train(
+            self.threads[tid].douse.train(
                 info.producer_pc,
                 info.producer_hist,
                 info.consumers_renamed.min(u8::MAX as u32) as u8,
@@ -103,7 +122,7 @@ impl CoreState {
         // issued before the overwriting instruction retires, so any
         // waiter left here is a squashed seq — drop it.
         self.preg_waiters[p as usize].clear();
-        self.freelist.push(p);
+        self.threads[tid].freelist.push(p);
     }
 
     /// Collects the end-of-run results, consuming the core. Storage
@@ -121,9 +140,20 @@ impl CoreState {
             Storage::TwoLevel { file } => (None, None, Some(*file.stats())),
             Storage::Monolithic { .. } => (None, None, None),
         };
+        // Per-thread predictors train independently; the headline
+        // stats are the sum over contexts.
+        let douse = self.threads.iter().fold(DouseStats::default(), |acc, t| {
+            let s = t.douse.stats();
+            DouseStats {
+                predicted: acc.predicted + s.predicted,
+                correct: acc.correct + s.correct,
+                unknown: acc.unknown + s.unknown,
+            }
+        });
         SimResult {
             cycles: now,
             retired: self.retired,
+            thread_retired: self.threads.iter().map(|t| t.retired).collect(),
             cond_branches: self.cond_branches,
             branch_mispredicts: self.branch_mispredicts,
             indirect_branches: self.indirect_branches,
@@ -139,7 +169,7 @@ impl CoreState {
             regcache,
             backing,
             twolevel,
-            douse: *self.douse.stats(),
+            douse,
             memsys: *self.memsys.stats(),
             lifetimes: self.lifetimes.map(|lt| lt.finalize(now)),
             timeline: (!self.trace.is_empty()).then_some(Timeline { insts: self.trace }),

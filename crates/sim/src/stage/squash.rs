@@ -1,26 +1,28 @@
 //! Wrong-path squash: tears down everything younger than a resolved
-//! mispredicted branch and restores the front-end checkpoints. Every
-//! inter-stage latch holding wrong-path work is cleared here.
+//! mispredicted branch and restores that thread's front-end
+//! checkpoints. Every inter-stage latch holding the thread's wrong-path
+//! work is cleared here; the other thread's state is never touched.
 
-use super::{CoreState, PregInfo, PregTime, Status, Storage};
+use super::{CoreState, PregInfo, PregTime, Status, Storage, ThreadId};
 use ubrc_core::PhysReg;
 
 impl CoreState {
-    /// Squashes everything younger than the resolved mispredicted
-    /// branch: ROB/window entries, renamed registers, LSQ entries, the
-    /// fetch latch, and the speculative emulator state.
-    pub(crate) fn squash_wrong_path(&mut self, branch_seq: u64, now: u64) {
-        let keep = self
+    /// Squashes everything in thread `tid` younger than its resolved
+    /// mispredicted branch: ROB/window entries, renamed registers, LSQ
+    /// entries, the fetch latch, and the speculative emulator state.
+    pub(crate) fn squash_wrong_path(&mut self, tid: ThreadId, branch_seq: u64, now: u64) {
+        let keep = self.threads[tid]
             .rob
             .iter()
             .position(|i| i.seq > branch_seq)
-            .unwrap_or(self.rob.len());
+            .unwrap_or(self.threads[tid].rob.len());
         let mut removed = std::mem::take(&mut self.squash_buf);
         removed.clear();
-        removed.extend(self.rob.drain(keep..));
-        self.sched.truncate(keep);
+        removed.extend(self.threads[tid].rob.drain(keep..));
+        self.threads[tid].sched.truncate(keep);
         for inst in removed.iter().rev() {
             debug_assert!(inst.wrong_path, "squashed a correct-path instruction");
+            debug_assert_eq!(inst.tid, tid, "squashed another thread's instruction");
             self.wp_squashed += 1;
             if inst.status == Status::Waiting {
                 self.window_count -= 1;
@@ -34,10 +36,10 @@ impl CoreState {
             }
             if self.config.model_store_forwarding && inst.rec.inst.is_store() {
                 let granule = inst.rec.mem_addr.expect("store has an address") / 8;
-                if let Some(stores) = self.store_granules.get_mut(&granule) {
+                if let Some(stores) = self.threads[tid].store_granules.get_mut(&granule) {
                     stores.retain(|&(sseq, _)| sseq != inst.seq);
                     if stores.is_empty() {
-                        self.store_granules.remove(&granule);
+                        self.threads[tid].store_granules.remove(&granule);
                     }
                 }
             }
@@ -58,29 +60,30 @@ impl CoreState {
         }
         self.squash_buf = removed;
 
-        // Restore the front end to the branch point. The map swaps
-        // with its persistent checkpoint buffer (no allocation; the
-        // stale wrong-path map is overwritten at the next save).
+        // Restore this thread's front end to the branch point. The map
+        // swaps with its persistent checkpoint buffer (no allocation;
+        // the stale wrong-path map is overwritten at the next save).
+        let t = &mut self.threads[tid];
         assert!(
-            self.wp_map_saved,
+            t.wp_map_saved,
             "checkpoint saved when the branch dispatched"
         );
-        std::mem::swap(&mut self.map, &mut self.wp_map_checkpoint);
-        self.wp_map_saved = false;
-        self.ghist = self.wp_ghist;
-        assert!(self.wp_ras_saved, "RAS checkpoint saved");
-        std::mem::swap(&mut self.ras, &mut self.wp_ras);
-        self.wp_ras_saved = false;
-        debug_assert!(self.fetch_latch.queue.iter().all(|e| e.wrong_path));
-        self.fetch_latch.queue.clear();
-        self.peeked = None;
-        self.machine.abort_speculation();
-        self.wrong_path = false;
-        self.wp_resolve_seq = None;
-        if self.waiting_on_branch.is_some_and(|w| w > branch_seq) {
+        std::mem::swap(&mut t.map, &mut t.wp_map_checkpoint);
+        t.wp_map_saved = false;
+        t.ghist = t.wp_ghist;
+        assert!(t.wp_ras_saved, "RAS checkpoint saved");
+        std::mem::swap(&mut t.ras, &mut t.wp_ras);
+        t.wp_ras_saved = false;
+        debug_assert!(t.fetch_latch.queue.iter().all(|e| e.wrong_path));
+        t.fetch_latch.queue.clear();
+        t.peeked = None;
+        t.machine.abort_speculation();
+        t.wrong_path = false;
+        t.wp_resolve_seq = None;
+        if t.waiting_on_branch.is_some_and(|w| w > branch_seq) {
             // An inner wrong-path misprediction was stalling fetch; it
             // no longer exists.
-            self.waiting_on_branch = None;
+            t.waiting_on_branch = None;
         }
     }
 
@@ -107,7 +110,8 @@ impl CoreState {
         // Anything parked on a wrong-path value is wrong-path itself
         // and is being squashed with it.
         self.preg_waiters[p as usize].clear();
-        self.freelist.push(p);
+        let tid = self.thread_of_preg(p);
+        self.threads[tid].freelist.push(p);
     }
 }
 
@@ -134,18 +138,19 @@ mod tests {
                 last_squashed = sim.core.wp_squashed;
                 squash_cycles += 1;
             }
-            if !sim.core.wrong_path {
+            let t = &sim.core.threads[0];
+            if !t.wrong_path {
                 assert!(
-                    sim.core.fetch_latch.queue.iter().all(|e| !e.wrong_path),
+                    t.fetch_latch.queue.iter().all(|e| !e.wrong_path),
                     "wrong-path entry left in the fetch latch after squash"
                 );
                 assert!(
-                    sim.core.rob.iter().all(|i| !i.wrong_path),
+                    t.rob.iter().all(|i| !i.wrong_path),
                     "wrong-path instruction left in the ROB after squash"
                 );
-                assert!(!sim.core.wp_map_saved, "map checkpoint not released");
-                assert!(!sim.core.wp_ras_saved, "RAS checkpoint not released");
-                assert!(sim.core.wp_resolve_seq.is_none());
+                assert!(!t.wp_map_saved, "map checkpoint not released");
+                assert!(!t.wp_ras_saved, "RAS checkpoint not released");
+                assert!(t.wp_resolve_seq.is_none());
             }
         }
         assert!(sim.core.halted, "bfs should run to completion");

@@ -88,6 +88,9 @@ pub struct SimResult {
     pub cycles: u64,
     /// Instructions retired.
     pub retired: u64,
+    /// Instructions retired per hardware thread (one entry for
+    /// single-threaded runs; sums to `retired`).
+    pub thread_retired: Vec<u64>,
     /// Conditional branches fetched.
     pub cond_branches: u64,
     /// Conditional branch mispredictions.
@@ -237,6 +240,7 @@ mod tests {
         let r = SimResult {
             cycles: 100,
             retired: 250,
+            thread_retired: vec![250],
             cond_branches: 10,
             branch_mispredicts: 1,
             indirect_branches: 0,

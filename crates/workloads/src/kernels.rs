@@ -61,6 +61,32 @@ pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
     suite(scale).into_iter().find(|w| w.name == name)
 }
 
+/// Co-schedule pairings for the SMT experiments: the 12-kernel suite
+/// folded into 6 fixed pairs, each mixing dissimilar behaviors
+/// (pointer-chasing with branchy scanning, hashing with byte streaming,
+/// dense FP with bit manipulation) so the two contexts compete for the
+/// register cache rather than mirroring each other. The pairing is
+/// deterministic — it is part of the `smt` golden-row identity.
+pub fn kernel_pairs(scale: Scale) -> Vec<(Workload, Workload)> {
+    const PAIRS: [(&str, &str); 6] = [
+        ("qsort", "bfs"),
+        ("listchase", "strsearch"),
+        ("hash", "rle"),
+        ("matmul", "bitops"),
+        ("crc", "fpmix"),
+        ("fib", "dispatch"),
+    ];
+    PAIRS
+        .iter()
+        .map(|&(a, b)| {
+            (
+                workload_by_name(a, scale).expect("suite kernel"),
+                workload_by_name(b, scale).expect("suite kernel"),
+            )
+        })
+        .collect()
+}
+
 fn quad_list(values: &[u64]) -> String {
     let mut s = String::new();
     for chunk in values.chunks(8) {

@@ -23,4 +23,8 @@ echo "== oracle-on smoke: Tiny suite with full runtime checking"
 cargo run --release -q -p ubrc-bench --bin experiments -- \
   charstats --scale tiny --check --timeout 300 >/dev/null
 
+echo "== SMT smoke: 2-thread Tiny kernel pairs, oracle + invariants on"
+cargo run --release -q -p ubrc-bench --bin experiments -- \
+  smt --scale tiny --check --timeout 300 >/dev/null
+
 echo "all checks passed"

@@ -9,19 +9,46 @@
 #
 # To accept a deliberate change:   scripts/golden_update.sh --bless
 # (re-captures the file, then shows `git diff` of it for review).
+#
+# To regenerate only the rows of one config block (e.g. a new trailing
+# block, or one whose model deliberately changed) while every other row
+# is carried over byte-identical:
+#
+#   scripts/golden_update.sh --only smt2
+#   scripts/golden_update.sh --only minload,smt2   # comma-separated
+#
+# The prefix matches the row's config column.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GOLDEN=tests/golden_snapshots.txt
 BLESS=0
+ONLY=
 case "${1:-}" in
     --bless) BLESS=1 ;;
+    --only)
+        ONLY="${2:-}"
+        if [[ -z "$ONLY" ]]; then
+            echo "usage: $0 --only <config-prefix>[,<config-prefix>...]" >&2
+            exit 2
+        fi
+        ;;
     "") ;;
     *)
-        echo "usage: $0 [--bless]" >&2
+        echo "usage: $0 [--bless | --only <config-prefix>[,...]]" >&2
         exit 2
         ;;
 esac
+
+if [[ -n "$ONLY" ]]; then
+    echo "== re-capturing rows with config prefix(es) '$ONLY' (UBRC_BLESS_ONLY)"
+    UBRC_BLESS_ONLY="$ONLY" cargo test --release --test golden_snapshots -- --nocapture
+    echo "== resulting change (review before committing):"
+    git --no-pager diff --stat -- "$GOLDEN" || true
+    git --no-pager diff -- "$GOLDEN" | head -80 || true
+    echo "blessed subset. Re-run '$0' (no flags) to confirm determinism."
+    exit 0
+fi
 
 if [[ "$BLESS" == 1 ]]; then
     echo "== re-capturing $GOLDEN (UBRC_BLESS=1)"

@@ -4,12 +4,14 @@
 //! neutral*: every scheduling change is an implementation detail, so
 //! every `SimResult` has to stay bit-identical to the model that
 //! produced `tests/golden_snapshots.txt`. This test runs the full
-//! Tiny-scale kernel suite under all four [`IndexPolicy`] variants
-//! crossed with both replacement designs (use-based / LRU) and
-//! compares cycles, retirement, replays, and the per-class miss
-//! counts against the stored goldens. A trailing block of
-//! `filtered-ehc` rows pins the expected-hit-count replacement scorer
-//! without disturbing the original 96-row matrix.
+//! Tiny-scale kernel suite under all four original [`IndexPolicy`]
+//! variants crossed with both replacement designs (use-based / LRU)
+//! and compares cycles, retirement, replays, and the per-class miss
+//! counts against the stored goldens. Trailing blocks pin later
+//! extensions without disturbing the original 96-row matrix:
+//! `filtered-ehc` rows for the expected-hit-count replacement scorer,
+//! `minload-*` rows for the occupancy-based set assigner, and
+//! `smt2-*` rows for 2-thread kernel pairs on the SMT core.
 //!
 //! To regenerate after an *intentional* model change:
 //!
@@ -17,11 +19,18 @@
 //! UBRC_BLESS=1 cargo test --release --test golden_snapshots
 //! ```
 //!
+//! To regenerate only the rows whose config starts with a prefix
+//! (e.g. a new trailing block) while keeping every other row verbatim:
+//!
+//! ```text
+//! UBRC_BLESS_ONLY=smt2 cargo test --release --test golden_snapshots
+//! ```
+//!
 //! and justify the diff of `golden_snapshots.txt` in the PR.
 
 use ubrc::core::{IndexPolicy, RegCacheConfig};
-use ubrc::sim::{simulate_workload, RegStorage, SimConfig};
-use ubrc::workloads::{suite, Scale};
+use ubrc::sim::{simulate_smt, simulate_workload, RegStorage, SimConfig};
+use ubrc::workloads::{kernel_pairs, suite, Scale, Workload};
 
 const GOLDEN: &str = include_str!("golden_snapshots.txt");
 
@@ -96,13 +105,7 @@ fn cache_variants() -> Vec<(&'static str, RegCacheConfig)> {
     vec![("usebased", ub), ("lru", lru)]
 }
 
-fn snap_one(
-    w: &ubrc::workloads::Workload,
-    config: String,
-    cache: RegCacheConfig,
-    index: IndexPolicy,
-    check: bool,
-) -> Snap {
+fn cached_cfg(cache: RegCacheConfig, index: IndexPolicy, check: bool) -> SimConfig {
     let mut cfg = SimConfig::table1(RegStorage::Cached {
         cache,
         index,
@@ -112,10 +115,13 @@ fn snap_one(
     if check {
         cfg.check = ubrc::sim::CheckConfig::full();
     }
-    let r = simulate_workload(w, cfg);
+    cfg
+}
+
+fn snap_fields(kernel: String, config: String, r: &ubrc::sim::SimResult) -> Snap {
     let c = r.regcache.as_ref().expect("cached run has cache stats");
     Snap {
-        kernel: w.name.to_string(),
+        kernel,
         config,
         cycles: r.cycles,
         retired: r.retired,
@@ -129,61 +135,204 @@ fn snap_one(
     }
 }
 
-fn capture(check: bool) -> Vec<Snap> {
-    let mut snaps = Vec::new();
+fn snap_one(
+    w: &Workload,
+    config: String,
+    cache: RegCacheConfig,
+    index: IndexPolicy,
+    check: bool,
+) -> Snap {
+    let r = simulate_workload(w, cached_cfg(cache, index, check));
+    snap_fields(w.name.to_string(), config, &r)
+}
+
+/// A 2-thread SMT row: a kernel pair co-scheduled on one core. The
+/// `retired` column is the aggregate over both threads; the cache
+/// columns cover the single shared register cache.
+fn snap_pair(
+    a: &Workload,
+    b: &Workload,
+    config: String,
+    cache: RegCacheConfig,
+    index: IndexPolicy,
+    check: bool,
+) -> Snap {
+    let programs = vec![
+        a.assemble().expect("kernel assembles"),
+        b.assemble().expect("kernel assembles"),
+    ];
+    let r = simulate_smt(programs, cached_cfg(cache, index, check));
+    assert_eq!(r.thread_retired.len(), 2);
+    snap_fields(format!("{}+{}", a.name, b.name), config, &r)
+}
+
+/// One cell of the snapshot matrix: its identity plus how to simulate
+/// it. Keeping production behind a closure lets the subset-bless path
+/// (`UBRC_BLESS_ONLY`) skip the simulations it is not regenerating.
+struct Cell {
+    kernel: String,
+    config: String,
+    run: Box<dyn Fn(bool) -> Snap>,
+}
+
+fn cells() -> Vec<Cell> {
+    let mut cells: Vec<Cell> = Vec::new();
+    // The original 96-row matrix (12 kernels x 4 policies x 2 designs).
     for w in suite(Scale::Tiny) {
         for (idx_name, index) in INDEX_POLICIES {
             for (cache_name, cache) in cache_variants() {
-                snaps.push(snap_one(
-                    &w,
-                    format!("{idx_name}-{cache_name}"),
-                    cache,
-                    index,
-                    check,
-                ));
+                let w = w.clone();
+                let config = format!("{idx_name}-{cache_name}");
+                cells.push(Cell {
+                    kernel: w.name.to_string(),
+                    config: config.clone(),
+                    run: Box::new(move |check| {
+                        snap_one(&w, config.clone(), cache.clone(), index, check)
+                    }),
+                });
             }
         }
     }
-    // The expected-hit-count replacement scorer rows are appended *after*
-    // the original 96-row matrix so the pre-existing rows stay
-    // byte-identical across the policy-trait refactor.
+    // Trailing blocks are appended *after* the original matrix so the
+    // pre-existing rows stay byte-identical across refactors.
+    // Expected-hit-count replacement scorer:
     for w in suite(Scale::Tiny) {
         let mut ehc = RegCacheConfig::expected_hit_count(64, 2);
         ehc.classify_misses = true;
-        snaps.push(snap_one(
-            &w,
-            "filtered-ehc".to_string(),
-            ehc,
-            IndexPolicy::FilteredRoundRobin,
-            check,
-        ));
+        cells.push(Cell {
+            kernel: w.name.to_string(),
+            config: "filtered-ehc".to_string(),
+            run: Box::new(move |check| {
+                snap_one(
+                    &w,
+                    "filtered-ehc".to_string(),
+                    ehc.clone(),
+                    IndexPolicy::FilteredRoundRobin,
+                    check,
+                )
+            }),
+        });
     }
-    snaps
+    // Min-load (occupancy-based) set assignment:
+    for w in suite(Scale::Tiny) {
+        let mut ub = RegCacheConfig::use_based(64, 2);
+        ub.classify_misses = true;
+        cells.push(Cell {
+            kernel: w.name.to_string(),
+            config: "minload-usebased".to_string(),
+            run: Box::new(move |check| {
+                snap_one(
+                    &w,
+                    "minload-usebased".to_string(),
+                    ub.clone(),
+                    IndexPolicy::MinLoad,
+                    check,
+                )
+            }),
+        });
+    }
+    // 2-thread SMT kernel pairs, use-based vs LRU at the same geometry
+    // (the pairing each scheme ships with in the experiments):
+    for (a, b) in kernel_pairs(Scale::Tiny) {
+        for (cache_name, cache, index) in [
+            (
+                "usebased",
+                cache_variants()[0].1.clone(),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+            (
+                "lru",
+                cache_variants()[1].1.clone(),
+                IndexPolicy::RoundRobin,
+            ),
+        ] {
+            let (a, b) = (a.clone(), b.clone());
+            let config = format!("smt2-{cache_name}");
+            cells.push(Cell {
+                kernel: format!("{}+{}", a.name, b.name),
+                config: config.clone(),
+                run: Box::new(move |check| {
+                    snap_pair(&a, &b, config.clone(), cache.clone(), index, check)
+                }),
+            });
+        }
+    }
+    cells
+}
+
+fn capture(check: bool) -> Vec<Snap> {
+    cells().iter().map(|c| (c.run)(check)).collect()
+}
+
+fn parse_golden() -> Vec<Snap> {
+    GOLDEN
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| Snap::parse(l).unwrap_or_else(|| panic!("malformed golden line: {l}")))
+        .collect()
+}
+
+const HEADER: &str = "# kernel config cycles retired replayed reads read_hits \
+                      read_misses misses_not_written misses_capacity misses_conflict\n";
+
+fn write_goldens(snaps: &[Snap]) {
+    let mut out = String::from(HEADER);
+    for s in snaps {
+        out.push_str(&s.to_line());
+        out.push('\n');
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_snapshots.txt");
+    std::fs::write(path, out).expect("write goldens");
+}
+
+/// `UBRC_BLESS_ONLY=<prefix>[,<prefix>...]`: re-simulate only the
+/// cells whose config starts with one of the prefixes; every other row
+/// is carried over verbatim from the existing golden file (and must
+/// already exist there). Rows are written in canonical cell order, so
+/// this can both update a block in place and append a brand-new
+/// trailing block.
+fn bless_subset(prefixes: &str) {
+    let prefixes: Vec<&str> = prefixes.split(',').filter(|p| !p.is_empty()).collect();
+    let existing = parse_golden();
+    let lookup = |kernel: &str, config: &str| {
+        existing
+            .iter()
+            .find(|s| s.kernel == kernel && s.config == config)
+    };
+    let mut out = Vec::new();
+    let mut regenerated = 0usize;
+    for cell in cells() {
+        if prefixes.iter().any(|p| cell.config.starts_with(p)) {
+            out.push((cell.run)(false));
+            regenerated += 1;
+        } else {
+            let s = lookup(&cell.kernel, &cell.config).unwrap_or_else(|| {
+                panic!(
+                    "row {}/{} is outside the blessed subset but missing from \
+                     the golden file; run a full UBRC_BLESS=1 instead",
+                    cell.kernel, cell.config
+                )
+            });
+            out.push(Snap::parse(&s.to_line()).expect("round-trip"));
+        }
+    }
+    assert!(regenerated > 0, "prefixes {prefixes:?} matched no cells");
+    write_goldens(&out);
 }
 
 #[test]
 fn sim_results_match_golden_snapshots() {
-    let actual = capture(false);
-
+    if let Some(prefix) = std::env::var_os("UBRC_BLESS_ONLY") {
+        bless_subset(prefix.to_str().expect("utf-8 prefix"));
+        return;
+    }
     if std::env::var_os("UBRC_BLESS").is_some() {
-        let mut out = String::from(
-            "# kernel config cycles retired replayed reads read_hits \
-             read_misses misses_not_written misses_capacity misses_conflict\n",
-        );
-        for s in &actual {
-            out.push_str(&s.to_line());
-            out.push('\n');
-        }
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_snapshots.txt");
-        std::fs::write(path, out).expect("write goldens");
+        write_goldens(&capture(false));
         return;
     }
 
-    let golden: Vec<Snap> = GOLDEN
-        .lines()
-        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
-        .map(|l| Snap::parse(l).unwrap_or_else(|| panic!("malformed golden line: {l}")))
-        .collect();
+    let actual = capture(false);
+    let golden = parse_golden();
     assert_eq!(
         golden.len(),
         actual.len(),
@@ -201,18 +350,15 @@ fn sim_results_match_golden_snapshots() {
 
 /// The runtime checker (lockstep oracle + per-cycle invariants) must be
 /// observation-only: the same cells, checked, must reproduce the
-/// goldens bit for bit.
+/// goldens bit for bit. This covers the SMT rows too: one oracle per
+/// thread, plus the partitioned-freelist invariants.
 #[test]
 fn checked_sim_results_match_golden_snapshots() {
-    if std::env::var_os("UBRC_BLESS").is_some() {
+    if std::env::var_os("UBRC_BLESS").is_some() || std::env::var_os("UBRC_BLESS_ONLY").is_some() {
         return; // blessing is handled by the unchecked capture
     }
     let actual = capture(true);
-    let golden: Vec<Snap> = GOLDEN
-        .lines()
-        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
-        .map(|l| Snap::parse(l).unwrap_or_else(|| panic!("malformed golden line: {l}")))
-        .collect();
+    let golden = parse_golden();
     assert_eq!(golden.len(), actual.len());
     for (g, a) in golden.iter().zip(&actual) {
         assert_eq!(
