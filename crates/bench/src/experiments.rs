@@ -6,7 +6,7 @@
 //! reproduction target and are recorded in EXPERIMENTS.md.
 
 use crate::runner::{run_one, run_suite, SuiteError, SuiteResult};
-use ubrc_core::{IndexPolicy, RegCacheConfig, TwoLevelConfig};
+use ubrc_core::{CachePartition, IndexPolicy, RegCacheConfig, TwoLevelConfig};
 use ubrc_sim::{RegStorage, SimConfig};
 use ubrc_stats::Table;
 use ubrc_workloads::{synthetic::SyntheticSpec, Scale};
@@ -874,6 +874,50 @@ pub fn smt(scale: Scale) -> Result<Table, SuiteError> {
     Ok(t)
 }
 
+/// Extension: 4-thread SMT register-cache partitioning. Each
+/// [`ubrc_workloads::kernel_quads`] grouping runs on one 4-thread core
+/// and the aggregate IPC is reported for the {use-based, LRU} ×
+/// {shared, way-partitioned, occupancy-capped} register-cache matrix.
+/// The geometry is 64 entries x 4 ways so `WayPartition` gives each
+/// thread exactly one way per set. A shared cache lets a
+/// register-hungry thread crowd out its siblings; the partition
+/// policies trade that interference against lower effective capacity
+/// per thread, and the `vs-shared` column shows which effect wins for
+/// each replacement scheme.
+pub fn smt4(scale: Scale) -> Result<Table, SuiteError> {
+    let partitions = [
+        ("shared", CachePartition::Shared),
+        ("way-partition", CachePartition::WayPartition),
+        ("occupancy-cap", CachePartition::OccupancyCap),
+    ];
+    let schemes = [
+        (
+            "use-based",
+            RegCacheConfig::use_based(64, 4),
+            IndexPolicy::FilteredRoundRobin,
+        ),
+        ("lru", RegCacheConfig::lru(64, 4), IndexPolicy::RoundRobin),
+    ];
+    let mut t = Table::new(["scheme", "partition", "4T-geomean-ipc", "vs-shared"]);
+    for (scheme, base, index) in schemes {
+        let mut shared_ipc = None;
+        for (pname, p) in partitions {
+            let mut cache = base;
+            cache.partition = p;
+            let cfg = cached_cfg(cache, index, 2);
+            let ipc = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
+            let baseline = *shared_ipc.get_or_insert(ipc);
+            t.row([
+                scheme.to_string(),
+                pname.to_string(),
+                format!("{ipc:.4}"),
+                format!("{:.4}", ipc / baseline),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 /// Every experiment, as `(id, description, runner)` triples, in paper
 /// order. The harness binary and the smoke tests iterate this. A
 /// failing run reports the offending workload via [`SuiteError`]
@@ -970,6 +1014,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "smt",
             "2-thread SMT kernel-pair co-scheduling (extension)",
             smt,
+        ),
+        (
+            "smt4",
+            "4-thread SMT register-cache partitioning (extension)",
+            smt4,
         ),
     ]
 }

@@ -73,6 +73,7 @@ impl SuiteFailure {
                 SimError::Watchdog(_) => "watchdog",
                 SimError::Emu(_) => "emu",
                 SimError::Cancelled { .. } => "cancelled",
+                SimError::Config(_) => "config",
             },
             SuiteFailure::Timeout { .. } => "timeout",
             SuiteFailure::Panic(_) => "panic",
@@ -210,7 +211,9 @@ pub fn run_one_with(
     match opts.timeout {
         Some(budget) => run_with_deadline(vec![program], config, budget).map_err(fail),
         None => catch_unwind(AssertUnwindSafe(|| {
-            Simulator::new(program, config).run_checked()
+            Simulator::try_new_smt(vec![program], config)
+                .map_err(|e| Box::new(SimError::Config(e)))?
+                .run_checked()
         }))
         .map_err(|p| fail(SuiteFailure::Panic(panic_message(p))))?
         .map_err(|e| fail(SuiteFailure::Sim(e))),
@@ -228,47 +231,74 @@ pub fn run_pair(a: &Workload, b: &Workload, config: SimConfig) -> Result<SimResu
 pub fn run_pair_with(
     a: &Workload,
     b: &Workload,
+    config: SimConfig,
+    opts: RunOptions,
+) -> Result<SimResult, SuiteError> {
+    run_group_with(&[a, b], config, opts)
+}
+
+/// Runs one N-thread SMT cell — a group of kernels co-scheduled on one
+/// core, one hardware thread each — through the worker gate with
+/// options from the environment. Failures name the whole group as
+/// `a+b+…` so a timeout or misconfiguration in a multi-thread cell is
+/// attributed to the co-schedule, never to a single member.
+pub fn run_group(ws: &[&Workload], config: SimConfig) -> Result<SimResult, SuiteError> {
+    run_group_with(ws, config, RunOptions::from_env())
+}
+
+/// [`run_group`] with explicit options.
+pub fn run_group_with(
+    ws: &[&Workload],
     mut config: SimConfig,
     opts: RunOptions,
 ) -> Result<SimResult, SuiteError> {
     let _permit = gate().acquire();
-    let pair = pair_label(a.name, b.name);
+    let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+    let label = group_label(&names);
     let fail = |failure| SuiteError {
-        workload: pair,
+        workload: label,
         failure,
     };
-    let pa = a.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?;
-    let pb = b.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?;
+    let mut programs = Vec::with_capacity(ws.len());
+    for w in ws {
+        programs.push(w.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?);
+    }
     if opts.check {
         config.check = CheckConfig::full();
     }
     match opts.timeout {
-        Some(budget) => run_with_deadline(vec![pa, pb], config, budget).map_err(fail),
+        Some(budget) => run_with_deadline(programs, config, budget).map_err(fail),
         None => catch_unwind(AssertUnwindSafe(|| {
-            Simulator::new_smt(vec![pa, pb], config).run_checked()
+            Simulator::try_new_smt(programs, config)
+                .map_err(|e| Box::new(SimError::Config(e)))?
+                .run_checked()
         }))
         .map_err(|p| fail(SuiteFailure::Panic(panic_message(p))))?
         .map_err(|e| fail(SuiteFailure::Sim(e))),
     }
 }
 
-/// Interns a `a+b` pair label (the error and report types carry
-/// `&'static str` kernel names). The pair set is tiny and fixed, so
-/// the leak is bounded.
-fn pair_label(a: &str, b: &str) -> &'static str {
+/// Interns a `a+b+…` co-schedule label (the error and report types
+/// carry `&'static str` kernel names). The group set is tiny and
+/// fixed, so the leak is bounded.
+fn group_label(names: &[&str]) -> &'static str {
     use std::collections::HashMap;
     static LABELS: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
     let mut map = LABELS
         .get_or_init(|| Mutex::new(HashMap::new()))
         .lock()
         .expect("label map poisoned");
-    let key = format!("{a}+{b}");
+    let key = names.join("+");
     if let Some(&s) = map.get(&key) {
         return s;
     }
     let leaked: &'static str = Box::leak(key.clone().into_boxed_str());
     map.insert(key, leaked);
     leaked
+}
+
+fn pair_label(a: &str, b: &str) -> &'static str {
+    group_label(&[a, b])
 }
 
 /// Runs one simulation on a worker thread with a wall-clock deadline.
@@ -285,7 +315,8 @@ fn run_with_deadline(
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(move || {
-            let mut sim = Simulator::new_smt(programs, config);
+            let mut sim = Simulator::try_new_smt(programs, config)
+                .map_err(|e| Box::new(SimError::Config(e)))?;
             sim.set_cancel(flag);
             sim.run_checked()
         }));
@@ -459,6 +490,52 @@ pub fn run_pair_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
     }
 }
 
+/// Runs every [`ubrc_workloads::kernel_quads`] grouping as a 4-thread
+/// SMT cell under `config`, quads in parallel on the shared worker
+/// pool. Each run's name is the `a+b+c+d` group label and its IPC is
+/// the *aggregate* (four-thread) IPC.
+///
+/// # Errors
+///
+/// Returns a [`SuiteError`] naming the first (in quad order) quad whose
+/// simulation failed.
+pub fn run_quad_suite(config: &SimConfig, scale: Scale) -> Result<SuiteResult, SuiteError> {
+    let report = run_quad_suite_robust(config, scale);
+    let mut out = Vec::with_capacity(report.runs.len());
+    for (name, r) in report.runs {
+        out.push((name, r?));
+    }
+    Ok(SuiteResult { runs: out })
+}
+
+/// Runs every kernel quad as a 4-thread SMT cell like
+/// [`run_quad_suite`], but degrades gracefully: a failing quad is
+/// recorded in place and the rest still runs.
+pub fn run_quad_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
+    let quads = ubrc_workloads::kernel_quads(scale);
+    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    runs.resize_with(quads.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, quad) in runs.iter_mut().zip(&quads) {
+            let cfg = config.clone();
+            scope.spawn(move || {
+                let refs: Vec<&Workload> = quad.iter().collect();
+                *slot = Some(run_group(&refs, cfg));
+            });
+        }
+    });
+    SuiteReport {
+        runs: runs
+            .into_iter()
+            .zip(&quads)
+            .map(|(r, quad)| {
+                let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+                (group_label(&names), r.expect("scope joined every worker"))
+            })
+            .collect(),
+    }
+}
+
 /// Runs the whole kernel suite under `config` like [`run_suite`], but
 /// degrades gracefully: a failing kernel is recorded in place and the
 /// rest of the suite still runs, so callers can emit partial results.
@@ -507,14 +584,16 @@ mod tests {
 
     #[test]
     fn failing_simulation_names_the_workload() {
-        // An impossible configuration panics inside the simulator; the
-        // runner must say *which* kernel died instead of unwinding.
+        // An impossible configuration is rejected as a structured
+        // ConfigError; the runner must say *which* kernel died instead
+        // of unwinding.
         let mut cfg = SimConfig::paper_default();
         cfg.phys_regs = 8; // fewer physical than architectural registers
         let err = run_suite(&cfg, Scale::Tiny).unwrap_err();
         assert_eq!(err.workload, "qsort");
         assert!(!err.reason().is_empty());
-        assert!(matches!(err.failure, SuiteFailure::Panic(_)));
+        assert_eq!(err.failure.kind(), "config");
+        assert!(matches!(&err.failure, SuiteFailure::Sim(e) if matches!(**e, SimError::Config(_))));
     }
 
     #[test]
@@ -529,6 +608,53 @@ mod tests {
             let err = r.as_ref().unwrap_err();
             assert_eq!(err.workload, *name);
         }
+    }
+
+    #[test]
+    fn quad_suite_runs_in_parallel_and_orders_results() {
+        let r = run_quad_suite(&SimConfig::paper_default(), Scale::Tiny).unwrap();
+        assert_eq!(r.runs.len(), 3);
+        assert_eq!(r.runs[0].0, "qsort+bfs+listchase+strsearch");
+        assert_eq!(r.runs[1].0, "hash+rle+matmul+bitops");
+        assert_eq!(r.runs[2].0, "crc+fpmix+fib+dispatch");
+        assert!(r.geomean_ipc() > 0.1);
+        assert!(r.total_retired() > 0);
+    }
+
+    #[test]
+    fn pair_timeout_is_attributed_to_the_pair_label() {
+        // A timeout in a 2-thread cell must name the co-schedule, not
+        // one member or a stale label.
+        let pairs = ubrc_workloads::kernel_pairs(Scale::Default);
+        let (a, b) = &pairs[0];
+        let opts = RunOptions {
+            check: false,
+            timeout: Some(Duration::from_millis(0)),
+        };
+        let err = run_pair_with(a, b, SimConfig::paper_default(), opts).unwrap_err();
+        assert_eq!(err.workload, "qsort+bfs");
+        assert_eq!(err.failure.kind(), "timeout");
+        assert!(err.to_string().contains("qsort+bfs"));
+    }
+
+    #[test]
+    fn quad_failures_are_attributed_to_the_quad_label() {
+        // A rejected configuration in a 4-thread cell must name the
+        // whole quad on both the direct and the deadline paths.
+        let quads = ubrc_workloads::kernel_quads(Scale::Tiny);
+        let refs: Vec<&ubrc_workloads::Workload> = quads[0].iter().collect();
+        let mut cfg = SimConfig::paper_default();
+        cfg.phys_regs = 514; // does not divide across 4 threads
+        let err = run_group_with(&refs, cfg.clone(), RunOptions::default()).unwrap_err();
+        assert_eq!(err.workload, "qsort+bfs+listchase+strsearch");
+        assert_eq!(err.failure.kind(), "config");
+        let opts = RunOptions {
+            check: false,
+            timeout: Some(Duration::from_secs(120)),
+        };
+        let err = run_group_with(&refs, cfg, opts).unwrap_err();
+        assert_eq!(err.workload, "qsort+bfs+listchase+strsearch");
+        assert_eq!(err.failure.kind(), "config");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::runner::{max_workers, run_suite_robust};
 use std::time::Instant;
-use ubrc_core::{IndexPolicy, RegCacheConfig};
+use ubrc_core::{CachePartition, IndexPolicy, RegCacheConfig};
 use ubrc_sim::{RegStorage, SimConfig};
 use ubrc_stats::Json;
 use ubrc_workloads::Scale;
@@ -94,6 +94,62 @@ pub fn smt_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
     ]
 }
 
+/// The 4-thread SMT configurations the trajectory tracks: each cell
+/// runs every [`ubrc_workloads::kernel_quads`] grouping co-scheduled on
+/// one core under the {use-based, LRU} × {shared, way-partitioned,
+/// occupancy-capped} register-cache matrix (64-entry 4-way geometry so
+/// the ways divide across the threads), so its `ipc` columns are
+/// aggregate (four-thread) IPC.
+pub fn smt4_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
+    let part = |mut cache: RegCacheConfig, p: CachePartition| {
+        cache.partition = p;
+        cache
+    };
+    let ub = || RegCacheConfig::use_based(64, 4);
+    let lru = || RegCacheConfig::lru(64, 4);
+    vec![
+        (
+            "smt4-use-based-shared",
+            cached(
+                part(ub(), CachePartition::Shared),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "smt4-use-based-waypart",
+            cached(
+                part(ub(), CachePartition::WayPartition),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "smt4-use-based-occcap",
+            cached(
+                part(ub(), CachePartition::OccupancyCap),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "smt4-lru-shared",
+            cached(part(lru(), CachePartition::Shared), IndexPolicy::RoundRobin),
+        ),
+        (
+            "smt4-lru-waypart",
+            cached(
+                part(lru(), CachePartition::WayPartition),
+                IndexPolicy::RoundRobin,
+            ),
+        ),
+        (
+            "smt4-lru-occcap",
+            cached(
+                part(lru(), CachePartition::OccupancyCap),
+                IndexPolicy::RoundRobin,
+            ),
+        ),
+    ]
+}
+
 /// Outcome of a trajectory run: the (possibly partial) document plus
 /// the number of failed cells. The document is always emitted — a
 /// failing kernel is recorded in place as an error object — so a broken
@@ -112,12 +168,26 @@ pub struct TrajectoryOutcome {
 /// [`TrajectoryOutcome::failed`], while aggregate statistics cover the
 /// cells that completed.
 pub fn pipeline_trajectory(scale: Scale) -> TrajectoryOutcome {
-    trajectory_over(trajectory_configs(), smt_trajectory_configs(), scale)
+    trajectory_over(
+        trajectory_configs(),
+        smt_trajectory_configs(),
+        smt4_trajectory_configs(),
+        scale,
+    )
+}
+
+/// How many hardware threads a trajectory cell co-schedules.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CellKind {
+    Single,
+    Pair,
+    Quad,
 }
 
 fn trajectory_over(
     matrix: Vec<(&'static str, SimConfig)>,
     smt_matrix: Vec<(&'static str, SimConfig)>,
+    smt4_matrix: Vec<(&'static str, SimConfig)>,
     scale: Scale,
 ) -> TrajectoryOutcome {
     let t_total = Instant::now();
@@ -126,14 +196,23 @@ fn trajectory_over(
     let mut total_failed = 0usize;
     let cells = matrix
         .into_iter()
-        .map(|(name, cfg)| (name, cfg, false))
-        .chain(smt_matrix.into_iter().map(|(name, cfg)| (name, cfg, true)));
-    for (name, cfg, smt) in cells {
+        .map(|(name, cfg)| (name, cfg, CellKind::Single))
+        .chain(
+            smt_matrix
+                .into_iter()
+                .map(|(name, cfg)| (name, cfg, CellKind::Pair)),
+        )
+        .chain(
+            smt4_matrix
+                .into_iter()
+                .map(|(name, cfg)| (name, cfg, CellKind::Quad)),
+        );
+    for (name, cfg, kind) in cells {
         let t0 = Instant::now();
-        let report = if smt {
-            crate::runner::run_pair_suite_robust(&cfg, scale)
-        } else {
-            run_suite_robust(&cfg, scale)
+        let report = match kind {
+            CellKind::Single => run_suite_robust(&cfg, scale),
+            CellKind::Pair => crate::runner::run_pair_suite_robust(&cfg, scale),
+            CellKind::Quad => crate::runner::run_quad_suite_robust(&cfg, scale),
         };
         let wall = t0.elapsed().as_secs_f64();
         let ok = report.successes();
@@ -212,6 +291,13 @@ mod tests {
             r#""name":"min-load""#,
             r#""name":"smt2-use-based""#,
             r#""name":"smt2-lru""#,
+            r#""name":"smt4-use-based-shared""#,
+            r#""name":"smt4-use-based-waypart""#,
+            r#""name":"smt4-use-based-occcap""#,
+            r#""name":"smt4-lru-shared""#,
+            r#""name":"smt4-lru-waypart""#,
+            r#""name":"smt4-lru-occcap""#,
+            r#""name":"qsort+bfs+listchase+strsearch""#,
             r#""geomean_ipc":"#,
             r#""sim_insts_per_sec":"#,
             r#""kernels":["#,
@@ -228,13 +314,13 @@ mod tests {
         let mut broken = SimConfig::paper_default();
         broken.phys_regs = 8;
         let matrix = vec![("good", SimConfig::paper_default()), ("broken", broken)];
-        let out = trajectory_over(matrix, vec![], Scale::Tiny);
+        let out = trajectory_over(matrix, vec![], vec![], Scale::Tiny);
         assert_eq!(out.failed, 12);
         let s = out.doc.to_string();
         assert!(s.contains(r#""name":"good""#));
         assert!(s.contains(r#""name":"broken""#));
         assert!(
-            s.contains(r#""error":{"kind":"panic""#),
+            s.contains(r#""error":{"kind":"config""#),
             "missing error object in {s}"
         );
         assert!(s.contains(r#""failed":12"#));

@@ -1,5 +1,6 @@
 use crate::policy::{
-    InsertionContext, InsertionDecider, RegCacheConfig, ReplacementScorer, VictimView,
+    CachePartition, InsertionContext, InsertionDecider, RegCacheConfig, ReplacementScorer,
+    VictimView,
 };
 use crate::PhysReg;
 use ubrc_stats::TimeWeighted;
@@ -12,6 +13,10 @@ pub enum WriteOutcome {
     /// The insertion policy filtered the write (a later read of this
     /// value will miss with [`MissClass::NotWritten`]).
     Filtered,
+    /// The insertion policy accepted the write but the
+    /// [`CachePartition::OccupancyCap`] dropped it: the producing thread
+    /// is at its cap and owns nothing evictable in the target set.
+    Capped,
 }
 
 /// Classification of a register-cache read miss (Figure 8 of the paper).
@@ -79,6 +84,12 @@ pub struct RegCacheStats {
     pub entry_lifetime_count: u64,
     /// Time-weighted occupancy tracker.
     pub occupancy: TimeWeighted,
+    /// Insertions (writes or fills) dropped by the per-thread occupancy
+    /// cap ([`CachePartition::OccupancyCap`]).
+    pub inserts_capped: u64,
+    /// Per-thread time-weighted occupancy (one slot per SMT thread;
+    /// a single slot on single-thread caches).
+    pub thread_occupancy: Vec<TimeWeighted>,
 }
 
 impl RegCacheStats {
@@ -149,6 +160,8 @@ impl RegCacheStats {
 #[derive(Clone, Copy, Debug, Default)]
 struct Entry {
     preg: u16,
+    /// Owning SMT thread, derived from the preg partition at insert.
+    tid: u16,
     uses: u8,
     pinned: bool,
     from_fill: bool,
@@ -165,6 +178,11 @@ struct Entry {
 pub struct EntryView {
     /// The set this entry resides in.
     pub set: u16,
+    /// The way (within the set) this entry resides in, for partition
+    /// containment checks.
+    pub way: u16,
+    /// Owning SMT thread (0 on single-thread caches).
+    pub tid: u16,
     /// Physical register tag.
     pub preg: PhysReg,
     /// Remaining-use counter.
@@ -204,6 +222,11 @@ pub struct RegisterCache {
     per_preg: Vec<PregState>,
     stats: RegCacheStats,
     shadow: Option<Box<RegisterCache>>,
+    // SMT partitioning: thread count, the evenly-split preg quota used
+    // to derive a preg's owning thread, and live entries per thread.
+    nthreads: usize,
+    preg_quota: usize,
+    thread_valid: Vec<usize>,
     // The behavioral halves of `config.insertion` / `config.replacement`,
     // instantiated once at construction (see `ubrc_core::policy`).
     insertion: Box<dyn InsertionDecider>,
@@ -218,15 +241,56 @@ impl RegisterCache {
     ///
     /// Panics on inconsistent geometry (see [`RegCacheConfig::sets`]).
     pub fn new(config: RegCacheConfig, num_pregs: usize) -> Self {
+        Self::new_smt(config, num_pregs, 1)
+    }
+
+    /// Creates an empty cache shared by `nthreads` SMT threads over an
+    /// evenly partitioned physical register file: preg `p` belongs to
+    /// thread `p / (num_pregs / nthreads)`. With `nthreads == 1` this is
+    /// [`RegisterCache::new`] and [`RegCacheConfig::partition`] is inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry, `num_pregs` not divisible by
+    /// `nthreads`, a [`CachePartition::WayPartition`] whose ways don't
+    /// divide by `nthreads`, or a [`CachePartition::OccupancyCap`] with
+    /// fewer entries than threads. Callers wanting typed errors should
+    /// validate first (the simulator's `try_new_smt` does).
+    pub fn new_smt(config: RegCacheConfig, num_pregs: usize, nthreads: usize) -> Self {
         let sets = config.sets();
+        assert!(nthreads >= 1, "nthreads must be at least 1");
+        assert!(
+            num_pregs.is_multiple_of(nthreads),
+            "num_pregs must divide evenly across threads"
+        );
+        if nthreads > 1 {
+            match config.partition {
+                CachePartition::Shared => {}
+                CachePartition::WayPartition => assert!(
+                    config.ways.is_multiple_of(nthreads),
+                    "WayPartition needs ways divisible by nthreads"
+                ),
+                CachePartition::OccupancyCap => assert!(
+                    config.entries >= nthreads,
+                    "OccupancyCap needs at least one entry per thread"
+                ),
+            }
+        }
         let shadow = config.classify_misses.then(|| {
+            // The shadow is the fully-associative *shared* baseline: it
+            // classifies misses, it does not model partitioning.
             let shadow_config = RegCacheConfig {
                 ways: config.entries,
                 classify_misses: false,
+                partition: CachePartition::Shared,
                 ..config
             };
             Box::new(RegisterCache::new(shadow_config, num_pregs))
         });
+        let stats = RegCacheStats {
+            thread_occupancy: vec![TimeWeighted::default(); nthreads],
+            ..RegCacheStats::default()
+        };
         Self {
             config,
             sets,
@@ -234,11 +298,44 @@ impl RegisterCache {
             tick: 0,
             valid_count: 0,
             per_preg: vec![PregState::default(); num_pregs],
-            stats: RegCacheStats::default(),
+            stats,
             shadow,
+            nthreads,
+            preg_quota: num_pregs / nthreads,
+            thread_valid: vec![0; nthreads],
             insertion: config.insertion.decider(),
             replacement: config.replacement.scorer(),
         }
+    }
+
+    /// The owning thread of a physical register (always 0 with one
+    /// thread).
+    fn thread_of(&self, preg: PhysReg) -> usize {
+        preg.0 as usize / self.preg_quota
+    }
+
+    /// The number of SMT threads this cache was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Live entries owned by `tid`.
+    pub fn thread_occupancy(&self, tid: usize) -> usize {
+        self.thread_valid[tid]
+    }
+
+    /// The per-thread live-entry cap, when [`CachePartition::OccupancyCap`]
+    /// is active (`None` otherwise).
+    pub fn occupancy_cap(&self) -> Option<usize> {
+        (self.nthreads > 1 && self.config.partition == CachePartition::OccupancyCap)
+            .then(|| self.config.entries / self.nthreads)
+    }
+
+    /// Ways of each set owned by one thread, when
+    /// [`CachePartition::WayPartition`] is active (`None` otherwise).
+    pub fn ways_per_thread(&self) -> Option<usize> {
+        (self.nthreads > 1 && self.config.partition == CachePartition::WayPartition)
+            .then(|| self.config.ways / self.nthreads)
     }
 
     /// The configuration in use.
@@ -265,7 +362,7 @@ impl RegisterCache {
     /// Flushes the occupancy integral up to `now`. Call once at the end
     /// of simulation before reading `stats().occupancy.average(now)`.
     pub fn finalize(&mut self, now: u64) {
-        self.stats.occupancy.update(now, self.valid_count as f64);
+        self.note_occupancy(now);
         if let Some(s) = &mut self.shadow {
             s.finalize(now);
         }
@@ -279,6 +376,9 @@ impl RegisterCache {
 
     fn note_occupancy(&mut self, now: u64) {
         self.stats.occupancy.update(now, self.valid_count as f64);
+        for (t, &v) in self.thread_valid.iter().enumerate() {
+            self.stats.thread_occupancy[t].update(now, v as f64);
+        }
     }
 
     /// Declares a newly renamed destination value. Must be called once
@@ -305,7 +405,24 @@ impl RegisterCache {
         }
     }
 
-    /// Installs `preg` into `set`, evicting if necessary.
+    /// Picks the way (relative to the set base) holding the minimum
+    /// replacement score among `candidates`.
+    fn min_score_way(&self, candidates: impl Iterator<Item = usize>, base: usize) -> Option<usize> {
+        let scorer = &*self.replacement;
+        candidates.min_by_key(|&i| {
+            let e = &self.entries[base + i];
+            scorer.score(&VictimView {
+                uses: e.uses,
+                pinned: e.pinned,
+                from_fill: e.from_fill,
+                lru: e.lru,
+                reads: e.reads,
+            })
+        })
+    }
+
+    /// Installs `preg` into `set`, evicting if necessary. Returns `false`
+    /// when the per-thread occupancy cap dropped the insertion.
     fn insert(
         &mut self,
         preg: PhysReg,
@@ -314,36 +431,67 @@ impl RegisterCache {
         pinned: bool,
         from_fill: bool,
         now: u64,
-    ) {
+    ) -> bool {
         debug_assert!(self.find(preg, set).is_none(), "double insert");
         self.tick += 1;
         let tick = self.tick;
         let s = set as usize % self.sets;
         let w = self.config.ways;
         let base = s * w;
-        let slice = &self.entries[base..base + w];
-        let victim_idx = if let Some(i) = slice.iter().position(|e| !e.valid) {
-            i
+        let tid = self.thread_of(preg);
+        let partition = if self.nthreads > 1 {
+            self.config.partition
         } else {
-            let scorer = &*self.replacement;
-            let (i, _) = slice
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| {
-                    scorer.score(&VictimView {
-                        uses: e.uses,
-                        pinned: e.pinned,
-                        from_fill: e.from_fill,
-                        lru: e.lru,
-                        reads: e.reads,
-                    })
-                })
-                .expect("ways >= 1");
-            i
+            CachePartition::Shared
+        };
+        let victim_idx = match partition {
+            CachePartition::Shared => {
+                let slice = &self.entries[base..base + w];
+                match slice.iter().position(|e| !e.valid) {
+                    Some(i) => i,
+                    None => self.min_score_way(0..w, base).expect("ways >= 1"),
+                }
+            }
+            CachePartition::WayPartition => {
+                // Only the inserting thread's own ways are candidates.
+                let wpt = w / self.nthreads;
+                let own = tid * wpt..(tid + 1) * wpt;
+                let slice = &self.entries[base..base + w];
+                match own.clone().find(|&i| !slice[i].valid) {
+                    Some(i) => i,
+                    None => self.min_score_way(own, base).expect("ways_per_thread >= 1"),
+                }
+            }
+            CachePartition::OccupancyCap => {
+                let cap = self.config.entries / self.nthreads;
+                if self.thread_valid[tid] < cap {
+                    // Under cap: free association, like Shared.
+                    let slice = &self.entries[base..base + w];
+                    match slice.iter().position(|e| !e.valid) {
+                        Some(i) => i,
+                        None => self.min_score_way(0..w, base).expect("ways >= 1"),
+                    }
+                } else {
+                    // At cap: only this thread's own entries in the set
+                    // are evictable; with none here, drop the insertion.
+                    let own = (0..w).filter(|&i| {
+                        let e = &self.entries[base + i];
+                        e.valid && e.tid as usize == tid
+                    });
+                    match self.min_score_way(own, base) {
+                        Some(i) => i,
+                        None => {
+                            self.stats.inserts_capped += 1;
+                            return false;
+                        }
+                    }
+                }
+            }
         };
         let victim = self.entries[base + victim_idx];
         self.entries[base + victim_idx] = Entry {
             preg: preg.0,
+            tid: tid as u16,
             uses,
             pinned,
             from_fill,
@@ -358,12 +506,15 @@ impl RegisterCache {
                 self.stats.evictions_zero_use += 1;
             }
             self.close_entry(victim, now);
+            self.thread_valid[victim.tid as usize] -= 1;
         } else {
             self.valid_count += 1;
         }
+        self.thread_valid[tid] += 1;
         self.per_preg[preg.0 as usize].ever_cached = true;
         self.stats.cached_events += 1;
         self.note_occupancy(now);
+        true
     }
 
     /// Presents a produced value to the write port, the cycle after its
@@ -397,12 +548,18 @@ impl RegisterCache {
             }
             return WriteOutcome::Filtered;
         }
-        self.stats.writes_inserted += 1;
-        self.insert(preg, set, remaining, pinned, false, now);
+        let inserted = self.insert(preg, set, remaining, pinned, false, now);
+        if inserted {
+            self.stats.writes_inserted += 1;
+        }
         if let Some(s) = &mut self.shadow {
             s.write(preg, 0, remaining, pinned, first_stage_bypasses, now);
         }
-        WriteOutcome::Inserted
+        if inserted {
+            WriteOutcome::Inserted
+        } else {
+            WriteOutcome::Capped
+        }
     }
 
     /// Looks up a source operand. On a hit the remaining-use counter is
@@ -465,7 +622,9 @@ impl RegisterCache {
         // from the backing file; the filled entry starts with the fill
         // default (the use count was lost at eviction).
         if self.find(preg, set).is_none() {
-            self.insert(preg, set, self.config.fill_default, false, true, now);
+            // May be dropped by the occupancy cap; the caller already has
+            // the value from the backing file either way.
+            let _ = self.insert(preg, set, self.config.fill_default, false, true, now);
         }
         if let Some(s) = &mut self.shadow {
             s.fill(preg, 0, now);
@@ -505,6 +664,7 @@ impl RegisterCache {
             let e = self.entries[i];
             self.entries[i].valid = false;
             self.valid_count -= 1;
+            self.thread_valid[e.tid as usize] -= 1;
             self.close_entry(e, now);
             self.note_occupancy(now);
         }
@@ -545,6 +705,8 @@ impl RegisterCache {
             .filter(|(_, e)| e.valid)
             .map(move |(i, e)| EntryView {
                 set: (i / w) as u16,
+                way: (i % w) as u16,
+                tid: e.tid,
                 preg: PhysReg(e.preg),
                 uses: e.uses,
                 pinned: e.pinned,
@@ -570,7 +732,9 @@ impl RegisterCache {
             ));
         }
         let mut seen = vec![false; self.per_preg.len()];
-        for e in self.entries.iter().filter(|e| e.valid) {
+        let mut per_thread = vec![0usize; self.nthreads];
+        let w = self.config.ways;
+        for (i, e) in self.entries.iter().enumerate().filter(|(_, e)| e.valid) {
             let p = e.preg as usize;
             if p >= seen.len() {
                 return Err(format!("entry tag p{p} out of range"));
@@ -584,6 +748,41 @@ impl RegisterCache {
                     "p{p} remaining-use counter {} exceeds max_use_count {}",
                     e.uses, self.config.max_use_count
                 ));
+            }
+            if e.tid as usize != self.thread_of(PhysReg(e.preg)) {
+                return Err(format!(
+                    "p{p} tagged thread {} but partitions to thread {}",
+                    e.tid,
+                    self.thread_of(PhysReg(e.preg))
+                ));
+            }
+            per_thread[e.tid as usize] += 1;
+            if let Some(wpt) = self.ways_per_thread() {
+                let way = i % w;
+                if way / wpt != e.tid as usize {
+                    return Err(format!(
+                        "p{p} (thread {}) resident in way {way}, outside its \
+                         partition [{}, {})",
+                        e.tid,
+                        e.tid as usize * wpt,
+                        (e.tid as usize + 1) * wpt
+                    ));
+                }
+            }
+        }
+        if per_thread != self.thread_valid {
+            return Err(format!(
+                "per-thread valid counts {:?} disagree with entries {:?}",
+                self.thread_valid, per_thread
+            ));
+        }
+        if let Some(cap) = self.occupancy_cap() {
+            for (t, &v) in self.thread_valid.iter().enumerate() {
+                if v > cap {
+                    return Err(format!(
+                        "thread {t} holds {v} entries, above its occupancy cap {cap}"
+                    ));
+                }
             }
         }
         Ok(())
@@ -912,6 +1111,183 @@ mod tests {
         assert_eq!(s.cache_count_per_value(), Some(1.0));
         assert_eq!(s.avg_entry_lifetime(), Some(10.0));
         assert_eq!(s.miss_rate(), Some(0.0));
+    }
+
+    // --- SMT partitioning ---------------------------------------------
+    //
+    // Two threads over 64 pregs: thread 0 owns p0..p31, thread 1 owns
+    // p32..p63.
+
+    fn smt(partition: CachePartition, entries: usize, ways: usize) -> RegisterCache {
+        let mut cfg = RegCacheConfig::lru(entries, ways); // write-all: every write lands
+        cfg.partition = partition;
+        RegisterCache::new_smt(cfg, NPREGS, 2)
+    }
+
+    #[test]
+    fn single_thread_cache_ignores_partition_policy() {
+        let mut cfg = RegCacheConfig::lru(2, 2);
+        cfg.partition = CachePartition::OccupancyCap;
+        let mut c = RegisterCache::new(cfg, NPREGS);
+        // Cap would be 2 for the single thread anyway; behavior is Shared.
+        for p in 1..=3u16 {
+            c.produce(PhysReg(p));
+            assert_eq!(
+                c.write(PhysReg(p), 0, 1, false, 0, p as u64),
+                WriteOutcome::Inserted
+            );
+        }
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.thread_occupancy(0), 2);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn way_partition_confines_each_thread_to_its_ways() {
+        // One set of 4 ways, 2 threads -> each owns 2 ways.
+        let mut c = smt(CachePartition::WayPartition, 4, 4);
+        for p in [0u16, 1, 2] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), 0, 1, false, 0, 1 + p as u64);
+        }
+        // Thread 0 overflowed its 2 ways: p0 evicted by p2, both remain
+        // confined to ways 0..2.
+        assert!(!c.contains(PhysReg(0)));
+        assert!(c.contains(PhysReg(1)));
+        assert!(c.contains(PhysReg(2)));
+        // Thread 1 still inserts into its own empty ways.
+        c.produce(PhysReg(40));
+        c.write(PhysReg(40), 0, 1, false, 0, 9);
+        assert!(c.contains(PhysReg(40)));
+        for e in c.entries() {
+            let owner = e.preg.0 as usize / 32;
+            assert_eq!(e.tid as usize, owner);
+            assert_eq!(e.way as usize / 2, owner, "way {} tid {}", e.way, e.tid);
+        }
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn way_partition_never_evicts_a_peer() {
+        let mut c = smt(CachePartition::WayPartition, 4, 4);
+        // Thread 1 fills its two ways.
+        for p in [40u16, 41] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), 0, 1, false, 0, 1);
+        }
+        // Thread 0 hammers the same set far past its own capacity.
+        for p in 0..8u16 {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), 0, 1, false, 0, 2 + p as u64);
+        }
+        assert!(c.contains(PhysReg(40)));
+        assert!(c.contains(PhysReg(41)));
+        assert_eq!(c.thread_occupancy(0), 2);
+        assert_eq!(c.thread_occupancy(1), 2);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn occupancy_cap_evicts_own_entries_once_at_cap() {
+        // 4 entries, 2 ways (2 sets), cap = 2 per thread.
+        let mut c = smt(CachePartition::OccupancyCap, 4, 2);
+        for (p, set) in [(0u16, 0u16), (1, 1)] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), set, 1, false, 0, 1);
+        }
+        assert_eq!(c.thread_occupancy(0), 2); // at cap
+                                              // A third insert from thread 0 must evict thread 0's own entry
+                                              // in the target set, leaving total occupancy at the cap.
+        c.produce(PhysReg(2));
+        assert_eq!(
+            c.write(PhysReg(2), 0, 1, false, 0, 2),
+            WriteOutcome::Inserted
+        );
+        assert!(!c.contains(PhysReg(0)));
+        assert!(c.contains(PhysReg(2)));
+        assert_eq!(c.thread_occupancy(0), 2);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn occupancy_cap_drops_inserts_with_nothing_evictable() {
+        let mut c = smt(CachePartition::OccupancyCap, 4, 2);
+        // Thread 0 reaches its cap entirely in set 0's ways... that is
+        // impossible with 2 ways, so: cap filled across sets 0 and 1.
+        for (p, set) in [(0u16, 0u16), (1, 1)] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), set, 1, false, 0, 1);
+        }
+        // Free p1 so nothing of thread 0's lives in set 1, then re-reach
+        // the cap in set 0 only... cap is 2, set 0 has 2 ways: fill both.
+        c.free(PhysReg(1), 1, 2);
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 0, 1, false, 0, 3);
+        assert_eq!(c.thread_occupancy(0), 2);
+        // At cap, inserting into set 1 where thread 0 owns nothing: drop.
+        c.produce(PhysReg(3));
+        assert_eq!(c.write(PhysReg(3), 1, 1, false, 0, 4), WriteOutcome::Capped);
+        assert!(!c.contains(PhysReg(3)));
+        assert_eq!(c.stats().inserts_capped, 1);
+        assert_eq!(c.stats().writes_inserted, 3);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn occupancy_cap_under_cap_may_evict_peers() {
+        // Shared ways: a thread below its cap replaces whatever scores
+        // lowest, including a peer's entry.
+        let mut c = smt(CachePartition::OccupancyCap, 2, 2);
+        // cap = 1. Thread 1 fills both ways? cap=1 stops it at one.
+        c.produce(PhysReg(40));
+        c.write(PhysReg(40), 0, 1, false, 0, 1);
+        c.produce(PhysReg(41));
+        assert_eq!(
+            c.write(PhysReg(41), 0, 1, false, 0, 2),
+            WriteOutcome::Inserted
+        );
+        assert!(!c.contains(PhysReg(40)), "own-entry eviction at cap");
+        // Thread 0 (under cap) takes the free way.
+        c.produce(PhysReg(0));
+        assert_eq!(
+            c.write(PhysReg(0), 0, 1, false, 0, 3),
+            WriteOutcome::Inserted
+        );
+        assert_eq!(c.thread_occupancy(0), 1);
+        assert_eq!(c.thread_occupancy(1), 1);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn shared_partition_matches_legacy_behavior_with_two_threads() {
+        // Same op sequence against a 1-thread cache and a 2-thread
+        // Shared cache: identical hits, misses, and residency.
+        let mut ops = |c: &mut RegisterCache| {
+            for (t, p) in [0u16, 1, 33, 34, 2, 35].into_iter().enumerate() {
+                c.produce(PhysReg(p));
+                c.write(PhysReg(p), p, 2, false, 0, t as u64);
+            }
+            (0..NPREGS as u16)
+                .map(|p| c.read(PhysReg(p), p, 100))
+                .collect::<Vec<_>>()
+        };
+        let mut solo = RegisterCache::new(RegCacheConfig::lru(8, 2), NPREGS);
+        let mut duo = smt(CachePartition::Shared, 8, 2);
+        assert_eq!(ops(&mut solo), ops(&mut duo));
+        assert_eq!(solo.stats().read_hits, duo.stats().read_hits);
+        assert_eq!(
+            duo.thread_occupancy(0) + duo.thread_occupancy(1),
+            duo.occupancy()
+        );
+        duo.audit().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "ways divisible by nthreads")]
+    fn way_partition_rejects_indivisible_ways() {
+        let mut cfg = RegCacheConfig::use_based(9, 3);
+        cfg.partition = CachePartition::WayPartition;
+        let _ = RegisterCache::new_smt(cfg, NPREGS, 2);
     }
 
     #[test]

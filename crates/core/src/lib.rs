@@ -57,9 +57,9 @@ pub use backing::{BackingFile, BackingStats};
 pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome};
 pub use index::{IndexAssigner, IndexPolicy};
 pub use policy::{
-    ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider, InsertionPolicy,
-    LruScorer, NonBypassInsertion, RegCacheConfig, ReplacementPolicy, ReplacementScorer,
-    UseBasedInsertion, VictimScore, VictimView, WriteAllInsertion,
+    CachePartition, ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider,
+    InsertionPolicy, LruScorer, NonBypassInsertion, RegCacheConfig, ReplacementPolicy,
+    ReplacementScorer, UseBasedInsertion, VictimScore, VictimView, WriteAllInsertion,
 };
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};
 pub use usetrack::UseTracker;

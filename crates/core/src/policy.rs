@@ -237,6 +237,29 @@ impl ReplacementScorer for ExpectedHitCountScorer {
     }
 }
 
+/// How register-cache capacity is divided between SMT threads.
+///
+/// With one thread every variant degenerates to [`CachePartition::Shared`];
+/// the knob only changes behavior on a cache built with
+/// [`crate::RegisterCache::new_smt`] and more than one thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CachePartition {
+    /// All entries compete freely — the single-thread behavior and the
+    /// default. Threads can starve each other under pressure.
+    #[default]
+    Shared,
+    /// Each thread owns `ways / nthreads` ways of every set: insertions
+    /// only consider the inserting thread's own ways, so a thread can
+    /// never evict another thread's entries. Requires `ways` divisible
+    /// by the thread count.
+    WayPartition,
+    /// Ways stay shared, but each thread is capped at
+    /// `entries / nthreads` live entries. A thread at its cap may only
+    /// evict one of its *own* entries in the target set; if it has none
+    /// there, the insertion is dropped instead of displacing a peer.
+    OccupancyCap,
+}
+
 /// Full configuration of a [`crate::RegisterCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RegCacheConfig {
@@ -263,6 +286,9 @@ pub struct RegCacheConfig {
     /// capacity vs. conflict (used by the Figure 8 experiment; costs
     /// extra simulation work, not hardware).
     pub classify_misses: bool,
+    /// How capacity is divided between SMT threads (ignored with one
+    /// thread; see [`CachePartition`]).
+    pub partition: CachePartition,
 }
 
 impl RegCacheConfig {
@@ -279,6 +305,7 @@ impl RegCacheConfig {
             unknown_default: 1,
             fill_default: 0,
             classify_misses: false,
+            partition: CachePartition::Shared,
         }
     }
 
@@ -346,6 +373,7 @@ mod tests {
         assert_eq!(ub.max_use_count, 7);
         assert_eq!(ub.unknown_default, 1);
         assert_eq!(ub.fill_default, 0);
+        assert_eq!(ub.partition, CachePartition::Shared);
         assert_eq!(ub.sets(), 32);
 
         let lru = RegCacheConfig::lru(64, 2);

@@ -4,7 +4,7 @@
 //! associativity or break the cache's internal audit.
 
 use proptest::prelude::*;
-use ubrc_core::{PhysReg, RegCacheConfig, RegisterCache, UseTracker};
+use ubrc_core::{CachePartition, PhysReg, RegCacheConfig, RegisterCache, UseTracker};
 
 const NPREGS: usize = 32;
 const MAX_USE: u8 = 7;
@@ -192,5 +192,71 @@ proptest! {
         // The injector's metadata corruption must never pass the audit.
         prop_assert!(cache.corrupt_metadata(nth).is_some());
         prop_assert!(cache.audit().is_err());
+    }
+
+    #[test]
+    fn occupancy_cap_is_never_exceeded(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        // 4 hardware threads over a 16-entry 2-way cache under
+        // OccupancyCap: no operation sequence may push any thread past
+        // its cap of entries/nthreads = 4 live entries, and the cache's
+        // own audit (which cross-checks the same bound) stays green.
+        let mut cfg = RegCacheConfig::use_based(16, 2);
+        cfg.partition = CachePartition::OccupancyCap;
+        let nthreads = 4;
+        let nsets = cfg.entries / cfg.ways;
+        let mut cache = RegisterCache::new_smt(cfg, NPREGS, nthreads);
+        let cap = cache.occupancy_cap().expect("OccupancyCap mode has a cap");
+        prop_assert_eq!(cap, 4);
+        let set_of = |preg: u8| (preg as usize % nsets) as u16;
+        let mut live = [false; NPREGS];
+        let mut written = [false; NPREGS];
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            let i = match op {
+                Op::Init { preg, .. }
+                | Op::Consume { preg }
+                | Op::Write { preg, .. }
+                | Op::Read { preg }
+                | Op::Fill { preg }
+                | Op::Free { preg } => preg as usize,
+            };
+            let p = PhysReg(i as u16);
+            match op {
+                Op::Init { .. } => {
+                    if live[i] {
+                        cache.free(p, set_of(i as u8), now);
+                    }
+                    cache.produce(p);
+                    live[i] = true;
+                    written[i] = false;
+                }
+                Op::Write { remaining, pinned, .. } if live[i] && !written[i] => {
+                    cache.write(p, set_of(i as u8), remaining, pinned, 0, now);
+                    written[i] = true;
+                }
+                Op::Read { .. } | Op::Consume { .. } if live[i] => {
+                    cache.read(p, set_of(i as u8), now);
+                }
+                Op::Fill { .. } if live[i] && written[i] => {
+                    cache.fill(p, set_of(i as u8), now);
+                }
+                Op::Free { .. } if live[i] => {
+                    cache.free(p, set_of(i as u8), now);
+                    live[i] = false;
+                }
+                _ => {}
+            }
+            prop_assert!(cache.audit().is_ok(), "audit failed: {:?}", cache.audit());
+            let mut per_thread = vec![0usize; nthreads];
+            for e in cache.entries() {
+                per_thread[e.tid as usize] += 1;
+            }
+            for (t, &n) in per_thread.iter().enumerate() {
+                prop_assert!(n <= cap, "thread {t} holds {n} entries for a cap of {cap}");
+            }
+        }
     }
 }

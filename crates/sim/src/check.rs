@@ -211,6 +211,9 @@ pub enum SimError {
         /// Cycle at which the cancellation was observed.
         cycle: u64,
     },
+    /// The simulator was constructed with an invalid configuration (see
+    /// [`crate::Simulator::try_new_smt`]).
+    Config(ConfigError),
 }
 
 impl fmt::Display for SimError {
@@ -223,11 +226,149 @@ impl fmt::Display for SimError {
             SimError::Cancelled { cycle } => {
                 write!(f, "simulation cancelled at cycle {cycle}")
             }
+            SimError::Config(e) => write!(f, "invalid simulator configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// A rejected simulator configuration, from
+/// [`crate::Simulator::try_new_smt`]. Each variant names the offending
+/// parameters so the message is actionable without a debugger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No programs were supplied.
+    NoPrograms,
+    /// `phys_regs` does not divide evenly across the threads.
+    UnevenPartition {
+        /// Configured physical register count.
+        phys_regs: usize,
+        /// Thread count.
+        nthreads: usize,
+    },
+    /// A thread's register partition is not larger than the
+    /// architectural set, so rename could never allocate.
+    PartitionTooSmall {
+        /// Registers per thread (`phys_regs / nthreads`).
+        partition: usize,
+        /// Architectural registers each thread must map.
+        arch_regs: usize,
+    },
+    /// `fetch_width` or `issue_width` is zero.
+    ZeroWidth {
+        /// Name of the zero field.
+        field: &'static str,
+    },
+    /// The two-level register file models a single hardware thread.
+    TwoLevelSmt {
+        /// Requested thread count.
+        nthreads: usize,
+    },
+    /// The two-level L1 cannot hold the architectural state plus one
+    /// renaming target.
+    L1TooSmall {
+        /// Configured L1 entries.
+        l1_entries: usize,
+        /// Minimum required (`arch_regs + 1`).
+        required: usize,
+    },
+    /// [`ubrc_core::CachePartition::WayPartition`] needs the cache ways
+    /// to divide evenly across threads.
+    WayPartitionMismatch {
+        /// Configured cache associativity.
+        ways: usize,
+        /// Thread count.
+        nthreads: usize,
+    },
+    /// [`ubrc_core::CachePartition::OccupancyCap`] needs at least one
+    /// cache entry per thread.
+    OccupancyCapTooSmall {
+        /// Configured cache entries.
+        entries: usize,
+        /// Thread count.
+        nthreads: usize,
+    },
+    /// A [`crate::FreelistPolicy::Shared`] pool reassigns register
+    /// ownership dynamically, so a statically thread-partitioned cache
+    /// ([`ubrc_core::CachePartition`] other than `Shared`) cannot tag
+    /// entries by owner.
+    SharedFreelistWithPartitionedCache,
+    /// A [`crate::FreelistPolicy::Shared`] cap at or below the
+    /// architectural register count would deadlock rename.
+    SharedFreelistCapTooSmall {
+        /// Configured per-thread live-register cap.
+        cap: usize,
+        /// Architectural registers each thread permanently holds.
+        arch_regs: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoPrograms => write!(f, "at least one program is required"),
+            ConfigError::UnevenPartition {
+                phys_regs,
+                nthreads,
+            } => write!(
+                f,
+                "phys_regs {phys_regs} does not divide evenly across {nthreads} threads"
+            ),
+            ConfigError::PartitionTooSmall {
+                partition,
+                arch_regs,
+            } => write!(
+                f,
+                "each thread's register partition ({partition}) must exceed the \
+                 architectural set ({arch_regs}); raise phys_regs or lower nthreads"
+            ),
+            ConfigError::ZeroWidth { field } => {
+                write!(f, "{field} must be at least 1")
+            }
+            ConfigError::TwoLevelSmt { nthreads } => write!(
+                f,
+                "the two-level register file is single-threaded (nthreads = {nthreads})"
+            ),
+            ConfigError::L1TooSmall {
+                l1_entries,
+                required,
+            } => write!(
+                f,
+                "two-level L1 of {l1_entries} entries cannot hold the architectural \
+                 state; it needs at least {required} (arch regs + 1 rename target)"
+            ),
+            ConfigError::WayPartitionMismatch { ways, nthreads } => write!(
+                f,
+                "CachePartition::WayPartition needs the cache's {ways} ways to divide \
+                 evenly across {nthreads} threads"
+            ),
+            ConfigError::OccupancyCapTooSmall { entries, nthreads } => write!(
+                f,
+                "CachePartition::OccupancyCap needs at least one cache entry per \
+                 thread ({entries} entries < {nthreads} threads)"
+            ),
+            ConfigError::SharedFreelistWithPartitionedCache => write!(
+                f,
+                "FreelistPolicy::Shared requires CachePartition::Shared (dynamic \
+                 register ownership defeats static cache partitioning)"
+            ),
+            ConfigError::SharedFreelistCapTooSmall { cap, arch_regs } => write!(
+                f,
+                "shared-freelist cap {cap} must exceed the architectural register \
+                 count {arch_regs} or rename deadlocks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
 
 /// An expected register-cache fill that has been scheduled but not yet
 /// applied.

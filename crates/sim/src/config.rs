@@ -22,6 +22,41 @@ pub enum BranchPredictorKind {
     Yags,
 }
 
+/// SMT fetch-thread selection policy (only consulted with more than one
+/// hardware thread; single-thread cores always fetch thread 0).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FetchPolicy {
+    /// ICOUNT.1.8: each cycle the eligible thread with the fewest
+    /// in-flight instructions (front-end queue + ROB) fetches one block;
+    /// ties break toward the lower thread id. The default.
+    #[default]
+    Icount,
+    /// Strict round-robin over eligible threads, ignoring load.
+    RoundRobin,
+    /// ICOUNT.2.8-style: the *two* least-loaded eligible threads each
+    /// fetch a block per cycle (Tullsen et al.'s higher-bandwidth
+    /// front end).
+    Icount28,
+}
+
+/// How physical registers are divided between SMT threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FreelistPolicy {
+    /// Each thread owns a fixed `phys_regs / nthreads` slice of the
+    /// register file (the default; what the golden rows pin).
+    #[default]
+    Partitioned,
+    /// One shared free pool: any thread may allocate any register, but
+    /// each thread is capped at `cap` live registers so one stalled
+    /// thread cannot starve the rest. `cap` must exceed the
+    /// architectural register count (each thread permanently holds one
+    /// mapping per architectural register).
+    Shared {
+        /// Per-thread cap on live physical registers.
+        cap: usize,
+    },
+}
+
 /// The register storage organization being evaluated.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RegStorage {
@@ -209,6 +244,11 @@ pub struct SimConfig {
     /// `phys_regs` must divide by `nthreads` and leave each partition
     /// more registers than the architectural set.
     pub nthreads: usize,
+    /// SMT fetch-thread selection (ignored with one thread).
+    pub fetch_policy: FetchPolicy,
+    /// Physical-register pool organization across threads (ignored with
+    /// one thread unless [`FreelistPolicy::Shared`] caps are wanted).
+    pub freelist: FreelistPolicy,
 }
 
 impl SimConfig {
@@ -240,6 +280,8 @@ impl SimConfig {
             check: CheckConfig::default(),
             fault_plan: None,
             nthreads: 1,
+            fetch_policy: FetchPolicy::Icount,
+            freelist: FreelistPolicy::Partitioned,
         }
     }
 

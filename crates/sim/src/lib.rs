@@ -34,9 +34,12 @@ mod stats;
 pub mod trace;
 
 pub use check::{
-    CheckConfig, DiagnosticDump, DivergenceReport, InvariantViolation, RetiredEvent, SimError,
+    CheckConfig, ConfigError, DiagnosticDump, DivergenceReport, InvariantViolation, RetiredEvent,
+    SimError,
 };
-pub use config::{BranchPredictorKind, FuPools, RegStorage, SimConfig};
+pub use config::{
+    BranchPredictorKind, FetchPolicy, FreelistPolicy, FuPools, RegStorage, SimConfig,
+};
 pub use inject::{FaultKind, FaultPlan, FaultSpec};
 pub use pipeline::Simulator;
 pub use stats::{LifetimeCollector, LifetimeStats, SimResult};

@@ -35,12 +35,13 @@
 //!   cycle and fetches the value through the backing file's single
 //!   read port, waiting out the producer's backing-file write.
 
-use crate::check::{Checker, SimError};
-use crate::config::{BranchPredictorKind, RegStorage, SimConfig};
+use crate::check::{Checker, ConfigError, SimError};
+use crate::config::{BranchPredictorKind, FreelistPolicy, RegStorage, SimConfig};
 use crate::inject::Injector;
 use crate::oracle::Oracle;
 use crate::stage::{
-    CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, Storage, ThreadState,
+    CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, SharedPool, Storage,
+    ThreadState,
 };
 use crate::stats::{LifetimeCollector, SimResult};
 use std::collections::VecDeque;
@@ -78,40 +79,129 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is inconsistent: no programs, zero
-    /// widths, a register file that does not divide evenly into
-    /// partitions each larger than the architectural set, or a
-    /// two-level register file with more than one thread (its
-    /// transfer-eligibility bookkeeping is keyed by a single program
-    /// order).
-    pub fn new_smt(programs: Vec<Program>, mut config: SimConfig) -> Self {
+    /// Panics if [`Simulator::try_new_smt`] rejects the configuration:
+    /// no programs, zero widths, a register file that does not divide
+    /// evenly into partitions each larger than the architectural set, an
+    /// SMT-incompatible storage organization, or an undersized two-level
+    /// L1.
+    pub fn new_smt(programs: Vec<Program>, config: SimConfig) -> Self {
+        match Self::try_new_smt(programs, config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid simulator configuration: {e}"),
+        }
+    }
+
+    /// Validates the `(programs, config)` combination without building
+    /// anything, returning the first problem found.
+    fn validate_smt(nprograms: usize, config: &SimConfig) -> Result<(), ConfigError> {
+        let nthreads = nprograms;
+        if nthreads == 0 {
+            return Err(ConfigError::NoPrograms);
+        }
+        if config.fetch_width == 0 {
+            return Err(ConfigError::ZeroWidth {
+                field: "fetch_width",
+            });
+        }
+        if config.issue_width == 0 {
+            return Err(ConfigError::ZeroWidth {
+                field: "issue_width",
+            });
+        }
+        let npregs = config.phys_regs;
+        let narch = ubrc_isa::NUM_ARCH_REGS as usize;
+        if !npregs.is_multiple_of(nthreads) {
+            return Err(ConfigError::UnevenPartition {
+                phys_regs: npregs,
+                nthreads,
+            });
+        }
+        let partition = npregs / nthreads;
+        if partition <= narch {
+            return Err(ConfigError::PartitionTooSmall {
+                partition,
+                arch_regs: narch,
+            });
+        }
+        match &config.storage {
+            RegStorage::TwoLevel(tl) => {
+                if nthreads > 1 {
+                    // Its transfer-eligibility bookkeeping is keyed by a
+                    // single program order.
+                    return Err(ConfigError::TwoLevelSmt { nthreads });
+                }
+                if tl.l1_entries <= narch {
+                    return Err(ConfigError::L1TooSmall {
+                        l1_entries: tl.l1_entries,
+                        required: narch + 1,
+                    });
+                }
+            }
+            RegStorage::Cached { cache, .. } if nthreads > 1 => match cache.partition {
+                ubrc_core::CachePartition::Shared => {}
+                ubrc_core::CachePartition::WayPartition => {
+                    if !cache.ways.is_multiple_of(nthreads) {
+                        return Err(ConfigError::WayPartitionMismatch {
+                            ways: cache.ways,
+                            nthreads,
+                        });
+                    }
+                }
+                ubrc_core::CachePartition::OccupancyCap => {
+                    if cache.entries < nthreads {
+                        return Err(ConfigError::OccupancyCapTooSmall {
+                            entries: cache.entries,
+                            nthreads,
+                        });
+                    }
+                }
+            },
+            _ => {}
+        }
+        if let FreelistPolicy::Shared { cap } = config.freelist {
+            if cap <= narch {
+                return Err(ConfigError::SharedFreelistCapTooSmall {
+                    cap,
+                    arch_regs: narch,
+                });
+            }
+            if let RegStorage::Cached { cache, .. } = &config.storage {
+                if nthreads > 1 && cache.partition != ubrc_core::CachePartition::Shared {
+                    return Err(ConfigError::SharedFreelistWithPartitionedCache);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a simulator like [`Simulator::new_smt`], but reports a
+    /// rejected configuration as a typed [`ConfigError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the `(programs, config)`
+    /// combination violates.
+    pub fn try_new_smt(programs: Vec<Program>, mut config: SimConfig) -> Result<Self, ConfigError> {
+        Self::validate_smt(programs.len(), &config)?;
         let nthreads = programs.len();
-        assert!(nthreads > 0, "need at least one program");
         config.nthreads = nthreads;
         let npregs = config.phys_regs;
         let narch = ubrc_isa::NUM_ARCH_REGS as usize;
-        assert!(
-            npregs.is_multiple_of(nthreads),
-            "physical registers must split evenly between threads"
-        );
         let partition = npregs / nthreads;
-        assert!(
-            partition > narch,
-            "each thread partition needs more physical than architectural registers"
-        );
-        assert!(config.issue_width > 0 && config.fetch_width > 0);
-        if nthreads > 1 {
-            assert!(
-                !matches!(config.storage, RegStorage::TwoLevel(_)),
-                "the two-level register file is single-thread only"
-            );
-        }
 
         let mut checker = config
             .check
             .invariants
             .then(|| Checker::new(npregs, partition));
         let injector = config.fault_plan.as_ref().map(Injector::new);
+
+        // A shared freelist reassigns register ownership dynamically, so
+        // the cache cannot key partitioning off a static preg split.
+        let cache_threads = match config.freelist {
+            FreelistPolicy::Partitioned => nthreads,
+            FreelistPolicy::Shared { .. } => 1,
+        };
 
         let mut storage = match &config.storage {
             RegStorage::Monolithic { write_latency, .. } => Storage::Monolithic {
@@ -128,7 +218,7 @@ impl Simulator {
                     assigner.set_filter_params(degree, skip);
                 }
                 Storage::Cached {
-                    cache: RegisterCache::new(*cache, npregs),
+                    cache: RegisterCache::new_smt(*cache, npregs, cache_threads),
                     backing: BackingFile::with_read_ports(
                         *backing_read,
                         *backing_write,
@@ -145,12 +235,33 @@ impl Simulator {
         };
         let read_latency = config.storage.read_latency();
 
+        // Shared-freelist mode: thread t's architectural state occupies
+        // the contiguous block [t*narch, (t+1)*narch); everything above
+        // nthreads*narch goes into one common pool.
+        let shared_cap = match config.freelist {
+            FreelistPolicy::Partitioned => None,
+            FreelistPolicy::Shared { cap } => Some(cap),
+        };
+        let shared_pool = shared_cap.map(|cap| SharedPool {
+            free: ((nthreads * narch) as u16..npregs as u16).rev().collect(),
+            owner: (0..npregs)
+                .map(|p| (p / narch).min(nthreads - 1) as u16)
+                .collect(),
+            live: vec![narch; nthreads],
+            cap,
+        });
+
         let mut preg_time = vec![PregTime::UNKNOWN; npregs];
         let mut preg_info = vec![PregInfo::EMPTY; npregs];
         let mut threads = Vec::with_capacity(nthreads);
         for (tid, program) in programs.into_iter().enumerate() {
-            let lo = (tid * partition) as u16;
-            let hi = ((tid + 1) * partition) as u16;
+            let (lo, hi) = if shared_pool.is_some() {
+                // Only the fixed architectural block is thread-owned;
+                // renamed registers come from (and return to) the pool.
+                ((tid * narch) as u16, ((tid + 1) * narch) as u16)
+            } else {
+                ((tid * partition) as u16, ((tid + 1) * partition) as u16)
+            };
             let machine = Machine::new(program);
             // The oracle forks the thread's machine: same shared
             // program, fresh architectural state — no deep copy of the
@@ -184,7 +295,10 @@ impl Simulator {
                         preg_info[p as usize].predicted = 1;
                     }
                     Storage::TwoLevel { file } => {
-                        assert!(file.try_allocate(PhysReg(p)), "L1 too small for arch state");
+                        // try_new_smt validated l1_entries > narch, so
+                        // the architectural state always fits.
+                        let allocated = file.try_allocate(PhysReg(p));
+                        assert!(allocated, "validated L1 rejected arch state");
                     }
                     Storage::Monolithic { .. } => {}
                 }
@@ -235,6 +349,8 @@ impl Simulator {
         let core = CoreState {
             threads,
             partition,
+            shared_pool,
+            last_fetch_tid: nthreads - 1,
             now: 0,
             age: 0,
             retired: 0,
@@ -273,7 +389,7 @@ impl Simulator {
             cancel: None,
             config,
         };
-        Self { core }
+        Ok(Self { core })
     }
 
     /// Installs a cancellation flag polled periodically by

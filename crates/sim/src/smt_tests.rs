@@ -1,11 +1,14 @@
 //! SMT-specific tests: per-thread squash isolation, freelist-partition
-//! exhaustion without cross-thread stealing, and ICOUNT fetch-chooser
-//! determinism. These need `pub(crate)` access to pipeline internals,
-//! so they live inside the crate rather than under `tests/`.
+//! exhaustion without cross-thread stealing, ICOUNT fetch-chooser
+//! determinism, typed construction-path errors, and 4-thread scaling
+//! across the cache-partition and fetch-policy matrix. These need
+//! `pub(crate)` access to pipeline internals, so they live inside the
+//! crate rather than under `tests/`.
 
-use crate::check::CheckConfig;
-use crate::config::SimConfig;
+use crate::check::{CheckConfig, ConfigError};
+use crate::config::{FetchPolicy, FreelistPolicy, RegStorage, SimConfig};
 use crate::Simulator;
+use ubrc_core::{CachePartition, IndexPolicy, RegCacheConfig, TwoLevelConfig};
 use ubrc_isa::Program;
 use ubrc_workloads::{workload_by_name, Scale};
 
@@ -14,6 +17,19 @@ fn program(name: &str) -> Program {
         .expect("kernel exists")
         .assemble()
         .expect("kernel assembles")
+}
+
+fn programs(names: &[&str]) -> Vec<Program> {
+    names.iter().map(|n| program(n)).collect()
+}
+
+fn cached(cache: RegCacheConfig) -> SimConfig {
+    SimConfig::table1(RegStorage::Cached {
+        cache,
+        index: IndexPolicy::FilteredRoundRobin,
+        backing_read: 2,
+        backing_write: 2,
+    })
 }
 
 /// Squashing thread 0's wrong path must not disturb thread 1's front
@@ -158,4 +174,386 @@ fn checked_smt_run_is_clean_and_observation_only() {
     assert_eq!(plain.cycles, checked.cycles);
     assert_eq!(plain.retired, checked.retired);
     assert_eq!(plain.thread_retired, checked.thread_retired);
+}
+
+// --- Typed construction-path errors -------------------------------------
+//
+// Every rejected `(programs, config)` combination must come back from
+// `try_new_smt` as the matching `ConfigError` variant instead of a bare
+// panic, and `new_smt` must panic with the same rendered message.
+
+#[test]
+fn no_programs_is_rejected() {
+    let err = Simulator::try_new_smt(vec![], SimConfig::paper_default())
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::NoPrograms);
+}
+
+#[test]
+fn zero_fetch_width_is_rejected() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.fetch_width = 0;
+    let err = Simulator::try_new_smt(vec![program("crc")], cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::ZeroWidth {
+            field: "fetch_width"
+        }
+    );
+}
+
+#[test]
+fn zero_issue_width_is_rejected() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.issue_width = 0;
+    let err = Simulator::try_new_smt(vec![program("crc")], cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::ZeroWidth {
+            field: "issue_width"
+        }
+    );
+}
+
+#[test]
+fn uneven_partition_is_rejected() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.phys_regs = 513;
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::UnevenPartition {
+            phys_regs: 513,
+            nthreads: 2
+        }
+    );
+}
+
+#[test]
+fn partition_smaller_than_arch_state_is_rejected() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.phys_regs = 8;
+    let err = Simulator::try_new_smt(vec![program("crc")], cfg)
+        .err()
+        .expect("config must be rejected");
+    let narch = ubrc_isa::NUM_ARCH_REGS as usize;
+    assert_eq!(
+        err,
+        ConfigError::PartitionTooSmall {
+            partition: 8,
+            arch_regs: narch
+        }
+    );
+    // The message must be actionable: it names both numbers and the fix.
+    let msg = err.to_string();
+    assert!(
+        msg.contains('8') && msg.contains(&narch.to_string()),
+        "{msg}"
+    );
+    assert!(msg.contains("raise phys_regs"), "{msg}");
+}
+
+#[test]
+fn two_level_storage_rejects_multiple_threads() {
+    let cfg = SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig::optimistic(96)));
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::TwoLevelSmt { nthreads: 2 });
+}
+
+#[test]
+fn undersized_two_level_l1_is_rejected() {
+    let narch = ubrc_isa::NUM_ARCH_REGS as usize;
+    let cfg = SimConfig::table1(RegStorage::TwoLevel(TwoLevelConfig::optimistic(narch)));
+    let err = Simulator::try_new_smt(vec![program("crc")], cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::L1TooSmall {
+            l1_entries: narch,
+            required: narch + 1
+        }
+    );
+    // The old bare assert said only "L1 too small"; the typed error
+    // must state the actual minimum.
+    assert!(err.to_string().contains(&(narch + 1).to_string()));
+}
+
+#[test]
+fn way_partition_with_indivisible_ways_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(48, 3);
+    cache.partition = CachePartition::WayPartition;
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::WayPartitionMismatch {
+            ways: 3,
+            nthreads: 2
+        }
+    );
+}
+
+#[test]
+fn occupancy_cap_with_too_few_entries_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(1, 1);
+    cache.partition = CachePartition::OccupancyCap;
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::OccupancyCapTooSmall {
+            entries: 1,
+            nthreads: 2
+        }
+    );
+}
+
+#[test]
+fn shared_freelist_cap_at_or_below_arch_state_is_rejected() {
+    let narch = ubrc_isa::NUM_ARCH_REGS as usize;
+    let mut cfg = SimConfig::paper_default();
+    cfg.freelist = FreelistPolicy::Shared { cap: narch };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::SharedFreelistCapTooSmall {
+            cap: narch,
+            arch_regs: narch
+        }
+    );
+}
+
+#[test]
+fn shared_freelist_with_partitioned_cache_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(64, 2);
+    cache.partition = CachePartition::WayPartition;
+    let mut cfg = cached(cache);
+    cfg.freelist = FreelistPolicy::Shared { cap: 128 };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::SharedFreelistWithPartitionedCache);
+}
+
+#[test]
+#[should_panic(expected = "invalid simulator configuration")]
+fn new_smt_panics_with_the_rendered_config_error() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.phys_regs = 8;
+    let _ = Simulator::new_smt(vec![program("crc")], cfg);
+}
+
+// --- 4-thread scaling ---------------------------------------------------
+
+fn quad() -> Vec<Program> {
+    programs(&["qsort", "bfs", "listchase", "strsearch"])
+}
+
+/// Runs `cfg` on the quad unchecked and fully checked; the checked run
+/// must be observation-only (bit-identical headline results).
+fn assert_checked_matches_unchecked(cfg: SimConfig) {
+    let plain = Simulator::new_smt(quad(), cfg.clone()).run();
+    let mut checked_cfg = cfg;
+    checked_cfg.check = CheckConfig::full();
+    let checked = Simulator::new_smt(quad(), checked_cfg)
+        .run_checked()
+        .expect("checked 4-thread run is clean");
+    assert_eq!(plain.cycles, checked.cycles);
+    assert_eq!(plain.retired, checked.retired);
+    assert_eq!(plain.thread_retired, checked.thread_retired);
+    assert_eq!(plain.replayed, checked.replayed);
+    assert_eq!(plain.miss_events, checked.miss_events);
+    assert_eq!(plain.operands_bypassed, checked.operands_bypassed);
+    assert_eq!(plain.thread_retired.len(), 4);
+    assert!(plain.thread_retired.iter().all(|&r| r > 0));
+}
+
+/// Four threads over a partitioned register file: every thread's map and
+/// freelist stay inside its own partition for the whole run, and all
+/// four programs retire to completion.
+#[test]
+fn four_threads_keep_partition_containment_to_completion() {
+    let mut sim = Simulator::new_smt(quad(), SimConfig::paper_default());
+    while !sim.core.halted && sim.core.now < 4_000_000 {
+        sim.core.cycle();
+        assert!(sim.core.error.is_none(), "clean run expected");
+        if sim.core.now % 1024 == 0 {
+            for t in &sim.core.threads {
+                let own = t.preg_lo..t.preg_hi;
+                assert!(
+                    t.map.iter().all(|p| own.contains(p)),
+                    "map entry outside the thread's partition"
+                );
+                assert!(
+                    t.freelist.iter().all(|p| own.contains(p)),
+                    "freelist entry outside the thread's partition"
+                );
+            }
+        }
+    }
+    assert!(sim.core.halted, "all four threads must run to completion");
+    assert_eq!(sim.core.threads.len(), 4);
+    assert!(sim.core.threads.iter().all(|t| t.retired > 0));
+}
+
+/// Squashing thread 0's wrong path in a 4-thread core leaves all three
+/// peers byte-identical, not just the one neighbour the 2-thread test
+/// covers.
+#[test]
+fn four_thread_squash_leaves_all_peers_untouched() {
+    let mut sim = Simulator::new_smt(
+        programs(&["bfs", "crc", "hash", "rle"]),
+        SimConfig::paper_default(),
+    );
+    while sim.core.now < 400_000 {
+        let t0 = &sim.core.threads[0];
+        if t0.wrong_path
+            && t0.wp_map_saved
+            && t0.wp_ras_saved
+            && sim.core.threads[1..].iter().all(|t| t.seq > 0)
+        {
+            break;
+        }
+        sim.core.cycle();
+        assert!(sim.core.error.is_none(), "clean run expected");
+    }
+    let branch_seq = sim.core.threads[0]
+        .wp_resolve_seq
+        .expect("bfs must go wrong-path within the budget");
+
+    let snaps: Vec<_> = sim.core.threads[1..]
+        .iter()
+        .map(|t| {
+            (
+                t.map.clone(),
+                t.freelist.clone(),
+                t.rob.iter().map(|i| i.seq).collect::<Vec<_>>(),
+                t.fetch_latch.queue.len(),
+                t.seq,
+            )
+        })
+        .collect();
+
+    let now = sim.core.now;
+    sim.core.squash_wrong_path(0, branch_seq, now);
+
+    for (tid, (map, freelist, rob, latch, seq)) in snaps.iter().enumerate() {
+        let t = &sim.core.threads[tid + 1];
+        assert_eq!(&t.map, map, "thread {} map changed", tid + 1);
+        assert_eq!(&t.freelist, freelist, "thread {} freelist changed", tid + 1);
+        let rob_after: Vec<u64> = t.rob.iter().map(|i| i.seq).collect();
+        assert_eq!(&rob_after, rob, "thread {} ROB changed", tid + 1);
+        assert_eq!(t.fetch_latch.queue.len(), *latch);
+        assert_eq!(t.seq, *seq);
+    }
+    let t0 = &sim.core.threads[0];
+    assert!(!t0.wrong_path);
+    assert!(t0.rob.iter().all(|i| i.seq <= branch_seq));
+}
+
+/// 4-thread way partitioning: checked ≡ unchecked, and the checker's
+/// way-containment cross-check stays silent for the whole run.
+#[test]
+fn way_partitioned_quad_is_checked_clean_and_observation_only() {
+    let mut cache = RegCacheConfig::use_based(64, 4);
+    cache.partition = CachePartition::WayPartition;
+    assert_checked_matches_unchecked(cached(cache));
+}
+
+/// 4-thread occupancy capping: checked ≡ unchecked under the
+/// per-thread occupancy cross-check.
+#[test]
+fn occupancy_capped_quad_is_checked_clean_and_observation_only() {
+    let mut cache = RegCacheConfig::use_based(64, 2);
+    cache.partition = CachePartition::OccupancyCap;
+    assert_checked_matches_unchecked(cached(cache));
+}
+
+/// Round-robin fetch across 4 threads: checked ≡ unchecked.
+#[test]
+fn round_robin_quad_is_checked_clean_and_observation_only() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.fetch_policy = FetchPolicy::RoundRobin;
+    assert_checked_matches_unchecked(cfg);
+}
+
+/// ICOUNT.2.8 (two fetch slots per cycle) across 4 threads:
+/// checked ≡ unchecked.
+#[test]
+fn icount28_quad_is_checked_clean_and_observation_only() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.fetch_policy = FetchPolicy::Icount28;
+    assert_checked_matches_unchecked(cfg);
+}
+
+/// A shared rename pool with per-thread caps: checked ≡ unchecked under
+/// the shared-pool accounting invariants, and the cap binds at least
+/// once (the configuration leaves only 256 pool registers for 4
+/// threads).
+#[test]
+fn shared_freelist_quad_is_checked_clean_and_observation_only() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.freelist = FreelistPolicy::Shared { cap: 96 };
+    assert_checked_matches_unchecked(cfg);
+}
+
+/// Under a shared pool, the per-thread live-register count never
+/// exceeds the configured cap at any cycle.
+#[test]
+fn shared_freelist_cap_binds_and_is_never_exceeded() {
+    let mut cfg = SimConfig::paper_default();
+    // Tight cap: 64 arch + 8 rename registers per thread.
+    cfg.freelist = FreelistPolicy::Shared { cap: 72 };
+    let mut sim = Simulator::new_smt(programs(&["bfs", "hash"]), cfg);
+    let mut capped_stalls = false;
+    while !sim.core.halted && sim.core.now < 4_000_000 {
+        sim.core.cycle();
+        assert!(sim.core.error.is_none(), "clean run expected");
+        let pool = sim.core.shared_pool.as_ref().expect("shared mode");
+        for (tid, &live) in pool.live.iter().enumerate() {
+            assert!(live <= pool.cap, "thread {tid} exceeded the live cap");
+        }
+        if sim.core.dispatch_stall_pregs > 0 {
+            capped_stalls = true;
+        }
+    }
+    assert!(sim.core.halted, "both threads must run to completion");
+    assert!(capped_stalls, "a 8-rename-register cap must stall dispatch");
+}
+
+/// The fetch-policy choosers are all deterministic: identical runs
+/// replay bit-identically under every policy.
+#[test]
+fn all_fetch_policies_are_deterministic() {
+    for policy in [
+        FetchPolicy::Icount,
+        FetchPolicy::RoundRobin,
+        FetchPolicy::Icount28,
+    ] {
+        let run = || {
+            let mut cfg = SimConfig::paper_default();
+            cfg.fetch_policy = policy;
+            Simulator::new_smt(programs(&["listchase", "strsearch"]), cfg).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles, "{policy:?} replay diverged");
+        assert_eq!(a.retired, b.retired);
+        assert_eq!(a.thread_retired, b.thread_retired);
+        assert_eq!(a.miss_events, b.miss_events);
+    }
 }

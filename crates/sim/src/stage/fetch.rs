@@ -7,6 +7,7 @@
 
 use super::{CoreState, FetchedEntry, ThreadId};
 use crate::check::SimError;
+use crate::config::FetchPolicy;
 use crate::inject::FaultKind;
 use ubrc_emu::{ExecRecord, StepOutcome};
 use ubrc_isa::Inst;
@@ -47,6 +48,16 @@ impl CoreState {
         }
     }
 
+    /// Whether thread `tid` can fetch this cycle.
+    fn fetch_eligible(&self, tid: ThreadId, now: u64) -> bool {
+        let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
+        let t = &self.threads[tid];
+        !t.halt_fetched
+            && t.waiting_on_branch.is_none()
+            && now >= t.fetch_resume
+            && t.fetch_latch.queue.len() < queue_cap
+    }
+
     /// ICOUNT-style fetch chooser (fewest in-flight instructions):
     /// among the threads able to fetch this cycle, pick the one with
     /// the fewest instructions between fetch and retirement (fetch
@@ -54,25 +65,58 @@ impl CoreState {
     /// function of architectural state — seedless, so replays are
     /// bit-identical.
     fn choose_fetch_thread(&self, now: u64) -> Option<ThreadId> {
-        let queue_cap = self.config.fetch_width * (self.config.frontend_stages as usize + 1);
         self.threads
             .iter()
             .enumerate()
-            .filter(|(_, t)| {
-                !t.halt_fetched
-                    && t.waiting_on_branch.is_none()
-                    && now >= t.fetch_resume
-                    && t.fetch_latch.queue.len() < queue_cap
-            })
+            .filter(|&(tid, _)| self.fetch_eligible(tid, now))
             .min_by_key(|&(tid, t)| (t.fetch_latch.queue.len() + t.rob.len(), tid))
             .map(|(tid, _)| tid)
     }
 
+    /// Round-robin chooser: the first eligible thread strictly after the
+    /// last one granted a slot, wrapping. Also deterministic.
+    fn choose_round_robin(&self, now: u64) -> Option<ThreadId> {
+        let n = self.threads.len();
+        (1..=n)
+            .map(|step| (self.last_fetch_tid + step) % n)
+            .find(|&tid| self.fetch_eligible(tid, now))
+    }
+
     pub(crate) fn fetch(&mut self, now: u64) {
-        let Some(tid) = self.choose_fetch_thread(now) else {
-            return;
-        };
-        self.fetch_thread(tid, now);
+        match self.config.fetch_policy {
+            FetchPolicy::Icount => {
+                if let Some(tid) = self.choose_fetch_thread(now) {
+                    self.fetch_thread(tid, now);
+                }
+            }
+            FetchPolicy::RoundRobin => {
+                if let Some(tid) = self.choose_round_robin(now) {
+                    self.last_fetch_tid = tid;
+                    self.fetch_thread(tid, now);
+                }
+            }
+            FetchPolicy::Icount28 => {
+                // The two least-loaded eligible threads each fetch a
+                // block, lowest ICOUNT first (one thread degenerates to
+                // plain ICOUNT). Eligibility is re-evaluated for the
+                // second slot: the first block may have filled the latch
+                // or stalled fetch for its thread.
+                let Some(first) = self.choose_fetch_thread(now) else {
+                    return;
+                };
+                self.fetch_thread(first, now);
+                if let Some(second) = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(tid, _)| tid != first && self.fetch_eligible(tid, now))
+                    .min_by_key(|&(tid, t)| (t.fetch_latch.queue.len() + t.rob.len(), tid))
+                    .map(|(tid, _)| tid)
+                {
+                    self.fetch_thread(second, now);
+                }
+            }
+        }
     }
 
     fn fetch_thread(&mut self, tid: ThreadId, now: u64) {

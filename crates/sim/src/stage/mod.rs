@@ -373,6 +373,22 @@ pub(crate) struct ThreadState {
     pub(crate) oracle: Option<Oracle>,
 }
 
+/// One shared physical-register pool ([`crate::FreelistPolicy::Shared`]):
+/// any thread allocates from `free`, ownership is tracked per register,
+/// and `live` counts are capped so no thread starves the rest.
+pub(crate) struct SharedPool {
+    /// Free registers, popped at rename.
+    pub(crate) free: Vec<u16>,
+    /// preg -> owning thread, valid while the register is live (updated
+    /// at every allocation; stale entries are never read because
+    /// `thread_of_preg` is only consulted for live registers).
+    pub(crate) owner: Vec<u16>,
+    /// Live registers per thread (architectural mappings included).
+    pub(crate) live: Vec<usize>,
+    /// Per-thread cap on `live`.
+    pub(crate) cap: usize,
+}
+
 /// The shared pipeline state every stage operates on: the hardware
 /// thread contexts, architectural substrate models, per-value
 /// bookkeeping, the inter-stage latches, and statistics.
@@ -384,6 +400,12 @@ pub(crate) struct CoreState {
     /// (`phys_regs / nthreads`); thread `t` owns pregs
     /// `[t * partition, (t + 1) * partition)`.
     pub(crate) partition: usize,
+    /// Shared-freelist mode ([`crate::FreelistPolicy::Shared`]):
+    /// `Some` replaces the per-thread freelists with one capped pool.
+    pub(crate) shared_pool: Option<SharedPool>,
+    /// Last thread granted a fetch slot, for
+    /// [`crate::FetchPolicy::RoundRobin`] rotation.
+    pub(crate) last_fetch_tid: ThreadId,
 
     pub(crate) now: u64,
     /// Global dispatch-order counter: stamps every renamed instruction
@@ -523,10 +545,14 @@ impl CoreState {
         }
     }
 
-    /// The thread owning a physical register, from the partition map.
+    /// The thread owning a physical register: the static partition map,
+    /// or the dynamic owner table in shared-freelist mode.
     #[inline]
     pub(crate) fn thread_of_preg(&self, p: u16) -> ThreadId {
-        p as usize / self.partition
+        match &self.shared_pool {
+            Some(pool) => pool.owner[p as usize] as ThreadId,
+            None => p as usize / self.partition,
+        }
     }
 
     /// Total ROB occupancy across all thread slices (the shared ROB
@@ -666,37 +692,93 @@ impl CoreState {
                 ),
             );
         }
-        // Physical-register accounting holds per thread partition:
-        // every preg a thread owns is either live or on its freelist,
-        // and nothing it maps or frees strays outside its partition.
-        for (tid, t) in self.threads.iter().enumerate() {
-            let (lo, hi) = (t.preg_lo as usize, t.preg_hi as usize);
-            let active = self.preg_info[lo..hi].iter().filter(|i| i.active).count();
-            if active + t.freelist.len() != hi - lo {
+        if let Some(pool) = &self.shared_pool {
+            // Shared-freelist accounting: every live register is charged
+            // to its dynamic owner, counts respect the per-thread cap,
+            // and live + free covers the whole register file.
+            let mut live = vec![0usize; self.threads.len()];
+            for (p, info) in self.preg_info.iter().enumerate() {
+                if info.active {
+                    live[pool.owner[p] as usize] += 1;
+                }
+            }
+            for (tid, (&counted, &tracked)) in live.iter().zip(pool.live.iter()).enumerate() {
+                if counted != tracked {
+                    return viol(
+                        Some(tid),
+                        "shared-pool-accounting",
+                        format!("{counted} live registers owned but pool tracks {tracked}"),
+                    );
+                }
+                if tracked > pool.cap {
+                    return viol(
+                        Some(tid),
+                        "shared-pool-cap",
+                        format!("{tracked} live registers exceed the cap of {}", pool.cap),
+                    );
+                }
+            }
+            let total_live: usize = live.iter().sum();
+            if total_live + pool.free.len() != self.preg_info.len() {
                 return viol(
-                    Some(tid),
-                    "preg-accounting",
+                    None,
+                    "shared-pool-accounting",
                     format!(
-                        "{active} live + {} free != partition of {} physical registers",
-                        t.freelist.len(),
-                        hi - lo
+                        "{total_live} live + {} free != {} physical registers",
+                        pool.free.len(),
+                        self.preg_info.len()
                     ),
                 );
             }
-            let out_of_partition = |p: &&u16| (**p as usize) < lo || (**p as usize) >= hi;
-            if let Some(&p) = t.freelist.iter().find(out_of_partition) {
-                return viol(
-                    Some(tid),
-                    "preg-partition",
-                    format!("freelist holds p{p}, outside the partition [{lo}, {hi})"),
-                );
+            for (tid, t) in self.threads.iter().enumerate() {
+                if let Some(&p) = t
+                    .map
+                    .iter()
+                    .find(|&&p| pool.owner[p as usize] as usize != tid)
+                {
+                    return viol(
+                        Some(tid),
+                        "shared-pool-owner",
+                        format!(
+                            "rename map holds p{p}, owned by thread {}",
+                            pool.owner[p as usize]
+                        ),
+                    );
+                }
             }
-            if let Some(&p) = t.map.iter().find(out_of_partition) {
-                return viol(
-                    Some(tid),
-                    "preg-partition",
-                    format!("rename map holds p{p}, outside the partition [{lo}, {hi})"),
-                );
+        } else {
+            // Physical-register accounting holds per thread partition:
+            // every preg a thread owns is either live or on its freelist,
+            // and nothing it maps or frees strays outside its partition.
+            for (tid, t) in self.threads.iter().enumerate() {
+                let (lo, hi) = (t.preg_lo as usize, t.preg_hi as usize);
+                let active = self.preg_info[lo..hi].iter().filter(|i| i.active).count();
+                if active + t.freelist.len() != hi - lo {
+                    return viol(
+                        Some(tid),
+                        "preg-accounting",
+                        format!(
+                            "{active} live + {} free != partition of {} physical registers",
+                            t.freelist.len(),
+                            hi - lo
+                        ),
+                    );
+                }
+                let out_of_partition = |p: &&u16| (**p as usize) < lo || (**p as usize) >= hi;
+                if let Some(&p) = t.freelist.iter().find(out_of_partition) {
+                    return viol(
+                        Some(tid),
+                        "preg-partition",
+                        format!("freelist holds p{p}, outside the partition [{lo}, {hi})"),
+                    );
+                }
+                if let Some(&p) = t.map.iter().find(out_of_partition) {
+                    return viol(
+                        Some(tid),
+                        "preg-partition",
+                        format!("rename map holds p{p}, outside the partition [{lo}, {hi})"),
+                    );
+                }
             }
         }
         // Event queues drain monotonically: everything due by the cycle
@@ -731,6 +813,65 @@ impl CoreState {
             }
         }
         if let Storage::Cached { cache, tracker, .. } = &self.storage {
+            // SMT partition cross-checks, recomputed from the entry
+            // snapshots rather than the cache's own counters (which
+            // `audit()` inside `check_cache` validates separately).
+            if cache.nthreads() > 1 {
+                let mut counts = vec![0usize; cache.nthreads()];
+                for e in cache.entries() {
+                    let owner = self.thread_of_preg(e.preg.0);
+                    if e.tid as usize != owner {
+                        return viol(
+                            Some(owner),
+                            "cache-thread-tag",
+                            format!(
+                                "cache entry for p{} tagged thread {}, but the register \
+                                 belongs to thread {owner}",
+                                e.preg.0, e.tid
+                            ),
+                        );
+                    }
+                    counts[owner] += 1;
+                    if let Some(wpt) = cache.ways_per_thread() {
+                        let way = e.way as usize;
+                        if way / wpt != owner {
+                            return viol(
+                                Some(owner),
+                                "cache-way-containment",
+                                format!(
+                                    "thread {owner}'s p{} resides in way {way} of set {}, \
+                                     outside its ways [{}, {})",
+                                    e.preg.0,
+                                    e.set,
+                                    owner * wpt,
+                                    (owner + 1) * wpt
+                                ),
+                            );
+                        }
+                    }
+                }
+                for (tid, &n) in counts.iter().enumerate() {
+                    if n != cache.thread_occupancy(tid) {
+                        return viol(
+                            Some(tid),
+                            "cache-thread-occupancy",
+                            format!(
+                                "{n} resident entries counted but the cache tracks {}",
+                                cache.thread_occupancy(tid)
+                            ),
+                        );
+                    }
+                    if let Some(cap) = cache.occupancy_cap() {
+                        if n > cap {
+                            return viol(
+                                Some(tid),
+                                "cache-occupancy-cap",
+                                format!("{n} resident entries exceed the per-thread cap {cap}"),
+                            );
+                        }
+                    }
+                }
+            }
             if let Some(ck) = &self.checker {
                 if let Some(v) = ck.check_tracker(tracker, cycle) {
                     return Some(v);

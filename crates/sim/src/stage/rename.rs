@@ -30,8 +30,14 @@ impl CoreState {
                 }
                 let has_dest = front.rec.inst.dest().is_some();
                 if has_dest {
-                    if self.threads[tid].freelist.is_empty() {
+                    let starved = match &self.shared_pool {
+                        // Shared pool: dry pool stalls everyone, a
+                        // thread at its live-register cap stalls alone.
+                        Some(pool) => pool.free.is_empty() || pool.live[tid] >= pool.cap,
                         // Only this thread's partition is dry.
+                        None => self.threads[tid].freelist.is_empty(),
+                    };
+                    if starved {
                         self.dispatch_stall_pregs += 1;
                         break;
                     }
@@ -82,10 +88,18 @@ impl CoreState {
         let mut dest = None;
         let mut prev = None;
         if let Some(r) = rec.inst.dest() {
-            let p = self.threads[tid]
-                .freelist
-                .pop()
-                .expect("dispatch checked the freelist");
+            let p = match &mut self.shared_pool {
+                Some(pool) => {
+                    let p = pool.free.pop().expect("dispatch checked the pool");
+                    pool.owner[p as usize] = tid as u16;
+                    pool.live[tid] += 1;
+                    p
+                }
+                None => self.threads[tid]
+                    .freelist
+                    .pop()
+                    .expect("dispatch checked the freelist"),
+            };
             let old = self.threads[tid].map[r.index() as usize];
             self.threads[tid].map[r.index() as usize] = p;
             prev = Some(old);

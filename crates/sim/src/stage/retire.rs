@@ -122,7 +122,13 @@ impl CoreState {
         // issued before the overwriting instruction retires, so any
         // waiter left here is a squashed seq — drop it.
         self.preg_waiters[p as usize].clear();
-        self.threads[tid].freelist.push(p);
+        match &mut self.shared_pool {
+            Some(pool) => {
+                pool.live[tid] -= 1;
+                pool.free.push(p);
+            }
+            None => self.threads[tid].freelist.push(p),
+        }
     }
 
     /// Collects the end-of-run results, consuming the core. Storage

@@ -111,7 +111,13 @@ impl CoreState {
         // and is being squashed with it.
         self.preg_waiters[p as usize].clear();
         let tid = self.thread_of_preg(p);
-        self.threads[tid].freelist.push(p);
+        match &mut self.shared_pool {
+            Some(pool) => {
+                pool.live[tid] -= 1;
+                pool.free.push(p);
+            }
+            None => self.threads[tid].freelist.push(p),
+        }
     }
 }
 

@@ -87,6 +87,24 @@ pub fn kernel_pairs(scale: Scale) -> Vec<(Workload, Workload)> {
         .collect()
 }
 
+/// Co-schedule groupings for the 4-thread SMT experiments: the six
+/// [`kernel_pairs`] folded pairwise into 3 fixed quads, preserving the
+/// dissimilar-behavior mixing (each quad spans at least three of the
+/// pointer-chasing / branchy / hashing-streaming / dense-compute
+/// behavior classes). Deterministic — part of the `smt4` golden-row
+/// identity.
+pub fn kernel_quads(scale: Scale) -> Vec<[Workload; 4]> {
+    const QUADS: [[&str; 4]; 3] = [
+        ["qsort", "bfs", "listchase", "strsearch"],
+        ["hash", "rle", "matmul", "bitops"],
+        ["crc", "fpmix", "fib", "dispatch"],
+    ];
+    QUADS
+        .iter()
+        .map(|names| names.map(|n| workload_by_name(n, scale).expect("suite kernel")))
+        .collect()
+}
+
 fn quad_list(values: &[u64]) -> String {
     let mut s = String::new();
     for chunk in values.chunks(8) {

@@ -34,7 +34,7 @@ mod kernels;
 mod kernels_ext;
 pub mod synthetic;
 
-pub use kernels::{kernel_pairs, suite, workload_by_name, Scale};
+pub use kernels::{kernel_pairs, kernel_quads, suite, workload_by_name, Scale};
 pub use kernels_ext::{extended_by_name, extended_suite};
 
 use std::error::Error;

@@ -27,4 +27,11 @@ echo "== SMT smoke: 2-thread Tiny kernel pairs, oracle + invariants on"
 cargo run --release -q -p ubrc-bench --bin experiments -- \
   smt --scale tiny --check --timeout 300 >/dev/null
 
+echo "== SMT smoke: 4-thread Tiny kernel quads, oracle + invariants on"
+cargo run --release -q -p ubrc-bench --bin experiments -- \
+  smt4 --scale tiny --check --timeout 300 >/dev/null
+
+echo "== ConfigError rejection tests"
+cargo test --release -q -p ubrc-sim --lib -- reject
+
 echo "all checks passed"

@@ -28,9 +28,9 @@
 //!
 //! and justify the diff of `golden_snapshots.txt` in the PR.
 
-use ubrc::core::{IndexPolicy, RegCacheConfig};
+use ubrc::core::{CachePartition, IndexPolicy, RegCacheConfig};
 use ubrc::sim::{simulate_smt, simulate_workload, RegStorage, SimConfig};
-use ubrc::workloads::{kernel_pairs, suite, Scale, Workload};
+use ubrc::workloads::{kernel_pairs, kernel_quads, suite, Scale, Workload};
 
 const GOLDEN: &str = include_str!("golden_snapshots.txt");
 
@@ -166,6 +166,25 @@ fn snap_pair(
     snap_fields(format!("{}+{}", a.name, b.name), config, &r)
 }
 
+/// A 4-thread SMT row: a kernel quad co-scheduled on one core under a
+/// cache-partition policy. Aggregate retirement, shared-cache columns.
+fn snap_quad(
+    quad: &[Workload; 4],
+    config: String,
+    cache: RegCacheConfig,
+    index: IndexPolicy,
+    check: bool,
+) -> Snap {
+    let programs = quad
+        .iter()
+        .map(|w| w.assemble().expect("kernel assembles"))
+        .collect();
+    let r = simulate_smt(programs, cached_cfg(cache, index, check));
+    assert_eq!(r.thread_retired.len(), 4);
+    let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+    snap_fields(names.join("+"), config, &r)
+}
+
 /// One cell of the snapshot matrix: its identity plus how to simulate
 /// it. Keeping production behind a closure lets the subset-bless path
 /// (`UBRC_BLESS_ONLY`) skip the simulations it is not regenerating.
@@ -255,6 +274,40 @@ fn cells() -> Vec<Cell> {
                     snap_pair(&a, &b, config.clone(), cache.clone(), index, check)
                 }),
             });
+        }
+    }
+    // 4-thread SMT kernel quads: the {use-based, LRU} x {shared,
+    // way-partitioned, occupancy-capped} register-cache matrix at a
+    // 64-entry 4-way geometry (so WayPartition gives each thread one
+    // way per set).
+    for quad in kernel_quads(Scale::Tiny) {
+        for (scheme, index) in [
+            ("usebased", IndexPolicy::FilteredRoundRobin),
+            ("lru", IndexPolicy::RoundRobin),
+        ] {
+            for (part_name, part) in [
+                ("shared", CachePartition::Shared),
+                ("waypart", CachePartition::WayPartition),
+                ("occcap", CachePartition::OccupancyCap),
+            ] {
+                let mut cache = if scheme == "usebased" {
+                    RegCacheConfig::use_based(64, 4)
+                } else {
+                    RegCacheConfig::lru(64, 4)
+                };
+                cache.classify_misses = true;
+                cache.partition = part;
+                let quad = quad.clone();
+                let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+                let config = format!("smt4-{scheme}-{part_name}");
+                cells.push(Cell {
+                    kernel: names.join("+"),
+                    config: config.clone(),
+                    run: Box::new(move |check| {
+                        snap_quad(&quad, config.clone(), cache.clone(), index, check)
+                    }),
+                });
+            }
         }
     }
     cells
