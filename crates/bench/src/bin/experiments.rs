@@ -4,16 +4,19 @@
 //!
 //! ```text
 //! experiments <id|all> [--scale tiny|small|default] [--json [PATH]]
-//!             [--check] [--timeout SECS]
+//!             [--check] [--timeout SECS] [--retries N]
 //! experiments --json            # trajectory only -> BENCH_pipeline.json
 //! ```
 //!
 //! `--check` turns on full runtime checking (lockstep co-simulation
 //! oracle + per-cycle invariant checker) for every simulation;
 //! `--timeout SECS` gives each simulation cell a wall-clock budget,
-//! after which it is cancelled and reported as a typed timeout. Both
-//! reach the runner through the `UBRC_CHECK` / `UBRC_TIMEOUT_SECS`
-//! environment variables, so they compose with every experiment.
+//! after which it is cancelled and reported as a typed timeout;
+//! `--retries N` re-runs a cell up to N extra times (with exponential
+//! backoff) when it fails transiently — timeout or panic — before the
+//! failure is recorded. All three reach the runner through the
+//! `UBRC_CHECK` / `UBRC_TIMEOUT_SECS` / `UBRC_RETRIES` environment
+//! variables, so they compose with every experiment.
 //!
 //! Selected experiments run concurrently: each gets a coordinator
 //! thread, and every individual simulation anywhere in the process
@@ -34,6 +37,7 @@ struct Cli {
     json: Option<String>,
     check: bool,
     timeout: Option<u64>,
+    retries: Option<u32>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -43,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: None,
         check: false,
         timeout: None,
+        retries: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +83,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     _ => return Err("--timeout needs a positive integer of seconds".into()),
                 };
             }
+            "--retries" => {
+                i += 1;
+                cli.retries = match args.get(i).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) => Some(n),
+                    None => return Err("--retries needs a non-negative integer".into()),
+                };
+            }
             other if cli.which.is_none() && !other.starts_with("--") => {
                 cli.which = Some(other.to_string())
             }
@@ -102,16 +114,20 @@ fn main() {
     if let Some(secs) = cli.timeout {
         std::env::set_var("UBRC_TIMEOUT_SECS", secs.to_string());
     }
+    if let Some(n) = cli.retries {
+        std::env::set_var("UBRC_RETRIES", n.to_string());
+    }
 
     let reg = registry();
     if cli.which.is_none() && cli.json.is_none() {
         eprintln!(
             "usage: experiments <id|all> [--scale tiny|small|default] [--json [PATH]]\n\
-             \x20                 [--check] [--timeout SECS]\n\
+             \x20                 [--check] [--timeout SECS] [--retries N]\n\
              \n\
              --json [PATH]  also run the benchmark trajectory and write it as JSON\n\
              --check        enable the co-simulation oracle and invariant checker\n\
              --timeout SECS wall-clock budget per simulation cell\n\
+             --retries N    extra attempts per cell on transient failures\n\
              \n\
              available experiments:"
         );

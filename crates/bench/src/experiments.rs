@@ -918,6 +918,84 @@ pub fn smt4(scale: Scale) -> Result<Table, SuiteError> {
     Ok(t)
 }
 
+/// Extension: soft-error detection and recovery. Sweeps a periodic
+/// recoverable-fault stream — one fault class per row, at one armed
+/// fault per `period` cycles — against the parity layer that covers it,
+/// with machine-check recovery enabled, and reports the IPC degradation
+/// curve plus the recovery cost over the kernel suite: total
+/// recoveries, the machine-check subset, and the median/p99 of the
+/// per-recovery latency distribution (merged across kernels). The two
+/// fault-free rows pin the zero-overhead claim: `protected` must match
+/// `unprotected` exactly.
+pub fn soft(scale: Scale) -> Result<Table, SuiteError> {
+    use ubrc_core::ProtectionConfig;
+    use ubrc_sim::{FaultKind, FaultPlan, RecoveryPolicy};
+
+    let protected = |plan: Option<FaultPlan>| {
+        let mut cache = RegCacheConfig::use_based(64, 2);
+        cache.protection = ProtectionConfig::full();
+        let mut cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, 2);
+        cfg.recovery = RecoveryPolicy::enabled();
+        cfg.fault_plan = plan;
+        cfg
+    };
+    let mut rows: Vec<(String, SimConfig)> = vec![
+        (
+            "unprotected".into(),
+            cached_cfg(
+                RegCacheConfig::use_based(64, 2),
+                IndexPolicy::FilteredRoundRobin,
+                2,
+            ),
+        ),
+        ("protected, fault-free".into(), protected(None)),
+    ];
+    for (kname, kind) in [
+        ("cache-data", FaultKind::FlipCacheData),
+        ("use-counter", FaultKind::FlipUseCounter),
+        ("backing-word", FaultKind::FlipBackingWord),
+    ] {
+        for period in [400u64, 100] {
+            rows.push((
+                format!("{kname} 1/{period}cyc"),
+                protected(Some(FaultPlan::periodic(11, period, kind))),
+            ));
+        }
+    }
+    let mut t = Table::new([
+        "config",
+        "geomean-ipc",
+        "recoveries",
+        "machine-checks",
+        "p50-latency",
+        "p99-latency",
+    ]);
+    for (name, cfg) in rows {
+        let res = run_suite(&cfg, scale)?;
+        let mut latency = ubrc_stats::Histogram::new();
+        let (mut recoveries, mut machine_checks) = (0u64, 0u64);
+        for (_, r) in &res.runs {
+            recoveries += r.recoveries;
+            machine_checks += r.machine_checks;
+            latency.merge(&r.recovery_latency);
+        }
+        let pct = |p: f64| {
+            latency
+                .percentile(p)
+                .map_or("-".to_string(), |v| v.to_string())
+        };
+        t.row([
+            name,
+            format!("{:.4}", res.geomean_ipc()),
+            recoveries.to_string(),
+            machine_checks.to_string(),
+            pct(50.0),
+            pct(99.0),
+        ]);
+    }
+    Ok(t)
+}
+
 /// Every experiment, as `(id, description, runner)` triples, in paper
 /// order. The harness binary and the smoke tests iterate this. A
 /// failing run reports the offending workload via [`SuiteError`]
@@ -1019,6 +1097,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "smt4",
             "4-thread SMT register-cache partitioning (extension)",
             smt4,
+        ),
+        (
+            "soft",
+            "soft-error detection and recovery (extension)",
+            soft,
         ),
     ]
 }

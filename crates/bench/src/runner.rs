@@ -79,6 +79,15 @@ impl SuiteFailure {
             SuiteFailure::Panic(_) => "panic",
         }
     }
+
+    /// Whether retrying the cell could plausibly succeed: wall-clock
+    /// timeouts (a loaded machine) and residual panics (ones a flaky
+    /// environment produced rather than a deterministic simulator bug).
+    /// Structured simulator errors and assembly failures are
+    /// deterministic and never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SuiteFailure::Timeout { .. } | SuiteFailure::Panic(_))
+    }
 }
 
 impl fmt::Display for SuiteFailure {
@@ -106,11 +115,16 @@ pub struct RunOptions {
     /// Wall-clock budget per cell; a cell still running at the deadline
     /// is cancelled and reported as [`SuiteFailure::Timeout`].
     pub timeout: Option<Duration>,
+    /// Extra attempts after a *transient* failure (see
+    /// [`SuiteFailure::is_transient`]), with exponential backoff
+    /// between attempts. Deterministic failures are never retried.
+    pub retries: u32,
 }
 
 impl RunOptions {
-    /// Reads `UBRC_CHECK` (any non-empty value other than `0`) and
-    /// `UBRC_TIMEOUT_SECS` (integer seconds).
+    /// Reads `UBRC_CHECK` (any non-empty value other than `0`),
+    /// `UBRC_TIMEOUT_SECS` (integer seconds), and `UBRC_RETRIES`
+    /// (extra attempts per cell on transient failures).
     pub fn from_env() -> Self {
         let check = std::env::var("UBRC_CHECK")
             .map(|v| !v.is_empty() && v != "0")
@@ -120,7 +134,15 @@ impl RunOptions {
             .and_then(|v| v.parse::<u64>().ok())
             .filter(|&s| s > 0)
             .map(Duration::from_secs);
-        Self { check, timeout }
+        let retries = std::env::var("UBRC_RETRIES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(0);
+        Self {
+            check,
+            timeout,
+            retries,
+        }
     }
 }
 
@@ -185,6 +207,67 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One attempt of a cell: assemble every member and simulate, with
+/// the checking override and wall-clock deadline from `opts` applied.
+fn attempt_cell(
+    ws: &[&Workload],
+    config: &SimConfig,
+    opts: RunOptions,
+) -> Result<SimResult, SuiteFailure> {
+    let mut programs = Vec::with_capacity(ws.len());
+    for w in ws {
+        programs.push(w.assemble().map_err(SuiteFailure::Asm)?);
+    }
+    let mut config = config.clone();
+    if opts.check {
+        config.check = CheckConfig::full();
+    }
+    match opts.timeout {
+        Some(budget) => run_with_deadline(programs, config, budget),
+        None => catch_unwind(AssertUnwindSafe(|| {
+            Simulator::try_new_smt(programs, config)
+                .map_err(|e| Box::new(SimError::Config(e)))?
+                .run_checked()
+        }))
+        .map_err(|p| SuiteFailure::Panic(panic_message(p)))?
+        .map_err(SuiteFailure::Sim),
+    }
+}
+
+/// Runs a cell through the worker gate, retrying transient failures
+/// (timeout, panic) up to `opts.retries` extra times with exponential
+/// backoff. Returns the final outcome and the number of attempts made.
+fn run_cell(
+    label: &'static str,
+    ws: &[&Workload],
+    config: &SimConfig,
+    opts: RunOptions,
+) -> (Result<SimResult, SuiteError>, u32) {
+    let _permit = gate().acquire();
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match attempt_cell(ws, config, opts) {
+            Ok(r) => return (Ok(r), attempts),
+            Err(failure) => {
+                if attempts <= opts.retries && failure.is_transient() {
+                    // 50ms, 100ms, 200ms, … capped at 3.2s per step.
+                    let backoff = 50u64 << (attempts - 1).min(6);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    continue;
+                }
+                return (
+                    Err(SuiteError {
+                        workload: label,
+                        failure,
+                    }),
+                    attempts,
+                );
+            }
+        }
+    }
+}
+
 /// Runs one simulation cell through the worker gate with options from
 /// the environment (see [`RunOptions::from_env`]), converting every
 /// failure mode — assembly error, structured [`SimError`], wall-clock
@@ -196,27 +279,21 @@ pub fn run_one(w: &Workload, config: SimConfig) -> Result<SimResult, SuiteError>
 /// [`run_one`] with explicit options.
 pub fn run_one_with(
     w: &Workload,
-    mut config: SimConfig,
+    config: SimConfig,
     opts: RunOptions,
 ) -> Result<SimResult, SuiteError> {
-    let _permit = gate().acquire();
-    let fail = |failure| SuiteError {
-        workload: w.name,
-        failure,
-    };
-    let program = w.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?;
-    if opts.check {
-        config.check = CheckConfig::full();
-    }
-    match opts.timeout {
-        Some(budget) => run_with_deadline(vec![program], config, budget).map_err(fail),
-        None => catch_unwind(AssertUnwindSafe(|| {
-            Simulator::try_new_smt(vec![program], config)
-                .map_err(|e| Box::new(SimError::Config(e)))?
-                .run_checked()
-        }))
-        .map_err(|p| fail(SuiteFailure::Panic(panic_message(p))))?
-        .map_err(|e| fail(SuiteFailure::Sim(e))),
+    run_one_cell(w, config, opts).outcome
+}
+
+/// [`run_one`] with explicit options, also reporting the attempt
+/// count (how many times the runner had to run the cell before its
+/// final outcome; 1 unless transient failures were retried).
+pub fn run_one_cell(w: &Workload, config: SimConfig, opts: RunOptions) -> SuiteCell {
+    let (outcome, attempts) = run_cell(w.name, &[w], &config, opts);
+    SuiteCell {
+        name: w.name,
+        outcome,
+        attempts,
     }
 }
 
@@ -249,32 +326,22 @@ pub fn run_group(ws: &[&Workload], config: SimConfig) -> Result<SimResult, Suite
 /// [`run_group`] with explicit options.
 pub fn run_group_with(
     ws: &[&Workload],
-    mut config: SimConfig,
+    config: SimConfig,
     opts: RunOptions,
 ) -> Result<SimResult, SuiteError> {
-    let _permit = gate().acquire();
+    run_group_cell(ws, config, opts).outcome
+}
+
+/// [`run_group`] with explicit options, also reporting the attempt
+/// count (as in [`run_one_cell`]).
+pub fn run_group_cell(ws: &[&Workload], config: SimConfig, opts: RunOptions) -> SuiteCell {
     let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
     let label = group_label(&names);
-    let fail = |failure| SuiteError {
-        workload: label,
-        failure,
-    };
-    let mut programs = Vec::with_capacity(ws.len());
-    for w in ws {
-        programs.push(w.assemble().map_err(|e| fail(SuiteFailure::Asm(e)))?);
-    }
-    if opts.check {
-        config.check = CheckConfig::full();
-    }
-    match opts.timeout {
-        Some(budget) => run_with_deadline(programs, config, budget).map_err(fail),
-        None => catch_unwind(AssertUnwindSafe(|| {
-            Simulator::try_new_smt(programs, config)
-                .map_err(|e| Box::new(SimError::Config(e)))?
-                .run_checked()
-        }))
-        .map_err(|p| fail(SuiteFailure::Panic(panic_message(p))))?
-        .map_err(|e| fail(SuiteFailure::Sim(e))),
+    let (outcome, attempts) = run_cell(label, ws, &config, opts);
+    SuiteCell {
+        name: label,
+        outcome,
+        attempts,
     }
 }
 
@@ -433,13 +500,27 @@ pub fn suite_geomean_ipc(config: &SimConfig, scale: Scale) -> Result<f64, SuiteE
     Ok(run_suite(config, scale)?.geomean_ipc())
 }
 
+/// One cell of a [`SuiteReport`]: the kernel (or co-schedule) label,
+/// its final outcome, and how many attempts the runner made before
+/// settling on it (1 unless transient failures were retried; see
+/// [`RunOptions::retries`]).
+#[derive(Debug)]
+pub struct SuiteCell {
+    /// Kernel or `a+b+…` co-schedule label.
+    pub name: &'static str,
+    /// The final outcome after any retries.
+    pub outcome: Result<SimResult, SuiteError>,
+    /// Number of attempts made (at least 1).
+    pub attempts: u32,
+}
+
 /// Results of a whole-suite run that keeps going past failures: one
 /// entry per kernel, in suite order, each either a result or the
 /// kernel's own [`SuiteError`].
 #[derive(Debug)]
 pub struct SuiteReport {
-    /// Per-kernel `(name, outcome)` pairs in suite order.
-    pub runs: Vec<(&'static str, Result<SimResult, SuiteError>)>,
+    /// Per-kernel cells in suite order.
+    pub runs: Vec<SuiteCell>,
 }
 
 impl SuiteReport {
@@ -450,14 +531,14 @@ impl SuiteReport {
             runs: self
                 .runs
                 .iter()
-                .filter_map(|(n, r)| r.as_ref().ok().map(|res| (*n, res.clone())))
+                .filter_map(|c| c.outcome.as_ref().ok().map(|res| (c.name, res.clone())))
                 .collect(),
         }
     }
 
     /// Number of failed cells.
     pub fn failed(&self) -> usize {
-        self.runs.iter().filter(|(_, r)| r.is_err()).count()
+        self.runs.iter().filter(|c| c.outcome.is_err()).count()
     }
 }
 
@@ -466,26 +547,20 @@ impl SuiteReport {
 /// recorded in place and the rest still runs.
 pub fn run_pair_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
     let pairs = ubrc_workloads::kernel_pairs(scale);
-    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    let mut runs: Vec<Option<SuiteCell>> = Vec::new();
     runs.resize_with(pairs.len(), || None);
     std::thread::scope(|scope| {
         for (slot, (a, b)) in runs.iter_mut().zip(&pairs) {
             let cfg = config.clone();
             scope.spawn(move || {
-                *slot = Some(run_pair(a, b, cfg));
+                *slot = Some(run_group_cell(&[a, b], cfg, RunOptions::from_env()));
             });
         }
     });
     SuiteReport {
         runs: runs
             .into_iter()
-            .zip(&pairs)
-            .map(|(r, (a, b))| {
-                (
-                    pair_label(a.name, b.name),
-                    r.expect("scope joined every worker"),
-                )
-            })
+            .map(|r| r.expect("scope joined every worker"))
             .collect(),
     }
 }
@@ -502,8 +577,8 @@ pub fn run_pair_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
 pub fn run_quad_suite(config: &SimConfig, scale: Scale) -> Result<SuiteResult, SuiteError> {
     let report = run_quad_suite_robust(config, scale);
     let mut out = Vec::with_capacity(report.runs.len());
-    for (name, r) in report.runs {
-        out.push((name, r?));
+    for cell in report.runs {
+        out.push((cell.name, cell.outcome?));
     }
     Ok(SuiteResult { runs: out })
 }
@@ -513,25 +588,21 @@ pub fn run_quad_suite(config: &SimConfig, scale: Scale) -> Result<SuiteResult, S
 /// recorded in place and the rest still runs.
 pub fn run_quad_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
     let quads = ubrc_workloads::kernel_quads(scale);
-    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    let mut runs: Vec<Option<SuiteCell>> = Vec::new();
     runs.resize_with(quads.len(), || None);
     std::thread::scope(|scope| {
         for (slot, quad) in runs.iter_mut().zip(&quads) {
             let cfg = config.clone();
             scope.spawn(move || {
                 let refs: Vec<&Workload> = quad.iter().collect();
-                *slot = Some(run_group(&refs, cfg));
+                *slot = Some(run_group_cell(&refs, cfg, RunOptions::from_env()));
             });
         }
     });
     SuiteReport {
         runs: runs
             .into_iter()
-            .zip(&quads)
-            .map(|(r, quad)| {
-                let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
-                (group_label(&names), r.expect("scope joined every worker"))
-            })
+            .map(|r| r.expect("scope joined every worker"))
             .collect(),
     }
 }
@@ -541,21 +612,20 @@ pub fn run_quad_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
 /// rest of the suite still runs, so callers can emit partial results.
 pub fn run_suite_robust(config: &SimConfig, scale: Scale) -> SuiteReport {
     let workloads = suite(scale);
-    let mut runs: Vec<Option<Result<SimResult, SuiteError>>> = Vec::new();
+    let mut runs: Vec<Option<SuiteCell>> = Vec::new();
     runs.resize_with(workloads.len(), || None);
     std::thread::scope(|scope| {
         for (slot, w) in runs.iter_mut().zip(&workloads) {
             let cfg = config.clone();
             scope.spawn(move || {
-                *slot = Some(run_one(w, cfg));
+                *slot = Some(run_one_cell(w, cfg, RunOptions::from_env()));
             });
         }
     });
     SuiteReport {
         runs: runs
             .into_iter()
-            .zip(&workloads)
-            .map(|(r, w)| (w.name, r.expect("scope joined every worker")))
+            .map(|r| r.expect("scope joined every worker"))
             .collect(),
     }
 }
@@ -604,9 +674,11 @@ mod tests {
         assert_eq!(report.runs.len(), 12);
         assert_eq!(report.failed(), 12);
         assert!(report.successes().runs.is_empty());
-        for (name, r) in &report.runs {
-            let err = r.as_ref().unwrap_err();
-            assert_eq!(err.workload, *name);
+        for cell in &report.runs {
+            let err = cell.outcome.as_ref().unwrap_err();
+            assert_eq!(err.workload, cell.name);
+            // Config rejection is deterministic: no retry was made.
+            assert_eq!(cell.attempts, 1);
         }
     }
 
@@ -628,8 +700,8 @@ mod tests {
         let pairs = ubrc_workloads::kernel_pairs(Scale::Default);
         let (a, b) = &pairs[0];
         let opts = RunOptions {
-            check: false,
             timeout: Some(Duration::from_millis(0)),
+            ..RunOptions::default()
         };
         let err = run_pair_with(a, b, SimConfig::paper_default(), opts).unwrap_err();
         assert_eq!(err.workload, "qsort+bfs");
@@ -649,8 +721,8 @@ mod tests {
         assert_eq!(err.workload, "qsort+bfs+listchase+strsearch");
         assert_eq!(err.failure.kind(), "config");
         let opts = RunOptions {
-            check: false,
             timeout: Some(Duration::from_secs(120)),
+            ..RunOptions::default()
         };
         let err = run_group_with(&refs, cfg, opts).unwrap_err();
         assert_eq!(err.workload, "qsort+bfs+listchase+strsearch");
@@ -663,13 +735,61 @@ mod tests {
         // thread reaches its 0ms deadline, even on a loaded machine.
         let w = ubrc_workloads::workload_by_name("qsort", Scale::Default).unwrap();
         let opts = RunOptions {
-            check: false,
             timeout: Some(Duration::from_millis(0)),
+            ..RunOptions::default()
         };
         let err = run_one_with(&w, SimConfig::paper_default(), opts).unwrap_err();
         assert!(matches!(err.failure, SuiteFailure::Timeout { secs: 0 }));
         assert_eq!(err.failure.kind(), "timeout");
+        assert!(err.failure.is_transient());
         assert!(err.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_attempts_counted() {
+        // A 0ms deadline times out every attempt; with 2 retries the
+        // runner must make exactly 3 attempts and still report the
+        // timeout as the final outcome.
+        let w = ubrc_workloads::workload_by_name("qsort", Scale::Default).unwrap();
+        let opts = RunOptions {
+            timeout: Some(Duration::from_millis(0)),
+            retries: 2,
+            ..RunOptions::default()
+        };
+        let cell = run_one_cell(&w, SimConfig::paper_default(), opts);
+        assert_eq!(cell.attempts, 3);
+        let err = cell.outcome.unwrap_err();
+        assert_eq!(err.failure.kind(), "timeout");
+    }
+
+    #[test]
+    fn deterministic_failures_are_never_retried() {
+        // A rejected configuration fails identically every time; the
+        // retry budget must not be spent on it.
+        let mut cfg = SimConfig::paper_default();
+        cfg.phys_regs = 8;
+        let w = ubrc_workloads::workload_by_name("qsort", Scale::Tiny).unwrap();
+        let opts = RunOptions {
+            retries: 3,
+            ..RunOptions::default()
+        };
+        let cell = run_one_cell(&w, cfg, opts);
+        assert_eq!(cell.attempts, 1);
+        let err = cell.outcome.unwrap_err();
+        assert_eq!(err.failure.kind(), "config");
+        assert!(!err.failure.is_transient());
+    }
+
+    #[test]
+    fn successful_cells_report_one_attempt() {
+        let w = ubrc_workloads::workload_by_name("crc", Scale::Tiny).unwrap();
+        let opts = RunOptions {
+            retries: 5,
+            ..RunOptions::default()
+        };
+        let cell = run_one_cell(&w, SimConfig::paper_default(), opts);
+        assert_eq!(cell.attempts, 1);
+        assert!(cell.outcome.is_ok());
     }
 
     #[test]
@@ -680,6 +800,7 @@ mod tests {
         let opts = RunOptions {
             check: true,
             timeout: Some(Duration::from_secs(120)),
+            ..RunOptions::default()
         };
         let checked = run_one_with(&w, SimConfig::paper_default(), opts).unwrap();
         assert_eq!(plain.cycles, checked.cycles);

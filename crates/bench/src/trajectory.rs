@@ -11,13 +11,15 @@
 
 use crate::runner::{max_workers, run_suite_robust};
 use std::time::Instant;
-use ubrc_core::{CachePartition, IndexPolicy, RegCacheConfig};
-use ubrc_sim::{RegStorage, SimConfig};
+use ubrc_core::{CachePartition, IndexPolicy, ProtectionConfig, RegCacheConfig};
+use ubrc_sim::{FaultKind, FaultPlan, RecoveryPolicy, RegStorage, SimConfig};
 use ubrc_stats::Json;
 use ubrc_workloads::Scale;
 
-/// Version tag embedded in the emitted document.
-pub const SCHEMA: &str = "ubrc-bench-pipeline/1";
+/// Version tag embedded in the emitted document. `/2` added the
+/// per-kernel `attempts` count (runner retries) and the `soft-*`
+/// protection/recovery configurations.
+pub const SCHEMA: &str = "ubrc-bench-pipeline/2";
 
 fn cached(cache: RegCacheConfig, index: IndexPolicy) -> SimConfig {
     SimConfig::table1(RegStorage::Cached {
@@ -71,6 +73,38 @@ pub fn trajectory_configs() -> Vec<(&'static str, SimConfig)> {
         (
             "min-load",
             cached(RegCacheConfig::use_based(64, 2), IndexPolicy::MinLoad),
+        ),
+    ]
+}
+
+/// The soft-error configurations the trajectory tracks: the use-based
+/// design point with full parity protection and machine-check recovery
+/// enabled, once fault-free (pinning the zero-overhead claim: its
+/// numbers must match `use-based`) and once under each class of
+/// periodic recoverable fault (pinning the cost of the recovery
+/// machinery itself).
+pub fn soft_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
+    let protected = |plan: Option<FaultPlan>| {
+        let mut cache = RegCacheConfig::use_based(64, 2);
+        cache.protection = ProtectionConfig::full();
+        let mut cfg = cached(cache, IndexPolicy::FilteredRoundRobin);
+        cfg.recovery = RecoveryPolicy::enabled();
+        cfg.fault_plan = plan;
+        cfg
+    };
+    vec![
+        ("soft-protected", protected(None)),
+        (
+            "soft-cache-p200",
+            protected(Some(FaultPlan::periodic(7, 200, FaultKind::FlipCacheData))),
+        ),
+        (
+            "soft-backing-p400",
+            protected(Some(FaultPlan::periodic(
+                9,
+                400,
+                FaultKind::FlipBackingWord,
+            ))),
         ),
     ]
 }
@@ -168,8 +202,10 @@ pub struct TrajectoryOutcome {
 /// [`TrajectoryOutcome::failed`], while aggregate statistics cover the
 /// cells that completed.
 pub fn pipeline_trajectory(scale: Scale) -> TrajectoryOutcome {
+    let mut singles = trajectory_configs();
+    singles.extend(soft_trajectory_configs());
     trajectory_over(
-        trajectory_configs(),
+        singles,
         smt_trajectory_configs(),
         smt4_trajectory_configs(),
         scale,
@@ -220,15 +256,16 @@ fn trajectory_over(
         total_failed += failed;
         let insts = ok.total_retired();
         total_insts += insts;
-        let kernels = Json::arr(report.runs.iter().map(|(kname, r)| match r {
+        let kernels = Json::arr(report.runs.iter().map(|cell| match &cell.outcome {
             Ok(r) => Json::obj([
-                ("name", Json::from(*kname)),
+                ("name", Json::from(cell.name)),
                 ("cycles", Json::from(r.cycles)),
                 ("retired", Json::from(r.retired)),
                 ("ipc", Json::from(r.ipc())),
+                ("attempts", Json::from(cell.attempts as u64)),
             ]),
             Err(e) => Json::obj([
-                ("name", Json::from(*kname)),
+                ("name", Json::from(cell.name)),
                 (
                     "error",
                     Json::obj([
@@ -236,6 +273,7 @@ fn trajectory_over(
                         ("message", Json::from(e.reason())),
                     ]),
                 ),
+                ("attempts", Json::from(cell.attempts as u64)),
             ]),
         }));
         configs.push(Json::obj([
@@ -289,6 +327,10 @@ mod tests {
             r#""name":"use-based""#,
             r#""name":"ehc""#,
             r#""name":"min-load""#,
+            r#""name":"soft-protected""#,
+            r#""name":"soft-cache-p200""#,
+            r#""name":"soft-backing-p400""#,
+            r#""attempts":1"#,
             r#""name":"smt2-use-based""#,
             r#""name":"smt2-lru""#,
             r#""name":"smt4-use-based-shared""#,

@@ -38,6 +38,9 @@ pub struct BackingFile {
     write_latency: u32,
     write_done: Vec<u64>,
     read_port_free: Vec<u64>,
+    /// Modeled per-word parity errors: set by the fault injector,
+    /// cleared by the next write of the word (or a recovery scrub).
+    parity_bad: Vec<bool>,
     stats: BackingStats,
 }
 
@@ -67,6 +70,7 @@ impl BackingFile {
             write_latency,
             write_done: vec![0; num_pregs],
             read_port_free: vec![0; read_ports],
+            parity_bad: vec![false; num_pregs],
             stats: BackingStats::default(),
         }
     }
@@ -86,6 +90,30 @@ impl BackingFile {
     pub fn write(&mut self, preg: PhysReg, now: u64) {
         self.stats.writes += 1;
         self.write_done[preg.0 as usize] = now + self.write_latency as u64;
+        // A full-word write replaces whatever bits were upset.
+        self.parity_bad[preg.0 as usize] = false;
+    }
+
+    /// Fault-injection hook: flips a bit in the stored word, marking
+    /// its modeled parity bad until the word is rewritten or scrubbed.
+    /// Returns `false` when the word was already marked.
+    pub fn corrupt_word(&mut self, preg: PhysReg) -> bool {
+        let w = &mut self.parity_bad[preg.0 as usize];
+        let landed = !*w;
+        *w = true;
+        landed
+    }
+
+    /// True when the word's modeled parity is clean.
+    pub fn parity_ok(&self, preg: PhysReg) -> bool {
+        !self.parity_bad[preg.0 as usize]
+    }
+
+    /// Recovery scrub after a detected parity error: the word is
+    /// rewritten (by the machine-check handler's checkpoint restore in
+    /// the timing model above), clearing the parity flag.
+    pub fn scrub(&mut self, preg: PhysReg) {
+        self.parity_bad[preg.0 as usize] = false;
     }
 
     /// Schedules a miss read issued at `now`. Returns the cycle at
@@ -160,6 +188,20 @@ mod tests {
     #[should_panic(expected = "at least one read port")]
     fn zero_ports_rejected() {
         let _ = BackingFile::with_read_ports(2, 2, 4, 0);
+    }
+
+    #[test]
+    fn parity_marks_clear_on_write_or_scrub() {
+        let mut bf = BackingFile::new(2, 2, 16);
+        assert!(bf.parity_ok(PhysReg(7)));
+        assert!(bf.corrupt_word(PhysReg(7)));
+        assert!(!bf.corrupt_word(PhysReg(7)), "already marked");
+        assert!(!bf.parity_ok(PhysReg(7)));
+        bf.write(PhysReg(7), 5);
+        assert!(bf.parity_ok(PhysReg(7)), "writes repair the word");
+        bf.corrupt_word(PhysReg(7));
+        bf.scrub(PhysReg(7));
+        assert!(bf.parity_ok(PhysReg(7)));
     }
 
     #[test]

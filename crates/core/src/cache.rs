@@ -87,6 +87,9 @@ pub struct RegCacheStats {
     /// Insertions (writes or fills) dropped by the per-thread occupancy
     /// cap ([`CachePartition::OccupancyCap`]).
     pub inserts_capped: u64,
+    /// Entries invalidated by a detected parity error
+    /// ([`RegisterCache::take_parity_fault`]); not counted as evictions.
+    pub parity_invalidations: u64,
     /// Per-thread time-weighted occupancy (one slot per SMT thread;
     /// a single slot on single-thread caches).
     pub thread_occupancy: Vec<TimeWeighted>,
@@ -169,6 +172,9 @@ struct Entry {
     reads: u64,
     inserted_at: u64,
     valid: bool,
+    /// Modeled data-parity error: set by the fault injector, cleared
+    /// when the entry is rewritten (every insert stores a fresh word).
+    parity_bad: bool,
 }
 
 /// Read-only snapshot of one valid cache entry, for external invariant
@@ -499,6 +505,7 @@ impl RegisterCache {
             reads: 0,
             inserted_at: now,
             valid: true,
+            parity_bad: false,
         };
         if victim.valid {
             self.stats.evictions += 1;
@@ -807,6 +814,70 @@ impl RegisterCache {
         e.pinned = false;
         e.uses = 255;
         Some(PhysReg(e.preg))
+    }
+
+    /// Fault-injection hook: flips a data bit in the `nth` valid entry
+    /// (modulo occupancy), marking its modeled parity bad. A protected
+    /// read ([`crate::ProtectionConfig::cache_parity`]) detects the
+    /// upset via [`RegisterCache::take_parity_fault`] and re-fills from
+    /// the backing file. Returns the victim's tag, or `None` when the
+    /// cache is empty.
+    pub fn corrupt_data(&mut self, nth: usize) -> Option<PhysReg> {
+        if self.valid_count == 0 {
+            return None;
+        }
+        let target = nth % self.valid_count;
+        let e = self
+            .entries
+            .iter_mut()
+            .filter(|e| e.valid)
+            .nth(target)
+            .expect("target < valid_count");
+        e.parity_bad = true;
+        Some(PhysReg(e.preg))
+    }
+
+    /// Targeted variant of [`RegisterCache::corrupt_data`]: marks the
+    /// resident entry for `preg` parity-bad. Returns `false` (no fault
+    /// landed) when the value is not resident.
+    pub fn corrupt_preg_data(&mut self, preg: PhysReg) -> bool {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.preg == preg.0)
+        {
+            Some(e) => {
+                e.parity_bad = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Parity check performed by a protected read port *before* the
+    /// lookup: when the resident entry for `preg` carries a parity
+    /// error, the entry is invalidated (the clean copy lives in the
+    /// backing file, so the subsequent [`RegisterCache::read`] misses
+    /// and takes the ordinary fill path) and `true` is returned.
+    ///
+    /// The invalidation is not an eviction (no replacement decision was
+    /// made) and is deliberately *not* forwarded to the shadow
+    /// classifier, which models a fault-free baseline.
+    pub fn take_parity_fault(&mut self, preg: PhysReg, set: u16, now: u64) -> bool {
+        let Some(i) = self.find(preg, set) else {
+            return false;
+        };
+        if !self.entries[i].parity_bad {
+            return false;
+        }
+        let e = self.entries[i];
+        self.entries[i].valid = false;
+        self.valid_count -= 1;
+        self.thread_valid[e.tid as usize] -= 1;
+        self.close_entry(e, now);
+        self.stats.parity_invalidations += 1;
+        self.note_occupancy(now);
+        true
     }
 }
 
@@ -1288,6 +1359,44 @@ mod tests {
         let mut cfg = RegCacheConfig::use_based(9, 3);
         cfg.partition = CachePartition::WayPartition;
         let _ = RegisterCache::new_smt(cfg, NPREGS, 2);
+    }
+
+    #[test]
+    fn parity_fault_invalidates_on_protected_read() {
+        let mut c = ub(8, 2);
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 3, false, 0, 10);
+        assert_eq!(c.corrupt_data(0), Some(PhysReg(1)));
+        // A clean entry in another set is untouched.
+        c.produce(PhysReg(2));
+        c.write(PhysReg(2), 1, 3, false, 0, 10);
+        assert!(!c.take_parity_fault(PhysReg(2), 1, 11), "clean entry");
+        // The protected read detects, invalidates, then misses.
+        assert!(c.take_parity_fault(PhysReg(1), 0, 11));
+        assert!(!c.read(PhysReg(1), 0, 11));
+        assert_eq!(c.stats().parity_invalidations, 1);
+        assert_eq!(c.stats().evictions, 0, "invalidation is not an eviction");
+        // The fill reinstalls a clean word.
+        c.fill(PhysReg(1), 0, 15);
+        assert!(!c.take_parity_fault(PhysReg(1), 0, 16));
+        assert!(c.read(PhysReg(1), 0, 16));
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn targeted_data_corruption_needs_a_resident_value() {
+        let mut c = ub(8, 2);
+        assert!(!c.corrupt_preg_data(PhysReg(1)), "not resident: no fault");
+        assert_eq!(c.corrupt_data(5), None, "empty cache");
+        c.produce(PhysReg(1));
+        c.write(PhysReg(1), 0, 3, false, 0, 10);
+        assert!(c.corrupt_preg_data(PhysReg(1)));
+        assert!(c.take_parity_fault(PhysReg(1), 0, 11));
+        // Rewriting the entry stores a fresh, clean word.
+        c.fill(PhysReg(1), 0, 12);
+        assert!(c.corrupt_preg_data(PhysReg(1)));
+        c.free(PhysReg(1), 0, 13);
+        assert!(!c.corrupt_preg_data(PhysReg(1)), "freed: no fault");
     }
 
     #[test]

@@ -58,8 +58,9 @@ pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome
 pub use index::{IndexAssigner, IndexPolicy};
 pub use policy::{
     CachePartition, ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider,
-    InsertionPolicy, LruScorer, NonBypassInsertion, RegCacheConfig, ReplacementPolicy,
-    ReplacementScorer, UseBasedInsertion, VictimScore, VictimView, WriteAllInsertion,
+    InsertionPolicy, LruScorer, NonBypassInsertion, ProtectionConfig, RegCacheConfig,
+    ReplacementPolicy, ReplacementScorer, UseBasedInsertion, VictimScore, VictimView,
+    WriteAllInsertion,
 };
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};
 pub use usetrack::UseTracker;

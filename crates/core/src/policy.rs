@@ -260,6 +260,52 @@ pub enum CachePartition {
     OccupancyCap,
 }
 
+/// Soft-error protection switches for the register storage structures.
+///
+/// Each flag adds a modeled parity tag to one structure — register-cache
+/// entries, the use-counter bank, or the backing-file words — that is
+/// checked on every read of that structure. The timing model carries no
+/// data bits, so "parity" is a per-element poison flag set by the fault
+/// injector and cleared by writes; the flags only gate *detection*, and
+/// with everything off (the default) no protection code runs at all, so
+/// timing is bit-identical to an unprotected build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ProtectionConfig {
+    /// Parity on register-cache entries: a corrupted entry is detected
+    /// at its next read and invalidated (the clean copy in the backing
+    /// file makes this recoverable by a re-fill).
+    pub cache_parity: bool,
+    /// Parity on the remaining-use counter bank: a corrupted counter is
+    /// detected at its next read and scrubbed to zero-remaining,
+    /// unpinned (the counters are performance hints, never values).
+    pub counter_parity: bool,
+    /// Parity on backing-file words: a corrupted word is detected at
+    /// the next backing read and must escalate — the backing file *is*
+    /// the clean copy, so there is nothing local to re-fill from.
+    pub backing_parity: bool,
+}
+
+impl ProtectionConfig {
+    /// No protection (the default): zero overhead, zero detection.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Parity on all three structures.
+    pub fn full() -> Self {
+        Self {
+            cache_parity: true,
+            counter_parity: true,
+            backing_parity: true,
+        }
+    }
+
+    /// True when at least one structure is protected.
+    pub fn any(&self) -> bool {
+        self.cache_parity || self.counter_parity || self.backing_parity
+    }
+}
+
 /// Full configuration of a [`crate::RegisterCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RegCacheConfig {
@@ -289,6 +335,9 @@ pub struct RegCacheConfig {
     /// How capacity is divided between SMT threads (ignored with one
     /// thread; see [`CachePartition`]).
     pub partition: CachePartition,
+    /// Soft-error parity protection on the storage structures (off by
+    /// default; see [`ProtectionConfig`]).
+    pub protection: ProtectionConfig,
 }
 
 impl RegCacheConfig {
@@ -306,6 +355,7 @@ impl RegCacheConfig {
             fill_default: 0,
             classify_misses: false,
             partition: CachePartition::Shared,
+            protection: ProtectionConfig::off(),
         }
     }
 

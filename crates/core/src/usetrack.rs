@@ -6,6 +6,10 @@ struct State {
     pinned: bool,
     active: bool,
     predicted: u8,
+    /// Modeled parity error: set by the fault injector, cleared by the
+    /// next write ([`UseTracker::init`] / [`UseTracker::scrub`] /
+    /// [`UseTracker::clear`]).
+    parity_bad: bool,
 }
 
 /// Remaining-use bookkeeping for values between rename and the register
@@ -61,6 +65,7 @@ impl UseTracker {
             pinned,
             active: true,
             predicted: degree.min(max_use_count),
+            parity_bad: false,
         };
     }
 
@@ -112,6 +117,38 @@ impl UseTracker {
         s.remaining ^= 0b111;
         s.pinned = false;
         true
+    }
+
+    /// Recoverable fault-injection hook: like
+    /// [`UseTracker::corrupt_counter`], but also marks the counter's
+    /// parity bad so a protected read ([`ProtectionConfig::counter_parity`](
+    /// crate::ProtectionConfig)) detects the upset and scrubs it instead
+    /// of consuming the corrupted count. Returns `false` when the
+    /// register holds no live value.
+    pub fn corrupt_counter_parity(&mut self, preg: PhysReg) -> bool {
+        if !self.corrupt_counter(preg) {
+            return false;
+        }
+        self.states[preg.0 as usize].parity_bad = true;
+        true
+    }
+
+    /// True when the counter word's modeled parity is clean (inactive
+    /// registers always read clean).
+    pub fn parity_ok(&self, preg: PhysReg) -> bool {
+        !self.states[preg.0 as usize].parity_bad
+    }
+
+    /// Recovery scrub after a detected parity error: the counter bits
+    /// are untrusted, so rewrite the word to the conservative
+    /// zero-remaining, unpinned state (the counters are hints — a wrong
+    /// scrub costs performance, never correctness). The value stays
+    /// active; only [`UseTracker::clear`] deactivates it.
+    pub fn scrub(&mut self, preg: PhysReg) {
+        let s = &mut self.states[preg.0 as usize];
+        s.remaining = 0;
+        s.pinned = false;
+        s.parity_bad = false;
     }
 }
 
@@ -165,5 +202,29 @@ mod tests {
         let mut t = UseTracker::new(8);
         t.init(PhysReg(3), Some(7), 1, 7);
         assert!(t.is_pinned(PhysReg(3)));
+    }
+
+    #[test]
+    fn parity_fault_is_detected_and_scrubbed() {
+        let mut t = UseTracker::new(8);
+        t.init(PhysReg(4), Some(9), 1, 7);
+        assert!(t.parity_ok(PhysReg(4)));
+        assert!(t.corrupt_counter_parity(PhysReg(4)));
+        assert!(!t.parity_ok(PhysReg(4)));
+        t.scrub(PhysReg(4));
+        assert!(t.parity_ok(PhysReg(4)));
+        assert_eq!(t.remaining(PhysReg(4)), 0);
+        assert!(!t.is_pinned(PhysReg(4)));
+        assert!(t.is_active(PhysReg(4)), "scrub keeps the value live");
+    }
+
+    #[test]
+    fn parity_faults_need_a_live_value_and_init_rewrites_the_word() {
+        let mut t = UseTracker::new(8);
+        assert!(!t.corrupt_counter_parity(PhysReg(5)), "inactive: no fault");
+        t.init(PhysReg(5), Some(2), 1, 7);
+        assert!(t.corrupt_counter_parity(PhysReg(5)));
+        t.init(PhysReg(5), Some(3), 1, 7);
+        assert!(t.parity_ok(PhysReg(5)), "a fresh init overwrites parity");
     }
 }

@@ -161,6 +161,14 @@ pub struct DiagnosticDump {
     pub rob_head: Vec<String>,
     /// One line per deferred-event queue: name, length, next due time.
     pub event_queues: Vec<String>,
+    /// Total recoveries performed before the stall (local scrubs,
+    /// re-fills, and machine checks), summed across threads. Non-zero
+    /// distinguishes livelock-after-recovery from a plain deadlock.
+    pub recoveries: u64,
+    /// Machine-check squashes among those recoveries.
+    pub machine_checks: u64,
+    /// Cycle of the most recent recovery, if any.
+    pub last_recovery: Option<u64>,
 }
 
 impl fmt::Display for DiagnosticDump {
@@ -178,6 +186,15 @@ impl fmt::Display for DiagnosticDump {
             "  last retirement at cycle {}; window holds {} waiting",
             self.last_progress, self.window_count
         )?;
+        match self.last_recovery {
+            Some(at) => writeln!(
+                f,
+                "  recoveries {} ({} machine checks), last at cycle {at} — \
+                 possible livelock after recovery",
+                self.recoveries, self.machine_checks
+            )?,
+            None => writeln!(f, "  no recoveries performed")?,
+        }
         writeln!(f, "  threads:")?;
         for line in &self.threads {
             writeln!(f, "    {line}")?;
@@ -302,6 +319,9 @@ pub enum ConfigError {
         /// Architectural registers each thread permanently holds.
         arch_regs: usize,
     },
+    /// The fault plan is malformed or incompatible with the protection
+    /// configuration (see [`crate::FaultPlanError`]).
+    FaultPlan(crate::inject::FaultPlanError),
 }
 
 impl fmt::Display for ConfigError {
@@ -358,6 +378,7 @@ impl fmt::Display for ConfigError {
                 "shared-freelist cap {cap} must exceed the architectural register \
                  count {arch_regs} or rename deadlocks"
             ),
+            ConfigError::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -390,6 +411,10 @@ pub(crate) struct Checker {
     remaining: Vec<u8>,
     pinned: Vec<bool>,
     active: Vec<bool>,
+    /// Registers whose real counter carries an injected-but-undetected
+    /// parity fault: the mirror comparison is suspended (the *protected
+    /// read* is what must catch it) until the recovery scrub resyncs.
+    suspect: Vec<bool>,
     /// Physical registers per thread partition, to attribute per-preg
     /// violations to the owning hardware thread.
     partition: usize,
@@ -402,6 +427,7 @@ impl Checker {
             remaining: vec![0; npregs],
             pinned: vec![false; npregs],
             active: vec![false; npregs],
+            suspect: vec![false; npregs],
             partition,
             fill_obligations: Vec::new(),
         }
@@ -434,7 +460,24 @@ impl Checker {
         self.remaining[i] = 0;
         self.pinned[i] = false;
         self.active[i] = false;
+        self.suspect[i] = false;
         self.fill_obligations.retain(|o| o.preg != preg);
+    }
+
+    /// A parity-marked counter fault was injected into the real
+    /// tracker: suspend the mirror comparison for this register until
+    /// the protected read detects it and scrubs.
+    pub(crate) fn on_counter_fault(&mut self, preg: u16) {
+        self.suspect[preg as usize] = true;
+    }
+
+    /// Mirrors `UseTracker::scrub` (the recovery rewrite after a
+    /// detected counter parity error) and lifts the suspension.
+    pub(crate) fn on_scrub(&mut self, preg: u16) {
+        let i = preg as usize;
+        self.remaining[i] = 0;
+        self.pinned[i] = false;
+        self.suspect[i] = false;
     }
 
     /// A fill was scheduled for `due`; it must land by then (unless the
@@ -471,6 +514,9 @@ impl Checker {
     ) -> Option<Box<InvariantViolation>> {
         for (i, &active) in self.active.iter().enumerate() {
             let p = PhysReg(i as u16);
+            if self.suspect[i] {
+                continue;
+            }
             if tracker.is_active(p) != active {
                 return Some(Box::new(InvariantViolation {
                     cycle,

@@ -108,6 +108,50 @@ impl RegStorage {
     }
 }
 
+/// How the pipeline reacts to a parity error detected by the
+/// register-storage protection layer
+/// ([`ubrc_core::ProtectionConfig`]).
+///
+/// Cache-entry and use-counter faults recover locally (invalidate and
+/// re-fill / scrub); a backing-file fault — the architected copy — and
+/// a watchdog-detected stall escalate to a machine-check squash of the
+/// affected thread, replaying from its last retired instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Master switch. Off (the default) preserves PR 2's
+    /// detect-and-report behavior: a detected fault surfaces through
+    /// the checker/oracle instead of recovering.
+    pub enabled: bool,
+    /// Cycles the squashed thread's front end stays quiesced after a
+    /// machine check before refetching (pipeline drain + checkpoint
+    /// restore).
+    pub machine_check_penalty: u64,
+}
+
+impl RecoveryPolicy {
+    /// Recovery disabled (the default; golden baseline behavior).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            machine_check_penalty: 10,
+        }
+    }
+
+    /// Recovery enabled with the default 10-cycle machine-check drain.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            machine_check_penalty: 10,
+        }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Functional-unit pool sizes (Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FuPools {
@@ -237,6 +281,9 @@ pub struct SimConfig {
     /// the robustness tests to prove the oracle/checker detect each
     /// corruption class.
     pub fault_plan: Option<FaultPlan>,
+    /// Reaction to parity errors detected by the protection layer
+    /// (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
     /// Hardware thread contexts (SMT). Set by
     /// [`crate::Simulator::new_smt`] to the number of co-scheduled
     /// programs; 1 for the classic single-threaded core. The physical
@@ -279,6 +326,7 @@ impl SimConfig {
             load_hit_speculation: true,
             check: CheckConfig::default(),
             fault_plan: None,
+            recovery: RecoveryPolicy::disabled(),
             nthreads: 1,
             fetch_policy: FetchPolicy::Icount,
             freelist: FreelistPolicy::Partitioned,

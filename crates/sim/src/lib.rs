@@ -38,9 +38,10 @@ pub use check::{
     SimError,
 };
 pub use config::{
-    BranchPredictorKind, FetchPolicy, FreelistPolicy, FuPools, RegStorage, SimConfig,
+    BranchPredictorKind, FetchPolicy, FreelistPolicy, FuPools, RecoveryPolicy, RegStorage,
+    SimConfig,
 };
-pub use inject::{FaultKind, FaultPlan, FaultSpec};
+pub use inject::{FaultKind, FaultPlan, FaultPlanError, FaultSpec, PeriodicFault};
 pub use pipeline::Simulator;
 pub use stats::{LifetimeCollector, LifetimeStats, SimResult};
 pub use trace::{InstTrace, OperandPath, Timeline};

@@ -72,6 +72,17 @@ impl Simulator {
         Self::new_smt(vec![program], config)
     }
 
+    /// Builds a single-threaded simulator like [`Simulator::new`], but
+    /// reports a rejected configuration as a typed [`ConfigError`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the configuration violates.
+    pub fn try_new(program: Program, config: SimConfig) -> Result<Self, ConfigError> {
+        Self::try_new_smt(vec![program], config)
+    }
+
     /// Builds a simulator co-scheduling one program per hardware
     /// thread. `config.nthreads` is overwritten with the program count;
     /// the physical register file is partitioned evenly between the
@@ -171,6 +182,16 @@ impl Simulator {
                 }
             }
         }
+        if let Some(plan) = &config.fault_plan {
+            // Recoverable fault kinds need the cache's protection layer;
+            // non-cached storage has no parity model at all.
+            let protection = match &config.storage {
+                RegStorage::Cached { cache, .. } => cache.protection,
+                _ => ubrc_core::ProtectionConfig::off(),
+            };
+            plan.validate(npregs, protection)
+                .map_err(ConfigError::FaultPlan)?;
+        }
         Ok(())
     }
 
@@ -267,6 +288,13 @@ impl Simulator {
             // program, fresh architectural state — no deep copy of the
             // instruction stream.
             let oracle = config.check.oracle.then(|| Oracle::for_machine(&machine));
+            // The machine-check checkpoint is another fork, stepped
+            // once per retirement (see `retire`), so it always sits at
+            // the thread's retired architectural state.
+            let recover = config
+                .recovery
+                .enabled
+                .then(|| Box::new(machine.fork_fresh()));
 
             // Initial architectural state: arch reg i -> preg lo + i,
             // the rest of the partition free.
@@ -341,6 +369,11 @@ impl Simulator {
                 sched: VecDeque::new(),
                 store_granules: std::collections::HashMap::new(),
                 oracle,
+                recover,
+                recoveries: 0,
+                machine_checks: 0,
+                last_recovery: None,
+                recovery_pending_since: None,
             });
         }
 
@@ -387,6 +420,10 @@ impl Simulator {
             injector,
             error: None,
             cancel: None,
+            pending_machine_check: None,
+            recovery_cycles: 0,
+            recovery_latency: ubrc_stats::Histogram::new(),
+            forced_recovery: false,
             config,
         };
         Ok(Self { core })
@@ -442,6 +479,21 @@ impl Simulator {
                 }
             }
             if core.now - core.last_progress >= watchdog {
+                // With recovery enabled the watchdog escalates once: a
+                // forced machine-check squash of every live thread (the
+                // stall may be fault-induced state the squash clears).
+                // A second trip is a real deadlock.
+                if core.config.recovery.enabled && !core.forced_recovery {
+                    core.forced_recovery = true;
+                    let now = core.now;
+                    for tid in 0..core.threads.len() {
+                        if !core.threads[tid].halted {
+                            core.machine_check_squash(tid, now);
+                        }
+                    }
+                    core.last_progress = core.now;
+                    continue;
+                }
                 return Err(Box::new(SimError::Watchdog(core.diagnostic_dump())));
             }
             if let Some(flag) = &core.cancel {

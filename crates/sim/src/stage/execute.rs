@@ -35,7 +35,8 @@ impl CoreState {
         inj.arm(now);
         let mut i = 0;
         while i < inj.armed.len() {
-            let landed = match inj.armed[i] {
+            let target = inj.armed[i].target;
+            let landed = match inj.armed[i].kind {
                 FaultKind::FlipUsePrediction => {
                     let r = inj.next_u64() as usize;
                     if let Storage::Cached { tracker, .. } = &mut self.storage {
@@ -61,6 +62,71 @@ impl CoreState {
                         self.events.fills.items.swap_remove(idx);
                         self.events.fills.refresh_due();
                         true
+                    }
+                }
+                // Recoverable: marks a resident cache entry's parity
+                // bad; detected (and the entry invalidated and
+                // re-filled) at the next protected read.
+                FaultKind::FlipCacheData => {
+                    if let Storage::Cached { cache, .. } = &mut self.storage {
+                        match target {
+                            Some(t) => cache.corrupt_preg_data(PhysReg(t)),
+                            None => cache.corrupt_data(inj.next_u64() as usize).is_some(),
+                        }
+                    } else {
+                        false
+                    }
+                }
+                // Recoverable: flips a live use counter and marks its
+                // parity bad; scrubbed at the next protected counter
+                // read. The checker suspends its mirror for the preg
+                // until the scrub, since the corruption is *supposed*
+                // to go unnoticed until then.
+                FaultKind::FlipUseCounter => {
+                    let hit = if let Storage::Cached { tracker, .. } = &mut self.storage {
+                        let n = self.config.phys_regs;
+                        match target {
+                            Some(t) => tracker.corrupt_counter_parity(PhysReg(t)).then_some(t),
+                            None => {
+                                let r = inj.next_u64() as usize;
+                                (0..n)
+                                    .map(|k| ((r + k) % n) as u16)
+                                    .find(|&p| tracker.corrupt_counter_parity(PhysReg(p)))
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    if let Some(p) = hit {
+                        if let Some(ck) = self.checker.as_mut() {
+                            ck.on_counter_fault(p);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                }
+                // Recoverable, but only by machine check: the backing
+                // file is the architected copy. Lands on an active
+                // register so the fault is reachable by a read.
+                FaultKind::FlipBackingWord => {
+                    if let Storage::Cached { backing, .. } = &mut self.storage {
+                        let n = self.config.phys_regs;
+                        match target {
+                            Some(t) => {
+                                self.preg_info[t as usize].active
+                                    && backing.corrupt_word(PhysReg(t))
+                            }
+                            None => {
+                                let r = inj.next_u64() as usize;
+                                (0..n).map(|k| ((r + k) % n) as u16).any(|p| {
+                                    self.preg_info[p as usize].active
+                                        && backing.corrupt_word(PhysReg(p))
+                                })
+                            }
+                        }
+                    } else {
+                        false
                     }
                 }
                 // Lands on the fetch path when a correct-path record
@@ -100,6 +166,8 @@ impl CoreState {
     }
 
     fn process_cache_events(&mut self, now: u64) {
+        let protection = self.protection();
+        let mut scrubbed: Vec<u16> = Vec::new();
         let Storage::Cached { cache, tracker, .. } = &mut self.storage else {
             return;
         };
@@ -111,6 +179,14 @@ impl CoreState {
                 if t == now {
                     self.events.writes.items.swap_remove(i);
                     if self.preg_info[p as usize].active && self.preg_gen[p as usize] == gen {
+                        // The write decision reads the use counter; a
+                        // protected read detects a flipped counter here
+                        // and scrubs it (the write proceeds with the
+                        // conservative scrubbed count).
+                        if protection.counter_parity && !tracker.parity_ok(PhysReg(p)) {
+                            tracker.scrub(PhysReg(p));
+                            scrubbed.push(p);
+                        }
                         let remaining = tracker.remaining(PhysReg(p));
                         let pinned = tracker.is_pinned(PhysReg(p));
                         let bypasses = self.preg_info[p as usize].pre_write_bypasses;
@@ -157,6 +233,13 @@ impl CoreState {
                 }
             }
             self.events.bypass_decs.refresh_due();
+        }
+        for p in scrubbed {
+            if let Some(ck) = self.checker.as_mut() {
+                ck.on_scrub(p);
+            }
+            let tid = self.thread_of_preg(p);
+            self.note_recovery(tid, now, 0);
         }
     }
 }

@@ -184,6 +184,14 @@ impl CoreState {
                     continue;
                 }
                 self.issue_one(tid, i, now);
+                // A detected backing-file fault escalates to a machine
+                // check: the thread's entire in-flight state is
+                // squashed and replayed from its last retirement.
+                // Later selections for the thread fall to the
+                // staleness guard above.
+                if let Some(mc) = self.pending_machine_check.take() {
+                    self.machine_check_squash(mc, now);
+                }
             }
         }
         self.due_buf = due;
@@ -206,6 +214,10 @@ impl CoreState {
         };
 
         // Obtain each source operand: bypass, storage hit, or miss.
+        let protection = self.protection();
+        let mut counter_scrubs: u32 = 0;
+        let mut parity_fill_latency: Option<u64> = None;
+        let mut machine_check = false;
         let mut miss_avail: u64 = 0;
         let mut operand_paths: [Option<OperandPath>; 2] = [None, None];
         for (slot, p) in srcs
@@ -221,7 +233,16 @@ impl CoreState {
                 if let Storage::Cached { tracker, .. } = &mut self.storage {
                     if stage == 0 {
                         // First-stage bypass: visible to the write
-                        // decision (§3.1).
+                        // decision (§3.1). The consume reads the use
+                        // counter, so a protected read detects a
+                        // flipped counter and scrubs it first.
+                        if protection.counter_parity && !tracker.parity_ok(PhysReg(p)) {
+                            tracker.scrub(PhysReg(p));
+                            if let Some(ck) = self.checker.as_mut() {
+                                ck.on_scrub(p);
+                            }
+                            counter_scrubs += 1;
+                        }
                         tracker.consume(PhysReg(p));
                         self.preg_info[p as usize].pre_write_bypasses += 1;
                         if let Some(ck) = self.checker.as_mut() {
@@ -242,8 +263,27 @@ impl CoreState {
                 if let Storage::Cached { cache, backing, .. } = &mut self.storage {
                     let set = self.preg_info[p as usize].set;
                     operand_paths[slot] = Some(OperandPath::CacheHit);
+                    // A protected read checks the entry's parity tag
+                    // first: a flipped data bit invalidates the entry,
+                    // which turns this read into an ordinary miss —
+                    // the re-fill from the backing file IS the
+                    // recovery (the cache is write-through, so the
+                    // backing word is a clean copy).
+                    let parity_fault =
+                        protection.cache_parity && cache.take_parity_fault(PhysReg(p), set, now);
                     if !cache.read(PhysReg(p), set, now) {
                         operand_paths[slot] = Some(OperandPath::CacheMiss);
+                        if protection.backing_parity && !backing.parity_ok(PhysReg(p)) {
+                            // The architected copy itself is corrupt:
+                            // no clean copy exists anywhere, so the
+                            // thread takes a machine check (squash and
+                            // replay from its last retirement). The
+                            // word is rewritten when the producer
+                            // re-executes; scrub the tag now so the
+                            // replayed read passes.
+                            backing.scrub(PhysReg(p));
+                            machine_check = true;
+                        }
                         // Miss (Figure 3 star): file read through the
                         // single port, after the producer's write.
                         let avail = backing.read(PhysReg(p), now + 1);
@@ -256,6 +296,12 @@ impl CoreState {
                         self.replay.mark(now + 1);
                         self.miss_events += 1;
                         miss_avail = miss_avail.max(avail);
+                        if parity_fault {
+                            // Recovery latency: the cycles this
+                            // consumer waits for the re-fill.
+                            let lat = (avail + 1).saturating_sub(now);
+                            parity_fill_latency = Some(parity_fill_latency.unwrap_or(0).max(lat));
+                        }
                     }
                 }
             }
@@ -275,6 +321,19 @@ impl CoreState {
                     }
                 }
             }
+        }
+
+        for _ in 0..counter_scrubs {
+            self.note_recovery(tid, now, 0);
+        }
+        if let Some(lat) = parity_fill_latency {
+            self.note_recovery(tid, now, lat);
+        }
+        if machine_check {
+            // Processed by the issue loop right after this instruction;
+            // everything this call mutated (including the fill just
+            // scheduled) is torn down by the squash's generation bumps.
+            self.pending_machine_check = Some(tid);
         }
 
         // Effective issue time: delayed by the latest miss (the value

@@ -371,6 +371,23 @@ pub(crate) struct ThreadState {
     /// Lockstep co-simulation oracle: one functional machine per
     /// thread, replaying that thread's retirement stream.
     pub(crate) oracle: Option<Oracle>,
+
+    // Soft-error recovery (`SimConfig::recovery`).
+    /// Machine-check checkpoint: a functional machine stepped once per
+    /// retirement, so it always sits exactly at this thread's retired
+    /// architectural state. Cloned into `machine` to replay from the
+    /// faulting instruction. `None` when recovery is disabled.
+    pub(crate) recover: Option<Box<Machine>>,
+    /// Recoveries performed for this thread (scrubs, re-fills, and
+    /// machine checks).
+    pub(crate) recoveries: u64,
+    /// Machine-check squashes among those recoveries.
+    pub(crate) machine_checks: u64,
+    /// Cycle of the most recent recovery.
+    pub(crate) last_recovery: Option<u64>,
+    /// Cycle a machine-check squash fired, pending its first
+    /// post-recovery retirement (measures full replay latency).
+    pub(crate) recovery_pending_since: Option<u64>,
 }
 
 /// One shared physical-register pool ([`crate::FreelistPolicy::Shared`]):
@@ -481,6 +498,20 @@ pub(crate) struct CoreState {
     pub(crate) injector: Option<Injector>,
     pub(crate) error: Option<Box<SimError>>,
     pub(crate) cancel: Option<Arc<AtomicBool>>,
+
+    // Soft-error recovery (`SimConfig::recovery`).
+    /// A backing-word parity error was detected during issue; the
+    /// machine-check squash runs after the issue loop releases its
+    /// borrows.
+    pub(crate) pending_machine_check: Option<ThreadId>,
+    /// Total cycles attributed to recovery (fill round-trips and
+    /// machine-check replays).
+    pub(crate) recovery_cycles: u64,
+    /// Distribution of individual recovery latencies.
+    pub(crate) recovery_latency: ubrc_stats::Histogram,
+    /// The watchdog already spent its one forced recovery squash; the
+    /// next trip is a real deadlock.
+    pub(crate) forced_recovery: bool,
 }
 
 /// One entry of the declarative cycle schedule.
@@ -562,6 +593,25 @@ impl CoreState {
         self.threads.iter().map(|t| t.rob.len()).sum()
     }
 
+    /// Books one completed recovery for `tid`: `latency` cycles were
+    /// spent restoring state the fault destroyed.
+    pub(crate) fn note_recovery(&mut self, tid: ThreadId, now: u64, latency: u64) {
+        let t = &mut self.threads[tid];
+        t.recoveries += 1;
+        t.last_recovery = Some(now);
+        self.recovery_cycles += latency;
+        self.recovery_latency.record(latency);
+    }
+
+    /// The configured protection mode (all-off unless the storage is a
+    /// protected register cache).
+    pub(crate) fn protection(&self) -> ubrc_core::ProtectionConfig {
+        match &self.config.storage {
+            crate::config::RegStorage::Cached { cache, .. } => cache.protection,
+            _ => ubrc_core::ProtectionConfig::off(),
+        }
+    }
+
     /// Snapshot of the stuck machine for the watchdog report.
     pub(crate) fn diagnostic_dump(&self) -> Box<DiagnosticDump> {
         let rob_head = self
@@ -591,8 +641,15 @@ impl CoreState {
             .iter()
             .enumerate()
             .map(|(tid, t)| {
+                let recovery = match t.last_recovery {
+                    Some(at) => format!(
+                        ", recovered {} (mc {}, last @ {at})",
+                        t.recoveries, t.machine_checks
+                    ),
+                    None => String::new(),
+                };
                 format!(
-                    "t{tid}: retired {} (last seq {}), rob {}, fetchq {}, free pregs {}{}{}{}",
+                    "t{tid}: retired {} (last seq {}), rob {}, fetchq {}, free pregs {}{}{}{}{}",
                     t.retired,
                     t.last_retired_seq,
                     t.rob.len(),
@@ -605,6 +662,7 @@ impl CoreState {
                     } else {
                         ""
                     },
+                    recovery,
                 )
             })
             .collect();
@@ -648,6 +706,9 @@ impl CoreState {
             threads,
             rob_head,
             event_queues,
+            recoveries: self.threads.iter().map(|t| t.recoveries).sum(),
+            machine_checks: self.threads.iter().map(|t| t.machine_checks).sum(),
+            last_recovery: self.threads.iter().filter_map(|t| t.last_recovery).max(),
         })
     }
 

@@ -63,6 +63,21 @@ impl CoreState {
                         return;
                     }
                 }
+                if let Some(rm) = t.recover.as_mut() {
+                    // The machine-check checkpoint advances in lockstep
+                    // with retirement, so it always sits exactly at the
+                    // thread's architectural (retired) state.
+                    let _ = rm.step();
+                }
+                if let Some(since) = t.recovery_pending_since.take() {
+                    // First retirement after a machine-check squash:
+                    // the recovery episode (squash, refetch, replay
+                    // back to a retirement) is complete; book its
+                    // observed latency.
+                    let lat = now - since;
+                    self.recovery_cycles += lat;
+                    self.recovery_latency.record(lat);
+                }
                 if inst.rec.inst == Inst::Halt {
                     t.halted = true;
                     if self.threads.iter().all(|t| t.halted) {
@@ -172,6 +187,12 @@ impl CoreState {
             store_forward_stalls: self.store_forward_stalls,
             wrong_path_squashed: self.wp_squashed,
             load_miss_speculations: self.load_replay_squashes,
+            recoveries: self.threads.iter().map(|t| t.recoveries).sum(),
+            machine_checks: self.threads.iter().map(|t| t.machine_checks).sum(),
+            recovery_cycles: self.recovery_cycles,
+            recovery_latency: self.recovery_latency,
+            thread_recoveries: self.threads.iter().map(|t| t.recoveries).collect(),
+            thread_machine_checks: self.threads.iter().map(|t| t.machine_checks).collect(),
             regcache,
             backing,
             twolevel,

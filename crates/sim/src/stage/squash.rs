@@ -87,6 +87,82 @@ impl CoreState {
         }
     }
 
+    /// Machine-check squash (soft-error recovery): tears down thread
+    /// `tid`'s *entire* speculative state — every in-flight instruction
+    /// back to its last retirement — and restores the functional
+    /// machine from the retirement checkpoint, so the thread refetches
+    /// and replays from the instruction after its last retired one.
+    /// Taken when a backing-file word (the architected copy, with no
+    /// clean copy anywhere else) fails its parity check, and by the
+    /// watchdog's one forced-recovery escalation. Only this thread's
+    /// state is touched: SMT peers keep executing through the squash.
+    pub(crate) fn machine_check_squash(&mut self, tid: ThreadId, now: u64) {
+        let mut removed = std::mem::take(&mut self.squash_buf);
+        removed.clear();
+        removed.extend(self.threads[tid].rob.drain(..));
+        self.threads[tid].sched.clear();
+        // Youngest first, so each arch register's rename-map chain
+        // unwinds one mapping at a time back to the retired state.
+        for inst in removed.iter().rev() {
+            debug_assert_eq!(inst.tid, tid, "squashed another thread's instruction");
+            if inst.status == Status::Waiting {
+                self.window_count -= 1;
+                for p in inst.srcs.iter().flatten() {
+                    let info = &mut self.preg_info[*p as usize];
+                    if info.active {
+                        info.consumers_outstanding = info.consumers_outstanding.saturating_sub(1);
+                    }
+                }
+            }
+            if let Some(d) = inst.dest {
+                if let Storage::Cached { assigner, .. } = &mut self.storage {
+                    let info = &self.preg_info[d as usize];
+                    assigner.release(info.set, info.predicted);
+                }
+                if let Some(prev) = inst.prev {
+                    // The youngest live mapping of this instruction's
+                    // architectural destination is `d`; revert it.
+                    let t = &mut self.threads[tid];
+                    if let Some(slot) = t.map.iter().position(|&m| m == d) {
+                        t.map[slot] = prev;
+                    }
+                    let pi = &mut self.preg_info[prev as usize];
+                    if pi.active {
+                        pi.reassigned_seq = None;
+                    }
+                }
+                self.squash_free_preg(d, now);
+            }
+        }
+        self.squash_buf = removed;
+
+        // Full front-end reset: the thread refetches from the
+        // checkpoint, so every latched fetch/decode artifact is stale.
+        let t = &mut self.threads[tid];
+        t.store_granules.clear();
+        t.fetch_latch.queue.clear();
+        t.peeked = None;
+        t.halt_fetched = false;
+        t.stream_done = false;
+        t.waiting_on_branch = None;
+        t.wrong_path = false;
+        t.wp_resolve_seq = None;
+        t.wp_map_saved = false;
+        t.wp_ras_saved = false;
+        // Restore the functional machine from the retirement
+        // checkpoint (replacing it also discards any speculation the
+        // old machine had entered).
+        let recover = t.recover.as_ref().expect("recovery enabled");
+        t.machine = (**recover).clone();
+        t.fetch_resume = now + self.config.recovery.machine_check_penalty;
+        t.machine_checks += 1;
+        t.recoveries += 1;
+        t.last_recovery = Some(now);
+        // Latency is booked at the first post-squash retirement; keep
+        // the earliest pending squash if several stack up before one.
+        t.recovery_pending_since.get_or_insert(now);
+    }
+
     /// Releases a wrong-path destination register: like a free at
     /// retirement, but with no degree-predictor training and no
     /// lifetime statistics (the value never completed a lifetime).

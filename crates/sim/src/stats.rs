@@ -119,6 +119,22 @@ pub struct SimResult {
     /// Loads whose L1-hit speculation failed (each squashes its issue
     /// shadow, like a register-cache miss).
     pub load_miss_speculations: u64,
+    /// Soft-error recoveries completed (entry invalidate + re-fill,
+    /// counter scrubs, and machine checks; see `machine_checks` for
+    /// the escalated subset).
+    pub recoveries: u64,
+    /// Machine-check squash-and-replay recoveries (backing-file faults
+    /// and forced watchdog recoveries).
+    pub machine_checks: u64,
+    /// Total cycles spent in recovery (re-fill waits plus
+    /// squash-to-first-retirement replay latencies).
+    pub recovery_cycles: u64,
+    /// Distribution of individual recovery latencies in cycles.
+    pub recovery_latency: Histogram,
+    /// Recoveries per hardware thread (sums to `recoveries`).
+    pub thread_recoveries: Vec<u64>,
+    /// Machine checks per hardware thread (sums to `machine_checks`).
+    pub thread_machine_checks: Vec<u64>,
     /// Register-cache statistics (cached configurations only).
     pub regcache: Option<RegCacheStats>,
     /// Backing-file statistics (cached configurations only).
@@ -253,6 +269,12 @@ mod tests {
             store_forward_stalls: 0,
             wrong_path_squashed: 0,
             load_miss_speculations: 0,
+            recoveries: 0,
+            machine_checks: 0,
+            recovery_cycles: 0,
+            recovery_latency: Histogram::new(),
+            thread_recoveries: vec![],
+            thread_machine_checks: vec![],
             regcache: None,
             backing: None,
             twolevel: None,

@@ -31,6 +31,15 @@ echo "== SMT smoke: 4-thread Tiny kernel quads, oracle + invariants on"
 cargo run --release -q -p ubrc-bench --bin experiments -- \
   smt4 --scale tiny --check --timeout 300 >/dev/null
 
+echo "== recovery smoke: Tiny suite, parity + injected faults, oracle on"
+# The soft experiment sweeps every recoverable fault class with full
+# checking: any oracle divergence or unbalanced pin/fill accounting
+# fails the run. The recovery test suite then asserts the counts are
+# non-zero (faults actually landed and were repaired).
+cargo run --release -q -p ubrc-bench --bin experiments -- \
+  soft --scale tiny --check --timeout 300 >/dev/null
+cargo test --release -q -p ubrc-sim --test recovery
+
 echo "== ConfigError rejection tests"
 cargo test --release -q -p ubrc-sim --lib -- reject
 

@@ -10,8 +10,10 @@
 //! counts against the stored goldens. Trailing blocks pin later
 //! extensions without disturbing the original 96-row matrix:
 //! `filtered-ehc` rows for the expected-hit-count replacement scorer,
-//! `minload-*` rows for the occupancy-based set assigner, and
-//! `smt2-*` rows for 2-thread kernel pairs on the SMT core.
+//! `minload-*` rows for the occupancy-based set assigner, `smt2-*` and
+//! `smt4-*` rows for the SMT core, and `soft-*` rows for the parity
+//! protection / machine-check recovery layer (fault-free and under
+//! deterministic injected fault streams).
 //!
 //! To regenerate after an *intentional* model change:
 //!
@@ -28,8 +30,10 @@
 //!
 //! and justify the diff of `golden_snapshots.txt` in the PR.
 
-use ubrc::core::{CachePartition, IndexPolicy, RegCacheConfig};
-use ubrc::sim::{simulate_smt, simulate_workload, RegStorage, SimConfig};
+use ubrc::core::{CachePartition, IndexPolicy, ProtectionConfig, RegCacheConfig};
+use ubrc::sim::{
+    simulate_smt, simulate_workload, FaultKind, FaultPlan, RecoveryPolicy, RegStorage, SimConfig,
+};
 use ubrc::workloads::{kernel_pairs, kernel_quads, suite, Scale, Workload};
 
 const GOLDEN: &str = include_str!("golden_snapshots.txt");
@@ -308,6 +312,41 @@ fn cells() -> Vec<Cell> {
                     }),
                 });
             }
+        }
+    }
+    // Soft-error protection and recovery: `soft-protected` pins the
+    // zero-overhead claim (full parity + machine-check recovery
+    // enabled, no faults injected — the timing must be identical to a
+    // plain use-based run), while the faulted rows pin the recovery
+    // timing model itself under deterministic periodic fault streams:
+    // cache-data faults re-fill, backing-word faults squash and replay.
+    for w in suite(Scale::Tiny) {
+        for (config, plan) in [
+            ("soft-protected", None),
+            (
+                "soft-cachefault",
+                Some(FaultPlan::periodic(13, 150, FaultKind::FlipCacheData)),
+            ),
+            (
+                "soft-backingfault",
+                Some(FaultPlan::periodic(17, 300, FaultKind::FlipBackingWord)),
+            ),
+        ] {
+            let w = w.clone();
+            cells.push(Cell {
+                kernel: w.name.to_string(),
+                config: config.to_string(),
+                run: Box::new(move |check| {
+                    let mut cache = RegCacheConfig::use_based(64, 2);
+                    cache.classify_misses = true;
+                    cache.protection = ProtectionConfig::full();
+                    let mut cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, check);
+                    cfg.recovery = RecoveryPolicy::enabled();
+                    cfg.fault_plan = plan.clone();
+                    let r = simulate_workload(&w, cfg);
+                    snap_fields(w.name.to_string(), config.to_string(), &r)
+                }),
+            });
         }
     }
     cells
