@@ -6,6 +6,7 @@
 //! experiments <id|all> [--scale tiny|small|default] [--json [PATH]]
 //!             [--check] [--timeout SECS] [--retries N]
 //! experiments --json            # trajectory only -> BENCH_pipeline.json
+//! experiments --list            # print available experiment ids
 //! ```
 //!
 //! `--check` turns on full runtime checking (lockstep co-simulation
@@ -38,6 +39,7 @@ struct Cli {
     check: bool,
     timeout: Option<u64>,
     retries: Option<u32>,
+    list: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -48,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         check: false,
         timeout: None,
         retries: None,
+        list: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -76,6 +79,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.json = Some(path);
             }
             "--check" => cli.check = true,
+            "--list" => cli.list = true,
             "--timeout" => {
                 i += 1;
                 cli.timeout = match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
@@ -119,11 +123,20 @@ fn main() {
     }
 
     let reg = registry();
+    if cli.list {
+        // Machine-friendly: one id per line on stdout, exit 0 (CI uses
+        // this to enumerate experiments without parsing usage text).
+        for (id, _, _) in &reg {
+            println!("{id}");
+        }
+        return;
+    }
     if cli.which.is_none() && cli.json.is_none() {
         eprintln!(
             "usage: experiments <id|all> [--scale tiny|small|default] [--json [PATH]]\n\
              \x20                 [--check] [--timeout SECS] [--retries N]\n\
              \n\
+             --list         print the available experiment ids and exit\n\
              --json [PATH]  also run the benchmark trajectory and write it as JSON\n\
              --check        enable the co-simulation oracle and invariant checker\n\
              --timeout SECS wall-clock budget per simulation cell\n\

@@ -996,6 +996,133 @@ pub fn soft(scale: Scale) -> Result<Table, SuiteError> {
     Ok(t)
 }
 
+/// Tentpole extension: utility-driven dynamic register-cache
+/// partitioning (after Qureshi & Patt's UCP, MICRO 2006, transplanted
+/// to the register cache). The 4-thread partition matrix of [`smt4`]
+/// gains a `dynamic-cap` row: per-thread shadow-tag utility monitors
+/// feed a lookahead partitioner that recomputes the occupancy quotas
+/// every 128 cycles (floor 4 entries/thread), so the cache tracks
+/// each quad's phase behavior instead of freezing the even split.
+/// Static occupancy capping pays for isolation with capacity
+/// (`vs-shared` < 1); the dynamic row should close most of that gap by
+/// granting quota where the monitors see marginal hits.
+pub fn ucp(scale: Scale) -> Result<Table, SuiteError> {
+    let partitions = [
+        ("shared", CachePartition::Shared),
+        ("occupancy-cap", CachePartition::OccupancyCap),
+        (
+            "dynamic-cap",
+            CachePartition::DynamicCap {
+                epoch_cycles: 128,
+                min_cap: 4,
+            },
+        ),
+    ];
+    let schemes = [
+        (
+            "use-based",
+            RegCacheConfig::use_based(64, 4),
+            IndexPolicy::FilteredRoundRobin,
+        ),
+        ("lru", RegCacheConfig::lru(64, 4), IndexPolicy::RoundRobin),
+    ];
+    let mut t = Table::new(["scheme", "partition", "4T-geomean-ipc", "vs-shared"]);
+    for (scheme, base, index) in schemes {
+        let mut shared_ipc = None;
+        for (pname, p) in partitions {
+            let mut cache = base;
+            cache.partition = p;
+            let cfg = cached_cfg(cache, index, 2);
+            let ipc = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
+            let baseline = *shared_ipc.get_or_insert(ipc);
+            t.row([
+                scheme.to_string(),
+                pname.to_string(),
+                format!("{ipc:.4}"),
+                format!("{:.4}", ipc / baseline),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// Extension: the SMT fetch-policy × freelist matrix. Each fetch
+/// chooser ({ICOUNT, round-robin, ICOUNT.2.8}) runs against both
+/// rename-register organizations (statically partitioned freelists vs.
+/// a shared pool capped at 96 live registers per thread) over the
+/// 2-thread pair suite and the 4-thread quad suite, under the paper's
+/// use-based cache. ICOUNT's advantage should grow with thread count
+/// (round-robin lets a stalled thread hold fetch slots), while the
+/// shared pool trades isolation for rename headroom.
+pub fn fetchpol(scale: Scale) -> Result<Table, SuiteError> {
+    use ubrc_sim::{FetchPolicy, FreelistPolicy};
+    let policies = [
+        ("icount (paper)", FetchPolicy::Icount),
+        ("round-robin", FetchPolicy::RoundRobin),
+        ("icount.2.8", FetchPolicy::Icount28),
+    ];
+    let freelists = [
+        ("partitioned", FreelistPolicy::Partitioned),
+        ("shared cap=96", FreelistPolicy::Shared { cap: 96 }),
+    ];
+    let mut t = Table::new([
+        "fetch-policy",
+        "freelist",
+        "2T-geomean-ipc",
+        "4T-geomean-ipc",
+    ]);
+    for (fname, fetch) in policies {
+        for (flname, freelist) in freelists {
+            let mut cfg = SimConfig::paper_default();
+            cfg.fetch_policy = fetch;
+            cfg.freelist = freelist;
+            let two = crate::runner::run_pair_suite(&cfg, scale)?.geomean_ipc();
+            let four = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
+            t.row([
+                fname.to_string(),
+                flname.to_string(),
+                format!("{two:.4}"),
+                format!("{four:.4}"),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// Extension: the expected-hit-count replacement scorer swept across
+/// cache geometry, against fewest-uses and against the related
+/// fill-floor knob. `expected-hit-count` floors fill-installed entries
+/// at one expected hit in the *scorer*; `fill-default=1` writes the
+/// same floor into the use counter itself (which also delays the
+/// entry's eviction once it becomes replaceable). Sweeping entries ×
+/// associativity shows where the distinction matters: the scorer-side
+/// floor should help most where fills are frequent (small caches) and
+/// wash out as capacity grows.
+pub fn ehc_sweep(scale: Scale) -> Result<Table, SuiteError> {
+    let mut t = Table::new([
+        "entries",
+        "ways",
+        "fewest-uses",
+        "fill-default=1",
+        "expected-hit-count",
+    ]);
+    for entries in [32usize, 64, 96] {
+        for ways in [2usize, 4] {
+            let fewest = RegCacheConfig::use_based(entries, ways);
+            let mut floored = RegCacheConfig::use_based(entries, ways);
+            floored.fill_default = 1;
+            let ehc = RegCacheConfig::expected_hit_count(entries, ways);
+            let mut row = vec![entries.to_string(), ways.to_string()];
+            for cache in [fewest, floored, ehc] {
+                let cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, 2);
+                row.push(format!("{:.4}", run_suite(&cfg, scale)?.geomean_ipc()));
+            }
+            t.row(row);
+        }
+    }
+    Ok(t)
+}
+
 /// Every experiment, as `(id, description, runner)` triples, in paper
 /// order. The harness binary and the smoke tests iterate this. A
 /// failing run reports the offending workload via [`SuiteError`]
@@ -1102,6 +1229,21 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "soft",
             "soft-error detection and recovery (extension)",
             soft,
+        ),
+        (
+            "ucp",
+            "utility-driven dynamic cache partitioning (extension)",
+            ucp,
+        ),
+        (
+            "fetchpol",
+            "SMT fetch-policy x freelist matrix (extension)",
+            fetchpol,
+        ),
+        (
+            "ehc-sweep",
+            "expected-hit-count geometry sweep (extension)",
+            ehc_sweep,
         ),
     ]
 }

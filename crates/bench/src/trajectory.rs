@@ -18,8 +18,10 @@ use ubrc_workloads::Scale;
 
 /// Version tag embedded in the emitted document. `/2` added the
 /// per-kernel `attempts` count (runner retries) and the `soft-*`
-/// protection/recovery configurations.
-pub const SCHEMA: &str = "ubrc-bench-pipeline/2";
+/// protection/recovery configurations; `/3` added the dynamically
+/// partitioned 4-thread cells (`smt4-*-dyncap`) and the 2-thread
+/// fetch-policy cells (`smt2-use-based-{rr,ic28}`).
+pub const SCHEMA: &str = "ubrc-bench-pipeline/3";
 
 fn cached(cache: RegCacheConfig, index: IndexPolicy) -> SimConfig {
     SimConfig::table1(RegStorage::Cached {
@@ -111,19 +113,33 @@ pub fn soft_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
 
 /// The 2-thread SMT configurations the trajectory tracks: each cell
 /// runs every [`ubrc_workloads::kernel_pairs`] pairing co-scheduled on
-/// one core, so its `ipc` columns are aggregate (two-thread) IPC.
+/// one core, so its `ipc` columns are aggregate (two-thread) IPC. The
+/// `rr`/`ic28` cells pin the fetch-policy ablation (the default cells
+/// fetch with ICOUNT.1.8).
 pub fn smt_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
+    let fetch = |mut cfg: SimConfig, policy: ubrc_sim::FetchPolicy| {
+        cfg.fetch_policy = policy;
+        cfg
+    };
+    let ub = || {
+        cached(
+            RegCacheConfig::use_based(64, 2),
+            IndexPolicy::FilteredRoundRobin,
+        )
+    };
     vec![
-        (
-            "smt2-use-based",
-            cached(
-                RegCacheConfig::use_based(64, 2),
-                IndexPolicy::FilteredRoundRobin,
-            ),
-        ),
+        ("smt2-use-based", ub()),
         (
             "smt2-lru",
             cached(RegCacheConfig::lru(64, 2), IndexPolicy::RoundRobin),
+        ),
+        (
+            "smt2-use-based-rr",
+            fetch(ub(), ubrc_sim::FetchPolicy::RoundRobin),
+        ),
+        (
+            "smt2-use-based-ic28",
+            fetch(ub(), ubrc_sim::FetchPolicy::Icount28),
         ),
     ]
 }
@@ -178,6 +194,32 @@ pub fn smt4_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
             "smt4-lru-occcap",
             cached(
                 part(lru(), CachePartition::OccupancyCap),
+                IndexPolicy::RoundRobin,
+            ),
+        ),
+        (
+            "smt4-use-based-dyncap",
+            cached(
+                part(
+                    ub(),
+                    CachePartition::DynamicCap {
+                        epoch_cycles: 128,
+                        min_cap: 4,
+                    },
+                ),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "smt4-lru-dyncap",
+            cached(
+                part(
+                    lru(),
+                    CachePartition::DynamicCap {
+                        epoch_cycles: 128,
+                        min_cap: 4,
+                    },
+                ),
                 IndexPolicy::RoundRobin,
             ),
         ),
@@ -333,12 +375,16 @@ mod tests {
             r#""attempts":1"#,
             r#""name":"smt2-use-based""#,
             r#""name":"smt2-lru""#,
+            r#""name":"smt2-use-based-rr""#,
+            r#""name":"smt2-use-based-ic28""#,
             r#""name":"smt4-use-based-shared""#,
             r#""name":"smt4-use-based-waypart""#,
             r#""name":"smt4-use-based-occcap""#,
             r#""name":"smt4-lru-shared""#,
             r#""name":"smt4-lru-waypart""#,
             r#""name":"smt4-lru-occcap""#,
+            r#""name":"smt4-use-based-dyncap""#,
+            r#""name":"smt4-lru-dyncap""#,
             r#""name":"qsort+bfs+listchase+strsearch""#,
             r#""geomean_ipc":"#,
             r#""sim_insts_per_sec":"#,

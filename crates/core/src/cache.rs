@@ -1,6 +1,7 @@
+use crate::monitor::UtilityMonitor;
 use crate::policy::{
-    CachePartition, InsertionContext, InsertionDecider, RegCacheConfig, ReplacementScorer,
-    VictimView,
+    CachePartition, EpochFeedback, InsertionContext, InsertionDecider, RegCacheConfig,
+    ReplacementScorer, VictimView,
 };
 use crate::PhysReg;
 use ubrc_stats::TimeWeighted;
@@ -93,6 +94,18 @@ pub struct RegCacheStats {
     /// Per-thread time-weighted occupancy (one slot per SMT thread;
     /// a single slot on single-thread caches).
     pub thread_occupancy: Vec<TimeWeighted>,
+    /// Per-thread read hits (one slot per SMT thread; only maintained
+    /// on multi-thread caches, empty otherwise).
+    pub thread_read_hits: Vec<u64>,
+    /// Per-thread read misses (see
+    /// [`RegCacheStats::thread_read_hits`]).
+    pub thread_read_misses: Vec<u64>,
+    /// Epoch boundaries processed ([`CachePartition::DynamicCap`]
+    /// only).
+    pub epochs: u64,
+    /// Entries evicted at epoch boundaries to fit a shrunken quota
+    /// (also counted in [`RegCacheStats::evictions`]).
+    pub epoch_evictions: u64,
 }
 
 impl RegCacheStats {
@@ -237,6 +250,15 @@ pub struct RegisterCache {
     // instantiated once at construction (see `ubrc_core::policy`).
     insertion: Box<dyn InsertionDecider>,
     replacement: Box<dyn ReplacementScorer>,
+    // Dynamic repartitioning (CachePartition::DynamicCap, nthreads > 1):
+    // the per-thread quotas currently in force (always summing to
+    // `config.entries`), the shadow-tag monitors feeding the
+    // partitioner, and the cumulative hit/miss marks of the previous
+    // epoch boundary (for per-epoch deltas). All empty/None otherwise.
+    thread_caps: Vec<usize>,
+    monitor: Option<UtilityMonitor>,
+    epoch_hits: Vec<u64>,
+    epoch_misses: Vec<u64>,
 }
 
 impl RegisterCache {
@@ -280,6 +302,20 @@ impl RegisterCache {
                     config.entries >= nthreads,
                     "OccupancyCap needs at least one entry per thread"
                 ),
+                CachePartition::DynamicCap {
+                    epoch_cycles,
+                    min_cap,
+                } => {
+                    assert!(epoch_cycles >= 1, "DynamicCap needs a non-zero epoch");
+                    assert!(
+                        config.entries >= nthreads,
+                        "DynamicCap needs at least one entry per thread"
+                    );
+                    assert!(
+                        min_cap * nthreads <= config.entries,
+                        "DynamicCap min_cap x nthreads exceeds the cache"
+                    );
+                }
             }
         }
         let shadow = config.classify_misses.then(|| {
@@ -293,9 +329,22 @@ impl RegisterCache {
             };
             Box::new(RegisterCache::new(shadow_config, num_pregs))
         });
+        let multi = nthreads > 1;
         let stats = RegCacheStats {
             thread_occupancy: vec![TimeWeighted::default(); nthreads],
+            thread_read_hits: vec![0; if multi { nthreads } else { 0 }],
+            thread_read_misses: vec![0; if multi { nthreads } else { 0 }],
             ..RegCacheStats::default()
+        };
+        let dynamic = multi && matches!(config.partition, CachePartition::DynamicCap { .. });
+        // Initial quotas: the even OccupancyCap split, remainder to the
+        // lower-numbered threads so the quotas sum to `entries` exactly.
+        let thread_caps = if dynamic {
+            (0..nthreads)
+                .map(|t| config.entries / nthreads + usize::from(t < config.entries % nthreads))
+                .collect()
+        } else {
+            Vec::new()
         };
         Self {
             config,
@@ -311,6 +360,10 @@ impl RegisterCache {
             thread_valid: vec![0; nthreads],
             insertion: config.insertion.decider(),
             replacement: config.replacement.scorer(),
+            thread_caps,
+            monitor: dynamic.then(|| UtilityMonitor::new(config.entries, nthreads)),
+            epoch_hits: vec![0; if dynamic { nthreads } else { 0 }],
+            epoch_misses: vec![0; if dynamic { nthreads } else { 0 }],
         }
     }
 
@@ -342,6 +395,41 @@ impl RegisterCache {
     pub fn ways_per_thread(&self) -> Option<usize> {
         (self.nthreads > 1 && self.config.partition == CachePartition::WayPartition)
             .then(|| self.config.ways / self.nthreads)
+    }
+
+    /// The live-entry cap currently binding thread `tid`, under either
+    /// occupancy-capped partition: the static `entries / nthreads`
+    /// quota of [`CachePartition::OccupancyCap`], or the current
+    /// dynamic quota of [`CachePartition::DynamicCap`]. `None` when no
+    /// per-thread cap applies (shared or way-partitioned caches, or a
+    /// single thread).
+    pub fn current_cap(&self, tid: usize) -> Option<usize> {
+        if self.nthreads <= 1 {
+            return None;
+        }
+        match self.config.partition {
+            CachePartition::OccupancyCap => Some(self.config.entries / self.nthreads),
+            CachePartition::DynamicCap { .. } => Some(self.thread_caps[tid]),
+            _ => None,
+        }
+    }
+
+    /// The per-thread quotas currently in force under
+    /// [`CachePartition::DynamicCap`] (`None` otherwise). The slice
+    /// always sums to the cache's total entry count.
+    pub fn dynamic_caps(&self) -> Option<&[usize]> {
+        (!self.thread_caps.is_empty()).then_some(self.thread_caps.as_slice())
+    }
+
+    /// The repartition period, when [`CachePartition::DynamicCap`] is
+    /// active on a multi-thread cache (`None` otherwise).
+    pub fn epoch_cycles(&self) -> Option<u64> {
+        match self.config.partition {
+            CachePartition::DynamicCap { epoch_cycles, .. } if self.nthreads > 1 => {
+                Some(epoch_cycles)
+            }
+            _ => None,
+        }
     }
 
     /// The configuration in use.
@@ -468,8 +556,13 @@ impl RegisterCache {
                     None => self.min_score_way(own, base).expect("ways_per_thread >= 1"),
                 }
             }
-            CachePartition::OccupancyCap => {
-                let cap = self.config.entries / self.nthreads;
+            CachePartition::OccupancyCap | CachePartition::DynamicCap { .. } => {
+                // The static even split, or the quota the partitioner
+                // computed at the last epoch boundary.
+                let cap = match partition {
+                    CachePartition::OccupancyCap => self.config.entries / self.nthreads,
+                    _ => self.thread_caps[tid],
+                };
                 if self.thread_valid[tid] < cap {
                     // Under cap: free association, like Shared.
                     let slice = &self.entries[base..base + w];
@@ -555,6 +648,13 @@ impl RegisterCache {
             }
             return WriteOutcome::Filtered;
         }
+        if let Some(m) = &mut self.monitor {
+            // Accepted writes mark the tag in the shadow stack even if
+            // the quota drops the real insertion — a larger quota is
+            // exactly what would have kept it.
+            let tid = preg.0 as usize / self.preg_quota;
+            m.touch(tid, preg, set as usize % self.sets);
+        }
         let inserted = self.insert(preg, set, remaining, pinned, false, now);
         if inserted {
             self.stats.writes_inserted += 1;
@@ -581,6 +681,12 @@ impl RegisterCache {
         self.stats.reads += 1;
         self.tick += 1;
         let tick = self.tick;
+        let tid = preg.0 as usize / self.preg_quota;
+        if let Some(m) = &mut self.monitor {
+            // Monitored hit-or-miss: the shadow-stack depth this probe
+            // lands at is the quota at which it would have been a hit.
+            m.access(tid, preg, set as usize % self.sets);
+        }
         if let Some(i) = self.find(preg, set) {
             let e = &mut self.entries[i];
             e.lru = tick;
@@ -589,12 +695,18 @@ impl RegisterCache {
                 e.uses = e.uses.saturating_sub(1);
             }
             self.stats.read_hits += 1;
+            if self.nthreads > 1 {
+                self.stats.thread_read_hits[tid] += 1;
+            }
             if let Some(s) = &mut self.shadow {
                 s.read(preg, 0, now);
             }
             return true;
         }
         self.stats.read_misses += 1;
+        if self.nthreads > 1 {
+            self.stats.thread_read_misses[tid] += 1;
+        }
         let class = self.classify_miss(preg);
         match class {
             MissClass::NotWritten => self.stats.misses_not_written += 1,
@@ -628,6 +740,10 @@ impl RegisterCache {
         // The read that triggered this fill has already been performed
         // from the backing file; the filled entry starts with the fill
         // default (the use count was lost at eviction).
+        if let Some(m) = &mut self.monitor {
+            let tid = preg.0 as usize / self.preg_quota;
+            m.touch(tid, preg, set as usize % self.sets);
+        }
         if self.find(preg, set).is_none() {
             // May be dropped by the occupancy cap; the caller already has
             // the value from the backing file either way.
@@ -667,6 +783,13 @@ impl RegisterCache {
             }
         }
         self.per_preg[preg.0 as usize].active = false;
+        if let Some(m) = &mut self.monitor {
+            // The tag may be re-allocated to an unrelated value (this
+            // path also runs under squash recovery), so the shadow
+            // stack must forget it.
+            let tid = preg.0 as usize / self.preg_quota;
+            m.remove(tid, preg);
+        }
         if let Some(i) = self.find(preg, set) {
             let e = self.entries[i];
             self.entries[i].valid = false;
@@ -783,13 +906,24 @@ impl RegisterCache {
                 self.thread_valid, per_thread
             ));
         }
-        if let Some(cap) = self.occupancy_cap() {
-            for (t, &v) in self.thread_valid.iter().enumerate() {
+        for (t, &v) in self.thread_valid.iter().enumerate() {
+            if let Some(cap) = self.current_cap(t) {
                 if v > cap {
                     return Err(format!(
                         "thread {t} holds {v} entries, above its occupancy cap {cap}"
                     ));
                 }
+            }
+        }
+        if let Some(caps) = self.dynamic_caps() {
+            if caps.iter().sum::<usize>() != self.config.entries {
+                return Err(format!(
+                    "dynamic caps {caps:?} do not sum to {} entries",
+                    self.config.entries
+                ));
+            }
+            if let Some(t) = caps.iter().position(|&c| c == 0) {
+                return Err(format!("thread {t} has a zero dynamic cap"));
             }
         }
         Ok(())
@@ -878,6 +1012,114 @@ impl RegisterCache {
         self.stats.parity_invalidations += 1;
         self.note_occupancy(now);
         true
+    }
+
+    /// Runs one [`CachePartition::DynamicCap`] epoch boundary at cycle
+    /// `now`: snapshots per-thread hit/miss deltas since the previous
+    /// boundary, recomputes the per-thread quotas with the lookahead
+    /// utility partitioner (see [`crate::monitor`]), trims each
+    /// over-quota thread down to its new cap by evicting its own
+    /// *unpinned* entries (lowest replacement score first — the same
+    /// victims an at-cap insert would pick), ages the monitors, and
+    /// broadcasts the resulting [`EpochFeedback`] to the insertion and
+    /// replacement policies' `on_epoch` hooks.
+    ///
+    /// Quota floors guarantee feasibility: every thread keeps at least
+    /// `max(1, pinned entries)`, raised toward the configured `min_cap`
+    /// in thread order while budget remains. Between boundaries
+    /// `pinned[t] ≤ thread_valid[t] ≤ cap[t]` and the caps sum to the
+    /// entry count, so the floors always fit — by induction the caps
+    /// stay ≥ 1 each and conserve the total at every boundary.
+    ///
+    /// Boundary evictions are deliberately *not* forwarded to the
+    /// shadow classifier, which models the fully-associative shared
+    /// baseline (the same reasoning as
+    /// [`RegisterCache::take_parity_fault`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache is not a multi-thread `DynamicCap` cache;
+    /// the simulator only schedules the epoch stage when it is.
+    pub fn epoch_boundary(&mut self, now: u64) -> EpochFeedback {
+        let CachePartition::DynamicCap { min_cap, .. } = self.config.partition else {
+            panic!("epoch_boundary on a non-DynamicCap cache");
+        };
+        assert!(self.nthreads > 1, "epoch_boundary on a single-thread cache");
+        let n = self.nthreads;
+        let mut hits = vec![0u64; n];
+        let mut misses = vec![0u64; n];
+        for t in 0..n {
+            hits[t] = self.stats.thread_read_hits[t] - self.epoch_hits[t];
+            misses[t] = self.stats.thread_read_misses[t] - self.epoch_misses[t];
+            self.epoch_hits[t] = self.stats.thread_read_hits[t];
+            self.epoch_misses[t] = self.stats.thread_read_misses[t];
+        }
+        let old_caps = self.thread_caps.clone();
+        let mut pinned = vec![0usize; n];
+        for e in self.entries.iter().filter(|e| e.valid && e.pinned) {
+            pinned[e.tid as usize] += 1;
+        }
+        let mut floors: Vec<usize> = pinned.iter().map(|&p| p.max(1)).collect();
+        let mut extra = self.config.entries - floors.iter().sum::<usize>();
+        for f in floors.iter_mut() {
+            let want = min_cap.saturating_sub(*f).min(extra);
+            *f += want;
+            extra -= want;
+        }
+        let new_caps = self
+            .monitor
+            .as_ref()
+            .expect("DynamicCap caches carry monitors")
+            .repartition(self.config.entries, &floors);
+        self.thread_caps.clone_from(&new_caps);
+        for t in 0..n {
+            while self.thread_valid[t] > self.thread_caps[t] {
+                let victim = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.valid && e.tid as usize == t && !e.pinned)
+                    .min_by_key(|(_, e)| {
+                        self.replacement.score(&VictimView {
+                            uses: e.uses,
+                            pinned: e.pinned,
+                            from_fill: e.from_fill,
+                            lru: e.lru,
+                            reads: e.reads,
+                        })
+                    })
+                    .map(|(i, _)| i)
+                    .expect("floors cover every pinned entry");
+                let e = self.entries[victim];
+                self.entries[victim].valid = false;
+                self.valid_count -= 1;
+                self.thread_valid[t] -= 1;
+                self.stats.evictions += 1;
+                if e.uses == 0 && !e.pinned {
+                    self.stats.evictions_zero_use += 1;
+                }
+                self.stats.epoch_evictions += 1;
+                self.close_entry(e, now);
+            }
+        }
+        self.note_occupancy(now);
+        self.monitor
+            .as_mut()
+            .expect("DynamicCap caches carry monitors")
+            .decay();
+        self.stats.epochs += 1;
+        let fb = EpochFeedback {
+            epoch: self.stats.epochs,
+            cycle: now,
+            hits,
+            misses,
+            occupancy: self.thread_valid.clone(),
+            old_caps,
+            new_caps,
+        };
+        self.insertion.on_epoch(&fb);
+        self.replacement.on_epoch(&fb);
+        fb
     }
 }
 
@@ -1333,7 +1575,7 @@ mod tests {
     fn shared_partition_matches_legacy_behavior_with_two_threads() {
         // Same op sequence against a 1-thread cache and a 2-thread
         // Shared cache: identical hits, misses, and residency.
-        let mut ops = |c: &mut RegisterCache| {
+        let ops = |c: &mut RegisterCache| {
             for (t, p) in [0u16, 1, 33, 34, 2, 35].into_iter().enumerate() {
                 c.produce(PhysReg(p));
                 c.write(PhysReg(p), p, 2, false, 0, t as u64);
@@ -1359,6 +1601,137 @@ mod tests {
         let mut cfg = RegCacheConfig::use_based(9, 3);
         cfg.partition = CachePartition::WayPartition;
         let _ = RegisterCache::new_smt(cfg, NPREGS, 2);
+    }
+
+    fn dyncap(entries: usize, ways: usize) -> RegisterCache {
+        smt(
+            CachePartition::DynamicCap {
+                epoch_cycles: 64,
+                min_cap: 1,
+            },
+            entries,
+            ways,
+        )
+    }
+
+    #[test]
+    fn dynamic_cap_starts_at_the_even_split_and_enforces_it() {
+        // 8 entries, 2 threads: initial quotas are the OccupancyCap
+        // split [4, 4], binding until the first epoch boundary.
+        let mut c = dyncap(8, 2);
+        assert_eq!(c.dynamic_caps(), Some(&[4usize, 4][..]));
+        assert_eq!(c.current_cap(0), Some(4));
+        assert_eq!(c.epoch_cycles(), Some(64));
+        for (i, p) in [40u16, 41, 42, 43, 44].into_iter().enumerate() {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), i as u16, 1, false, 0, 1 + i as u64);
+        }
+        // The fifth write was at cap: it evicted one of thread 1's own
+        // entries rather than growing past the quota.
+        assert_eq!(c.thread_occupancy(1), 4);
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn epoch_boundary_moves_quota_to_the_reuse_thread_and_trims() {
+        let mut c = dyncap(8, 2); // 4 sets; sets 0 and 2 feed the monitors
+                                  // Thread 0 keeps two hot values and re-reads them.
+        for (p, set) in [(0u16, 0u16), (1, 2)] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), set, 7, false, 0, 1);
+        }
+        for now in 2..6u64 {
+            assert!(c.read(PhysReg(0), 0, now));
+            assert!(c.read(PhysReg(1), 2, now));
+        }
+        // Thread 1 streams writes without any reuse, filling its quota.
+        for (i, p) in (40u16..45).enumerate() {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), i as u16, 1, false, 0, 6 + i as u64);
+        }
+        assert_eq!(c.thread_occupancy(1), 4);
+        let fb = c.epoch_boundary(64);
+        // The partitioner hands the reuse thread the larger quota and
+        // conserves the total; thread 1 was trimmed down to its new cap
+        // by evicting its own entries.
+        assert!(
+            fb.new_caps[0] > fb.new_caps[1],
+            "reuse thread must win quota: {:?}",
+            fb.new_caps
+        );
+        assert_eq!(fb.new_caps.iter().sum::<usize>(), 8);
+        assert_eq!(fb.old_caps, vec![4, 4]);
+        assert!(c.thread_occupancy(1) <= fb.new_caps[1]);
+        assert!(c.stats().epoch_evictions > 0, "trim must evict");
+        assert_eq!(c.stats().epochs, 1);
+        // The hot values survived the boundary.
+        assert!(c.contains(PhysReg(0)));
+        assert!(c.contains(PhysReg(1)));
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn epoch_boundary_never_evicts_pinned_entries() {
+        let mut c = dyncap(8, 2);
+        // Thread 1 holds three pinned values; thread 0 shows heavy reuse
+        // so the partitioner wants to shrink thread 1's quota.
+        for (i, p) in (40u16..43).enumerate() {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), i as u16, 3, true, 0, 1 + i as u64);
+        }
+        for (p, set) in [(0u16, 0u16), (1, 2)] {
+            c.produce(PhysReg(p));
+            c.write(PhysReg(p), set, 7, false, 0, 4);
+        }
+        for now in 5..12u64 {
+            assert!(c.read(PhysReg(0), 0, now));
+            assert!(c.read(PhysReg(1), 2, now));
+        }
+        let fb = c.epoch_boundary(64);
+        // The quota floor covers every pinned entry, so all three stay.
+        assert!(fb.new_caps[1] >= 3, "floor must cover pins: {fb:?}");
+        for p in 40u16..43 {
+            assert!(c.contains(PhysReg(p)), "pinned p{p} evicted");
+        }
+        c.audit().unwrap();
+    }
+
+    #[test]
+    fn epoch_feedback_reports_per_epoch_deltas() {
+        let mut c = dyncap(8, 2);
+        c.produce(PhysReg(0));
+        c.write(PhysReg(0), 0, 7, false, 0, 1);
+        for now in 2..5u64 {
+            assert!(c.read(PhysReg(0), 0, now));
+        }
+        assert!(!c.read(PhysReg(33), 0, 5)); // thread 1 miss
+        let fb1 = c.epoch_boundary(64);
+        assert_eq!(fb1.hits, vec![3, 0]);
+        assert_eq!(fb1.misses, vec![0, 1]);
+        assert_eq!(fb1.epoch, 1);
+        assert_eq!(fb1.cycle, 64);
+        assert_eq!(fb1.hit_rate(0), Some(1.0));
+        assert_eq!(fb1.hit_rate(1), Some(0.0));
+        // The second epoch reports only its own delta.
+        assert!(c.read(PhysReg(0), 0, 70));
+        let fb2 = c.epoch_boundary(128);
+        assert_eq!(fb2.hits, vec![1, 0]);
+        assert_eq!(fb2.misses, vec![0, 0]);
+        assert_eq!(fb2.hit_rate(1), None, "no accesses this epoch");
+        assert_eq!(fb2.epoch, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_cap x nthreads exceeds the cache")]
+    fn dynamic_cap_rejects_an_infeasible_min_cap() {
+        let _ = smt(
+            CachePartition::DynamicCap {
+                epoch_cycles: 64,
+                min_cap: 5,
+            },
+            8,
+            2,
+        );
     }
 
     #[test]

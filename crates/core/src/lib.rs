@@ -19,6 +19,10 @@
 //!   by one of four policies ([`IndexPolicy`]);
 //! * [`UseTracker`] — the per-value remaining-use bookkeeping between
 //!   rename and the cache write (the bypass window);
+//! * [`UtilityMonitor`] — per-thread shadow-tag utility monitors and
+//!   the lookahead partitioner that recompute
+//!   [`CachePartition::DynamicCap`] quotas at epoch boundaries, fed
+//!   back into the policies through [`EpochFeedback`];
 //! * [`BackingFile`] — the multi-cycle backing register file with its
 //!   single shared read port and write-completion interlock;
 //! * [`TwoLevelFile`] — the optimistic two-level register file baseline
@@ -49,6 +53,7 @@
 mod backing;
 mod cache;
 mod index;
+pub mod monitor;
 mod policy;
 mod twolevel;
 mod usetrack;
@@ -56,11 +61,12 @@ mod usetrack;
 pub use backing::{BackingFile, BackingStats};
 pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome};
 pub use index::{IndexAssigner, IndexPolicy};
+pub use monitor::UtilityMonitor;
 pub use policy::{
-    CachePartition, ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider,
-    InsertionPolicy, LruScorer, NonBypassInsertion, ProtectionConfig, RegCacheConfig,
-    ReplacementPolicy, ReplacementScorer, UseBasedInsertion, VictimScore, VictimView,
-    WriteAllInsertion,
+    CachePartition, EpochFeedback, ExpectedHitCountScorer, FewestUsesScorer, InsertionContext,
+    InsertionDecider, InsertionPolicy, LruScorer, NonBypassInsertion, ProtectionConfig,
+    RegCacheConfig, ReplacementPolicy, ReplacementScorer, UseBasedInsertion, VictimScore,
+    VictimView, WriteAllInsertion,
 };
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};
 pub use usetrack::UseTracker;

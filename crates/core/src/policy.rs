@@ -70,6 +70,44 @@ impl ReplacementPolicy {
     }
 }
 
+/// Per-thread telemetry handed to every policy object (and to the
+/// dynamic partitioner) at an epoch boundary.
+///
+/// Produced by the cache itself when [`CachePartition::DynamicCap`] is
+/// active: the simulator's epoch controller triggers the boundary, the
+/// cache gathers the deltas since the previous boundary, recomputes the
+/// per-thread quotas, and broadcasts the result through the
+/// [`InsertionDecider::on_epoch`] / [`ReplacementScorer::on_epoch`]
+/// hooks. All vectors are indexed by thread id and have one slot per
+/// SMT thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochFeedback {
+    /// Zero-based index of the epoch that just closed.
+    pub epoch: u64,
+    /// Cycle at which the boundary fired.
+    pub cycle: u64,
+    /// Read hits per thread during the closed epoch.
+    pub hits: Vec<u64>,
+    /// Read misses per thread during the closed epoch.
+    pub misses: Vec<u64>,
+    /// Live cache entries per thread at the boundary (after any
+    /// repartition evictions).
+    pub occupancy: Vec<usize>,
+    /// Per-thread occupancy quotas in force during the closed epoch.
+    pub old_caps: Vec<usize>,
+    /// Per-thread occupancy quotas for the epoch now starting.
+    pub new_caps: Vec<usize>,
+}
+
+impl EpochFeedback {
+    /// Read hit rate of one thread over the closed epoch, or `None`
+    /// when the thread made no cache reads.
+    pub fn hit_rate(&self, tid: usize) -> Option<f64> {
+        let total = self.hits[tid] + self.misses[tid];
+        (total > 0).then(|| self.hits[tid] as f64 / total as f64)
+    }
+}
+
 /// Everything an insertion decision may consult about a produced value
 /// arriving at the cache-write port.
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +136,11 @@ pub trait InsertionDecider: fmt::Debug + Send {
     /// Clones the decider behind the object (used by the shadow cache
     /// and by cloning simulators).
     fn clone_box(&self) -> Box<dyn InsertionDecider>;
+    /// Epoch-boundary feedback hook. The default is a no-op, so every
+    /// static policy is untouched by the feedback architecture (their
+    /// timing stays bit-identical to the pre-epoch model); adaptive
+    /// deciders override this to retune themselves from the telemetry.
+    fn on_epoch(&mut self, _fb: &EpochFeedback) {}
 }
 
 impl Clone for Box<dyn InsertionDecider> {
@@ -140,6 +183,9 @@ pub trait ReplacementScorer: fmt::Debug + Send {
     fn score(&self, v: &VictimView) -> VictimScore;
     /// Clones the scorer behind the object.
     fn clone_box(&self) -> Box<dyn ReplacementScorer>;
+    /// Epoch-boundary feedback hook (no-op by default; see
+    /// [`InsertionDecider::on_epoch`]).
+    fn on_epoch(&mut self, _fb: &EpochFeedback) {}
 }
 
 impl Clone for Box<dyn ReplacementScorer> {
@@ -258,6 +304,23 @@ pub enum CachePartition {
     /// evict one of its *own* entries in the target set; if it has none
     /// there, the insertion is dropped instead of displacing a peer.
     OccupancyCap,
+    /// Like [`CachePartition::OccupancyCap`], but the per-thread quotas
+    /// are *recomputed every `epoch_cycles` cycles* by a lookahead
+    /// utility partitioner fed by per-thread shadow-tag monitors
+    /// (UMON-style, see [`crate::monitor`]): threads whose monitored
+    /// reuse would convert extra entries into hits grow their quota,
+    /// threads that would not shrink toward `min_cap`. Quotas always
+    /// sum to `entries`, and at every boundary each thread's occupancy
+    /// is trimmed (unpinned entries only — quotas never drop below a
+    /// thread's pinned footprint) so containment holds on every cycle.
+    DynamicCap {
+        /// Repartition period in cycles (must be at least 1).
+        epoch_cycles: u64,
+        /// Quota floor the partitioner aims to preserve per thread
+        /// (best-effort: a thread's pinned footprint may force a peer
+        /// below the floor, never below 1).
+        min_cap: usize,
+    },
 }
 
 /// Soft-error protection switches for the register storage structures.

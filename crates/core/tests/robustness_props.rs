@@ -259,4 +259,90 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn dynamic_cap_never_violates_containment_or_conservation(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        // 4 hardware threads over a 16-entry 2-way cache under
+        // DynamicCap with an epoch boundary forced every 8 operations:
+        // across arbitrary lifecycle sequences interleaved with
+        // repartitioning, every thread's occupancy stays at or below
+        // its current quota, the quotas always sum to exactly the
+        // cache size (no entry is ever orphaned or double-granted),
+        // and the cache's own audit stays green.
+        let mut cfg = RegCacheConfig::use_based(16, 2);
+        cfg.partition = CachePartition::DynamicCap {
+            epoch_cycles: 8,
+            min_cap: 1,
+        };
+        let nthreads = 4;
+        let nsets = cfg.entries / cfg.ways;
+        let entries = cfg.entries;
+        let mut cache = RegisterCache::new_smt(cfg, NPREGS, nthreads);
+        let set_of = |preg: u8| (preg as usize % nsets) as u16;
+        let mut live = [false; NPREGS];
+        let mut written = [false; NPREGS];
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            let i = match op {
+                Op::Init { preg, .. }
+                | Op::Consume { preg }
+                | Op::Write { preg, .. }
+                | Op::Read { preg }
+                | Op::Fill { preg }
+                | Op::Free { preg } => preg as usize,
+            };
+            let p = PhysReg(i as u16);
+            match op {
+                Op::Init { .. } => {
+                    if live[i] {
+                        cache.free(p, set_of(i as u8), now);
+                    }
+                    cache.produce(p);
+                    live[i] = true;
+                    written[i] = false;
+                }
+                Op::Write { remaining, pinned, .. } if live[i] && !written[i] => {
+                    cache.write(p, set_of(i as u8), remaining, pinned, 0, now);
+                    written[i] = true;
+                }
+                Op::Read { .. } | Op::Consume { .. } if live[i] => {
+                    cache.read(p, set_of(i as u8), now);
+                }
+                Op::Fill { .. } if live[i] && written[i] => {
+                    cache.fill(p, set_of(i as u8), now);
+                }
+                Op::Free { .. } if live[i] => {
+                    cache.free(p, set_of(i as u8), now);
+                    live[i] = false;
+                }
+                _ => {}
+            }
+            if now.is_multiple_of(8) {
+                let fb = cache.epoch_boundary(now);
+                prop_assert_eq!(fb.new_caps.iter().sum::<usize>(), entries);
+                prop_assert_eq!(
+                    fb.new_caps.as_slice(),
+                    cache.dynamic_caps().expect("DynamicCap mode"),
+                    "feedback and installed quotas diverged"
+                );
+            }
+            prop_assert!(cache.audit().is_ok(), "audit failed: {:?}", cache.audit());
+            let caps = cache.dynamic_caps().expect("DynamicCap mode").to_vec();
+            prop_assert_eq!(caps.iter().sum::<usize>(), entries, "quota sum drifted");
+            let mut per_thread = vec![0usize; nthreads];
+            for e in cache.entries() {
+                per_thread[e.tid as usize] += 1;
+            }
+            for (t, &n) in per_thread.iter().enumerate() {
+                prop_assert!(
+                    n <= caps[t],
+                    "thread {} holds {} entries for a quota of {}",
+                    t, n, caps[t]
+                );
+            }
+        }
+    }
 }

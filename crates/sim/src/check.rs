@@ -169,6 +169,12 @@ pub struct DiagnosticDump {
     pub machine_checks: u64,
     /// Cycle of the most recent recovery, if any.
     pub last_recovery: Option<u64>,
+    /// Dynamic-repartitioning epoch boundaries completed before the
+    /// stall ([`ubrc_core::CachePartition::DynamicCap`] only).
+    pub epochs: u64,
+    /// The per-thread occupancy quotas in force when the watchdog
+    /// fired (`DynamicCap` only) — a starved quota shows up here.
+    pub dynamic_caps: Option<Vec<usize>>,
 }
 
 impl fmt::Display for DiagnosticDump {
@@ -194,6 +200,13 @@ impl fmt::Display for DiagnosticDump {
                 self.recoveries, self.machine_checks
             )?,
             None => writeln!(f, "  no recoveries performed")?,
+        }
+        if let Some(caps) = &self.dynamic_caps {
+            writeln!(
+                f,
+                "  dynamic caps {caps:?} after {} epoch boundaries",
+                self.epochs
+            )?;
         }
         writeln!(f, "  threads:")?;
         for line in &self.threads {
@@ -306,6 +319,27 @@ pub enum ConfigError {
         /// Thread count.
         nthreads: usize,
     },
+    /// [`ubrc_core::CachePartition::DynamicCap`] needs a non-zero
+    /// repartitioning period.
+    DynamicCapZeroEpoch,
+    /// [`ubrc_core::CachePartition::DynamicCap`] needs at least one
+    /// cache entry per thread.
+    DynamicCapTooSmall {
+        /// Configured cache entries.
+        entries: usize,
+        /// Thread count.
+        nthreads: usize,
+    },
+    /// The [`ubrc_core::CachePartition::DynamicCap`] quota floor cannot
+    /// be honored for every thread at once.
+    DynamicCapMinCapTooLarge {
+        /// Configured per-thread quota floor.
+        min_cap: usize,
+        /// Thread count.
+        nthreads: usize,
+        /// Configured cache entries (`min_cap * nthreads` exceeds it).
+        entries: usize,
+    },
     /// A [`crate::FreelistPolicy::Shared`] pool reassigns register
     /// ownership dynamically, so a statically thread-partitioned cache
     /// ([`ubrc_core::CachePartition`] other than `Shared`) cannot tag
@@ -367,6 +401,24 @@ impl fmt::Display for ConfigError {
                 f,
                 "CachePartition::OccupancyCap needs at least one cache entry per \
                  thread ({entries} entries < {nthreads} threads)"
+            ),
+            ConfigError::DynamicCapZeroEpoch => write!(
+                f,
+                "CachePartition::DynamicCap needs epoch_cycles of at least 1"
+            ),
+            ConfigError::DynamicCapTooSmall { entries, nthreads } => write!(
+                f,
+                "CachePartition::DynamicCap needs at least one cache entry per \
+                 thread ({entries} entries < {nthreads} threads)"
+            ),
+            ConfigError::DynamicCapMinCapTooLarge {
+                min_cap,
+                nthreads,
+                entries,
+            } => write!(
+                f,
+                "CachePartition::DynamicCap min_cap {min_cap} x {nthreads} threads \
+                 exceeds the cache's {entries} entries"
             ),
             ConfigError::SharedFreelistWithPartitionedCache => write!(
                 f,

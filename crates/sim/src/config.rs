@@ -98,6 +98,27 @@ impl RegStorage {
         }
     }
 
+    /// The paper's cached design point with utility-driven dynamic
+    /// partitioning layered on: an `entries`×`ways` use-based cache
+    /// whose per-thread occupancy quotas are recomputed every
+    /// `epoch_cycles` cycles with a floor of `min_cap` entries per
+    /// thread (see [`ubrc_core::CachePartition::DynamicCap`]). Only
+    /// meaningful on an SMT core; with one thread the partition policy
+    /// is inert.
+    pub fn dynamic_cap(entries: usize, ways: usize, epoch_cycles: u64, min_cap: usize) -> Self {
+        let mut cache = RegCacheConfig::use_based(entries, ways);
+        cache.partition = ubrc_core::CachePartition::DynamicCap {
+            epoch_cycles,
+            min_cap,
+        };
+        RegStorage::Cached {
+            cache,
+            index: IndexPolicy::FilteredRoundRobin,
+            backing_read: 2,
+            backing_write: 2,
+        }
+    }
+
     /// Storage read latency between issue and execute.
     pub fn read_latency(&self) -> u32 {
         match self {
@@ -375,6 +396,25 @@ mod tests {
             .read_latency(),
             3
         );
+    }
+
+    #[test]
+    fn dynamic_cap_storage_wraps_the_paper_cache() {
+        let s = RegStorage::dynamic_cap(64, 4, 2048, 4);
+        let RegStorage::Cached { cache, index, .. } = s else {
+            panic!("dynamic_cap builds cached storage");
+        };
+        assert_eq!(cache.entries, 64);
+        assert_eq!(cache.ways, 4);
+        assert_eq!(
+            cache.partition,
+            ubrc_core::CachePartition::DynamicCap {
+                epoch_cycles: 2048,
+                min_cap: 4
+            }
+        );
+        assert_eq!(index, IndexPolicy::FilteredRoundRobin);
+        assert_eq!(s.read_latency(), 1);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use config::{
 };
 pub use inject::{FaultKind, FaultPlan, FaultPlanError, FaultSpec, PeriodicFault};
 pub use pipeline::Simulator;
-pub use stats::{LifetimeCollector, LifetimeStats, SimResult};
+pub use stats::{EpochRecord, LifetimeCollector, LifetimeStats, SimResult};
 pub use trace::{InstTrace, OperandPath, Timeline};
 
 use ubrc_isa::Program;

@@ -166,6 +166,27 @@ impl Simulator {
                         });
                     }
                 }
+                ubrc_core::CachePartition::DynamicCap {
+                    epoch_cycles,
+                    min_cap,
+                } => {
+                    if epoch_cycles == 0 {
+                        return Err(ConfigError::DynamicCapZeroEpoch);
+                    }
+                    if cache.entries < nthreads {
+                        return Err(ConfigError::DynamicCapTooSmall {
+                            entries: cache.entries,
+                            nthreads,
+                        });
+                    }
+                    if min_cap * nthreads > cache.entries {
+                        return Err(ConfigError::DynamicCapMinCapTooLarge {
+                            min_cap,
+                            nthreads,
+                            entries: cache.entries,
+                        });
+                    }
+                }
             },
             _ => {}
         }
@@ -416,6 +437,7 @@ impl Simulator {
             operands_from_storage: 0,
             lifetimes,
             trace: Vec::new(),
+            epoch_timeline: Vec::new(),
             checker,
             injector,
             error: None,

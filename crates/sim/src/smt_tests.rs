@@ -6,7 +6,7 @@
 //! crate rather than under `tests/`.
 
 use crate::check::{CheckConfig, ConfigError};
-use crate::config::{FetchPolicy, FreelistPolicy, RegStorage, SimConfig};
+use crate::config::{FetchPolicy, FreelistPolicy, RecoveryPolicy, RegStorage, SimConfig};
 use crate::Simulator;
 use ubrc_core::{CachePartition, IndexPolicy, RegCacheConfig, TwoLevelConfig};
 use ubrc_isa::Program;
@@ -391,7 +391,7 @@ fn four_threads_keep_partition_containment_to_completion() {
     while !sim.core.halted && sim.core.now < 4_000_000 {
         sim.core.cycle();
         assert!(sim.core.error.is_none(), "clean run expected");
-        if sim.core.now % 1024 == 0 {
+        if sim.core.now.is_multiple_of(1024) {
             for t in &sim.core.threads {
                 let own = t.preg_lo..t.preg_hi;
                 assert!(
@@ -533,6 +533,182 @@ fn shared_freelist_cap_binds_and_is_never_exceeded() {
     }
     assert!(sim.core.halted, "both threads must run to completion");
     assert!(capped_stalls, "a 8-rename-register cap must stall dispatch");
+}
+
+// --- Dynamic cache repartitioning ---------------------------------------
+
+fn dyncap_cache() -> RegCacheConfig {
+    let mut cache = RegCacheConfig::use_based(64, 4);
+    cache.partition = CachePartition::DynamicCap {
+        epoch_cycles: 2048,
+        min_cap: 4,
+    };
+    cache
+}
+
+/// 4-thread dynamic capping: checked ≡ unchecked under the per-cycle
+/// dynamic-cap containment and cap-sum-conservation cross-checks.
+#[test]
+fn dynamic_capped_quad_is_checked_clean_and_observation_only() {
+    assert_checked_matches_unchecked(cached(dyncap_cache()));
+}
+
+/// A dynamically-capped quad run actually exercises the feedback loop:
+/// epoch boundaries fire, every recorded repartition conserves the
+/// total entry count, and the timeline's boundary cycles land exactly
+/// on epoch multiples.
+#[test]
+fn dynamic_cap_epochs_fire_and_conserve_the_cache() {
+    let result = Simulator::new_smt(quad(), cached(dyncap_cache())).run();
+    assert!(
+        result.epochs > 0,
+        "the quad must outlive one 2048-cycle epoch"
+    );
+    assert_eq!(result.epoch_timeline.len() as u64, result.epochs);
+    let caps = result
+        .final_thread_caps
+        .as_ref()
+        .expect("DynamicCap reports final quotas");
+    assert_eq!(caps.len(), 4);
+    assert_eq!(
+        caps.iter().sum::<usize>(),
+        64,
+        "quotas must cover the cache"
+    );
+    for rec in &result.epoch_timeline {
+        assert_eq!(rec.cycle % 2048, 0, "boundary off the epoch grid");
+        assert_eq!(rec.caps.iter().sum::<usize>(), 64);
+        assert!(rec.caps.iter().all(|&c| c >= 1), "a thread lost its quota");
+        assert_eq!(rec.hits.len(), 4);
+        assert_eq!(rec.misses.len(), 4);
+    }
+}
+
+/// The epoch controller is driven purely by the cycle counter and
+/// deterministic utility counters — no RNG, no host state — so two
+/// identical dynamically-capped runs replay bit-identically, including
+/// the full quota timeline.
+#[test]
+fn dynamic_cap_runs_are_deterministic() {
+    let run = || Simulator::new_smt(quad(), cached(dyncap_cache())).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.thread_retired, b.thread_retired);
+    assert_eq!(a.miss_events, b.miss_events);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.final_thread_caps, b.final_thread_caps);
+    assert_eq!(a.epoch_timeline, b.epoch_timeline);
+    assert!(
+        a.epochs > 0,
+        "determinism must be shown on a live feedback loop"
+    );
+}
+
+/// A machine-check squash mid-epoch frees a batch of the victim
+/// thread's registers behind the epoch controller's back. The utility
+/// monitors and occupancy books must absorb that (squash frees route
+/// through the same `free` path the monitors watch), so a faulted run
+/// stays checker-clean through every squash and every later epoch
+/// boundary. Periodic backing-word faults on a tiny dynamically-capped
+/// cache guarantee machine checks land between boundaries.
+#[test]
+fn machine_check_squashes_mid_epoch_keep_dynamic_caps_consistent() {
+    let mut cache = RegCacheConfig::use_based(16, 2);
+    cache.partition = CachePartition::DynamicCap {
+        epoch_cycles: 512,
+        min_cap: 2,
+    };
+    cache.protection = ubrc_core::ProtectionConfig::full();
+    let mut cfg = cached(cache);
+    cfg.recovery = RecoveryPolicy::enabled();
+    cfg.check = CheckConfig::full();
+    cfg.fault_plan = Some(crate::inject::FaultPlan::periodic(
+        29,
+        40,
+        crate::inject::FaultKind::FlipBackingWord,
+    ));
+    let r = crate::simulate_smt_checked(quad(), cfg)
+        .expect("faulted dynamically-capped run recovers cleanly");
+    assert!(r.machine_checks > 0, "no backing fault reached a miss read");
+    assert!(
+        r.epochs > 0,
+        "squashes must interleave with epoch boundaries"
+    );
+    let caps = r
+        .final_thread_caps
+        .expect("DynamicCap reports final quotas");
+    assert_eq!(caps.iter().sum::<usize>(), 16, "squashes leaked quota");
+    assert!(r.thread_retired.iter().all(|&t| t > 0));
+}
+
+#[test]
+fn dynamic_cap_zero_epoch_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(64, 4);
+    cache.partition = CachePartition::DynamicCap {
+        epoch_cycles: 0,
+        min_cap: 1,
+    };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::DynamicCapZeroEpoch);
+}
+
+#[test]
+fn dynamic_cap_with_too_few_entries_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(1, 1);
+    cache.partition = CachePartition::DynamicCap {
+        epoch_cycles: 2048,
+        min_cap: 1,
+    };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::DynamicCapTooSmall {
+            entries: 1,
+            nthreads: 2
+        }
+    );
+}
+
+#[test]
+fn dynamic_cap_min_cap_too_large_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(64, 4);
+    cache.partition = CachePartition::DynamicCap {
+        epoch_cycles: 2048,
+        min_cap: 40,
+    };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::DynamicCapMinCapTooLarge {
+            min_cap: 40,
+            nthreads: 2,
+            entries: 64
+        }
+    );
+    // The message names all three numbers.
+    let msg = err.to_string();
+    assert!(msg.contains("40") && msg.contains("64"), "{msg}");
+}
+
+/// Dynamic capping assumes static register ownership, exactly like the
+/// other partitioned-cache modes: a shared rename pool is rejected by
+/// the existing partition/freelist compatibility check.
+#[test]
+fn dynamic_cap_with_shared_freelist_is_rejected() {
+    let mut cfg = cached(dyncap_cache());
+    cfg.freelist = FreelistPolicy::Shared { cap: 128 };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::SharedFreelistWithPartitionedCache);
 }
 
 /// The fetch-policy choosers are all deterministic: identical runs

@@ -1,0 +1,42 @@
+//! Epoch stage: the feedback controller driving
+//! [`ubrc_core::CachePartition::DynamicCap`].
+//!
+//! Runs last in [`super::SCHEDULE`], after every cycle's reads and
+//! writes have landed, so an epoch boundary observes a consistent
+//! end-of-cycle cache state. On every `epoch_cycles`-th cycle it asks
+//! the register cache to close the epoch: the cache snapshots its
+//! per-thread hit/miss deltas, reruns the lookahead utility
+//! partitioner over the shadow-tag monitors, trims any thread left
+//! over its new quota, and broadcasts the resulting
+//! [`ubrc_core::EpochFeedback`] to the policy hooks. This stage only
+//! decides *when* — all repartitioning state lives in `ubrc-core`.
+//!
+//! Everything is keyed off the cycle counter — no RNG, no wall clock —
+//! so dynamic repartitioning is exactly as reproducible as the rest of
+//! the model, and the stage is a no-op for every other partition
+//! policy (the golden-snapshot contract for static configurations is
+//! untouched).
+
+use super::{CoreState, Storage};
+use crate::stats::EpochRecord;
+
+impl CoreState {
+    pub(crate) fn epoch_stage(&mut self, now: u64) {
+        let Storage::Cached { cache, .. } = &mut self.storage else {
+            return;
+        };
+        let Some(epoch_cycles) = cache.epoch_cycles() else {
+            return;
+        };
+        if now == 0 || !now.is_multiple_of(epoch_cycles) {
+            return;
+        }
+        let fb = cache.epoch_boundary(now);
+        self.epoch_timeline.push(EpochRecord {
+            cycle: fb.cycle,
+            caps: fb.new_caps,
+            hits: fb.hits,
+            misses: fb.misses,
+        });
+    }
+}

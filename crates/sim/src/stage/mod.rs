@@ -22,6 +22,7 @@
 //! part of the golden-snapshot contract — reordering stages is a model
 //! change, not a refactor.
 
+pub(crate) mod epoch;
 pub(crate) mod execute;
 pub(crate) mod fetch;
 pub(crate) mod issue;
@@ -489,6 +490,9 @@ pub(crate) struct CoreState {
     pub(crate) operands_from_storage: u64,
     pub(crate) lifetimes: Option<LifetimeCollector>,
     pub(crate) trace: Vec<InstTrace>,
+    /// One record per completed dynamic-repartitioning epoch boundary
+    /// (`CachePartition::DynamicCap` only; empty otherwise).
+    pub(crate) epoch_timeline: Vec<crate::stats::EpochRecord>,
 
     // Runtime checking and fault injection (`SimConfig::check` /
     // `SimConfig::fault_plan`). All observation-only except the
@@ -555,6 +559,14 @@ pub(crate) const SCHEDULE: &[StageDesc] = &[
     StageDesc {
         name: "storage-tick",
         run: CoreState::storage_tick,
+    },
+    // Last, after the cycle's reads and writes have landed: the epoch
+    // controller for dynamic cache repartitioning (a no-op unless
+    // `CachePartition::DynamicCap` is active, so the seven-stage
+    // golden contract above is unchanged for every static policy).
+    StageDesc {
+        name: "epoch",
+        run: CoreState::epoch_stage,
     },
 ];
 
@@ -697,6 +709,13 @@ impl CoreState {
             ),
             format!("squash_cycles: {:?}", self.replay.cycles),
         ];
+        let (epochs, dynamic_caps) = match &self.storage {
+            Storage::Cached { cache, .. } => (
+                cache.stats().epochs,
+                cache.dynamic_caps().map(|c| c.to_vec()),
+            ),
+            _ => (0, None),
+        };
         Box::new(DiagnosticDump {
             cycle: self.now,
             last_progress: self.last_progress,
@@ -709,6 +728,8 @@ impl CoreState {
             recoveries: self.threads.iter().map(|t| t.recoveries).sum(),
             machine_checks: self.threads.iter().map(|t| t.machine_checks).sum(),
             last_recovery: self.threads.iter().filter_map(|t| t.last_recovery).max(),
+            epochs,
+            dynamic_caps,
         })
     }
 
@@ -922,7 +943,10 @@ impl CoreState {
                             ),
                         );
                     }
-                    if let Some(cap) = cache.occupancy_cap() {
+                    // The cap binding *right now*: the static
+                    // OccupancyCap split, or whatever quota the dynamic
+                    // partitioner installed at the last epoch boundary.
+                    if let Some(cap) = cache.current_cap(tid) {
                         if n > cap {
                             return viol(
                                 Some(tid),
@@ -930,6 +954,21 @@ impl CoreState {
                                 format!("{n} resident entries exceed the per-thread cap {cap}"),
                             );
                         }
+                    }
+                }
+                if let Some(caps) = cache.dynamic_caps() {
+                    // Cap-sum conservation: the partitioner reassigns
+                    // quota, it never mints or destroys it.
+                    let total: usize = caps.iter().sum();
+                    if total != cache.config().entries {
+                        return viol(
+                            None,
+                            "cache-cap-conservation",
+                            format!(
+                                "dynamic caps {caps:?} sum to {total}, not the cache's {} entries",
+                                cache.config().entries
+                            ),
+                        );
                     }
                 }
             }
@@ -977,7 +1016,8 @@ mod tests {
                 "issue",
                 "rename",
                 "fetch",
-                "storage-tick"
+                "storage-tick",
+                "epoch"
             ],
             "the within-cycle stage order is part of the golden-snapshot contract"
         );

@@ -150,16 +150,17 @@ impl CoreState {
     /// statistics are moved out, not copied.
     pub(crate) fn finish(self) -> SimResult {
         let now = self.now;
-        let (regcache, backing, twolevel) = match self.storage {
+        let (regcache, backing, twolevel, final_thread_caps) = match self.storage {
             Storage::Cached {
                 mut cache, backing, ..
             } => {
                 cache.finalize(now);
                 let b = *backing.stats();
-                (Some(cache.into_stats()), Some(b), None)
+                let caps = cache.dynamic_caps().map(|c| c.to_vec());
+                (Some(cache.into_stats()), Some(b), None, caps)
             }
-            Storage::TwoLevel { file } => (None, None, Some(*file.stats())),
-            Storage::Monolithic { .. } => (None, None, None),
+            Storage::TwoLevel { file } => (None, None, Some(*file.stats()), None),
+            Storage::Monolithic { .. } => (None, None, None, None),
         };
         // Per-thread predictors train independently; the headline
         // stats are the sum over contexts.
@@ -193,6 +194,9 @@ impl CoreState {
             recovery_latency: self.recovery_latency,
             thread_recoveries: self.threads.iter().map(|t| t.recoveries).collect(),
             thread_machine_checks: self.threads.iter().map(|t| t.machine_checks).collect(),
+            epochs: regcache.as_ref().map_or(0, |c| c.epochs),
+            final_thread_caps,
+            epoch_timeline: self.epoch_timeline,
             regcache,
             backing,
             twolevel,

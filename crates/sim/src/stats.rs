@@ -81,6 +81,32 @@ impl LifetimeCollector {
     }
 }
 
+/// One [`ubrc_core::CachePartition::DynamicCap`] epoch boundary, as
+/// recorded in [`SimResult::epoch_timeline`]: the quotas the lookahead
+/// partitioner installed and the raw per-thread hit/miss deltas of the
+/// epoch that just closed (raw counts, so records stay exactly
+/// comparable across runs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Cycle the boundary fired.
+    pub cycle: u64,
+    /// Per-thread occupancy quotas in force after this boundary.
+    pub caps: Vec<usize>,
+    /// Per-thread register-cache read hits during the closed epoch.
+    pub hits: Vec<u64>,
+    /// Per-thread register-cache read misses during the closed epoch.
+    pub misses: Vec<u64>,
+}
+
+impl EpochRecord {
+    /// The closed epoch's read hit rate for `tid`, or `None` when the
+    /// thread made no cache reads that epoch.
+    pub fn hit_rate(&self, tid: usize) -> Option<f64> {
+        let total = self.hits[tid] + self.misses[tid];
+        (total > 0).then(|| self.hits[tid] as f64 / total as f64)
+    }
+}
+
 /// Results of one timing-simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -135,6 +161,15 @@ pub struct SimResult {
     pub thread_recoveries: Vec<u64>,
     /// Machine checks per hardware thread (sums to `machine_checks`).
     pub thread_machine_checks: Vec<u64>,
+    /// Dynamic-repartitioning epoch boundaries completed
+    /// ([`ubrc_core::CachePartition::DynamicCap`] only; 0 otherwise).
+    pub epochs: u64,
+    /// Per-thread occupancy quotas in force at the end of the run
+    /// (`DynamicCap` only).
+    pub final_thread_caps: Option<Vec<usize>>,
+    /// Per-epoch quota and hit-rate timeline (`DynamicCap` only; empty
+    /// otherwise).
+    pub epoch_timeline: Vec<EpochRecord>,
     /// Register-cache statistics (cached configurations only).
     pub regcache: Option<RegCacheStats>,
     /// Backing-file statistics (cached configurations only).
@@ -252,6 +287,18 @@ mod tests {
     }
 
     #[test]
+    fn epoch_record_hit_rate_needs_accesses() {
+        let r = EpochRecord {
+            cycle: 64,
+            caps: vec![3, 5],
+            hits: vec![3, 0],
+            misses: vec![1, 0],
+        };
+        assert_eq!(r.hit_rate(0), Some(0.75));
+        assert_eq!(r.hit_rate(1), None);
+    }
+
+    #[test]
     fn ipc_and_rates() {
         let r = SimResult {
             cycles: 100,
@@ -275,6 +322,9 @@ mod tests {
             recovery_latency: Histogram::new(),
             thread_recoveries: vec![],
             thread_machine_checks: vec![],
+            epochs: 0,
+            final_thread_caps: None,
+            epoch_timeline: Vec::new(),
             regcache: None,
             backing: None,
             twolevel: None,

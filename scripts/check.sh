@@ -40,7 +40,17 @@ cargo run --release -q -p ubrc-bench --bin experiments -- \
   soft --scale tiny --check --timeout 300 >/dev/null
 cargo test --release -q -p ubrc-sim --test recovery
 
+echo "== dynamic-partitioning smoke: Tiny quads, DynamicCap, oracle on"
+# The ucp experiment runs the shared/occupancy-cap/dynamic-cap matrix;
+# with --check the invariant checker verifies per-thread containment
+# against the epoch-varying caps and cap-sum conservation every cycle.
+cargo run --release -q -p ubrc-bench --bin experiments -- \
+  ucp --scale tiny --check --timeout 300 >/dev/null
+
 echo "== ConfigError rejection tests"
 cargo test --release -q -p ubrc-sim --lib -- reject
+
+echo "== property tests: partitioning + protection invariants"
+cargo test --release -q -p ubrc-core --test robustness_props
 
 echo "all checks passed"

@@ -11,9 +11,11 @@
 //! extensions without disturbing the original 96-row matrix:
 //! `filtered-ehc` rows for the expected-hit-count replacement scorer,
 //! `minload-*` rows for the occupancy-based set assigner, `smt2-*` and
-//! `smt4-*` rows for the SMT core, and `soft-*` rows for the parity
+//! `smt4-*` rows for the SMT core, `soft-*` rows for the parity
 //! protection / machine-check recovery layer (fault-free and under
-//! deterministic injected fault streams).
+//! deterministic injected fault streams), `smt4-*-dyncap` rows for
+//! utility-driven dynamic cache partitioning, and `smt2-usebased-rr` /
+//! `smt2-usebased-ic28` rows for the SMT fetch-policy ablation.
 //!
 //! To regenerate after an *intentional* model change:
 //!
@@ -32,7 +34,8 @@
 
 use ubrc::core::{CachePartition, IndexPolicy, ProtectionConfig, RegCacheConfig};
 use ubrc::sim::{
-    simulate_smt, simulate_workload, FaultKind, FaultPlan, RecoveryPolicy, RegStorage, SimConfig,
+    simulate_smt, simulate_workload, FaultKind, FaultPlan, FetchPolicy, RecoveryPolicy, RegStorage,
+    SimConfig,
 };
 use ubrc::workloads::{kernel_pairs, kernel_quads, suite, Scale, Workload};
 
@@ -209,9 +212,7 @@ fn cells() -> Vec<Cell> {
                 cells.push(Cell {
                     kernel: w.name.to_string(),
                     config: config.clone(),
-                    run: Box::new(move |check| {
-                        snap_one(&w, config.clone(), cache.clone(), index, check)
-                    }),
+                    run: Box::new(move |check| snap_one(&w, config.clone(), cache, index, check)),
                 });
             }
         }
@@ -229,7 +230,7 @@ fn cells() -> Vec<Cell> {
                 snap_one(
                     &w,
                     "filtered-ehc".to_string(),
-                    ehc.clone(),
+                    ehc,
                     IndexPolicy::FilteredRoundRobin,
                     check,
                 )
@@ -247,7 +248,7 @@ fn cells() -> Vec<Cell> {
                 snap_one(
                     &w,
                     "minload-usebased".to_string(),
-                    ub.clone(),
+                    ub,
                     IndexPolicy::MinLoad,
                     check,
                 )
@@ -260,23 +261,17 @@ fn cells() -> Vec<Cell> {
         for (cache_name, cache, index) in [
             (
                 "usebased",
-                cache_variants()[0].1.clone(),
+                cache_variants()[0].1,
                 IndexPolicy::FilteredRoundRobin,
             ),
-            (
-                "lru",
-                cache_variants()[1].1.clone(),
-                IndexPolicy::RoundRobin,
-            ),
+            ("lru", cache_variants()[1].1, IndexPolicy::RoundRobin),
         ] {
             let (a, b) = (a.clone(), b.clone());
             let config = format!("smt2-{cache_name}");
             cells.push(Cell {
                 kernel: format!("{}+{}", a.name, b.name),
                 config: config.clone(),
-                run: Box::new(move |check| {
-                    snap_pair(&a, &b, config.clone(), cache.clone(), index, check)
-                }),
+                run: Box::new(move |check| snap_pair(&a, &b, config.clone(), cache, index, check)),
             });
         }
     }
@@ -308,7 +303,7 @@ fn cells() -> Vec<Cell> {
                     kernel: names.join("+"),
                     config: config.clone(),
                     run: Box::new(move |check| {
-                        snap_quad(&quad, config.clone(), cache.clone(), index, check)
+                        snap_quad(&quad, config.clone(), cache, index, check)
                     }),
                 });
             }
@@ -345,6 +340,65 @@ fn cells() -> Vec<Cell> {
                     cfg.fault_plan = plan.clone();
                     let r = simulate_workload(&w, cfg);
                     snap_fields(w.name.to_string(), config.to_string(), &r)
+                }),
+            });
+        }
+    }
+    // Utility-driven dynamic cache partitioning: the 4-thread quads
+    // under `CachePartition::DynamicCap` (epochs of 128 cycles, floor 4
+    // entries/thread — the `ucp` experiment's design point). Pins both
+    // the utility-monitor sampling and the lookahead partitioner: any
+    // change to epoch accounting, monitor geometry, or quota
+    // arithmetic shows up here as timing drift.
+    for quad in kernel_quads(Scale::Tiny) {
+        for (scheme, index) in [
+            ("usebased", IndexPolicy::FilteredRoundRobin),
+            ("lru", IndexPolicy::RoundRobin),
+        ] {
+            let mut cache = if scheme == "usebased" {
+                RegCacheConfig::use_based(64, 4)
+            } else {
+                RegCacheConfig::lru(64, 4)
+            };
+            cache.classify_misses = true;
+            cache.partition = CachePartition::DynamicCap {
+                epoch_cycles: 128,
+                min_cap: 4,
+            };
+            let quad = quad.clone();
+            let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+            let config = format!("smt4-{scheme}-dyncap");
+            cells.push(Cell {
+                kernel: names.join("+"),
+                config: config.clone(),
+                run: Box::new(move |check| snap_quad(&quad, config.clone(), cache, index, check)),
+            });
+        }
+    }
+    // SMT fetch-policy ablation: the kernel pairs under round-robin and
+    // ICOUNT.2.8 fetch (the existing smt2 rows fetch with the default
+    // ICOUNT.1.8), pinning the thread-selection logic.
+    for (a, b) in kernel_pairs(Scale::Tiny) {
+        for (policy_name, policy) in [
+            ("rr", FetchPolicy::RoundRobin),
+            ("ic28", FetchPolicy::Icount28),
+        ] {
+            let (a, b) = (a.clone(), b.clone());
+            let cache = cache_variants()[0].1;
+            let config = format!("smt2-usebased-{policy_name}");
+            cells.push(Cell {
+                kernel: format!("{}+{}", a.name, b.name),
+                config: config.clone(),
+                run: Box::new(move |check| {
+                    let programs = vec![
+                        a.assemble().expect("kernel assembles"),
+                        b.assemble().expect("kernel assembles"),
+                    ];
+                    let mut cfg = cached_cfg(cache, IndexPolicy::FilteredRoundRobin, check);
+                    cfg.fetch_policy = policy;
+                    let r = simulate_smt(programs, cfg);
+                    assert_eq!(r.thread_retired.len(), 2);
+                    snap_fields(format!("{}+{}", a.name, b.name), config.clone(), &r)
                 }),
             });
         }
