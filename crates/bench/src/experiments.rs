@@ -1046,6 +1046,76 @@ pub fn ucp(scale: Scale) -> Result<Table, SuiteError> {
     Ok(t)
 }
 
+/// Tentpole extension: UMON-guided dynamic *way* partitioning on the
+/// `PartitionController` seam. The [`smt4`] matrix re-runs at 64
+/// entries x 8 ways — wide enough that four threads start with two
+/// ways each and the lookahead partitioner has whole ways to move —
+/// comparing the static split (`way-partition`), entry-granular
+/// dynamic quotas (`dynamic-cap`), way-granular reassignment
+/// (`dynamic-way`, epoch 128), and the same controller under adaptive
+/// epoch pacing (`dynamic-way adaptive`, epochs stretch 32..512 when
+/// consecutive repartitions agree). Way reassignment keeps the
+/// hard-isolation property of `WayPartition` (no set ever mixes
+/// threads) while tracking phase behavior, so its row should land
+/// between `dynamic-cap` and the static split's isolation tax.
+pub fn dynway(scale: Scale) -> Result<Table, SuiteError> {
+    use ubrc_core::EpochAdapt;
+    let adapt = Some(EpochAdapt {
+        min_cycles: 32,
+        max_cycles: 512,
+        band: 2,
+    });
+    let partitions: [(&str, CachePartition, Option<EpochAdapt>); 5] = [
+        ("shared", CachePartition::Shared, None),
+        ("way-partition", CachePartition::WayPartition, None),
+        (
+            "dynamic-cap",
+            CachePartition::DynamicCap {
+                epoch_cycles: 128,
+                min_cap: 4,
+            },
+            None,
+        ),
+        (
+            "dynamic-way",
+            CachePartition::DynamicWay { epoch_cycles: 128 },
+            None,
+        ),
+        (
+            "dynamic-way adaptive",
+            CachePartition::DynamicWay { epoch_cycles: 128 },
+            adapt,
+        ),
+    ];
+    let schemes = [
+        (
+            "use-based",
+            RegCacheConfig::use_based(64, 8),
+            IndexPolicy::FilteredRoundRobin,
+        ),
+        ("lru", RegCacheConfig::lru(64, 8), IndexPolicy::RoundRobin),
+    ];
+    let mut t = Table::new(["scheme", "partition", "4T-geomean-ipc", "vs-shared"]);
+    for (scheme, base, index) in schemes {
+        let mut shared_ipc = None;
+        for (pname, p, adapt) in &partitions {
+            let mut cache = base;
+            cache.partition = *p;
+            cache.epoch_adapt = *adapt;
+            let cfg = cached_cfg(cache, index, 2);
+            let ipc = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
+            let baseline = *shared_ipc.get_or_insert(ipc);
+            t.row([
+                scheme.to_string(),
+                pname.to_string(),
+                format!("{ipc:.4}"),
+                format!("{:.4}", ipc / baseline),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
 /// Extension: the SMT fetch-policy × freelist matrix. Each fetch
 /// chooser ({ICOUNT, round-robin, ICOUNT.2.8}) runs against both
 /// rename-register organizations (statically partitioned freelists vs.
@@ -1234,6 +1304,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {
             "ucp",
             "utility-driven dynamic cache partitioning (extension)",
             ucp,
+        ),
+        (
+            "dynway",
+            "UMON-guided dynamic way partitioning (extension)",
+            dynway,
         ),
         (
             "fetchpol",

@@ -20,8 +20,12 @@ use ubrc_workloads::Scale;
 /// per-kernel `attempts` count (runner retries) and the `soft-*`
 /// protection/recovery configurations; `/3` added the dynamically
 /// partitioned 4-thread cells (`smt4-*-dyncap`) and the 2-thread
-/// fetch-policy cells (`smt2-use-based-{rr,ic28}`).
-pub const SCHEMA: &str = "ubrc-bench-pipeline/3";
+/// fetch-policy cells (`smt2-use-based-{rr,ic28}`); `/4` added the
+/// dynamically way-partitioned 4-thread cells (`smt4-*-dynway`, at the
+/// 64x8 geometry so whole ways can move) and a per-kernel `thread_ipc`
+/// array on every co-scheduled cell (per-thread retired over cell
+/// cycles, from `SimResult::thread_retired`).
+pub const SCHEMA: &str = "ubrc-bench-pipeline/4";
 
 fn cached(cache: RegCacheConfig, index: IndexPolicy) -> SimConfig {
     SimConfig::table1(RegStorage::Cached {
@@ -223,6 +227,26 @@ pub fn smt4_trajectory_configs() -> Vec<(&'static str, SimConfig)> {
                 IndexPolicy::RoundRobin,
             ),
         ),
+        (
+            "smt4-use-based-dynway",
+            cached(
+                part(
+                    RegCacheConfig::use_based(64, 8),
+                    CachePartition::DynamicWay { epoch_cycles: 128 },
+                ),
+                IndexPolicy::FilteredRoundRobin,
+            ),
+        ),
+        (
+            "smt4-lru-dynway",
+            cached(
+                part(
+                    RegCacheConfig::lru(64, 8),
+                    CachePartition::DynamicWay { epoch_cycles: 128 },
+                ),
+                IndexPolicy::RoundRobin,
+            ),
+        ),
     ]
 }
 
@@ -299,13 +323,26 @@ fn trajectory_over(
         let insts = ok.total_retired();
         total_insts += insts;
         let kernels = Json::arr(report.runs.iter().map(|cell| match &cell.outcome {
-            Ok(r) => Json::obj([
-                ("name", Json::from(cell.name)),
-                ("cycles", Json::from(r.cycles)),
-                ("retired", Json::from(r.retired)),
-                ("ipc", Json::from(r.ipc())),
-                ("attempts", Json::from(cell.attempts as u64)),
-            ]),
+            Ok(r) => {
+                let mut fields = vec![
+                    ("name", Json::from(cell.name)),
+                    ("cycles", Json::from(r.cycles)),
+                    ("retired", Json::from(r.retired)),
+                    ("ipc", Json::from(r.ipc())),
+                ];
+                if kind != CellKind::Single {
+                    fields.push((
+                        "thread_ipc",
+                        Json::arr(
+                            r.thread_retired
+                                .iter()
+                                .map(|&n| Json::from(n as f64 / r.cycles.max(1) as f64)),
+                        ),
+                    ));
+                }
+                fields.push(("attempts", Json::from(cell.attempts as u64)));
+                Json::obj(fields)
+            }
             Err(e) => Json::obj([
                 ("name", Json::from(cell.name)),
                 (
@@ -385,7 +422,10 @@ mod tests {
             r#""name":"smt4-lru-occcap""#,
             r#""name":"smt4-use-based-dyncap""#,
             r#""name":"smt4-lru-dyncap""#,
+            r#""name":"smt4-use-based-dynway""#,
+            r#""name":"smt4-lru-dynway""#,
             r#""name":"qsort+bfs+listchase+strsearch""#,
+            r#""thread_ipc":["#,
             r#""geomean_ipc":"#,
             r#""sim_insts_per_sec":"#,
             r#""kernels":["#,

@@ -1,4 +1,5 @@
 use crate::monitor::UtilityMonitor;
+use crate::partition::{controller_for, EpochContext, EpochPlan, PartitionController};
 use crate::policy::{
     CachePartition, EpochFeedback, InsertionContext, InsertionDecider, RegCacheConfig,
     ReplacementScorer, VictimView,
@@ -250,12 +251,14 @@ pub struct RegisterCache {
     // instantiated once at construction (see `ubrc_core::policy`).
     insertion: Box<dyn InsertionDecider>,
     replacement: Box<dyn ReplacementScorer>,
-    // Dynamic repartitioning (CachePartition::DynamicCap, nthreads > 1):
-    // the per-thread quotas currently in force (always summing to
-    // `config.entries`), the shadow-tag monitors feeding the
-    // partitioner, and the cumulative hit/miss marks of the previous
-    // epoch boundary (for per-epoch deltas). All empty/None otherwise.
-    thread_caps: Vec<usize>,
+    // The behavioral half of `config.partition` (see
+    // `ubrc_core::partition`): consulted at insertion for admission and
+    // victim ways, and at epoch boundaries for quota/way replanning.
+    partition: Box<dyn PartitionController>,
+    // Dynamic repartitioning (a dynamic `config.partition`, nthreads >
+    // 1): the shadow-tag monitors feeding the partitioner and the
+    // cumulative hit/miss marks of the previous epoch boundary (for
+    // per-epoch deltas). Empty/None otherwise.
     monitor: Option<UtilityMonitor>,
     epoch_hits: Vec<u64>,
     epoch_misses: Vec<u64>,
@@ -280,9 +283,9 @@ impl RegisterCache {
     /// # Panics
     ///
     /// Panics on inconsistent geometry, `num_pregs` not divisible by
-    /// `nthreads`, a [`CachePartition::WayPartition`] whose ways don't
-    /// divide by `nthreads`, or a [`CachePartition::OccupancyCap`] with
-    /// fewer entries than threads. Callers wanting typed errors should
+    /// `nthreads`, or an infeasible [`RegCacheConfig::partition`] /
+    /// [`RegCacheConfig::epoch_adapt`] combination (see
+    /// [`controller_for`]). Callers wanting typed errors should
     /// validate first (the simulator's `try_new_smt` does).
     pub fn new_smt(config: RegCacheConfig, num_pregs: usize, nthreads: usize) -> Self {
         let sets = config.sets();
@@ -291,33 +294,7 @@ impl RegisterCache {
             num_pregs.is_multiple_of(nthreads),
             "num_pregs must divide evenly across threads"
         );
-        if nthreads > 1 {
-            match config.partition {
-                CachePartition::Shared => {}
-                CachePartition::WayPartition => assert!(
-                    config.ways.is_multiple_of(nthreads),
-                    "WayPartition needs ways divisible by nthreads"
-                ),
-                CachePartition::OccupancyCap => assert!(
-                    config.entries >= nthreads,
-                    "OccupancyCap needs at least one entry per thread"
-                ),
-                CachePartition::DynamicCap {
-                    epoch_cycles,
-                    min_cap,
-                } => {
-                    assert!(epoch_cycles >= 1, "DynamicCap needs a non-zero epoch");
-                    assert!(
-                        config.entries >= nthreads,
-                        "DynamicCap needs at least one entry per thread"
-                    );
-                    assert!(
-                        min_cap * nthreads <= config.entries,
-                        "DynamicCap min_cap x nthreads exceeds the cache"
-                    );
-                }
-            }
-        }
+        let partition = controller_for(&config, nthreads);
         let shadow = config.classify_misses.then(|| {
             // The shadow is the fully-associative *shared* baseline: it
             // classifies misses, it does not model partitioning.
@@ -336,16 +313,7 @@ impl RegisterCache {
             thread_read_misses: vec![0; if multi { nthreads } else { 0 }],
             ..RegCacheStats::default()
         };
-        let dynamic = multi && matches!(config.partition, CachePartition::DynamicCap { .. });
-        // Initial quotas: the even OccupancyCap split, remainder to the
-        // lower-numbered threads so the quotas sum to `entries` exactly.
-        let thread_caps = if dynamic {
-            (0..nthreads)
-                .map(|t| config.entries / nthreads + usize::from(t < config.entries % nthreads))
-                .collect()
-        } else {
-            Vec::new()
-        };
+        let dynamic = multi && config.partition.is_dynamic();
         Self {
             config,
             sets,
@@ -360,7 +328,7 @@ impl RegisterCache {
             thread_valid: vec![0; nthreads],
             insertion: config.insertion.decider(),
             replacement: config.replacement.scorer(),
-            thread_caps,
+            partition,
             monitor: dynamic.then(|| UtilityMonitor::new(config.entries, nthreads)),
             epoch_hits: vec![0; if dynamic { nthreads } else { 0 }],
             epoch_misses: vec![0; if dynamic { nthreads } else { 0 }],
@@ -404,32 +372,45 @@ impl RegisterCache {
     /// per-thread cap applies (shared or way-partitioned caches, or a
     /// single thread).
     pub fn current_cap(&self, tid: usize) -> Option<usize> {
-        if self.nthreads <= 1 {
-            return None;
-        }
-        match self.config.partition {
-            CachePartition::OccupancyCap => Some(self.config.entries / self.nthreads),
-            CachePartition::DynamicCap { .. } => Some(self.thread_caps[tid]),
-            _ => None,
-        }
+        self.partition.cap(tid)
     }
 
     /// The per-thread quotas currently in force under
     /// [`CachePartition::DynamicCap`] (`None` otherwise). The slice
     /// always sums to the cache's total entry count.
     pub fn dynamic_caps(&self) -> Option<&[usize]> {
-        (!self.thread_caps.is_empty()).then_some(self.thread_caps.as_slice())
+        self.partition.caps()
     }
 
-    /// The repartition period, when [`CachePartition::DynamicCap`] is
-    /// active on a multi-thread cache (`None` otherwise).
+    /// The per-thread way counts currently in force under
+    /// [`CachePartition::DynamicWay`] (`None` otherwise). The slice
+    /// always sums to the cache's associativity, laid out as contiguous
+    /// blocks in thread order.
+    pub fn way_counts(&self) -> Option<&[usize]> {
+        self.partition.way_counts()
+    }
+
+    /// The thread owning `way` of every set, when ways are owned at all
+    /// ([`CachePartition::WayPartition`] and
+    /// [`CachePartition::DynamicWay`]; `None` otherwise).
+    pub fn way_owner(&self, way: usize) -> Option<usize> {
+        self.partition.way_owner(way)
+    }
+
+    /// The configured repartition period, when a dynamic partition
+    /// ([`CachePartition::DynamicCap`] or [`CachePartition::DynamicWay`])
+    /// is active on a multi-thread cache (`None` otherwise). Under
+    /// [`EpochAdapt`](crate::EpochAdapt) the *live* period varies; gate the
+    /// epoch stage on [`RegisterCache::epoch_due`] instead.
     pub fn epoch_cycles(&self) -> Option<u64> {
-        match self.config.partition {
-            CachePartition::DynamicCap { epoch_cycles, .. } if self.nthreads > 1 => {
-                Some(epoch_cycles)
-            }
-            _ => None,
-        }
+        self.partition.epoch_cycles()
+    }
+
+    /// True when a dynamic-partition epoch boundary must fire at cycle
+    /// `now` (always false on static partitions and single-thread
+    /// caches).
+    pub fn epoch_due(&self, now: u64) -> bool {
+        self.partition.epoch_due(now)
     }
 
     /// The configuration in use.
@@ -533,57 +514,29 @@ impl RegisterCache {
         let w = self.config.ways;
         let base = s * w;
         let tid = self.thread_of(preg);
-        let partition = if self.nthreads > 1 {
-            self.config.partition
+        let victim_idx = if self.partition.admit(tid, &self.thread_valid) {
+            // Admitted: fill an invalid way of the controller's victim
+            // range, else evict its minimum-score entry.
+            let range = self.partition.victim_ways(tid);
+            let slice = &self.entries[base..base + w];
+            match range.clone().find(|&i| !slice[i].valid) {
+                Some(i) => i,
+                None => self
+                    .min_score_way(range, base)
+                    .expect("victim ranges are non-empty"),
+            }
         } else {
-            CachePartition::Shared
-        };
-        let victim_idx = match partition {
-            CachePartition::Shared => {
-                let slice = &self.entries[base..base + w];
-                match slice.iter().position(|e| !e.valid) {
-                    Some(i) => i,
-                    None => self.min_score_way(0..w, base).expect("ways >= 1"),
-                }
-            }
-            CachePartition::WayPartition => {
-                // Only the inserting thread's own ways are candidates.
-                let wpt = w / self.nthreads;
-                let own = tid * wpt..(tid + 1) * wpt;
-                let slice = &self.entries[base..base + w];
-                match own.clone().find(|&i| !slice[i].valid) {
-                    Some(i) => i,
-                    None => self.min_score_way(own, base).expect("ways_per_thread >= 1"),
-                }
-            }
-            CachePartition::OccupancyCap | CachePartition::DynamicCap { .. } => {
-                // The static even split, or the quota the partitioner
-                // computed at the last epoch boundary.
-                let cap = match partition {
-                    CachePartition::OccupancyCap => self.config.entries / self.nthreads,
-                    _ => self.thread_caps[tid],
-                };
-                if self.thread_valid[tid] < cap {
-                    // Under cap: free association, like Shared.
-                    let slice = &self.entries[base..base + w];
-                    match slice.iter().position(|e| !e.valid) {
-                        Some(i) => i,
-                        None => self.min_score_way(0..w, base).expect("ways >= 1"),
-                    }
-                } else {
-                    // At cap: only this thread's own entries in the set
-                    // are evictable; with none here, drop the insertion.
-                    let own = (0..w).filter(|&i| {
-                        let e = &self.entries[base + i];
-                        e.valid && e.tid as usize == tid
-                    });
-                    match self.min_score_way(own, base) {
-                        Some(i) => i,
-                        None => {
-                            self.stats.inserts_capped += 1;
-                            return false;
-                        }
-                    }
+            // At its occupancy cap: only this thread's own entries in
+            // the set are evictable; with none here, drop the insertion.
+            let own = (0..w).filter(|&i| {
+                let e = &self.entries[base + i];
+                e.valid && e.tid as usize == tid
+            });
+            match self.min_score_way(own, base) {
+                Some(i) => i,
+                None => {
+                    self.stats.inserts_capped += 1;
+                    return false;
                 }
             }
         };
@@ -607,10 +560,12 @@ impl RegisterCache {
             }
             self.close_entry(victim, now);
             self.thread_valid[victim.tid as usize] -= 1;
+            self.partition.on_evict(victim.tid as usize);
         } else {
             self.valid_count += 1;
         }
         self.thread_valid[tid] += 1;
+        self.partition.on_insert(tid);
         self.per_preg[preg.0 as usize].ever_cached = true;
         self.stats.cached_events += 1;
         self.note_occupancy(now);
@@ -636,10 +591,12 @@ impl RegisterCache {
         now: u64,
     ) -> WriteOutcome {
         self.stats.writes_attempted += 1;
+        let tid = self.thread_of(preg);
         let insert = self.insertion.should_insert(&InsertionContext {
             remaining,
             pinned,
             first_stage_bypasses,
+            tid,
         });
         if !insert {
             self.stats.writes_filtered += 1;
@@ -652,7 +609,6 @@ impl RegisterCache {
             // Accepted writes mark the tag in the shadow stack even if
             // the quota drops the real insertion — a larger quota is
             // exactly what would have kept it.
-            let tid = preg.0 as usize / self.preg_quota;
             m.touch(tid, preg, set as usize % self.sets);
         }
         let inserted = self.insert(preg, set, remaining, pinned, false, now);
@@ -795,6 +751,7 @@ impl RegisterCache {
             self.entries[i].valid = false;
             self.valid_count -= 1;
             self.thread_valid[e.tid as usize] -= 1;
+            self.partition.on_evict(e.tid as usize);
             self.close_entry(e, now);
             self.note_occupancy(now);
         }
@@ -887,15 +844,13 @@ impl RegisterCache {
                 ));
             }
             per_thread[e.tid as usize] += 1;
-            if let Some(wpt) = self.ways_per_thread() {
-                let way = i % w;
-                if way / wpt != e.tid as usize {
+            let way = i % w;
+            if let Some(owner) = self.partition.way_owner(way) {
+                if owner != e.tid as usize {
                     return Err(format!(
-                        "p{p} (thread {}) resident in way {way}, outside its \
-                         partition [{}, {})",
-                        e.tid,
-                        e.tid as usize * wpt,
-                        (e.tid as usize + 1) * wpt
+                        "p{p} (thread {}) resident in way {way}, owned by \
+                         thread {owner}",
+                        e.tid
                     ));
                 }
             }
@@ -915,17 +870,7 @@ impl RegisterCache {
                 }
             }
         }
-        if let Some(caps) = self.dynamic_caps() {
-            if caps.iter().sum::<usize>() != self.config.entries {
-                return Err(format!(
-                    "dynamic caps {caps:?} do not sum to {} entries",
-                    self.config.entries
-                ));
-            }
-            if let Some(t) = caps.iter().position(|&c| c == 0) {
-                return Err(format!("thread {t} has a zero dynamic cap"));
-            }
-        }
+        self.partition.audit(self.config.entries, w)?;
         Ok(())
     }
 
@@ -1008,28 +953,48 @@ impl RegisterCache {
         self.entries[i].valid = false;
         self.valid_count -= 1;
         self.thread_valid[e.tid as usize] -= 1;
+        self.partition.on_evict(e.tid as usize);
         self.close_entry(e, now);
         self.stats.parity_invalidations += 1;
         self.note_occupancy(now);
         true
     }
 
-    /// Runs one [`CachePartition::DynamicCap`] epoch boundary at cycle
-    /// `now`: snapshots per-thread hit/miss deltas since the previous
-    /// boundary, recomputes the per-thread quotas with the lookahead
-    /// utility partitioner (see [`crate::monitor`]), trims each
-    /// over-quota thread down to its new cap by evicting its own
-    /// *unpinned* entries (lowest replacement score first — the same
-    /// victims an at-cap insert would pick), ages the monitors, and
+    /// The partition's current quota state in *entry equivalents*: the
+    /// dynamic caps verbatim, or way counts × sets under
+    /// [`CachePartition::DynamicWay`] (a way's ownership is worth one
+    /// entry per set). Empty for static partitions.
+    fn quota_view(&self) -> Vec<usize> {
+        if let Some(caps) = self.partition.caps() {
+            caps.to_vec()
+        } else if let Some(counts) = self.partition.way_counts() {
+            counts.iter().map(|&c| c * self.sets).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Runs one dynamic-partition epoch boundary at cycle `now`:
+    /// snapshots per-thread hit/miss deltas since the previous boundary,
+    /// asks the [`PartitionController`] for a new plan computed from the
+    /// lookahead utility partitioner (see [`crate::monitor`]), enforces
+    /// it — under [`CachePartition::DynamicCap`] by trimming each
+    /// over-quota thread down to its new cap (evicting its own *unpinned*
+    /// entries, lowest replacement score first — the same victims an
+    /// at-cap insert would pick); under [`CachePartition::DynamicWay`]
+    /// by draining reassigned ways (see
+    /// `RegisterCache::reassign_ways`) — ages the monitors, and
     /// broadcasts the resulting [`EpochFeedback`] to the insertion and
     /// replacement policies' `on_epoch` hooks.
     ///
     /// Quota floors guarantee feasibility: every thread keeps at least
-    /// `max(1, pinned entries)`, raised toward the configured `min_cap`
-    /// in thread order while budget remains. Between boundaries
-    /// `pinned[t] ≤ thread_valid[t] ≤ cap[t]` and the caps sum to the
-    /// entry count, so the floors always fit — by induction the caps
-    /// stay ≥ 1 each and conserve the total at every boundary.
+    /// `max(1, pinned entries)` (under `DynamicCap`, raised toward the
+    /// configured `min_cap` in thread order while budget remains) or
+    /// `max(1, pinned per fullest set)` ways (under `DynamicWay`).
+    /// Between boundaries the occupancy and placement invariants bound
+    /// the pinned footprints by the current quotas, so the floors always
+    /// fit — by induction the quotas stay ≥ 1 each and conserve the
+    /// total at every boundary.
     ///
     /// Boundary evictions are deliberately *not* forwarded to the
     /// shadow classifier, which models the fully-associative shared
@@ -1038,14 +1003,15 @@ impl RegisterCache {
     ///
     /// # Panics
     ///
-    /// Panics when the cache is not a multi-thread `DynamicCap` cache;
-    /// the simulator only schedules the epoch stage when it is.
+    /// Panics when the cache is not a multi-thread dynamic-partition
+    /// cache; the simulator only schedules the epoch stage when it is.
     pub fn epoch_boundary(&mut self, now: u64) -> EpochFeedback {
-        let CachePartition::DynamicCap { min_cap, .. } = self.config.partition else {
-            panic!("epoch_boundary on a non-DynamicCap cache");
-        };
-        assert!(self.nthreads > 1, "epoch_boundary on a single-thread cache");
+        assert!(
+            self.nthreads > 1 && self.config.partition.is_dynamic(),
+            "epoch_boundary on a non-dynamic cache"
+        );
         let n = self.nthreads;
+        let w = self.config.ways;
         let mut hits = vec![0u64; n];
         let mut misses = vec![0u64; n];
         for t in 0..n {
@@ -1054,58 +1020,84 @@ impl RegisterCache {
             self.epoch_hits[t] = self.stats.thread_read_hits[t];
             self.epoch_misses[t] = self.stats.thread_read_misses[t];
         }
-        let old_caps = self.thread_caps.clone();
+        let old_caps = self.quota_view();
         let mut pinned = vec![0usize; n];
         for e in self.entries.iter().filter(|e| e.valid && e.pinned) {
             pinned[e.tid as usize] += 1;
         }
-        let mut floors: Vec<usize> = pinned.iter().map(|&p| p.max(1)).collect();
-        let mut extra = self.config.entries - floors.iter().sum::<usize>();
-        for f in floors.iter_mut() {
-            let want = min_cap.saturating_sub(*f).min(extra);
-            *f += want;
-            extra -= want;
-        }
-        let new_caps = self
-            .monitor
-            .as_ref()
-            .expect("DynamicCap caches carry monitors")
-            .repartition(self.config.entries, &floors);
-        self.thread_caps.clone_from(&new_caps);
-        for t in 0..n {
-            while self.thread_valid[t] > self.thread_caps[t] {
-                let victim = self
-                    .entries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.valid && e.tid as usize == t && !e.pinned)
-                    .min_by_key(|(_, e)| {
-                        self.replacement.score(&VictimView {
-                            uses: e.uses,
-                            pinned: e.pinned,
-                            from_fill: e.from_fill,
-                            lru: e.lru,
-                            reads: e.reads,
-                        })
-                    })
-                    .map(|(i, _)| i)
-                    .expect("floors cover every pinned entry");
-                let e = self.entries[victim];
-                self.entries[victim].valid = false;
-                self.valid_count -= 1;
-                self.thread_valid[t] -= 1;
-                self.stats.evictions += 1;
-                if e.uses == 0 && !e.pinned {
-                    self.stats.evictions_zero_use += 1;
-                }
-                self.stats.epoch_evictions += 1;
-                self.close_entry(e, now);
+        let mut pinned_per_set_max = vec![0usize; n];
+        for s in 0..self.sets {
+            let mut in_set = vec![0usize; n];
+            for e in self.entries[s * w..(s + 1) * w]
+                .iter()
+                .filter(|e| e.valid && e.pinned)
+            {
+                in_set[e.tid as usize] += 1;
+            }
+            for t in 0..n {
+                pinned_per_set_max[t] = pinned_per_set_max[t].max(in_set[t]);
             }
         }
+        let cx = EpochContext {
+            monitor: self
+                .monitor
+                .as_ref()
+                .expect("dynamic-partition caches carry monitors"),
+            pinned: &pinned,
+            pinned_per_set_max: &pinned_per_set_max,
+            entries: self.config.entries,
+            ways: w,
+            sets: self.sets,
+        };
+        let plan = self
+            .partition
+            .epoch_boundary(&cx)
+            .expect("dynamic controllers plan every boundary");
+        let (new_caps, new_ways) = match plan {
+            EpochPlan::Caps(caps) => {
+                for (t, &cap) in caps.iter().enumerate().take(n) {
+                    while self.thread_valid[t] > cap {
+                        let victim = self
+                            .entries
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, e)| e.valid && e.tid as usize == t && !e.pinned)
+                            .min_by_key(|(_, e)| {
+                                self.replacement.score(&VictimView {
+                                    uses: e.uses,
+                                    pinned: e.pinned,
+                                    from_fill: e.from_fill,
+                                    lru: e.lru,
+                                    reads: e.reads,
+                                })
+                            })
+                            .map(|(i, _)| i)
+                            .expect("floors cover every pinned entry");
+                        let e = self.entries[victim];
+                        self.entries[victim].valid = false;
+                        self.valid_count -= 1;
+                        self.thread_valid[t] -= 1;
+                        self.partition.on_evict(t);
+                        self.stats.evictions += 1;
+                        if e.uses == 0 && !e.pinned {
+                            self.stats.evictions_zero_use += 1;
+                        }
+                        self.stats.epoch_evictions += 1;
+                        self.close_entry(e, now);
+                    }
+                }
+                (caps, Vec::new())
+            }
+            EpochPlan::Ways(counts) => {
+                self.reassign_ways(now);
+                let caps = counts.iter().map(|&c| c * self.sets).collect();
+                (caps, counts)
+            }
+        };
         self.note_occupancy(now);
         self.monitor
             .as_mut()
-            .expect("DynamicCap caches carry monitors")
+            .expect("dynamic-partition caches carry monitors")
             .decay();
         self.stats.epochs += 1;
         let fb = EpochFeedback {
@@ -1116,10 +1108,89 @@ impl RegisterCache {
             occupancy: self.thread_valid.clone(),
             old_caps,
             new_caps,
+            new_ways,
         };
         self.insertion.on_epoch(&fb);
         self.replacement.on_epoch(&fb);
         fb
+    }
+
+    /// Enforces a freshly installed [`CachePartition::DynamicWay`] way
+    /// map (the controller already holds the *new* ownership when this
+    /// runs). Two passes per the dataflow in DESIGN.md:
+    ///
+    /// 1. **Drain** — every valid entry sitting in a way its thread no
+    ///    longer owns is removed: unpinned entries are evicted (counted
+    ///    like quota-trim evictions), pinned entries are set aside as
+    ///    migrants.
+    /// 2. **Migrate** — each pinned migrant is re-placed in its own
+    ///    set inside its thread's new way block, filling an invalid way
+    ///    first, else evicting the block's minimum-score *unpinned*
+    ///    entry. The way floors cover each thread's pinned entries in
+    ///    its fullest set, so a slot always exists. Migration preserves
+    ///    the entry verbatim (LRU stamp, use count, lifetime origin) —
+    ///    it is not an eviction or a re-insertion.
+    fn reassign_ways(&mut self, now: u64) {
+        let w = self.config.ways;
+        let mut migrants: Vec<(usize, Entry)> = Vec::new();
+        for s in 0..self.sets {
+            let base = s * w;
+            for i in 0..w {
+                let e = self.entries[base + i];
+                if !e.valid {
+                    continue;
+                }
+                let owner = self
+                    .partition
+                    .way_owner(i)
+                    .expect("DynamicWay owns every way");
+                if owner == e.tid as usize {
+                    continue;
+                }
+                self.entries[base + i].valid = false;
+                self.valid_count -= 1;
+                self.thread_valid[e.tid as usize] -= 1;
+                self.partition.on_evict(e.tid as usize);
+                if e.pinned {
+                    migrants.push((s, e));
+                } else {
+                    self.stats.evictions += 1;
+                    if e.uses == 0 {
+                        self.stats.evictions_zero_use += 1;
+                    }
+                    self.stats.epoch_evictions += 1;
+                    self.close_entry(e, now);
+                }
+            }
+        }
+        for (s, e) in migrants {
+            let base = s * w;
+            let tid = e.tid as usize;
+            let range = self.partition.victim_ways(tid);
+            let slot = match range.clone().find(|&i| !self.entries[base + i].valid) {
+                Some(i) => i,
+                None => {
+                    let i = self
+                        .min_score_way(range.filter(|&i| !self.entries[base + i].pinned), base)
+                        .expect("way floors cover every pinned entry");
+                    let v = self.entries[base + i];
+                    self.stats.evictions += 1;
+                    if v.uses == 0 && !v.pinned {
+                        self.stats.evictions_zero_use += 1;
+                    }
+                    self.stats.epoch_evictions += 1;
+                    self.close_entry(v, now);
+                    self.valid_count -= 1;
+                    self.thread_valid[v.tid as usize] -= 1;
+                    self.partition.on_evict(v.tid as usize);
+                    i
+                }
+            };
+            self.entries[base + slot] = e;
+            self.valid_count += 1;
+            self.thread_valid[tid] += 1;
+            self.partition.on_insert(tid);
+        }
     }
 }
 

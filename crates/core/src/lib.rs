@@ -19,10 +19,16 @@
 //!   by one of four policies ([`IndexPolicy`]);
 //! * [`UseTracker`] — the per-value remaining-use bookkeeping between
 //!   rename and the cache write (the bypass window);
+//! * [`PartitionController`] — the object-safe SMT partitioning layer
+//!   (named at the configuration level by [`CachePartition`]): shared,
+//!   static way/occupancy partitions, and the dynamic quota
+//!   ([`CachePartition::DynamicCap`]) and whole-way
+//!   ([`CachePartition::DynamicWay`]) controllers with optional
+//!   adaptive epoch pacing ([`EpochAdapt`]);
 //! * [`UtilityMonitor`] — per-thread shadow-tag utility monitors and
-//!   the lookahead partitioner that recompute
-//!   [`CachePartition::DynamicCap`] quotas at epoch boundaries, fed
-//!   back into the policies through [`EpochFeedback`];
+//!   the lookahead partitioners that recompute dynamic quotas and way
+//!   maps at epoch boundaries, fed back into the policies through
+//!   [`EpochFeedback`];
 //! * [`BackingFile`] — the multi-cycle backing register file with its
 //!   single shared read port and write-completion interlock;
 //! * [`TwoLevelFile`] — the optimistic two-level register file baseline
@@ -54,6 +60,7 @@ mod backing;
 mod cache;
 mod index;
 pub mod monitor;
+pub mod partition;
 mod policy;
 mod twolevel;
 mod usetrack;
@@ -62,11 +69,13 @@ pub use backing::{BackingFile, BackingStats};
 pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome};
 pub use index::{IndexAssigner, IndexPolicy};
 pub use monitor::UtilityMonitor;
+pub use partition::{controller_for, EpochContext, EpochPlan, PartitionController};
 pub use policy::{
-    CachePartition, EpochFeedback, ExpectedHitCountScorer, FewestUsesScorer, InsertionContext,
-    InsertionDecider, InsertionPolicy, LruScorer, NonBypassInsertion, ProtectionConfig,
-    RegCacheConfig, ReplacementPolicy, ReplacementScorer, UseBasedInsertion, VictimScore,
-    VictimView, WriteAllInsertion,
+    AdaptiveUseThresholdInsertion, CachePartition, EpochAdapt, EpochFeedback,
+    ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider, InsertionPolicy,
+    LruScorer, NonBypassInsertion, ProtectionConfig, RegCacheConfig, ReplacementPolicy,
+    ReplacementScorer, UseBasedInsertion, VictimScore, VictimView, WriteAllInsertion,
+    ADAPTIVE_THRESHOLD_MAX,
 };
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};
 pub use usetrack::UseTracker;

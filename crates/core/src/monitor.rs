@@ -191,6 +191,62 @@ impl UtilityMonitor {
         }
         caps
     }
+
+    /// The lookahead partitioner at *way* granularity, for
+    /// [`CachePartition::DynamicWay`](crate::CachePartition): splits
+    /// `total_ways` ways into per-thread way counts, where a block of
+    /// `k` ways is worth `k × entries_per_way` entries of monitored
+    /// utility (`entries_per_way` is the set count — owning a way means
+    /// owning it in every set).
+    ///
+    /// Same contract as [`UtilityMonitor::repartition`]: floors are
+    /// honored (the caller guarantees they sum to at most
+    /// `total_ways`), blocks are granted by marginal utility per way
+    /// with ties to the lower thread and smaller block, leftover ways
+    /// are spread round-robin, and the counts always sum to exactly
+    /// `total_ways`.
+    pub fn repartition_ways(
+        &self,
+        total_ways: usize,
+        entries_per_way: usize,
+        floors: &[usize],
+    ) -> Vec<usize> {
+        let n = floors.len();
+        let mut counts = floors.to_vec();
+        let mut budget = total_ways - counts.iter().sum::<usize>().min(total_ways);
+        while budget > 0 {
+            // (gain, block, tid) of the best marginal-utility step.
+            let mut best: Option<(u64, usize, usize)> = None;
+            for (tid, &ways) in counts.iter().enumerate() {
+                let base = self.utility(tid, ways * entries_per_way);
+                for k in 1..=budget {
+                    let gain = self.utility(tid, (ways + k) * entries_per_way) - base;
+                    let better = match best {
+                        None => gain > 0,
+                        // Strictly higher rate wins: gain/k > bg/bk.
+                        Some((bg, bk, _)) => (gain as u128) * bk as u128 > (bg as u128) * k as u128,
+                    };
+                    if better {
+                        best = Some((gain, k, tid));
+                    }
+                }
+            }
+            match best {
+                Some((_, k, tid)) => {
+                    counts[tid] += k;
+                    budget -= k;
+                }
+                None => break, // flat curves: nobody profits further
+            }
+        }
+        let mut t = 0;
+        while budget > 0 {
+            counts[t % n] += 1;
+            budget -= 1;
+            t += 1;
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +320,39 @@ mod tests {
         let m = UtilityMonitor::new(16, 4);
         let caps = m.repartition(16, &[1, 1, 1, 1]);
         assert_eq!(caps, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn repartition_ways_favors_the_thread_with_reuse() {
+        // 16-entry 8-way cache: 2 sets, so one way is worth 2 entries.
+        let mut m = UtilityMonitor::new(16, 2);
+        for round in 0..3 {
+            for p in 0..4u16 {
+                if round == 0 {
+                    m.touch(0, PhysReg(p), 0);
+                } else {
+                    m.access(0, PhysReg(p), 0);
+                }
+            }
+        }
+        for p in 100..120u16 {
+            m.touch(1, PhysReg(p), 0);
+        }
+        let counts = m.repartition_ways(8, 2, &[1, 1]);
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(
+            counts[0] > counts[1],
+            "reuse thread must win ways: {counts:?}"
+        );
+        // Way granularity is coarser than entry granularity, but the
+        // deterministic contract is the same.
+        assert_eq!(counts, m.repartition_ways(8, 2, &[1, 1]));
+    }
+
+    #[test]
+    fn repartition_ways_spreads_flat_curves_evenly() {
+        let m = UtilityMonitor::new(16, 4);
+        assert_eq!(m.repartition_ways(8, 2, &[1, 1, 1, 1]), vec![2, 2, 2, 2]);
     }
 
     #[test]

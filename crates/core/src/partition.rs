@@ -1,0 +1,726 @@
+//! Pluggable SMT partition controllers for the register cache.
+//!
+//! [`CachePartition`] is the *configuration-level* name of a
+//! partitioning policy — `Copy`, `Eq`, cheap to put in sweep matrices.
+//! The behavior lives behind the object-safe [`PartitionController`]
+//! trait, instantiated once at cache construction by
+//! [`controller_for`] (the same enum-name / boxed-behavior split as
+//! `InsertionPolicy` → `InsertionDecider` in the policy module).
+//!
+//! The cache consults its controller at exactly three decision points:
+//!
+//! 1. **Insertion** ([`PartitionController::admit`] +
+//!    [`PartitionController::victim_ways`]): may this thread place
+//!    freely, and into which ways of the target set? An inadmissible
+//!    insert (a thread at its occupancy quota) falls back to evicting
+//!    one of the thread's *own* entries in the set, or is dropped.
+//! 2. **Epoch pacing** ([`PartitionController::epoch_due`] +
+//!    [`PartitionController::epoch_boundary`]): dynamic controllers
+//!    decide when a boundary fires and return an [`EpochPlan`] — new
+//!    entry quotas or a new way map — which the cache then enforces
+//!    (trimming over-quota threads, draining reassigned ways).
+//! 3. **Audit** ([`PartitionController::audit`]): self-consistency of
+//!    the controller's quota state, folded into the cache's structural
+//!    audit.
+//!
+//! Controllers also expose their quota state read-only (`cap`, `caps`,
+//! `way_counts`, `way_owner`) so the simulator's invariant checker can
+//! cross-check entry placement against epoch-varying ownership.
+//!
+//! Adding a controller touches at most three files: implement the trait
+//! here (plus a [`CachePartition`] variant in the policy module), and
+//! add a typed rejection to the simulator's config validation.
+
+use crate::monitor::UtilityMonitor;
+use crate::policy::{CachePartition, EpochAdapt, RegCacheConfig};
+use std::fmt;
+use std::ops::Range;
+
+/// Read-only epoch-boundary inputs handed to
+/// [`PartitionController::epoch_boundary`].
+///
+/// The cache gathers these from its own state so controllers stay free
+/// of entry-array knowledge: the shadow-tag monitors (utility curves),
+/// the pinned footprints (quota floors), and the geometry.
+#[derive(Debug)]
+pub struct EpochContext<'a> {
+    /// The shadow-tag utility monitors feeding the partitioner.
+    pub monitor: &'a UtilityMonitor,
+    /// Valid pinned entries per thread (quota floors: pinned entries
+    /// are never evicted by a repartition).
+    pub pinned: &'a [usize],
+    /// The largest pinned-entry count any single set holds per thread
+    /// (way-granularity floors: a thread's new way block must fit its
+    /// pinned entries in every set).
+    pub pinned_per_set_max: &'a [usize],
+    /// Total cache entries.
+    pub entries: usize,
+    /// Cache associativity.
+    pub ways: usize,
+    /// Cache set count (= entries the ownership of one way is worth).
+    pub sets: usize,
+}
+
+/// A dynamic controller's repartition decision, enforced by the cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochPlan {
+    /// New per-thread occupancy quotas (summing to the entry count);
+    /// the cache trims each over-quota thread by evicting its own
+    /// unpinned entries, lowest replacement score first.
+    Caps(Vec<usize>),
+    /// New per-thread way counts (summing to the associativity, laid
+    /// out as contiguous blocks in thread order); the cache drains
+    /// reassigned ways — evicting the losing thread's unpinned entries
+    /// and migrating its pinned entries into its remaining block.
+    Ways(Vec<usize>),
+}
+
+/// Object-safe SMT partition behavior (see the module docs).
+///
+/// Implementations must be deterministic functions of their inputs and
+/// the feedback stream — the golden-snapshot matrix pins their timing.
+pub trait PartitionController: fmt::Debug + Send {
+    /// May `tid` place a new entry freely (into
+    /// [`PartitionController::victim_ways`])? `false` means the thread
+    /// is at its occupancy quota: the cache falls back to evicting one
+    /// of the thread's own entries in the target set, dropping the
+    /// insertion if it has none there.
+    fn admit(&self, tid: usize, occupancy: &[usize]) -> bool;
+
+    /// The candidate ways (relative to the set base) an admitted
+    /// insertion by `tid` may fill or evict from.
+    fn victim_ways(&self, tid: usize) -> Range<usize>;
+
+    /// Notification: an entry owned by `tid` was installed. Default
+    /// no-op (the cache keeps the occupancy counters).
+    fn on_insert(&mut self, _tid: usize) {}
+
+    /// Notification: an entry owned by `tid` was evicted or
+    /// invalidated. Default no-op.
+    fn on_evict(&mut self, _tid: usize) {}
+
+    /// The occupancy cap currently binding `tid`, if this controller
+    /// caps occupancy (`None` for way-partitioned and shared caches).
+    fn cap(&self, _tid: usize) -> Option<usize> {
+        None
+    }
+
+    /// The full dynamic entry-quota vector
+    /// ([`CachePartition::DynamicCap`] only; always sums to the entry
+    /// count).
+    fn caps(&self) -> Option<&[usize]> {
+        None
+    }
+
+    /// The per-thread way counts ([`CachePartition::DynamicWay`] only;
+    /// always sums to the associativity).
+    fn way_counts(&self) -> Option<&[usize]> {
+        None
+    }
+
+    /// The thread owning `way` (in every set), when ways are owned at
+    /// all (`None` for shared and occupancy-capped caches).
+    fn way_owner(&self, _way: usize) -> Option<usize> {
+        None
+    }
+
+    /// The configured repartition period of a dynamic controller
+    /// (`None` for the static policies). Under [`EpochAdapt`] this is
+    /// the *initial* period; the live period varies.
+    fn epoch_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// True when an epoch boundary must fire at cycle `now` (static
+    /// controllers never fire).
+    fn epoch_due(&self, _now: u64) -> bool {
+        false
+    }
+
+    /// Closes an epoch: recomputes this controller's quota state from
+    /// the monitored utility curves and returns the plan for the cache
+    /// to enforce. `None` for static controllers (never called on
+    /// them).
+    fn epoch_boundary(&mut self, _cx: &EpochContext<'_>) -> Option<EpochPlan> {
+        None
+    }
+
+    /// Self-consistency of the controller's quota state (quota sums,
+    /// positivity). Folded into [`crate::RegisterCache::audit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(description)` when internal quota state is
+    /// inconsistent.
+    fn audit(&self, _entries: usize, _ways: usize) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Clones the controller behind the object (cloning caches).
+    fn clone_box(&self) -> Box<dyn PartitionController>;
+}
+
+impl Clone for Box<dyn PartitionController> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Builds the controller implementing `config.partition` for an
+/// `nthreads`-thread cache. With one thread every policy degenerates to
+/// the shared controller (partitioning is inert), preserving the
+/// single-thread golden contract.
+///
+/// # Panics
+///
+/// Panics on an infeasible configuration: a
+/// [`CachePartition::WayPartition`] or [`CachePartition::DynamicWay`]
+/// whose ways don't divide by the thread count, an occupancy-capped
+/// partition with fewer entries than threads, a zero dynamic epoch, a
+/// [`CachePartition::DynamicCap`] `min_cap` that overcommits the cache,
+/// or an [`EpochAdapt`] with an empty `[min, max]` range or a static
+/// partition. Callers wanting typed errors should validate first (the
+/// simulator's `try_new_smt` does).
+pub fn controller_for(config: &RegCacheConfig, nthreads: usize) -> Box<dyn PartitionController> {
+    let ways = config.ways;
+    if nthreads <= 1 {
+        return Box::new(SharedController { ways });
+    }
+    if let Some(a) = config.epoch_adapt {
+        assert!(
+            config.partition.is_dynamic(),
+            "epoch_adapt requires a dynamic partition"
+        );
+        assert!(
+            a.min_cycles >= 1 && a.min_cycles <= a.max_cycles,
+            "epoch_adapt needs 1 <= min_cycles <= max_cycles"
+        );
+    }
+    match config.partition {
+        CachePartition::Shared => Box::new(SharedController { ways }),
+        CachePartition::WayPartition => {
+            assert!(
+                ways.is_multiple_of(nthreads),
+                "WayPartition needs ways divisible by nthreads"
+            );
+            Box::new(WayPartitionController {
+                ways_per_thread: ways / nthreads,
+            })
+        }
+        CachePartition::OccupancyCap => {
+            assert!(
+                config.entries >= nthreads,
+                "OccupancyCap needs at least one entry per thread"
+            );
+            Box::new(OccupancyCapController {
+                ways,
+                cap: config.entries / nthreads,
+            })
+        }
+        CachePartition::DynamicCap {
+            epoch_cycles,
+            min_cap,
+        } => {
+            assert!(epoch_cycles >= 1, "DynamicCap needs a non-zero epoch");
+            assert!(
+                config.entries >= nthreads,
+                "DynamicCap needs at least one entry per thread"
+            );
+            assert!(
+                min_cap * nthreads <= config.entries,
+                "DynamicCap min_cap x nthreads exceeds the cache"
+            );
+            // Initial quotas: the even OccupancyCap split, remainder to
+            // the lower-numbered threads so the quotas sum to `entries`
+            // exactly.
+            let caps = (0..nthreads)
+                .map(|t| config.entries / nthreads + usize::from(t < config.entries % nthreads))
+                .collect();
+            Box::new(DynamicCapController {
+                ways,
+                min_cap,
+                caps,
+                pacer: EpochPacer::new(epoch_cycles, config.epoch_adapt),
+            })
+        }
+        CachePartition::DynamicWay { epoch_cycles } => {
+            assert!(epoch_cycles >= 1, "DynamicWay needs a non-zero epoch");
+            assert!(
+                ways.is_multiple_of(nthreads),
+                "DynamicWay needs ways divisible by nthreads"
+            );
+            Box::new(DynamicWayController {
+                counts: vec![ways / nthreads; nthreads],
+                pacer: EpochPacer::new(epoch_cycles, config.epoch_adapt),
+            })
+        }
+    }
+}
+
+/// Shared epoch pacing for the dynamic controllers: fixed-period
+/// (byte-identical to the pre-controller `now % epoch_cycles` gate) or
+/// [`EpochAdapt`]-driven variable-length epochs.
+#[derive(Clone, Debug)]
+struct EpochPacer {
+    /// The configured base period.
+    base: u64,
+    adapt: Option<EpochAdapt>,
+    /// Current period (== `base` when not adapting).
+    len: u64,
+    /// Next boundary cycle (adaptive mode only).
+    next: u64,
+    /// The allocation installed at the previous boundary, for the
+    /// agreement test.
+    last_alloc: Option<Vec<usize>>,
+}
+
+impl EpochPacer {
+    fn new(epoch_cycles: u64, adapt: Option<EpochAdapt>) -> Self {
+        let len = match adapt {
+            Some(a) => epoch_cycles.clamp(a.min_cycles, a.max_cycles),
+            None => epoch_cycles,
+        };
+        Self {
+            base: epoch_cycles,
+            adapt,
+            len,
+            next: len,
+            last_alloc: None,
+        }
+    }
+
+    fn due(&self, now: u64) -> bool {
+        match self.adapt {
+            // The fixed-period gate the pre-controller epoch stage
+            // used, verbatim: never at cycle 0, then every `base`th
+            // cycle.
+            None => now != 0 && now.is_multiple_of(self.base),
+            Some(_) => now != 0 && now == self.next,
+        }
+    }
+
+    /// Records the allocation a boundary installed and schedules the
+    /// next boundary: agreement within the hysteresis band doubles the
+    /// period, disagreement halves it, both clamped to `[min, max]`.
+    fn advance(&mut self, alloc: &[usize]) {
+        let Some(a) = self.adapt else {
+            return;
+        };
+        let agreed = self
+            .last_alloc
+            .as_deref()
+            .is_some_and(|prev| l1_distance(prev, alloc) <= a.band);
+        self.len = if agreed {
+            self.len.saturating_mul(2).clamp(a.min_cycles, a.max_cycles)
+        } else {
+            (self.len / 2).clamp(a.min_cycles, a.max_cycles)
+        };
+        self.last_alloc = Some(alloc.to_vec());
+        self.next += self.len;
+    }
+}
+
+fn l1_distance(a: &[usize], b: &[usize]) -> usize {
+    a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).sum()
+}
+
+/// [`CachePartition::Shared`] (and every single-thread cache): all ways
+/// compete freely, no quotas, no epochs.
+#[derive(Clone, Debug)]
+struct SharedController {
+    ways: usize,
+}
+
+impl PartitionController for SharedController {
+    fn admit(&self, _tid: usize, _occupancy: &[usize]) -> bool {
+        true
+    }
+    fn victim_ways(&self, _tid: usize) -> Range<usize> {
+        0..self.ways
+    }
+    fn clone_box(&self) -> Box<dyn PartitionController> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`CachePartition::WayPartition`]: thread `t` statically owns ways
+/// `[t·w, (t+1)·w)` of every set.
+#[derive(Clone, Debug)]
+struct WayPartitionController {
+    ways_per_thread: usize,
+}
+
+impl PartitionController for WayPartitionController {
+    fn admit(&self, _tid: usize, _occupancy: &[usize]) -> bool {
+        true
+    }
+    fn victim_ways(&self, tid: usize) -> Range<usize> {
+        tid * self.ways_per_thread..(tid + 1) * self.ways_per_thread
+    }
+    fn way_owner(&self, way: usize) -> Option<usize> {
+        Some(way / self.ways_per_thread)
+    }
+    fn clone_box(&self) -> Box<dyn PartitionController> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`CachePartition::OccupancyCap`]: shared ways, a static
+/// `entries / nthreads` live-entry cap per thread.
+#[derive(Clone, Debug)]
+struct OccupancyCapController {
+    ways: usize,
+    cap: usize,
+}
+
+impl PartitionController for OccupancyCapController {
+    fn admit(&self, tid: usize, occupancy: &[usize]) -> bool {
+        occupancy[tid] < self.cap
+    }
+    fn victim_ways(&self, _tid: usize) -> Range<usize> {
+        0..self.ways
+    }
+    fn cap(&self, _tid: usize) -> Option<usize> {
+        Some(self.cap)
+    }
+    fn clone_box(&self) -> Box<dyn PartitionController> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`CachePartition::DynamicCap`]: shared ways, per-thread quotas
+/// recomputed from the utility monitors every epoch.
+#[derive(Clone, Debug)]
+struct DynamicCapController {
+    ways: usize,
+    min_cap: usize,
+    caps: Vec<usize>,
+    pacer: EpochPacer,
+}
+
+impl PartitionController for DynamicCapController {
+    fn admit(&self, tid: usize, occupancy: &[usize]) -> bool {
+        occupancy[tid] < self.caps[tid]
+    }
+    fn victim_ways(&self, _tid: usize) -> Range<usize> {
+        0..self.ways
+    }
+    fn cap(&self, tid: usize) -> Option<usize> {
+        Some(self.caps[tid])
+    }
+    fn caps(&self) -> Option<&[usize]> {
+        Some(&self.caps)
+    }
+    fn epoch_cycles(&self) -> Option<u64> {
+        Some(self.pacer.base)
+    }
+    fn epoch_due(&self, now: u64) -> bool {
+        self.pacer.due(now)
+    }
+    fn epoch_boundary(&mut self, cx: &EpochContext<'_>) -> Option<EpochPlan> {
+        // Quota floors guarantee feasibility: every thread keeps at
+        // least `max(1, pinned entries)`, raised toward the configured
+        // `min_cap` in thread order while budget remains.
+        let mut floors: Vec<usize> = cx.pinned.iter().map(|&p| p.max(1)).collect();
+        let mut extra = cx.entries - floors.iter().sum::<usize>();
+        for f in floors.iter_mut() {
+            let want = self.min_cap.saturating_sub(*f).min(extra);
+            *f += want;
+            extra -= want;
+        }
+        let new_caps = cx.monitor.repartition(cx.entries, &floors);
+        self.caps.clone_from(&new_caps);
+        self.pacer.advance(&new_caps);
+        Some(EpochPlan::Caps(new_caps))
+    }
+    fn audit(&self, entries: usize, _ways: usize) -> Result<(), String> {
+        if self.caps.iter().sum::<usize>() != entries {
+            return Err(format!(
+                "dynamic caps {:?} do not sum to {entries} entries",
+                self.caps
+            ));
+        }
+        if let Some(t) = self.caps.iter().position(|&c| c == 0) {
+            return Err(format!("thread {t} has a zero dynamic cap"));
+        }
+        Ok(())
+    }
+    fn clone_box(&self) -> Box<dyn PartitionController> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`CachePartition::DynamicWay`]: contiguous per-thread way blocks (in
+/// thread order), reassigned from the utility monitors every epoch.
+#[derive(Clone, Debug)]
+struct DynamicWayController {
+    /// Ways owned per thread; thread `t`'s block starts at the prefix
+    /// sum of `counts[..t]`.
+    counts: Vec<usize>,
+    pacer: EpochPacer,
+}
+
+impl DynamicWayController {
+    fn start(&self, tid: usize) -> usize {
+        self.counts[..tid].iter().sum()
+    }
+}
+
+impl PartitionController for DynamicWayController {
+    fn admit(&self, _tid: usize, _occupancy: &[usize]) -> bool {
+        true
+    }
+    fn victim_ways(&self, tid: usize) -> Range<usize> {
+        let lo = self.start(tid);
+        lo..lo + self.counts[tid]
+    }
+    fn way_counts(&self) -> Option<&[usize]> {
+        Some(&self.counts)
+    }
+    fn way_owner(&self, way: usize) -> Option<usize> {
+        let mut end = 0;
+        for (t, &c) in self.counts.iter().enumerate() {
+            end += c;
+            if way < end {
+                return Some(t);
+            }
+        }
+        None
+    }
+    fn epoch_cycles(&self) -> Option<u64> {
+        Some(self.pacer.base)
+    }
+    fn epoch_due(&self, now: u64) -> bool {
+        self.pacer.due(now)
+    }
+    fn epoch_boundary(&mut self, cx: &EpochContext<'_>) -> Option<EpochPlan> {
+        // Way floors: every thread keeps at least one way, and enough
+        // ways to hold its pinned entries in the fullest set (pinned
+        // entries are confined to the thread's block in every set, so
+        // `pinned_per_set_max[t] <= counts[t]` and the floors always
+        // fit — by induction the counts stay >= 1 and conserve the
+        // associativity at every boundary).
+        let floors: Vec<usize> = cx.pinned_per_set_max.iter().map(|&p| p.max(1)).collect();
+        let new_counts = cx.monitor.repartition_ways(cx.ways, cx.sets, &floors);
+        self.counts.clone_from(&new_counts);
+        self.pacer.advance(&new_counts);
+        Some(EpochPlan::Ways(new_counts))
+    }
+    fn audit(&self, _entries: usize, ways: usize) -> Result<(), String> {
+        if self.counts.iter().sum::<usize>() != ways {
+            return Err(format!(
+                "dynamic way counts {:?} do not sum to {ways} ways",
+                self.counts
+            ));
+        }
+        if let Some(t) = self.counts.iter().position(|&c| c == 0) {
+            return Err(format!("thread {t} owns zero ways"));
+        }
+        Ok(())
+    }
+    fn clone_box(&self) -> Box<dyn PartitionController> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhysReg;
+
+    fn cfg(partition: CachePartition) -> RegCacheConfig {
+        let mut c = RegCacheConfig::use_based(16, 4);
+        c.partition = partition;
+        c
+    }
+
+    #[test]
+    fn single_thread_always_gets_the_shared_controller() {
+        let c = controller_for(&cfg(CachePartition::OccupancyCap), 1);
+        assert!(c.admit(0, &[999]));
+        assert_eq!(c.victim_ways(0), 0..4);
+        assert_eq!(c.cap(0), None);
+        assert_eq!(c.epoch_cycles(), None);
+        assert!(!c.epoch_due(128));
+    }
+
+    #[test]
+    fn way_partition_controller_confines_and_names_owners() {
+        let c = controller_for(&cfg(CachePartition::WayPartition), 2);
+        assert_eq!(c.victim_ways(0), 0..2);
+        assert_eq!(c.victim_ways(1), 2..4);
+        assert_eq!(c.way_owner(1), Some(0));
+        assert_eq!(c.way_owner(2), Some(1));
+        assert!(c.admit(0, &[16, 0]));
+    }
+
+    #[test]
+    fn occupancy_cap_controller_admits_under_the_static_cap() {
+        let c = controller_for(&cfg(CachePartition::OccupancyCap), 2);
+        assert!(c.admit(0, &[7, 0]));
+        assert!(!c.admit(0, &[8, 0]));
+        assert_eq!(c.cap(1), Some(8));
+        assert_eq!(c.victim_ways(1), 0..4);
+    }
+
+    #[test]
+    fn dynamic_cap_controller_paces_fixed_epochs_like_the_modulo_gate() {
+        let c = controller_for(
+            &cfg(CachePartition::DynamicCap {
+                epoch_cycles: 64,
+                min_cap: 1,
+            }),
+            2,
+        );
+        assert_eq!(c.epoch_cycles(), Some(64));
+        assert!(!c.epoch_due(0));
+        assert!(!c.epoch_due(63));
+        assert!(c.epoch_due(64));
+        assert!(c.epoch_due(128));
+        assert_eq!(c.caps(), Some(&[8usize, 8][..]));
+    }
+
+    #[test]
+    fn dynamic_way_controller_reassigns_toward_reuse() {
+        let config = cfg(CachePartition::DynamicWay { epoch_cycles: 64 });
+        let mut c = controller_for(&config, 2);
+        assert_eq!(c.way_counts(), Some(&[2usize, 2][..]));
+        // Thread 0 shows reuse over 4 hot tags (sampled set 0 of 4).
+        let mut m = UtilityMonitor::new(16, 2);
+        for round in 0..3 {
+            for p in 0..4u16 {
+                if round == 0 {
+                    m.touch(0, PhysReg(p), 0);
+                } else {
+                    m.access(0, PhysReg(p), 0);
+                }
+            }
+        }
+        let cx = EpochContext {
+            monitor: &m,
+            pinned: &[0, 0],
+            pinned_per_set_max: &[0, 0],
+            entries: 16,
+            ways: 4,
+            sets: 4,
+        };
+        let plan = c.epoch_boundary(&cx).expect("dynamic controllers plan");
+        let EpochPlan::Ways(counts) = plan else {
+            panic!("DynamicWay plans ways, got {plan:?}");
+        };
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+        assert!(counts[0] > counts[1], "reuse thread wins ways: {counts:?}");
+        assert_eq!(c.way_counts(), Some(&counts[..]));
+        assert_eq!(c.way_owner(0), Some(0));
+        assert_eq!(c.way_owner(3), Some(1));
+        assert_eq!(c.victim_ways(1), counts[0]..4);
+        c.audit(16, 4).unwrap();
+    }
+
+    #[test]
+    fn way_floors_cover_pinned_entries() {
+        let config = cfg(CachePartition::DynamicWay { epoch_cycles: 64 });
+        let mut c = controller_for(&config, 2);
+        // Thread 1 pins two entries in one set; thread 0 shows reuse.
+        let mut m = UtilityMonitor::new(16, 2);
+        for round in 0..3 {
+            for p in 0..6u16 {
+                if round == 0 {
+                    m.touch(0, PhysReg(p), 0);
+                } else {
+                    m.access(0, PhysReg(p), 0);
+                }
+            }
+        }
+        let cx = EpochContext {
+            monitor: &m,
+            pinned: &[0, 3],
+            pinned_per_set_max: &[0, 2],
+            entries: 16,
+            ways: 4,
+            sets: 4,
+        };
+        let Some(EpochPlan::Ways(counts)) = c.epoch_boundary(&cx) else {
+            panic!("expected a way plan");
+        };
+        assert!(counts[1] >= 2, "floor must cover pins: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn adaptive_pacer_lengthens_on_agreement_and_shortens_on_change() {
+        let mut p = EpochPacer::new(
+            64,
+            Some(EpochAdapt {
+                min_cycles: 16,
+                max_cycles: 256,
+                band: 1,
+            }),
+        );
+        assert!(p.due(64), "first boundary at the base period");
+        assert!(!p.due(63));
+        // First boundary: no previous allocation, counts as
+        // disagreement — the period halves to 32.
+        p.advance(&[8, 8]);
+        assert_eq!(p.len, 32);
+        assert!(p.due(96));
+        // Agreement within the band doubles, clamped at max.
+        p.advance(&[8, 8]);
+        assert_eq!(p.len, 64);
+        p.advance(&[8, 7]);
+        assert_eq!(p.len, 128);
+        p.advance(&[8, 7]);
+        p.advance(&[8, 7]);
+        assert_eq!(p.len, 256, "clamped at max_cycles");
+        // A phase change (outside the band) halves.
+        p.advance(&[14, 2]);
+        assert_eq!(p.len, 128);
+        for i in 0..8 {
+            // Keep flip-flopping so every boundary disagrees.
+            p.advance(if i % 2 == 0 { &[2, 14] } else { &[14, 2] });
+        }
+        assert_eq!(p.len, 16, "clamped at min_cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch_adapt requires a dynamic partition")]
+    fn epoch_adapt_rejects_static_partitions() {
+        let mut c = cfg(CachePartition::WayPartition);
+        c.epoch_adapt = Some(EpochAdapt::default_band());
+        let _ = controller_for(&c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= min_cycles <= max_cycles")]
+    fn epoch_adapt_rejects_an_empty_range() {
+        let mut c = cfg(CachePartition::DynamicWay { epoch_cycles: 64 });
+        c.epoch_adapt = Some(EpochAdapt {
+            min_cycles: 128,
+            max_cycles: 64,
+            band: 1,
+        });
+        let _ = controller_for(&c, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "DynamicWay needs ways divisible by nthreads")]
+    fn dynamic_way_rejects_indivisible_ways() {
+        let mut c = RegCacheConfig::use_based(9, 3);
+        c.partition = CachePartition::DynamicWay { epoch_cycles: 64 };
+        let _ = controller_for(&c, 2);
+    }
+
+    #[test]
+    fn controllers_clone_behind_the_box() {
+        let c = controller_for(
+            &cfg(CachePartition::DynamicCap {
+                epoch_cycles: 64,
+                min_cap: 2,
+            }),
+            4,
+        );
+        let d = c.clone();
+        assert_eq!(c.caps(), d.caps());
+        assert_eq!(c.victim_ways(2), d.victim_ways(2));
+    }
+}

@@ -22,6 +22,14 @@ pub enum InsertionPolicy {
     /// first-stage bypasses are accounted — the paper's contribution
     /// (§3.1). Pinned (saturated-degree) values are always written.
     UseBased,
+    /// [`InsertionPolicy::UseBased`] with a *per-thread* use threshold
+    /// retuned from epoch feedback: a thread running at its occupancy
+    /// quota demands more predicted uses per insertion (up to
+    /// [`ADAPTIVE_THRESHOLD_MAX`]), a thread under quota relaxes back
+    /// toward the use-based baseline of 1. Identical to `UseBased`
+    /// until the first epoch boundary fires, and on single-thread or
+    /// statically partitioned caches forever (no boundaries ever fire).
+    AdaptiveUseThreshold,
 }
 
 impl InsertionPolicy {
@@ -31,6 +39,7 @@ impl InsertionPolicy {
             InsertionPolicy::WriteAll => Box::new(WriteAllInsertion),
             InsertionPolicy::NonBypass => Box::new(NonBypassInsertion),
             InsertionPolicy::UseBased => Box::new(UseBasedInsertion),
+            InsertionPolicy::AdaptiveUseThreshold => Box::new(AdaptiveUseThresholdInsertion::new()),
         }
     }
 }
@@ -94,9 +103,17 @@ pub struct EpochFeedback {
     /// repartition evictions).
     pub occupancy: Vec<usize>,
     /// Per-thread occupancy quotas in force during the closed epoch.
+    /// Under [`CachePartition::DynamicWay`] these are entry-equivalents
+    /// (owned ways × sets), so quota consumers see a uniform scale.
     pub old_caps: Vec<usize>,
-    /// Per-thread occupancy quotas for the epoch now starting.
+    /// Per-thread occupancy quotas for the epoch now starting (same
+    /// entry-equivalent convention as
+    /// [`EpochFeedback::old_caps`]).
     pub new_caps: Vec<usize>,
+    /// Per-thread *way* counts for the epoch now starting — populated
+    /// only by [`CachePartition::DynamicWay`] boundaries, empty for
+    /// occupancy-quota partitions.
+    pub new_ways: Vec<usize>,
 }
 
 impl EpochFeedback {
@@ -121,6 +138,10 @@ pub struct InsertionContext {
     /// Consumers already satisfied from the first bypass stage — the
     /// only consumers visible to the write decision (§3.1).
     pub first_stage_bypasses: u32,
+    /// The producing SMT thread (always 0 on single-thread caches).
+    /// Feedback-driven deciders key per-thread state off this; the
+    /// static policies ignore it.
+    pub tid: usize,
 }
 
 /// Object-safe insertion decision: should this produced value occupy a
@@ -233,6 +254,71 @@ impl InsertionDecider for UseBasedInsertion {
     }
 }
 
+/// Ceiling of the per-thread use threshold
+/// [`InsertionPolicy::AdaptiveUseThreshold`] may tighten to. Beyond
+/// this, filtering becomes so aggressive the cache starves on the
+/// kernels' mostly-degree-1/2 values.
+pub const ADAPTIVE_THRESHOLD_MAX: u8 = 3;
+
+/// [`InsertionPolicy::AdaptiveUseThreshold`] as a decider: the
+/// use-based filter with a per-thread minimum-use threshold retuned
+/// from [`EpochFeedback`].
+///
+/// A thread that closed the epoch *at* its occupancy quota is fighting
+/// for space, so demanding more predicted uses per insertion (one more
+/// than before, capped at [`ADAPTIVE_THRESHOLD_MAX`]) keeps only its
+/// hottest values; a thread under quota relaxes back toward the
+/// baseline threshold of 1, which is exactly [`UseBasedInsertion`].
+/// Pinned values always insert, as in the base policy. Everything is a
+/// pure function of the feedback stream, so runs stay deterministic.
+#[derive(Clone, Debug)]
+pub struct AdaptiveUseThresholdInsertion {
+    /// Per-thread minimum remaining-use count; sized lazily on the
+    /// first epoch (an unseen thread uses the baseline of 1).
+    thresholds: Vec<u8>,
+}
+
+impl AdaptiveUseThresholdInsertion {
+    /// Starts at the use-based baseline (threshold 1 for every thread).
+    pub fn new() -> Self {
+        Self {
+            thresholds: Vec::new(),
+        }
+    }
+
+    /// The threshold currently applied to `tid`.
+    pub fn threshold(&self, tid: usize) -> u8 {
+        self.thresholds.get(tid).copied().unwrap_or(1)
+    }
+}
+
+impl Default for AdaptiveUseThresholdInsertion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InsertionDecider for AdaptiveUseThresholdInsertion {
+    fn should_insert(&self, ctx: &InsertionContext) -> bool {
+        ctx.pinned || ctx.remaining >= self.threshold(ctx.tid)
+    }
+    fn clone_box(&self) -> Box<dyn InsertionDecider> {
+        Box::new(self.clone())
+    }
+    fn on_epoch(&mut self, fb: &EpochFeedback) {
+        if self.thresholds.len() < fb.new_caps.len() {
+            self.thresholds.resize(fb.new_caps.len(), 1);
+        }
+        for (t, th) in self.thresholds.iter_mut().enumerate() {
+            if fb.occupancy[t] >= fb.new_caps[t] {
+                *th = (*th + 1).min(ADAPTIVE_THRESHOLD_MAX);
+            } else {
+                *th = th.saturating_sub(1).max(1);
+            }
+        }
+    }
+}
+
 /// [`ReplacementPolicy::Lru`] as a scorer: pure recency, blind to use
 /// counts and pinning.
 #[derive(Clone, Copy, Debug)]
@@ -321,6 +407,78 @@ pub enum CachePartition {
         /// below the floor, never below 1).
         min_cap: usize,
     },
+    /// Like [`CachePartition::WayPartition`], but the per-thread way
+    /// blocks are *reassigned every `epoch_cycles` cycles* by the same
+    /// lookahead utility partitioner that drives
+    /// [`CachePartition::DynamicCap`], run at way granularity (a block
+    /// of `k` ways is worth `k × sets` entries of monitored utility).
+    /// Each thread always owns a contiguous block of at least one way
+    /// in every set (blocks laid out in thread order), so insertions
+    /// stay conflict-isolated like the static way partition; when a way
+    /// changes owner at a boundary, the losing thread's unpinned
+    /// entries in it are evicted and its pinned entries migrate into
+    /// the thread's remaining block. Requires `ways` divisible by the
+    /// thread count (the initial even split).
+    DynamicWay {
+        /// Way-reassignment period in cycles (must be at least 1).
+        epoch_cycles: u64,
+    },
+}
+
+impl CachePartition {
+    /// True for the epoch-driven partitions
+    /// ([`CachePartition::DynamicCap`] and
+    /// [`CachePartition::DynamicWay`]).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            CachePartition::DynamicCap { .. } | CachePartition::DynamicWay { .. }
+        )
+    }
+
+    /// The repartition period of a dynamic partition (`None` for the
+    /// static policies).
+    pub fn epoch_cycles(&self) -> Option<u64> {
+        match *self {
+            CachePartition::DynamicCap { epoch_cycles, .. }
+            | CachePartition::DynamicWay { epoch_cycles } => Some(epoch_cycles),
+            _ => None,
+        }
+    }
+}
+
+/// Adaptive epoch-length control for the dynamic partitions
+/// ([`CachePartition::DynamicCap`] / [`CachePartition::DynamicWay`]).
+///
+/// With `RegCacheConfig::epoch_adapt` set, the partition's
+/// `epoch_cycles` becomes the *initial* period (clamped into
+/// `[min_cycles, max_cycles]`): when two consecutive repartitions agree
+/// within `band` (the L1 distance between the allocation vectors — caps
+/// in entries, or way counts), the workload is stable and the period
+/// doubles; on disagreement it halves, reacting to the phase change.
+/// The period is always clamped to `[min_cycles, max_cycles]`, and the
+/// schedule stays a pure function of the simulated access stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EpochAdapt {
+    /// Shortest allowed epoch, in cycles (at least 1).
+    pub min_cycles: u64,
+    /// Longest allowed epoch, in cycles (at least `min_cycles`).
+    pub max_cycles: u64,
+    /// Hysteresis band: consecutive allocations whose L1 distance is at
+    /// most this count as "agreeing".
+    pub band: usize,
+}
+
+impl EpochAdapt {
+    /// A default band: 32–512-cycle epochs, agreement within an L1
+    /// distance of 2.
+    pub fn default_band() -> Self {
+        Self {
+            min_cycles: 32,
+            max_cycles: 512,
+            band: 2,
+        }
+    }
 }
 
 /// Soft-error protection switches for the register storage structures.
@@ -398,6 +556,11 @@ pub struct RegCacheConfig {
     /// How capacity is divided between SMT threads (ignored with one
     /// thread; see [`CachePartition`]).
     pub partition: CachePartition,
+    /// Adaptive epoch-length control for a dynamic `partition` (`None`
+    /// — the default — keeps the fixed `epoch_cycles` period; see
+    /// [`EpochAdapt`]). Ignored by the static partitions and on
+    /// single-thread caches.
+    pub epoch_adapt: Option<EpochAdapt>,
     /// Soft-error parity protection on the storage structures (off by
     /// default; see [`ProtectionConfig`]).
     pub protection: ProtectionConfig,
@@ -418,6 +581,7 @@ impl RegCacheConfig {
             fill_default: 0,
             classify_misses: false,
             partition: CachePartition::Shared,
+            epoch_adapt: None,
             protection: ProtectionConfig::off(),
         }
     }
@@ -533,6 +697,7 @@ mod tests {
             remaining,
             pinned,
             first_stage_bypasses,
+            tid: 0,
         };
         let write_all = InsertionPolicy::WriteAll.decider();
         assert!(write_all.should_insert(&ctx(0, false, 5)));
@@ -587,6 +752,7 @@ mod tests {
             remaining: 0,
             pinned: true,
             first_stage_bypasses: 2,
+            tid: 0,
         };
         assert_eq!(decider.should_insert(&c), cloned.should_insert(&c));
     }
@@ -597,5 +763,113 @@ mod tests {
         assert_eq!(c.insertion, InsertionPolicy::UseBased);
         assert_eq!(c.replacement, ReplacementPolicy::ExpectedHitCount);
         assert_eq!(c.sets(), 32);
+    }
+
+    fn feedback(occupancy: Vec<usize>, new_caps: Vec<usize>) -> EpochFeedback {
+        EpochFeedback {
+            occupancy,
+            new_caps,
+            ..EpochFeedback::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_starts_as_use_based() {
+        let d = InsertionPolicy::AdaptiveUseThreshold.decider();
+        let ub = InsertionPolicy::UseBased.decider();
+        for remaining in 0..4u8 {
+            for pinned in [false, true] {
+                let c = InsertionContext {
+                    remaining,
+                    pinned,
+                    first_stage_bypasses: 0,
+                    tid: 1,
+                };
+                assert_eq!(d.should_insert(&c), ub.should_insert(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_tightens_at_quota_and_relaxes_under_it() {
+        let mut d = AdaptiveUseThresholdInsertion::new();
+        // Thread 0 sits at its quota, thread 1 is well under.
+        d.on_epoch(&feedback(vec![8, 2], vec![8, 8]));
+        assert_eq!(d.threshold(0), 2);
+        assert_eq!(d.threshold(1), 1);
+        let at = |remaining, tid| InsertionContext {
+            remaining,
+            pinned: false,
+            first_stage_bypasses: 0,
+            tid,
+        };
+        assert!(
+            !d.should_insert(&at(1, 0)),
+            "over-quota thread filters 1-use"
+        );
+        assert!(d.should_insert(&at(2, 0)));
+        assert!(
+            d.should_insert(&at(1, 1)),
+            "under-quota thread keeps baseline"
+        );
+        // Pinned values always insert regardless of the threshold.
+        assert!(d.should_insert(&InsertionContext {
+            remaining: 0,
+            pinned: true,
+            first_stage_bypasses: 0,
+            tid: 0,
+        }));
+        // The threshold saturates at the ceiling...
+        for _ in 0..10 {
+            d.on_epoch(&feedback(vec![8, 2], vec![8, 8]));
+        }
+        assert_eq!(d.threshold(0), ADAPTIVE_THRESHOLD_MAX);
+        // ...and relaxes back down to 1 when the pressure lifts.
+        for _ in 0..10 {
+            d.on_epoch(&feedback(vec![1, 2], vec![8, 8]));
+        }
+        assert_eq!(d.threshold(0), 1);
+    }
+
+    #[test]
+    fn adaptive_threshold_clones_with_its_state() {
+        let mut d = AdaptiveUseThresholdInsertion::new();
+        d.on_epoch(&feedback(vec![8], vec![8]));
+        let cloned = d.clone_box();
+        let c = InsertionContext {
+            remaining: 1,
+            pinned: false,
+            first_stage_bypasses: 0,
+            tid: 0,
+        };
+        assert_eq!(d.should_insert(&c), cloned.should_insert(&c));
+        assert!(!cloned.should_insert(&c));
+    }
+
+    #[test]
+    fn partition_dynamic_helpers() {
+        assert!(!CachePartition::Shared.is_dynamic());
+        assert!(!CachePartition::WayPartition.is_dynamic());
+        assert!(CachePartition::DynamicCap {
+            epoch_cycles: 128,
+            min_cap: 4
+        }
+        .is_dynamic());
+        assert!(CachePartition::DynamicWay { epoch_cycles: 128 }.is_dynamic());
+        assert_eq!(
+            CachePartition::DynamicWay { epoch_cycles: 128 }.epoch_cycles(),
+            Some(128)
+        );
+        assert_eq!(CachePartition::OccupancyCap.epoch_cycles(), None);
+    }
+
+    #[test]
+    fn epoch_adapt_default_band_is_well_formed() {
+        let a = EpochAdapt::default_band();
+        assert!(a.min_cycles >= 1);
+        assert!(a.min_cycles <= a.max_cycles);
+        // The presets never enable adaptation: the fixed-epoch golden
+        // rows depend on it.
+        assert_eq!(RegCacheConfig::use_based(64, 4).epoch_adapt, None);
     }
 }

@@ -345,4 +345,87 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn dynamic_way_never_violates_ownership_or_conservation(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        // 2 hardware threads over a 16-entry 4-way cache under
+        // DynamicWay with an epoch boundary forced every 8 operations:
+        // across arbitrary lifecycle sequences interleaved with whole-
+        // way reassignment, every resident entry sits in a way its
+        // thread currently owns, the way counts always sum to exactly
+        // the associativity with every thread keeping at least one way,
+        // and the cache's own audit stays green.
+        let mut cfg = RegCacheConfig::use_based(16, 4);
+        cfg.partition = CachePartition::DynamicWay { epoch_cycles: 8 };
+        let nthreads = 2;
+        let nsets = cfg.entries / cfg.ways;
+        let ways = cfg.ways;
+        let mut cache = RegisterCache::new_smt(cfg, NPREGS, nthreads);
+        let set_of = |preg: u8| (preg as usize % nsets) as u16;
+        let mut live = [false; NPREGS];
+        let mut written = [false; NPREGS];
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            let i = match op {
+                Op::Init { preg, .. }
+                | Op::Consume { preg }
+                | Op::Write { preg, .. }
+                | Op::Read { preg }
+                | Op::Fill { preg }
+                | Op::Free { preg } => preg as usize,
+            };
+            let p = PhysReg(i as u16);
+            match op {
+                Op::Init { .. } => {
+                    if live[i] {
+                        cache.free(p, set_of(i as u8), now);
+                    }
+                    cache.produce(p);
+                    live[i] = true;
+                    written[i] = false;
+                }
+                Op::Write { remaining, pinned, .. } if live[i] && !written[i] => {
+                    cache.write(p, set_of(i as u8), remaining, pinned, 0, now);
+                    written[i] = true;
+                }
+                Op::Read { .. } | Op::Consume { .. } if live[i] => {
+                    cache.read(p, set_of(i as u8), now);
+                }
+                Op::Fill { .. } if live[i] && written[i] => {
+                    cache.fill(p, set_of(i as u8), now);
+                }
+                Op::Free { .. } if live[i] => {
+                    cache.free(p, set_of(i as u8), now);
+                    live[i] = false;
+                }
+                _ => {}
+            }
+            if now.is_multiple_of(8) {
+                let fb = cache.epoch_boundary(now);
+                prop_assert_eq!(fb.new_ways.iter().sum::<usize>(), ways);
+                prop_assert_eq!(
+                    fb.new_ways.as_slice(),
+                    cache.way_counts().expect("DynamicWay mode"),
+                    "feedback and installed way counts diverged"
+                );
+            }
+            prop_assert!(cache.audit().is_ok(), "audit failed: {:?}", cache.audit());
+            let counts = cache.way_counts().expect("DynamicWay mode").to_vec();
+            prop_assert_eq!(counts.iter().sum::<usize>(), ways, "way sum drifted");
+            prop_assert!(counts.iter().all(|&c| c >= 1), "a thread owns zero ways");
+            for e in cache.entries() {
+                let owner = cache
+                    .way_owner(e.way as usize)
+                    .expect("DynamicWay owns every way");
+                prop_assert_eq!(
+                    owner, e.tid as usize,
+                    "thread {}'s entry sits in way {} owned by thread {}",
+                    e.tid, e.way, owner
+                );
+            }
+        }
+    }
 }

@@ -340,6 +340,29 @@ pub enum ConfigError {
         /// Configured cache entries (`min_cap * nthreads` exceeds it).
         entries: usize,
     },
+    /// [`ubrc_core::CachePartition::DynamicWay`] needs a non-zero
+    /// repartitioning period.
+    DynamicWayZeroEpoch,
+    /// [`ubrc_core::CachePartition::DynamicWay`] starts from an even
+    /// way split, so the ways must divide across the threads.
+    DynamicWayMismatch {
+        /// Configured cache associativity.
+        ways: usize,
+        /// Thread count.
+        nthreads: usize,
+    },
+    /// An [`ubrc_core::EpochAdapt`] range must satisfy
+    /// `1 <= min_cycles <= max_cycles`.
+    EpochAdaptInvalidRange {
+        /// Configured shortest epoch.
+        min_cycles: u64,
+        /// Configured longest epoch.
+        max_cycles: u64,
+    },
+    /// [`ubrc_core::EpochAdapt`] paces repartitions, so it requires a
+    /// dynamic [`ubrc_core::CachePartition`] (`DynamicCap` or
+    /// `DynamicWay`).
+    EpochAdaptStaticPartition,
     /// A [`crate::FreelistPolicy::Shared`] pool reassigns register
     /// ownership dynamically, so a statically thread-partitioned cache
     /// ([`ubrc_core::CachePartition`] other than `Shared`) cannot tag
@@ -419,6 +442,27 @@ impl fmt::Display for ConfigError {
                 f,
                 "CachePartition::DynamicCap min_cap {min_cap} x {nthreads} threads \
                  exceeds the cache's {entries} entries"
+            ),
+            ConfigError::DynamicWayZeroEpoch => write!(
+                f,
+                "CachePartition::DynamicWay needs epoch_cycles of at least 1"
+            ),
+            ConfigError::DynamicWayMismatch { ways, nthreads } => write!(
+                f,
+                "CachePartition::DynamicWay needs the cache's {ways} ways to divide \
+                 evenly across {nthreads} threads"
+            ),
+            ConfigError::EpochAdaptInvalidRange {
+                min_cycles,
+                max_cycles,
+            } => write!(
+                f,
+                "EpochAdapt needs 1 <= min_cycles <= max_cycles (got [{min_cycles}, \
+                 {max_cycles}])"
+            ),
+            ConfigError::EpochAdaptStaticPartition => write!(
+                f,
+                "EpochAdapt requires a dynamic partition (DynamicCap or DynamicWay)"
             ),
             ConfigError::SharedFreelistWithPartitionedCache => write!(
                 f,

@@ -119,6 +119,23 @@ impl RegStorage {
         }
     }
 
+    /// The paper's cached design point with utility-driven dynamic
+    /// *way* partitioning layered on: an `entries`×`ways` use-based
+    /// cache whose per-thread way blocks are reassigned every
+    /// `epoch_cycles` cycles (see
+    /// [`ubrc_core::CachePartition::DynamicWay`]). Only meaningful on
+    /// an SMT core; with one thread the partition policy is inert.
+    pub fn dynamic_way(entries: usize, ways: usize, epoch_cycles: u64) -> Self {
+        let mut cache = RegCacheConfig::use_based(entries, ways);
+        cache.partition = ubrc_core::CachePartition::DynamicWay { epoch_cycles };
+        RegStorage::Cached {
+            cache,
+            index: IndexPolicy::FilteredRoundRobin,
+            backing_read: 2,
+            backing_write: 2,
+        }
+    }
+
     /// Storage read latency between issue and execute.
     pub fn read_latency(&self) -> u32 {
         match self {
@@ -412,6 +429,22 @@ mod tests {
                 epoch_cycles: 2048,
                 min_cap: 4
             }
+        );
+        assert_eq!(index, IndexPolicy::FilteredRoundRobin);
+        assert_eq!(s.read_latency(), 1);
+    }
+
+    #[test]
+    fn dynamic_way_storage_wraps_the_paper_cache() {
+        let s = RegStorage::dynamic_way(64, 8, 128);
+        let RegStorage::Cached { cache, index, .. } = s else {
+            panic!("dynamic_way builds cached storage");
+        };
+        assert_eq!(cache.entries, 64);
+        assert_eq!(cache.ways, 8);
+        assert_eq!(
+            cache.partition,
+            ubrc_core::CachePartition::DynamicWay { epoch_cycles: 128 }
         );
         assert_eq!(index, IndexPolicy::FilteredRoundRobin);
         assert_eq!(s.read_latency(), 1);

@@ -148,46 +148,70 @@ impl Simulator {
                     });
                 }
             }
-            RegStorage::Cached { cache, .. } if nthreads > 1 => match cache.partition {
-                ubrc_core::CachePartition::Shared => {}
-                ubrc_core::CachePartition::WayPartition => {
-                    if !cache.ways.is_multiple_of(nthreads) {
-                        return Err(ConfigError::WayPartitionMismatch {
-                            ways: cache.ways,
-                            nthreads,
+            RegStorage::Cached { cache, .. } if nthreads > 1 => {
+                if let Some(a) = cache.epoch_adapt {
+                    if a.min_cycles == 0 || a.min_cycles > a.max_cycles {
+                        return Err(ConfigError::EpochAdaptInvalidRange {
+                            min_cycles: a.min_cycles,
+                            max_cycles: a.max_cycles,
                         });
+                    }
+                    if !cache.partition.is_dynamic() {
+                        return Err(ConfigError::EpochAdaptStaticPartition);
                     }
                 }
-                ubrc_core::CachePartition::OccupancyCap => {
-                    if cache.entries < nthreads {
-                        return Err(ConfigError::OccupancyCapTooSmall {
-                            entries: cache.entries,
-                            nthreads,
-                        });
+                match cache.partition {
+                    ubrc_core::CachePartition::Shared => {}
+                    ubrc_core::CachePartition::WayPartition => {
+                        if !cache.ways.is_multiple_of(nthreads) {
+                            return Err(ConfigError::WayPartitionMismatch {
+                                ways: cache.ways,
+                                nthreads,
+                            });
+                        }
+                    }
+                    ubrc_core::CachePartition::OccupancyCap => {
+                        if cache.entries < nthreads {
+                            return Err(ConfigError::OccupancyCapTooSmall {
+                                entries: cache.entries,
+                                nthreads,
+                            });
+                        }
+                    }
+                    ubrc_core::CachePartition::DynamicCap {
+                        epoch_cycles,
+                        min_cap,
+                    } => {
+                        if epoch_cycles == 0 {
+                            return Err(ConfigError::DynamicCapZeroEpoch);
+                        }
+                        if cache.entries < nthreads {
+                            return Err(ConfigError::DynamicCapTooSmall {
+                                entries: cache.entries,
+                                nthreads,
+                            });
+                        }
+                        if min_cap * nthreads > cache.entries {
+                            return Err(ConfigError::DynamicCapMinCapTooLarge {
+                                min_cap,
+                                nthreads,
+                                entries: cache.entries,
+                            });
+                        }
+                    }
+                    ubrc_core::CachePartition::DynamicWay { epoch_cycles } => {
+                        if epoch_cycles == 0 {
+                            return Err(ConfigError::DynamicWayZeroEpoch);
+                        }
+                        if !cache.ways.is_multiple_of(nthreads) {
+                            return Err(ConfigError::DynamicWayMismatch {
+                                ways: cache.ways,
+                                nthreads,
+                            });
+                        }
                     }
                 }
-                ubrc_core::CachePartition::DynamicCap {
-                    epoch_cycles,
-                    min_cap,
-                } => {
-                    if epoch_cycles == 0 {
-                        return Err(ConfigError::DynamicCapZeroEpoch);
-                    }
-                    if cache.entries < nthreads {
-                        return Err(ConfigError::DynamicCapTooSmall {
-                            entries: cache.entries,
-                            nthreads,
-                        });
-                    }
-                    if min_cap * nthreads > cache.entries {
-                        return Err(ConfigError::DynamicCapMinCapTooLarge {
-                            min_cap,
-                            nthreads,
-                            entries: cache.entries,
-                        });
-                    }
-                }
-            },
+            }
             _ => {}
         }
         if let FreelistPolicy::Shared { cap } = config.freelist {

@@ -711,6 +711,217 @@ fn dynamic_cap_with_shared_freelist_is_rejected() {
     assert_eq!(err, ConfigError::SharedFreelistWithPartitionedCache);
 }
 
+// --- Dynamic way reassignment -------------------------------------------
+
+fn dynway_cache() -> RegCacheConfig {
+    let mut cache = RegCacheConfig::use_based(64, 8);
+    cache.partition = CachePartition::DynamicWay { epoch_cycles: 2048 };
+    cache
+}
+
+/// 4-thread dynamic way reassignment: checked ≡ unchecked under the
+/// per-cycle way-containment (against the epoch-varying ownership) and
+/// way-sum-conservation cross-checks.
+#[test]
+fn dynamic_way_quad_is_checked_clean_and_observation_only() {
+    assert_checked_matches_unchecked(cached(dynway_cache()));
+}
+
+/// A dynamically-way-partitioned quad run exercises the feedback loop:
+/// epoch boundaries fire, every recorded way map conserves the
+/// associativity with every thread keeping at least one way, and the
+/// recorded entry quotas are exactly the way counts in entry
+/// equivalents.
+#[test]
+fn dynamic_way_epochs_fire_and_conserve_the_ways() {
+    let result = Simulator::new_smt(quad(), cached(dynway_cache())).run();
+    assert!(
+        result.epochs > 0,
+        "the quad must outlive one 2048-cycle epoch"
+    );
+    assert_eq!(result.epoch_timeline.len() as u64, result.epochs);
+    let sets = 64 / 8;
+    for rec in &result.epoch_timeline {
+        assert_eq!(rec.cycle % 2048, 0, "boundary off the epoch grid");
+        assert_eq!(rec.ways.iter().sum::<usize>(), 8, "ways not conserved");
+        assert!(rec.ways.iter().all(|&c| c >= 1), "a thread lost its ways");
+        let caps: Vec<usize> = rec.ways.iter().map(|&c| c * sets).collect();
+        assert_eq!(rec.caps, caps, "caps must mirror the way map");
+        assert_eq!(rec.hits.len(), 4);
+        assert_eq!(rec.misses.len(), 4);
+    }
+}
+
+/// Way reassignment is driven purely by the cycle counter and the
+/// deterministic utility monitors, so two identical runs replay
+/// bit-identically, including the full way-map timeline.
+#[test]
+fn dynamic_way_runs_are_deterministic() {
+    let run = || Simulator::new_smt(quad(), cached(dynway_cache())).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.thread_retired, b.thread_retired);
+    assert_eq!(a.miss_events, b.miss_events);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.epoch_timeline, b.epoch_timeline);
+    assert!(
+        a.epochs > 0,
+        "determinism must be shown on a live feedback loop"
+    );
+}
+
+/// Adaptive epoch pacing (lengthen on agreement, shorten on change) is
+/// a pure function of the repartition history, so it replays
+/// bit-identically too — and its variable-length epochs actually leave
+/// the fixed grid.
+#[test]
+fn adaptive_epoch_runs_are_deterministic() {
+    let adaptive = || {
+        let mut cache = RegCacheConfig::use_based(64, 8);
+        cache.partition = CachePartition::DynamicWay { epoch_cycles: 512 };
+        cache.epoch_adapt = Some(ubrc_core::EpochAdapt {
+            min_cycles: 128,
+            max_cycles: 4096,
+            band: 2,
+        });
+        cached(cache)
+    };
+    let run = || Simulator::new_smt(quad(), adaptive()).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.thread_retired, b.thread_retired);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.epoch_timeline, b.epoch_timeline);
+    assert!(a.epochs > 0, "adaptive epochs must fire");
+    // Strictly increasing boundary cycles, each a valid multiple of
+    // nothing in particular — the pacer owns the schedule.
+    for w in a.epoch_timeline.windows(2) {
+        assert!(w[0].cycle < w[1].cycle, "boundaries must advance");
+    }
+}
+
+/// A machine-check squash mid-epoch frees a batch of the victim
+/// thread's registers behind the way controller's back, and recovery
+/// replays through freshly reassigned ways. The run must stay
+/// checker-clean (way containment, way-sum conservation) through every
+/// squash and boundary.
+#[test]
+fn machine_check_squashes_mid_way_reassignment_stay_consistent() {
+    let mut cache = RegCacheConfig::use_based(16, 4);
+    cache.partition = CachePartition::DynamicWay { epoch_cycles: 512 };
+    cache.protection = ubrc_core::ProtectionConfig::full();
+    let mut cfg = cached(cache);
+    cfg.recovery = RecoveryPolicy::enabled();
+    cfg.check = CheckConfig::full();
+    cfg.fault_plan = Some(crate::inject::FaultPlan::periodic(
+        29,
+        40,
+        crate::inject::FaultKind::FlipBackingWord,
+    ));
+    let r = crate::simulate_smt_checked(quad(), cfg)
+        .expect("faulted dynamically-way-partitioned run recovers cleanly");
+    assert!(r.machine_checks > 0, "no backing fault reached a miss read");
+    assert!(
+        r.epochs > 0,
+        "squashes must interleave with way reassignment"
+    );
+    for rec in &r.epoch_timeline {
+        assert_eq!(rec.ways.iter().sum::<usize>(), 4, "squashes leaked ways");
+    }
+    assert!(r.thread_retired.iter().all(|&t| t > 0));
+}
+
+/// The feedback-consuming insertion policy (threshold tightened for
+/// over-quota threads, relaxed when under) stays deterministic on top
+/// of dynamic capping.
+#[test]
+fn adaptive_use_threshold_runs_are_deterministic() {
+    let adaptive = || {
+        let mut cache = dyncap_cache();
+        cache.insertion = ubrc_core::InsertionPolicy::AdaptiveUseThreshold;
+        cached(cache)
+    };
+    let run = || Simulator::new_smt(quad(), adaptive()).run();
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.thread_retired, b.thread_retired);
+    assert_eq!(a.epoch_timeline, b.epoch_timeline);
+    assert!(a.epochs > 0, "the feedback loop must actually run");
+}
+
+#[test]
+fn dynamic_way_zero_epoch_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(64, 8);
+    cache.partition = CachePartition::DynamicWay { epoch_cycles: 0 };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::DynamicWayZeroEpoch);
+}
+
+#[test]
+fn dynamic_way_with_indivisible_ways_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(48, 3);
+    cache.partition = CachePartition::DynamicWay { epoch_cycles: 2048 };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::DynamicWayMismatch {
+            ways: 3,
+            nthreads: 2
+        }
+    );
+}
+
+#[test]
+fn dynamic_way_with_shared_freelist_is_rejected() {
+    let mut cfg = cached(dynway_cache());
+    cfg.freelist = FreelistPolicy::Shared { cap: 128 };
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cfg)
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::SharedFreelistWithPartitionedCache);
+}
+
+#[test]
+fn epoch_adapt_with_empty_range_is_rejected() {
+    let mut cache = dynway_cache();
+    cache.epoch_adapt = Some(ubrc_core::EpochAdapt {
+        min_cycles: 1024,
+        max_cycles: 64,
+        band: 2,
+    });
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(
+        err,
+        ConfigError::EpochAdaptInvalidRange {
+            min_cycles: 1024,
+            max_cycles: 64
+        }
+    );
+}
+
+#[test]
+fn epoch_adapt_on_static_partition_is_rejected() {
+    let mut cache = RegCacheConfig::use_based(64, 4);
+    cache.partition = CachePartition::WayPartition;
+    cache.epoch_adapt = Some(ubrc_core::EpochAdapt::default_band());
+    let err = Simulator::try_new_smt(programs(&["crc", "rle"]), cached(cache))
+        .err()
+        .expect("config must be rejected");
+    assert_eq!(err, ConfigError::EpochAdaptStaticPartition);
+}
+
 /// The fetch-policy choosers are all deterministic: identical runs
 /// replay bit-identically under every policy.
 #[test]

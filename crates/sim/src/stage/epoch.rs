@@ -1,15 +1,19 @@
-//! Epoch stage: the feedback controller driving
-//! [`ubrc_core::CachePartition::DynamicCap`].
+//! Epoch stage: the feedback tick driving the dynamic partition
+//! controllers ([`ubrc_core::CachePartition::DynamicCap`] and
+//! [`ubrc_core::CachePartition::DynamicWay`]).
 //!
 //! Runs last in [`super::SCHEDULE`], after every cycle's reads and
 //! writes have landed, so an epoch boundary observes a consistent
-//! end-of-cycle cache state. On every `epoch_cycles`-th cycle it asks
-//! the register cache to close the epoch: the cache snapshots its
-//! per-thread hit/miss deltas, reruns the lookahead utility
-//! partitioner over the shadow-tag monitors, trims any thread left
-//! over its new quota, and broadcasts the resulting
-//! [`ubrc_core::EpochFeedback`] to the policy hooks. This stage only
-//! decides *when* — all repartitioning state lives in `ubrc-core`.
+//! end-of-cycle cache state. Whenever the cache's
+//! [`ubrc_core::PartitionController`] reports a boundary due — every
+//! `epoch_cycles`-th cycle, or at the variable instants an
+//! [`ubrc_core::EpochAdapt`] pacer schedules — it asks the register
+//! cache to close the epoch: the cache snapshots its per-thread
+//! hit/miss deltas, reruns the lookahead utility partitioner over the
+//! shadow-tag monitors, enforces the new quotas or way map, and
+//! broadcasts the resulting [`ubrc_core::EpochFeedback`] to the policy
+//! hooks. This stage only decides *when to ask* — all repartitioning
+//! state lives in `ubrc-core`.
 //!
 //! Everything is keyed off the cycle counter — no RNG, no wall clock —
 //! so dynamic repartitioning is exactly as reproducible as the rest of
@@ -25,16 +29,14 @@ impl CoreState {
         let Storage::Cached { cache, .. } = &mut self.storage else {
             return;
         };
-        let Some(epoch_cycles) = cache.epoch_cycles() else {
-            return;
-        };
-        if now == 0 || !now.is_multiple_of(epoch_cycles) {
+        if !cache.epoch_due(now) {
             return;
         }
         let fb = cache.epoch_boundary(now);
         self.epoch_timeline.push(EpochRecord {
             cycle: fb.cycle,
             caps: fb.new_caps,
+            ways: fb.new_ways,
             hits: fb.hits,
             misses: fb.misses,
         });

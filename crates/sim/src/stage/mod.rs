@@ -914,19 +914,20 @@ impl CoreState {
                         );
                     }
                     counts[owner] += 1;
-                    if let Some(wpt) = cache.ways_per_thread() {
-                        let way = e.way as usize;
-                        if way / wpt != owner {
+                    // Way containment generalizes over static and
+                    // epoch-varying ownership: the cache names the way's
+                    // *current* owner (WayPartition forever, DynamicWay
+                    // as of the last boundary).
+                    let way = e.way as usize;
+                    if let Some(who) = cache.way_owner(way) {
+                        if who != owner {
                             return viol(
                                 Some(owner),
                                 "cache-way-containment",
                                 format!(
                                     "thread {owner}'s p{} resides in way {way} of set {}, \
-                                     outside its ways [{}, {})",
-                                    e.preg.0,
-                                    e.set,
-                                    owner * wpt,
-                                    (owner + 1) * wpt
+                                     currently owned by thread {who}",
+                                    e.preg.0, e.set,
                                 ),
                             );
                         }
@@ -968,6 +969,30 @@ impl CoreState {
                                 "dynamic caps {caps:?} sum to {total}, not the cache's {} entries",
                                 cache.config().entries
                             ),
+                        );
+                    }
+                }
+                if let Some(ways) = cache.way_counts() {
+                    // Way-sum conservation: way reassignment moves
+                    // whole ways between threads, it never mints or
+                    // destroys them (and every thread keeps >= 1).
+                    let total: usize = ways.iter().sum();
+                    if total != cache.config().ways {
+                        return viol(
+                            None,
+                            "cache-way-conservation",
+                            format!(
+                                "dynamic way counts {ways:?} sum to {total}, not the \
+                                 cache's {} ways",
+                                cache.config().ways
+                            ),
+                        );
+                    }
+                    if let Some(t) = ways.iter().position(|&c| c == 0) {
+                        return viol(
+                            Some(t),
+                            "cache-way-conservation",
+                            format!("thread {t} owns zero ways: {ways:?}"),
                         );
                     }
                 }

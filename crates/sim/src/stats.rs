@@ -81,8 +81,10 @@ impl LifetimeCollector {
     }
 }
 
-/// One [`ubrc_core::CachePartition::DynamicCap`] epoch boundary, as
-/// recorded in [`SimResult::epoch_timeline`]: the quotas the lookahead
+/// One dynamic-partition epoch boundary
+/// ([`ubrc_core::CachePartition::DynamicCap`] or
+/// [`ubrc_core::CachePartition::DynamicWay`]), as recorded in
+/// [`SimResult::epoch_timeline`]: the quotas or way map the lookahead
 /// partitioner installed and the raw per-thread hit/miss deltas of the
 /// epoch that just closed (raw counts, so records stay exactly
 /// comparable across runs).
@@ -90,8 +92,12 @@ impl LifetimeCollector {
 pub struct EpochRecord {
     /// Cycle the boundary fired.
     pub cycle: u64,
-    /// Per-thread occupancy quotas in force after this boundary.
+    /// Per-thread occupancy quotas in force after this boundary (entry
+    /// equivalents — way counts × sets — under `DynamicWay`).
     pub caps: Vec<usize>,
+    /// Per-thread way counts in force after this boundary
+    /// (`DynamicWay` only; empty under `DynamicCap`).
+    pub ways: Vec<usize>,
     /// Per-thread register-cache read hits during the closed epoch.
     pub hits: Vec<u64>,
     /// Per-thread register-cache read misses during the closed epoch.
@@ -291,6 +297,7 @@ mod tests {
         let r = EpochRecord {
             cycle: 64,
             caps: vec![3, 5],
+            ways: Vec::new(),
             hits: vec![3, 0],
             misses: vec![1, 0],
         };

@@ -47,6 +47,14 @@ echo "== dynamic-partitioning smoke: Tiny quads, DynamicCap, oracle on"
 cargo run --release -q -p ubrc-bench --bin experiments -- \
   ucp --scale tiny --check --timeout 300 >/dev/null
 
+echo "== dynamic-way smoke: Tiny quads, DynamicWay + adaptive epochs, oracle on"
+# The dynway experiment runs the way-partition/dynamic-cap/dynamic-way
+# matrix (fixed and adaptive epochs) at the 64x8 geometry; with --check
+# the invariant checker verifies way containment against the
+# epoch-varying way ownership and way-sum conservation every cycle.
+cargo run --release -q -p ubrc-bench --bin experiments -- \
+  dynway --scale tiny --check --timeout 300 >/dev/null
+
 echo "== ConfigError rejection tests"
 cargo test --release -q -p ubrc-sim --lib -- reject
 

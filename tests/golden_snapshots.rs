@@ -14,8 +14,10 @@
 //! `smt4-*` rows for the SMT core, `soft-*` rows for the parity
 //! protection / machine-check recovery layer (fault-free and under
 //! deterministic injected fault streams), `smt4-*-dyncap` rows for
-//! utility-driven dynamic cache partitioning, and `smt2-usebased-rr` /
-//! `smt2-usebased-ic28` rows for the SMT fetch-policy ablation.
+//! utility-driven dynamic cache partitioning, `smt2-usebased-rr` /
+//! `smt2-usebased-ic28` rows for the SMT fetch-policy ablation, and
+//! `dynway-*` rows for UMON-guided dynamic way partitioning (fixed and
+//! adaptive epochs) plus the feedback-driven insertion threshold.
 //!
 //! To regenerate after an *intentional* model change:
 //!
@@ -32,7 +34,9 @@
 //!
 //! and justify the diff of `golden_snapshots.txt` in the PR.
 
-use ubrc::core::{CachePartition, IndexPolicy, ProtectionConfig, RegCacheConfig};
+use ubrc::core::{
+    CachePartition, EpochAdapt, IndexPolicy, InsertionPolicy, ProtectionConfig, RegCacheConfig,
+};
 use ubrc::sim::{
     simulate_smt, simulate_workload, FaultKind, FaultPlan, FetchPolicy, RecoveryPolicy, RegStorage,
     SimConfig,
@@ -402,6 +406,86 @@ fn cells() -> Vec<Cell> {
                 }),
             });
         }
+    }
+    // Dynamic way partitioning on the `PartitionController` seam: the
+    // quads at a 64-entry 8-way geometry (four threads start with two
+    // ways each, so the UMON-guided way partitioner has whole ways to
+    // move), once on the fixed 128-cycle epoch grid per scheme and once
+    // under adaptive epoch pacing (32..512 cycles, hysteresis band 2).
+    // Any change to way-reassignment order, migrant placement, or the
+    // pacer's lengthen/shorten arithmetic shows up here as drift.
+    for quad in kernel_quads(Scale::Tiny) {
+        for (scheme, index) in [
+            ("usebased", IndexPolicy::FilteredRoundRobin),
+            ("lru", IndexPolicy::RoundRobin),
+        ] {
+            let mut cache = if scheme == "usebased" {
+                RegCacheConfig::use_based(64, 8)
+            } else {
+                RegCacheConfig::lru(64, 8)
+            };
+            cache.classify_misses = true;
+            cache.partition = CachePartition::DynamicWay { epoch_cycles: 128 };
+            let quad = quad.clone();
+            let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+            let config = format!("dynway-{scheme}");
+            cells.push(Cell {
+                kernel: names.join("+"),
+                config: config.clone(),
+                run: Box::new(move |check| snap_quad(&quad, config.clone(), cache, index, check)),
+            });
+        }
+        let mut adaptive = RegCacheConfig::use_based(64, 8);
+        adaptive.classify_misses = true;
+        adaptive.partition = CachePartition::DynamicWay { epoch_cycles: 128 };
+        adaptive.epoch_adapt = Some(EpochAdapt {
+            min_cycles: 32,
+            max_cycles: 512,
+            band: 2,
+        });
+        let quad = quad.clone();
+        let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+        cells.push(Cell {
+            kernel: names.join("+"),
+            config: "dynway-usebased-adapt".to_string(),
+            run: Box::new(move |check| {
+                snap_quad(
+                    &quad,
+                    "dynway-usebased-adapt".to_string(),
+                    adaptive,
+                    IndexPolicy::FilteredRoundRobin,
+                    check,
+                )
+            }),
+        });
+    }
+    // Feedback-driven insertion: `AdaptiveUseThreshold` consumes the
+    // dynamic partitioner's per-epoch quota feedback to tighten or
+    // relax each thread's insertion threshold. One deterministic row
+    // per quad pins the threshold walk.
+    for quad in kernel_quads(Scale::Tiny) {
+        let mut cache = RegCacheConfig::use_based(64, 4);
+        cache.classify_misses = true;
+        cache.partition = CachePartition::DynamicCap {
+            epoch_cycles: 128,
+            min_cap: 4,
+        };
+        cache.insertion = InsertionPolicy::AdaptiveUseThreshold;
+        let quad = quad.clone();
+        let names: Vec<&str> = quad.iter().map(|w| w.name).collect();
+        cells.push(Cell {
+            kernel: names.join("+"),
+            config: "dynway-adaptthresh".to_string(),
+            run: Box::new(move |check| {
+                snap_quad(
+                    &quad,
+                    "dynway-adaptthresh".to_string(),
+                    cache,
+                    IndexPolicy::FilteredRoundRobin,
+                    check,
+                )
+            }),
+        });
     }
     cells
 }
