@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! experiments <id|all> [--scale tiny|small|default] [--json [PATH]]
-//!             [--check] [--timeout SECS] [--retries N]
+//!             [--check] [--timeout SECS] [--retries N] [--profile]
 //! experiments --json            # trajectory only -> BENCH_pipeline.json
 //! experiments --list            # print available experiment ids
 //! ```
@@ -15,9 +15,13 @@
 //! after which it is cancelled and reported as a typed timeout;
 //! `--retries N` re-runs a cell up to N extra times (with exponential
 //! backoff) when it fails transiently — timeout or panic — before the
-//! failure is recorded. All three reach the runner through the
-//! `UBRC_CHECK` / `UBRC_TIMEOUT_SECS` / `UBRC_RETRIES` environment
-//! variables, so they compose with every experiment.
+//! failure is recorded; `--profile` turns on the per-stage
+//! self-profiling layer (wall-time and call counts per pipeline stage,
+//! reported in the trajectory JSON; zero-cost when off and never a
+//! change to simulated timing). All four reach the runner through the
+//! `UBRC_CHECK` / `UBRC_TIMEOUT_SECS` / `UBRC_RETRIES` /
+//! `UBRC_PROFILE` environment variables, so they compose with every
+//! experiment.
 //!
 //! Selected experiments run concurrently: each gets a coordinator
 //! thread, and every individual simulation anywhere in the process
@@ -39,6 +43,7 @@ struct Cli {
     check: bool,
     timeout: Option<u64>,
     retries: Option<u32>,
+    profile: bool,
     list: bool,
 }
 
@@ -50,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         check: false,
         timeout: None,
         retries: None,
+        profile: false,
         list: false,
     };
     let mut i = 0;
@@ -79,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.json = Some(path);
             }
             "--check" => cli.check = true,
+            "--profile" => cli.profile = true,
             "--list" => cli.list = true,
             "--timeout" => {
                 i += 1;
@@ -121,6 +128,9 @@ fn main() {
     if let Some(n) = cli.retries {
         std::env::set_var("UBRC_RETRIES", n.to_string());
     }
+    if cli.profile {
+        std::env::set_var("UBRC_PROFILE", "1");
+    }
 
     let reg = registry();
     if cli.list {
@@ -134,13 +144,14 @@ fn main() {
     if cli.which.is_none() && cli.json.is_none() {
         eprintln!(
             "usage: experiments <id|all> [--scale tiny|small|default] [--json [PATH]]\n\
-             \x20                 [--check] [--timeout SECS] [--retries N]\n\
+             \x20                 [--check] [--timeout SECS] [--retries N] [--profile]\n\
              \n\
              --list         print the available experiment ids and exit\n\
              --json [PATH]  also run the benchmark trajectory and write it as JSON\n\
              --check        enable the co-simulation oracle and invariant checker\n\
              --timeout SECS wall-clock budget per simulation cell\n\
              --retries N    extra attempts per cell on transient failures\n\
+             --profile      attribute wall-time to pipeline stages in the JSON\n\
              \n\
              available experiments:"
         );

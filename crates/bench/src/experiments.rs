@@ -884,6 +884,39 @@ pub fn smt(scale: Scale) -> Result<Table, SuiteError> {
 /// policies trade that interference against lower effective capacity
 /// per thread, and the `vs-shared` column shows which effect wins for
 /// each replacement scheme.
+/// SMT fairness: the harmonic mean of per-thread speedups versus the
+/// shared-cache baseline, over every (quad, thread) pair. Each
+/// thread's IPC is its retired count over the cell's shared cycles
+/// (the per-kernel `thread_ipc` the trajectory also records); its
+/// speedup is that IPC over the same thread's IPC in the baseline run
+/// of the same quad. The harmonic mean punishes schemes that buy
+/// aggregate IPC by starving one thread, so a partition that helps
+/// everyone evenly scores near its `vs-shared` ratio while an unfair
+/// one scores visibly lower. The baseline scores exactly 1.
+fn fairness_vs_shared(baseline: &SuiteResult, run: &SuiteResult) -> f64 {
+    let mut inv_sum = 0.0;
+    let mut n = 0usize;
+    for ((_, b), (_, r)) in baseline.runs.iter().zip(&run.runs) {
+        for (&bt, &rt) in b.thread_retired.iter().zip(&r.thread_retired) {
+            let base_ipc = bt as f64 / b.cycles.max(1) as f64;
+            let ipc = rt as f64 / r.cycles.max(1) as f64;
+            if base_ipc > 0.0 && ipc > 0.0 {
+                inv_sum += base_ipc / ipc;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        n as f64 / inv_sum
+    }
+}
+
+/// Extension: the 4-thread register-cache partition matrix (shared /
+/// way-partitioned / occupancy-capped) for both replacement schemes,
+/// with the `fairness-hmean` harmonic-mean column alongside the
+/// aggregate `vs-shared` IPC ratio.
 pub fn smt4(scale: Scale) -> Result<Table, SuiteError> {
     let partitions = [
         ("shared", CachePartition::Shared),
@@ -898,20 +931,30 @@ pub fn smt4(scale: Scale) -> Result<Table, SuiteError> {
         ),
         ("lru", RegCacheConfig::lru(64, 4), IndexPolicy::RoundRobin),
     ];
-    let mut t = Table::new(["scheme", "partition", "4T-geomean-ipc", "vs-shared"]);
+    let mut t = Table::new([
+        "scheme",
+        "partition",
+        "4T-geomean-ipc",
+        "vs-shared",
+        "fairness-hmean",
+    ]);
     for (scheme, base, index) in schemes {
-        let mut shared_ipc = None;
+        let mut shared: Option<SuiteResult> = None;
         for (pname, p) in partitions {
             let mut cache = base;
             cache.partition = p;
             let cfg = cached_cfg(cache, index, 2);
-            let ipc = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
-            let baseline = *shared_ipc.get_or_insert(ipc);
+            let res = crate::runner::run_quad_suite(&cfg, scale)?;
+            let ipc = res.geomean_ipc();
+            let baseline = shared.get_or_insert_with(|| res.clone());
+            let fairness = fairness_vs_shared(baseline, &res);
+            let base_ipc = baseline.geomean_ipc();
             t.row([
                 scheme.to_string(),
                 pname.to_string(),
                 format!("{ipc:.4}"),
-                format!("{:.4}", ipc / baseline),
+                format!("{:.4}", ipc / base_ipc),
+                format!("{fairness:.4}"),
             ]);
         }
     }
@@ -1026,20 +1069,30 @@ pub fn ucp(scale: Scale) -> Result<Table, SuiteError> {
         ),
         ("lru", RegCacheConfig::lru(64, 4), IndexPolicy::RoundRobin),
     ];
-    let mut t = Table::new(["scheme", "partition", "4T-geomean-ipc", "vs-shared"]);
+    let mut t = Table::new([
+        "scheme",
+        "partition",
+        "4T-geomean-ipc",
+        "vs-shared",
+        "fairness-hmean",
+    ]);
     for (scheme, base, index) in schemes {
-        let mut shared_ipc = None;
+        let mut shared: Option<SuiteResult> = None;
         for (pname, p) in partitions {
             let mut cache = base;
             cache.partition = p;
             let cfg = cached_cfg(cache, index, 2);
-            let ipc = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
-            let baseline = *shared_ipc.get_or_insert(ipc);
+            let res = crate::runner::run_quad_suite(&cfg, scale)?;
+            let ipc = res.geomean_ipc();
+            let baseline = shared.get_or_insert_with(|| res.clone());
+            let fairness = fairness_vs_shared(baseline, &res);
+            let base_ipc = baseline.geomean_ipc();
             t.row([
                 scheme.to_string(),
                 pname.to_string(),
                 format!("{ipc:.4}"),
-                format!("{:.4}", ipc / baseline),
+                format!("{:.4}", ipc / base_ipc),
+                format!("{fairness:.4}"),
             ]);
         }
     }
@@ -1095,21 +1148,31 @@ pub fn dynway(scale: Scale) -> Result<Table, SuiteError> {
         ),
         ("lru", RegCacheConfig::lru(64, 8), IndexPolicy::RoundRobin),
     ];
-    let mut t = Table::new(["scheme", "partition", "4T-geomean-ipc", "vs-shared"]);
+    let mut t = Table::new([
+        "scheme",
+        "partition",
+        "4T-geomean-ipc",
+        "vs-shared",
+        "fairness-hmean",
+    ]);
     for (scheme, base, index) in schemes {
-        let mut shared_ipc = None;
+        let mut shared: Option<SuiteResult> = None;
         for (pname, p, adapt) in &partitions {
             let mut cache = base;
             cache.partition = *p;
             cache.epoch_adapt = *adapt;
             let cfg = cached_cfg(cache, index, 2);
-            let ipc = crate::runner::run_quad_suite(&cfg, scale)?.geomean_ipc();
-            let baseline = *shared_ipc.get_or_insert(ipc);
+            let res = crate::runner::run_quad_suite(&cfg, scale)?;
+            let ipc = res.geomean_ipc();
+            let baseline = shared.get_or_insert_with(|| res.clone());
+            let fairness = fairness_vs_shared(baseline, &res);
+            let base_ipc = baseline.geomean_ipc();
             t.row([
                 scheme.to_string(),
                 pname.to_string(),
                 format!("{ipc:.4}"),
-                format!("{:.4}", ipc / baseline),
+                format!("{:.4}", ipc / base_ipc),
+                format!("{fairness:.4}"),
             ]);
         }
     }

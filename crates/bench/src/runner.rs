@@ -119,12 +119,16 @@ pub struct RunOptions {
     /// [`SuiteFailure::is_transient`]), with exponential backoff
     /// between attempts. Deterministic failures are never retried.
     pub retries: u32,
+    /// Enable per-stage self-profiling on every cell (wall-time and
+    /// call counts per pipeline stage; never changes simulated timing).
+    pub profile: bool,
 }
 
 impl RunOptions {
     /// Reads `UBRC_CHECK` (any non-empty value other than `0`),
-    /// `UBRC_TIMEOUT_SECS` (integer seconds), and `UBRC_RETRIES`
-    /// (extra attempts per cell on transient failures).
+    /// `UBRC_TIMEOUT_SECS` (integer seconds), `UBRC_RETRIES`
+    /// (extra attempts per cell on transient failures), and
+    /// `UBRC_PROFILE` (any non-empty value other than `0`).
     pub fn from_env() -> Self {
         let check = std::env::var("UBRC_CHECK")
             .map(|v| !v.is_empty() && v != "0")
@@ -138,10 +142,14 @@ impl RunOptions {
             .ok()
             .and_then(|v| v.parse::<u32>().ok())
             .unwrap_or(0);
+        let profile = std::env::var("UBRC_PROFILE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
         Self {
             check,
             timeout,
             retries,
+            profile,
         }
     }
 }
@@ -221,6 +229,9 @@ fn attempt_cell(
     let mut config = config.clone();
     if opts.check {
         config.check = CheckConfig::full();
+    }
+    if opts.profile {
+        config.profile = true;
     }
     match opts.timeout {
         Some(budget) => run_with_deadline(programs, config, budget),
@@ -790,6 +801,27 @@ mod tests {
         let cell = run_one_cell(&w, SimConfig::paper_default(), opts);
         assert_eq!(cell.attempts, 1);
         assert!(cell.outcome.is_ok());
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled() {
+        // `--profile` must be observation-only: identical simulated
+        // outcome, with the wall-time attribution riding alongside.
+        let w = ubrc_workloads::workload_by_name("crc", Scale::Tiny).unwrap();
+        let plain = run_one_with(&w, SimConfig::paper_default(), RunOptions::default()).unwrap();
+        let opts = RunOptions {
+            profile: true,
+            ..RunOptions::default()
+        };
+        let profiled = run_one_with(&w, SimConfig::paper_default(), opts).unwrap();
+        assert_eq!(plain.cycles, profiled.cycles);
+        assert_eq!(plain.retired, profiled.retired);
+        assert!(plain.profile.is_none());
+        let p = profiled.profile.expect("profile collected");
+        assert!(p.total_nanos() > 0);
+        // Every stage runs once per cycle, so the call counts agree
+        // with each other and with the simulated cycle count.
+        assert!(p.stages.iter().all(|s| s.calls == plain.cycles));
     }
 
     #[test]

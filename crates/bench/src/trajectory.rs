@@ -24,8 +24,11 @@ use ubrc_workloads::Scale;
 /// dynamically way-partitioned 4-thread cells (`smt4-*-dynway`, at the
 /// 64x8 geometry so whole ways can move) and a per-kernel `thread_ipc`
 /// array on every co-scheduled cell (per-thread retired over cell
-/// cycles, from `SimResult::thread_retired`).
-pub const SCHEMA: &str = "ubrc-bench-pipeline/4";
+/// cycles, from `SimResult::thread_retired`); `/5` added the optional
+/// per-config `profile` section (per-stage wall-nanoseconds and call
+/// counts summed over the config's kernels, present only when the run
+/// was made with `--profile` / `UBRC_PROFILE`).
+pub const SCHEMA: &str = "ubrc-bench-pipeline/5";
 
 fn cached(cache: RegCacheConfig, index: IndexPolicy) -> SimConfig {
     SimConfig::table1(RegStorage::Cached {
@@ -286,6 +289,44 @@ enum CellKind {
     Quad,
 }
 
+/// Sums the per-stage self-profiles of a config's successful kernels
+/// into one `profile` JSON section (stage order as the pipeline runs
+/// them). `None` when no kernel carried a profile — i.e. the run was
+/// made without `--profile` — so the section never appears empty.
+fn aggregate_profile(report: &crate::runner::SuiteReport) -> Option<Json> {
+    let mut stages: Vec<(&'static str, u64, u64)> = Vec::new();
+    for cell in &report.runs {
+        let Ok(r) = &cell.outcome else { continue };
+        let Some(p) = &r.profile else { continue };
+        for s in &p.stages {
+            match stages.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, nanos, calls)) => {
+                    *nanos += s.nanos;
+                    *calls += s.calls;
+                }
+                None => stages.push((s.name, s.nanos, s.calls)),
+            }
+        }
+    }
+    if stages.is_empty() {
+        return None;
+    }
+    let total: u64 = stages.iter().map(|&(_, nanos, _)| nanos).sum();
+    Some(Json::obj([
+        ("total_nanos", Json::from(total)),
+        (
+            "stages",
+            Json::arr(stages.into_iter().map(|(name, nanos, calls)| {
+                Json::obj([
+                    ("name", Json::from(name)),
+                    ("nanos", Json::from(nanos)),
+                    ("calls", Json::from(calls)),
+                ])
+            })),
+        ),
+    ]))
+}
+
 fn trajectory_over(
     matrix: Vec<(&'static str, SimConfig)>,
     smt_matrix: Vec<(&'static str, SimConfig)>,
@@ -355,7 +396,7 @@ fn trajectory_over(
                 ("attempts", Json::from(cell.attempts as u64)),
             ]),
         }));
-        configs.push(Json::obj([
+        let mut fields = vec![
             ("name", Json::from(name)),
             ("wall_seconds", Json::from(wall)),
             ("instructions", Json::from(insts)),
@@ -365,8 +406,12 @@ fn trajectory_over(
             ),
             ("geomean_ipc", Json::from(ok.geomean_ipc())),
             ("failed", Json::from(failed)),
-            ("kernels", kernels),
-        ]));
+        ];
+        if let Some(profile) = aggregate_profile(&report) {
+            fields.push(("profile", profile));
+        }
+        fields.push(("kernels", kernels));
+        configs.push(Json::obj(fields));
     }
     let total_wall = t_total.elapsed().as_secs_f64();
     let doc = Json::obj([
@@ -432,6 +477,43 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing `{key}` in {s}");
         }
+    }
+
+    #[test]
+    fn profile_section_aggregates_per_stage_samples() {
+        use crate::runner::{run_one_cell, RunOptions, SuiteReport};
+        let w = ubrc_workloads::workload_by_name("crc", Scale::Tiny).unwrap();
+        let opts = RunOptions {
+            profile: true,
+            ..RunOptions::default()
+        };
+        let report = SuiteReport {
+            runs: vec![
+                run_one_cell(&w, SimConfig::paper_default(), opts),
+                run_one_cell(&w, SimConfig::paper_default(), opts),
+            ],
+        };
+        let profile = aggregate_profile(&report).expect("profiled run has a section");
+        let s = profile.to_string();
+        assert!(s.contains(r#""total_nanos":"#), "missing total in {s}");
+        for stage in ["inject", "issue", "rename", "fetch", "storage-tick"] {
+            assert!(
+                s.contains(&format!(r#""name":"{stage}""#)),
+                "missing {stage} in {s}"
+            );
+        }
+        // Two identical profiled kernels: every stage ran in both, so
+        // each per-stage call count is even and positive.
+        assert!(!s.contains(r#""calls":0"#), "stage with zero calls in {s}");
+        // Without profiling there is no section at all.
+        let plain = SuiteReport {
+            runs: vec![run_one_cell(
+                &w,
+                SimConfig::paper_default(),
+                RunOptions::default(),
+            )],
+        };
+        assert!(aggregate_profile(&plain).is_none());
     }
 
     #[test]

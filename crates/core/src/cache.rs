@@ -1,8 +1,8 @@
 use crate::monitor::UtilityMonitor;
-use crate::partition::{controller_for, EpochContext, EpochPlan, PartitionController};
+use crate::partition::{AnyController, EpochContext, EpochPlan};
 use crate::policy::{
-    CachePartition, EpochFeedback, InsertionContext, InsertionDecider, RegCacheConfig,
-    ReplacementScorer, VictimView,
+    AnyInsertion, AnyScorer, CachePartition, EpochFeedback, InsertionContext, RegCacheConfig,
+    VictimView,
 };
 use crate::PhysReg;
 use ubrc_stats::TimeWeighted;
@@ -249,12 +249,14 @@ pub struct RegisterCache {
     thread_valid: Vec<usize>,
     // The behavioral halves of `config.insertion` / `config.replacement`,
     // instantiated once at construction (see `ubrc_core::policy`).
-    insertion: Box<dyn InsertionDecider>,
-    replacement: Box<dyn ReplacementScorer>,
+    // Statically dispatched: the shipped policies resolve without a
+    // virtual call on the read/write hot paths.
+    insertion: AnyInsertion,
+    replacement: AnyScorer,
     // The behavioral half of `config.partition` (see
     // `ubrc_core::partition`): consulted at insertion for admission and
     // victim ways, and at epoch boundaries for quota/way replanning.
-    partition: Box<dyn PartitionController>,
+    partition: AnyController,
     // Dynamic repartitioning (a dynamic `config.partition`, nthreads >
     // 1): the shadow-tag monitors feeding the partitioner and the
     // cumulative hit/miss marks of the previous epoch boundary (for
@@ -285,7 +287,7 @@ impl RegisterCache {
     /// Panics on inconsistent geometry, `num_pregs` not divisible by
     /// `nthreads`, or an infeasible [`RegCacheConfig::partition`] /
     /// [`RegCacheConfig::epoch_adapt`] combination (see
-    /// [`controller_for`]). Callers wanting typed errors should
+    /// [`crate::controller_for`]). Callers wanting typed errors should
     /// validate first (the simulator's `try_new_smt` does).
     pub fn new_smt(config: RegCacheConfig, num_pregs: usize, nthreads: usize) -> Self {
         let sets = config.sets();
@@ -294,7 +296,7 @@ impl RegisterCache {
             num_pregs.is_multiple_of(nthreads),
             "num_pregs must divide evenly across threads"
         );
-        let partition = controller_for(&config, nthreads);
+        let partition = AnyController::from_config(&config, nthreads);
         let shadow = config.classify_misses.then(|| {
             // The shadow is the fully-associative *shared* baseline: it
             // classifies misses, it does not model partitioning.
@@ -326,8 +328,8 @@ impl RegisterCache {
             nthreads,
             preg_quota: num_pregs / nthreads,
             thread_valid: vec![0; nthreads],
-            insertion: config.insertion.decider(),
-            replacement: config.replacement.scorer(),
+            insertion: AnyInsertion::from_policy(config.insertion),
+            replacement: AnyScorer::from_policy(config.replacement),
             partition,
             monitor: dynamic.then(|| UtilityMonitor::new(config.entries, nthreads)),
             epoch_hits: vec![0; if dynamic { nthreads } else { 0 }],
@@ -344,6 +346,31 @@ impl RegisterCache {
     /// The number of SMT threads this cache was built for.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// Replaces the insertion policy with a caller-supplied decider,
+    /// routed through the [`AnyInsertion::Custom`] escape hatch — the
+    /// dynamic-dispatch path every external
+    /// [`InsertionDecider`](crate::InsertionDecider) implementation
+    /// takes. The shipped policies reach the same decision logic
+    /// through monomorphic enum variants instead.
+    pub fn set_insertion(&mut self, decider: Box<dyn crate::InsertionDecider>) {
+        self.insertion = decider.into();
+    }
+
+    /// Replaces the replacement scorer via the [`AnyScorer::Custom`]
+    /// escape hatch; see [`RegisterCache::set_insertion`].
+    pub fn set_replacement(&mut self, scorer: Box<dyn crate::ReplacementScorer>) {
+        self.replacement = scorer.into();
+    }
+
+    /// Replaces the partition controller via the
+    /// [`AnyController::Custom`] escape hatch; see
+    /// [`RegisterCache::set_insertion`]. The controller must agree with
+    /// [`RegCacheConfig::partition`] on feasibility (way counts,
+    /// quotas) for the cache's occupancy accounting to stay coherent.
+    pub fn set_partition(&mut self, controller: Box<dyn crate::PartitionController>) {
+        self.partition = controller.into();
     }
 
     /// Live entries owned by `tid`.
@@ -483,7 +510,7 @@ impl RegisterCache {
     /// Picks the way (relative to the set base) holding the minimum
     /// replacement score among `candidates`.
     fn min_score_way(&self, candidates: impl Iterator<Item = usize>, base: usize) -> Option<usize> {
-        let scorer = &*self.replacement;
+        let scorer = &self.replacement;
         candidates.min_by_key(|&i| {
             let e = &self.entries[base + i];
             scorer.score(&VictimView {
@@ -976,7 +1003,7 @@ impl RegisterCache {
 
     /// Runs one dynamic-partition epoch boundary at cycle `now`:
     /// snapshots per-thread hit/miss deltas since the previous boundary,
-    /// asks the [`PartitionController`] for a new plan computed from the
+    /// asks the [`PartitionController`](crate::PartitionController) for a new plan computed from the
     /// lookahead utility partitioner (see [`crate::monitor`]), enforces
     /// it — under [`CachePartition::DynamicCap`] by trimming each
     /// over-quota thread down to its new cap (evicting its own *unpinned*

@@ -69,13 +69,17 @@ pub use backing::{BackingFile, BackingStats};
 pub use cache::{EntryView, MissClass, RegCacheStats, RegisterCache, WriteOutcome};
 pub use index::{IndexAssigner, IndexPolicy};
 pub use monitor::UtilityMonitor;
-pub use partition::{controller_for, EpochContext, EpochPlan, PartitionController};
+pub use partition::{
+    controller_for, AnyController, DynamicCapController, DynamicWayController, EpochContext,
+    EpochPlan, OccupancyCapController, PartitionController, SharedController,
+    WayPartitionController,
+};
 pub use policy::{
-    AdaptiveUseThresholdInsertion, CachePartition, EpochAdapt, EpochFeedback,
-    ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider, InsertionPolicy,
-    LruScorer, NonBypassInsertion, ProtectionConfig, RegCacheConfig, ReplacementPolicy,
-    ReplacementScorer, UseBasedInsertion, VictimScore, VictimView, WriteAllInsertion,
-    ADAPTIVE_THRESHOLD_MAX,
+    AdaptiveUseThresholdInsertion, AnyInsertion, AnyScorer, CachePartition, EpochAdapt,
+    EpochFeedback, ExpectedHitCountScorer, FewestUsesScorer, InsertionContext, InsertionDecider,
+    InsertionPolicy, LruScorer, NonBypassInsertion, ProtectionConfig, RegCacheConfig,
+    ReplacementPolicy, ReplacementScorer, UseBasedInsertion, VictimScore, VictimView,
+    WriteAllInsertion, ADAPTIVE_THRESHOLD_MAX,
 };
 pub use twolevel::{TwoLevelConfig, TwoLevelFile, TwoLevelStats};
 pub use usetrack::UseTracker;

@@ -182,78 +182,243 @@ impl Clone for Box<dyn PartitionController> {
 /// partition. Callers wanting typed errors should validate first (the
 /// simulator's `try_new_smt` does).
 pub fn controller_for(config: &RegCacheConfig, nthreads: usize) -> Box<dyn PartitionController> {
-    let ways = config.ways;
-    if nthreads <= 1 {
-        return Box::new(SharedController { ways });
-    }
-    if let Some(a) = config.epoch_adapt {
-        assert!(
-            config.partition.is_dynamic(),
-            "epoch_adapt requires a dynamic partition"
-        );
-        assert!(
-            a.min_cycles >= 1 && a.min_cycles <= a.max_cycles,
-            "epoch_adapt needs 1 <= min_cycles <= max_cycles"
-        );
-    }
-    match config.partition {
-        CachePartition::Shared => Box::new(SharedController { ways }),
-        CachePartition::WayPartition => {
-            assert!(
-                ways.is_multiple_of(nthreads),
-                "WayPartition needs ways divisible by nthreads"
-            );
-            Box::new(WayPartitionController {
-                ways_per_thread: ways / nthreads,
-            })
+    AnyController::from_config(config, nthreads).into_boxed()
+}
+
+/// Statically dispatched partition controller: one enum variant per
+/// shipped [`CachePartition`], plus an [`AnyController::Custom`] escape
+/// hatch for user-supplied [`PartitionController`] implementations.
+///
+/// The cache stores this enum instead of a
+/// `Box<dyn PartitionController>`: the controller is consulted at four
+/// decision points on every insertion (`admit`, `victim_ways`,
+/// `on_evict`, `on_insert`), so resolving the shipped controllers with
+/// a jump table over inlined monomorphic bodies instead of virtual
+/// calls pays on every cache write. Behavior is identical to
+/// dispatching through the boxed object — the golden-snapshot matrix
+/// and the equivalence proptests pin this — and the object-safe trait
+/// remains the documented ≤3-file extension seam: any
+/// [`PartitionController`] implementation rides along in
+/// [`AnyController::Custom`] with unchanged semantics.
+#[derive(Clone, Debug)]
+pub enum AnyController {
+    /// [`CachePartition::Shared`] (and every single-thread cache),
+    /// statically dispatched.
+    Shared(SharedController),
+    /// [`CachePartition::WayPartition`], statically dispatched.
+    WayPartition(WayPartitionController),
+    /// [`CachePartition::OccupancyCap`], statically dispatched.
+    OccupancyCap(OccupancyCapController),
+    /// [`CachePartition::DynamicCap`], statically dispatched.
+    DynamicCap(DynamicCapController),
+    /// [`CachePartition::DynamicWay`], statically dispatched.
+    DynamicWay(DynamicWayController),
+    /// A user-supplied controller, dispatched through the object-safe
+    /// trait exactly as before the enum existed.
+    Custom(Box<dyn PartitionController>),
+}
+
+/// Forwards one [`PartitionController`] method to whichever concrete
+/// controller the [`AnyController`] holds, monomorphically for the
+/// shipped variants.
+macro_rules! dispatch {
+    ($self:expr, $c:pat => $body:expr) => {
+        match $self {
+            AnyController::Shared($c) => $body,
+            AnyController::WayPartition($c) => $body,
+            AnyController::OccupancyCap($c) => $body,
+            AnyController::DynamicCap($c) => $body,
+            AnyController::DynamicWay($c) => $body,
+            AnyController::Custom($c) => $body,
         }
-        CachePartition::OccupancyCap => {
-            assert!(
-                config.entries >= nthreads,
-                "OccupancyCap needs at least one entry per thread"
-            );
-            Box::new(OccupancyCapController {
-                ways,
-                cap: config.entries / nthreads,
-            })
+    };
+}
+
+impl AnyController {
+    /// Builds the statically dispatched controller implementing
+    /// `config.partition` for an `nthreads`-thread cache. Same contract
+    /// as [`controller_for`] (which now delegates here), including the
+    /// panics on infeasible configurations.
+    ///
+    /// # Panics
+    ///
+    /// See [`controller_for`].
+    pub fn from_config(config: &RegCacheConfig, nthreads: usize) -> Self {
+        let ways = config.ways;
+        if nthreads <= 1 {
+            return AnyController::Shared(SharedController { ways });
         }
-        CachePartition::DynamicCap {
-            epoch_cycles,
-            min_cap,
-        } => {
-            assert!(epoch_cycles >= 1, "DynamicCap needs a non-zero epoch");
+        if let Some(a) = config.epoch_adapt {
             assert!(
-                config.entries >= nthreads,
-                "DynamicCap needs at least one entry per thread"
+                config.partition.is_dynamic(),
+                "epoch_adapt requires a dynamic partition"
             );
             assert!(
-                min_cap * nthreads <= config.entries,
-                "DynamicCap min_cap x nthreads exceeds the cache"
+                a.min_cycles >= 1 && a.min_cycles <= a.max_cycles,
+                "epoch_adapt needs 1 <= min_cycles <= max_cycles"
             );
-            // Initial quotas: the even OccupancyCap split, remainder to
-            // the lower-numbered threads so the quotas sum to `entries`
-            // exactly.
-            let caps = (0..nthreads)
-                .map(|t| config.entries / nthreads + usize::from(t < config.entries % nthreads))
-                .collect();
-            Box::new(DynamicCapController {
-                ways,
+        }
+        match config.partition {
+            CachePartition::Shared => AnyController::Shared(SharedController { ways }),
+            CachePartition::WayPartition => {
+                assert!(
+                    ways.is_multiple_of(nthreads),
+                    "WayPartition needs ways divisible by nthreads"
+                );
+                AnyController::WayPartition(WayPartitionController {
+                    ways_per_thread: ways / nthreads,
+                })
+            }
+            CachePartition::OccupancyCap => {
+                assert!(
+                    config.entries >= nthreads,
+                    "OccupancyCap needs at least one entry per thread"
+                );
+                AnyController::OccupancyCap(OccupancyCapController {
+                    ways,
+                    cap: config.entries / nthreads,
+                })
+            }
+            CachePartition::DynamicCap {
+                epoch_cycles,
                 min_cap,
-                caps,
-                pacer: EpochPacer::new(epoch_cycles, config.epoch_adapt),
-            })
+            } => {
+                assert!(epoch_cycles >= 1, "DynamicCap needs a non-zero epoch");
+                assert!(
+                    config.entries >= nthreads,
+                    "DynamicCap needs at least one entry per thread"
+                );
+                assert!(
+                    min_cap * nthreads <= config.entries,
+                    "DynamicCap min_cap x nthreads exceeds the cache"
+                );
+                // Initial quotas: the even OccupancyCap split, remainder to
+                // the lower-numbered threads so the quotas sum to `entries`
+                // exactly.
+                let caps = (0..nthreads)
+                    .map(|t| config.entries / nthreads + usize::from(t < config.entries % nthreads))
+                    .collect();
+                AnyController::DynamicCap(DynamicCapController {
+                    ways,
+                    min_cap,
+                    caps,
+                    pacer: EpochPacer::new(epoch_cycles, config.epoch_adapt),
+                })
+            }
+            CachePartition::DynamicWay { epoch_cycles } => {
+                assert!(epoch_cycles >= 1, "DynamicWay needs a non-zero epoch");
+                assert!(
+                    ways.is_multiple_of(nthreads),
+                    "DynamicWay needs ways divisible by nthreads"
+                );
+                AnyController::DynamicWay(DynamicWayController {
+                    counts: vec![ways / nthreads; nthreads],
+                    pacer: EpochPacer::new(epoch_cycles, config.epoch_adapt),
+                })
+            }
         }
-        CachePartition::DynamicWay { epoch_cycles } => {
-            assert!(epoch_cycles >= 1, "DynamicWay needs a non-zero epoch");
-            assert!(
-                ways.is_multiple_of(nthreads),
-                "DynamicWay needs ways divisible by nthreads"
-            );
-            Box::new(DynamicWayController {
-                counts: vec![ways / nthreads; nthreads],
-                pacer: EpochPacer::new(epoch_cycles, config.epoch_adapt),
-            })
+    }
+
+    /// Moves the controller behind a `Box<dyn PartitionController>`,
+    /// restoring the virtual-dispatch form [`controller_for`]
+    /// advertises (the shipped variants box their concrete type; a
+    /// [`AnyController::Custom`] controller is returned as-is).
+    pub fn into_boxed(self) -> Box<dyn PartitionController> {
+        match self {
+            AnyController::Shared(c) => Box::new(c),
+            AnyController::WayPartition(c) => Box::new(c),
+            AnyController::OccupancyCap(c) => Box::new(c),
+            AnyController::DynamicCap(c) => Box::new(c),
+            AnyController::DynamicWay(c) => Box::new(c),
+            AnyController::Custom(c) => c,
         }
+    }
+
+    /// Forwards [`PartitionController::admit`] without a virtual call
+    /// for the shipped controllers.
+    #[inline]
+    pub fn admit(&self, tid: usize, occupancy: &[usize]) -> bool {
+        dispatch!(self, c => c.admit(tid, occupancy))
+    }
+
+    /// Forwards [`PartitionController::victim_ways`] without a virtual
+    /// call for the shipped controllers.
+    #[inline]
+    pub fn victim_ways(&self, tid: usize) -> Range<usize> {
+        dispatch!(self, c => c.victim_ways(tid))
+    }
+
+    /// Forwards [`PartitionController::on_insert`] without a virtual
+    /// call for the shipped controllers.
+    #[inline]
+    pub fn on_insert(&mut self, tid: usize) {
+        dispatch!(self, c => c.on_insert(tid))
+    }
+
+    /// Forwards [`PartitionController::on_evict`] without a virtual
+    /// call for the shipped controllers.
+    #[inline]
+    pub fn on_evict(&mut self, tid: usize) {
+        dispatch!(self, c => c.on_evict(tid))
+    }
+
+    /// Forwards [`PartitionController::cap`].
+    #[inline]
+    pub fn cap(&self, tid: usize) -> Option<usize> {
+        dispatch!(self, c => c.cap(tid))
+    }
+
+    /// Forwards [`PartitionController::caps`].
+    pub fn caps(&self) -> Option<&[usize]> {
+        dispatch!(self, c => c.caps())
+    }
+
+    /// Forwards [`PartitionController::way_counts`].
+    pub fn way_counts(&self) -> Option<&[usize]> {
+        dispatch!(self, c => c.way_counts())
+    }
+
+    /// Forwards [`PartitionController::way_owner`] without a virtual
+    /// call for the shipped controllers.
+    #[inline]
+    pub fn way_owner(&self, way: usize) -> Option<usize> {
+        dispatch!(self, c => c.way_owner(way))
+    }
+
+    /// Forwards [`PartitionController::epoch_cycles`].
+    pub fn epoch_cycles(&self) -> Option<u64> {
+        dispatch!(self, c => c.epoch_cycles())
+    }
+
+    /// Forwards [`PartitionController::epoch_due`] without a virtual
+    /// call for the shipped controllers (checked every cycle by the
+    /// epoch stage).
+    #[inline]
+    pub fn epoch_due(&self, now: u64) -> bool {
+        dispatch!(self, c => c.epoch_due(now))
+    }
+
+    /// Forwards [`PartitionController::epoch_boundary`] (cold path:
+    /// fires once per epoch).
+    pub fn epoch_boundary(&mut self, cx: &EpochContext<'_>) -> Option<EpochPlan> {
+        dispatch!(self, c => c.epoch_boundary(cx))
+    }
+
+    /// Forwards [`PartitionController::audit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(description)` when the controller's quota state is
+    /// inconsistent (see [`PartitionController::audit`]).
+    pub fn audit(&self, entries: usize, ways: usize) -> Result<(), String> {
+        dispatch!(self, c => c.audit(entries, ways))
+    }
+}
+
+impl From<Box<dyn PartitionController>> for AnyController {
+    /// Wraps a boxed controller in the escape-hatch variant.
+    fn from(controller: Box<dyn PartitionController>) -> Self {
+        AnyController::Custom(controller)
     }
 }
 
@@ -327,7 +492,7 @@ fn l1_distance(a: &[usize], b: &[usize]) -> usize {
 /// [`CachePartition::Shared`] (and every single-thread cache): all ways
 /// compete freely, no quotas, no epochs.
 #[derive(Clone, Debug)]
-struct SharedController {
+pub struct SharedController {
     ways: usize,
 }
 
@@ -346,7 +511,7 @@ impl PartitionController for SharedController {
 /// [`CachePartition::WayPartition`]: thread `t` statically owns ways
 /// `[t·w, (t+1)·w)` of every set.
 #[derive(Clone, Debug)]
-struct WayPartitionController {
+pub struct WayPartitionController {
     ways_per_thread: usize,
 }
 
@@ -368,7 +533,7 @@ impl PartitionController for WayPartitionController {
 /// [`CachePartition::OccupancyCap`]: shared ways, a static
 /// `entries / nthreads` live-entry cap per thread.
 #[derive(Clone, Debug)]
-struct OccupancyCapController {
+pub struct OccupancyCapController {
     ways: usize,
     cap: usize,
 }
@@ -391,7 +556,7 @@ impl PartitionController for OccupancyCapController {
 /// [`CachePartition::DynamicCap`]: shared ways, per-thread quotas
 /// recomputed from the utility monitors every epoch.
 #[derive(Clone, Debug)]
-struct DynamicCapController {
+pub struct DynamicCapController {
     ways: usize,
     min_cap: usize,
     caps: Vec<usize>,
@@ -453,7 +618,7 @@ impl PartitionController for DynamicCapController {
 /// [`CachePartition::DynamicWay`]: contiguous per-thread way blocks (in
 /// thread order), reassigned from the utility monitors every epoch.
 #[derive(Clone, Debug)]
-struct DynamicWayController {
+pub struct DynamicWayController {
     /// Ways owned per thread; thread `t`'s block starts at the prefix
     /// sum of `counts[..t]`.
     counts: Vec<usize>,

@@ -369,6 +369,143 @@ impl ReplacementScorer for ExpectedHitCountScorer {
     }
 }
 
+/// Statically dispatched insertion decider: one enum variant per
+/// shipped [`InsertionPolicy`], plus a [`AnyInsertion::Custom`] escape
+/// hatch for user-supplied [`InsertionDecider`] implementations.
+///
+/// The cache stores this enum instead of a `Box<dyn InsertionDecider>`
+/// so the hot write path resolves the shipped policies with a jump
+/// table over inlined monomorphic bodies rather than a virtual call.
+/// Behavior is identical to dispatching through the boxed trait object
+/// — the golden-snapshot matrix and the equivalence proptests pin this
+/// — and the object-safe trait remains the extension seam: anything
+/// that implements [`InsertionDecider`] rides along in
+/// [`AnyInsertion::Custom`] with unchanged semantics.
+#[derive(Clone, Debug)]
+pub enum AnyInsertion {
+    /// [`InsertionPolicy::WriteAll`], statically dispatched.
+    WriteAll(WriteAllInsertion),
+    /// [`InsertionPolicy::NonBypass`], statically dispatched.
+    NonBypass(NonBypassInsertion),
+    /// [`InsertionPolicy::UseBased`], statically dispatched.
+    UseBased(UseBasedInsertion),
+    /// [`InsertionPolicy::AdaptiveUseThreshold`], statically
+    /// dispatched.
+    AdaptiveUseThreshold(AdaptiveUseThresholdInsertion),
+    /// A user-supplied decider, dispatched through the object-safe
+    /// trait exactly as before the enum existed.
+    Custom(Box<dyn InsertionDecider>),
+}
+
+impl AnyInsertion {
+    /// Builds the statically dispatched decider for a shipped policy.
+    pub fn from_policy(policy: InsertionPolicy) -> Self {
+        match policy {
+            InsertionPolicy::WriteAll => AnyInsertion::WriteAll(WriteAllInsertion),
+            InsertionPolicy::NonBypass => AnyInsertion::NonBypass(NonBypassInsertion),
+            InsertionPolicy::UseBased => AnyInsertion::UseBased(UseBasedInsertion),
+            InsertionPolicy::AdaptiveUseThreshold => {
+                AnyInsertion::AdaptiveUseThreshold(AdaptiveUseThresholdInsertion::new())
+            }
+        }
+    }
+
+    /// Forwards [`InsertionDecider::should_insert`] to the wrapped
+    /// decider without a virtual call for the shipped policies.
+    #[inline]
+    pub fn should_insert(&self, ctx: &InsertionContext) -> bool {
+        match self {
+            AnyInsertion::WriteAll(d) => d.should_insert(ctx),
+            AnyInsertion::NonBypass(d) => d.should_insert(ctx),
+            AnyInsertion::UseBased(d) => d.should_insert(ctx),
+            AnyInsertion::AdaptiveUseThreshold(d) => d.should_insert(ctx),
+            AnyInsertion::Custom(d) => d.should_insert(ctx),
+        }
+    }
+
+    /// Forwards [`InsertionDecider::on_epoch`] to the wrapped decider
+    /// (cold path: fires once per epoch boundary, not per access).
+    pub fn on_epoch(&mut self, fb: &EpochFeedback) {
+        match self {
+            AnyInsertion::WriteAll(d) => d.on_epoch(fb),
+            AnyInsertion::NonBypass(d) => d.on_epoch(fb),
+            AnyInsertion::UseBased(d) => d.on_epoch(fb),
+            AnyInsertion::AdaptiveUseThreshold(d) => d.on_epoch(fb),
+            AnyInsertion::Custom(d) => d.on_epoch(fb),
+        }
+    }
+}
+
+impl From<Box<dyn InsertionDecider>> for AnyInsertion {
+    /// Wraps a boxed decider in the escape-hatch variant.
+    fn from(decider: Box<dyn InsertionDecider>) -> Self {
+        AnyInsertion::Custom(decider)
+    }
+}
+
+/// Statically dispatched replacement scorer: one enum variant per
+/// shipped [`ReplacementPolicy`], plus a [`AnyScorer::Custom`] escape
+/// hatch for user-supplied [`ReplacementScorer`] implementations.
+///
+/// The victim-selection loop scores every entry of a set, so this is
+/// the hottest policy seam in the cache; see [`AnyInsertion`] for the
+/// dispatch rationale.
+#[derive(Clone, Debug)]
+pub enum AnyScorer {
+    /// [`ReplacementPolicy::Lru`], statically dispatched.
+    Lru(LruScorer),
+    /// [`ReplacementPolicy::FewestUses`], statically dispatched.
+    FewestUses(FewestUsesScorer),
+    /// [`ReplacementPolicy::ExpectedHitCount`], statically dispatched.
+    ExpectedHitCount(ExpectedHitCountScorer),
+    /// A user-supplied scorer, dispatched through the object-safe
+    /// trait exactly as before the enum existed.
+    Custom(Box<dyn ReplacementScorer>),
+}
+
+impl AnyScorer {
+    /// Builds the statically dispatched scorer for a shipped policy.
+    pub fn from_policy(policy: ReplacementPolicy) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => AnyScorer::Lru(LruScorer),
+            ReplacementPolicy::FewestUses => AnyScorer::FewestUses(FewestUsesScorer),
+            ReplacementPolicy::ExpectedHitCount => {
+                AnyScorer::ExpectedHitCount(ExpectedHitCountScorer)
+            }
+        }
+    }
+
+    /// Forwards [`ReplacementScorer::score`] to the wrapped scorer
+    /// without a virtual call for the shipped policies.
+    #[inline]
+    pub fn score(&self, v: &VictimView) -> VictimScore {
+        match self {
+            AnyScorer::Lru(s) => s.score(v),
+            AnyScorer::FewestUses(s) => s.score(v),
+            AnyScorer::ExpectedHitCount(s) => s.score(v),
+            AnyScorer::Custom(s) => s.score(v),
+        }
+    }
+
+    /// Forwards [`ReplacementScorer::on_epoch`] to the wrapped scorer
+    /// (cold path: fires once per epoch boundary, not per access).
+    pub fn on_epoch(&mut self, fb: &EpochFeedback) {
+        match self {
+            AnyScorer::Lru(s) => s.on_epoch(fb),
+            AnyScorer::FewestUses(s) => s.on_epoch(fb),
+            AnyScorer::ExpectedHitCount(s) => s.on_epoch(fb),
+            AnyScorer::Custom(s) => s.on_epoch(fb),
+        }
+    }
+}
+
+impl From<Box<dyn ReplacementScorer>> for AnyScorer {
+    /// Wraps a boxed scorer in the escape-hatch variant.
+    fn from(scorer: Box<dyn ReplacementScorer>) -> Self {
+        AnyScorer::Custom(scorer)
+    }
+}
+
 /// How register-cache capacity is divided between SMT threads.
 ///
 /// With one thread every variant degenerates to [`CachePartition::Shared`];

@@ -322,6 +322,12 @@ pub struct SimConfig {
     /// Reaction to parity errors detected by the protection layer
     /// (see [`RecoveryPolicy`]).
     pub recovery: RecoveryPolicy,
+    /// Collect per-stage wall-time and call-count attribution
+    /// ([`crate::SimResult::profile`]). Off by default: the per-cycle
+    /// loop takes the original untimed path and no profiling code runs
+    /// at all. Wall-time-only instrumentation — enabling it never
+    /// changes the simulated timing.
+    pub profile: bool,
     /// Hardware thread contexts (SMT). Set by
     /// [`crate::Simulator::new_smt`] to the number of co-scheduled
     /// programs; 1 for the classic single-threaded core. The physical
@@ -365,6 +371,7 @@ impl SimConfig {
             check: CheckConfig::default(),
             fault_plan: None,
             recovery: RecoveryPolicy::disabled(),
+            profile: false,
             nthreads: 1,
             fetch_policy: FetchPolicy::Icount,
             freelist: FreelistPolicy::Partitioned,

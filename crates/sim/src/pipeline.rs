@@ -40,8 +40,8 @@ use crate::config::{BranchPredictorKind, FreelistPolicy, RegStorage, SimConfig};
 use crate::inject::Injector;
 use crate::oracle::Oracle;
 use crate::stage::{
-    CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, SharedPool, Storage,
-    ThreadState,
+    CoreState, EventLatch, FetchLatch, PregInfo, PregTime, ReplayLatch, SharedPool, StageProfiler,
+    Storage, ThreadState,
 };
 use crate::stats::{LifetimeCollector, SimResult};
 use std::collections::VecDeque;
@@ -412,7 +412,10 @@ impl Simulator {
                 freelist,
                 rob: VecDeque::new(),
                 sched: VecDeque::new(),
-                store_granules: std::collections::HashMap::new(),
+                due_hint: 0,
+                sched_base: 0,
+                timed: Vec::new(),
+                store_granules: crate::stage::GranuleMap::default(),
                 oracle,
                 recover,
                 recoveries: 0,
@@ -441,6 +444,8 @@ impl Simulator {
             preg_waiters: vec![Vec::new(); npregs],
             due_buf: Vec::new(),
             selected_buf: Vec::new(),
+            due_bounds: Vec::new(),
+            merge_heads: Vec::new(),
             squash_buf: Vec::new(),
             storage,
             read_latency,
@@ -470,6 +475,7 @@ impl Simulator {
             recovery_cycles: 0,
             recovery_latency: ubrc_stats::Histogram::new(),
             forced_recovery: false,
+            profiler: config.profile.then(|| Box::new(StageProfiler::new())),
             config,
         };
         Ok(Self { core })

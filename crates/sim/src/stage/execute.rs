@@ -151,6 +151,7 @@ impl CoreState {
             return;
         }
         let mut i = 0;
+        let mut next = u64::MAX;
         while i < self.events.retimes.items.len() {
             let (t, (p, gen, timing)) = self.events.retimes.items[i];
             if t == now {
@@ -159,10 +160,14 @@ impl CoreState {
                     self.preg_time[p as usize] = timing;
                 }
             } else {
+                next = next.min(t);
                 i += 1;
             }
         }
-        self.events.retimes.refresh_due();
+        // Every survivor was examined exactly once (a swap_remove's
+        // replacement is revisited at the same index), so `next` is the
+        // exact minimum — no second pass needed.
+        self.events.retimes.next_due = next;
     }
 
     fn process_cache_events(&mut self, now: u64) {
@@ -174,6 +179,7 @@ impl CoreState {
         // Initial writes the cycle after execution completes.
         if self.events.writes.due(now) {
             let mut i = 0;
+            let mut next = u64::MAX;
             while i < self.events.writes.items.len() {
                 let (t, (p, set, gen)) = self.events.writes.items[i];
                 if t == now {
@@ -193,14 +199,16 @@ impl CoreState {
                         cache.write(PhysReg(p), set, remaining, pinned, bypasses, now);
                     }
                 } else {
+                    next = next.min(t);
                     i += 1;
                 }
             }
-            self.events.writes.refresh_due();
+            self.events.writes.next_due = next;
         }
         // Fills completing after a backing-file read.
         if self.events.fills.due(now) {
             let mut i = 0;
+            let mut next = u64::MAX;
             while i < self.events.fills.items.len() {
                 let (t, (p, set, gen)) = self.events.fills.items[i];
                 if t == now {
@@ -212,15 +220,17 @@ impl CoreState {
                         }
                     }
                 } else {
+                    next = next.min(t);
                     i += 1;
                 }
             }
-            self.events.fills.refresh_due();
+            self.events.fills.next_due = next;
         }
         // Second-stage bypass consumers decrement the entry after the
         // write lands (§3.1: they cannot affect the write decision).
         if self.events.bypass_decs.due(now) {
             let mut i = 0;
+            let mut next = u64::MAX;
             while i < self.events.bypass_decs.items.len() {
                 let (t, (p, set, gen)) = self.events.bypass_decs.items[i];
                 if t <= now {
@@ -229,10 +239,11 @@ impl CoreState {
                         cache.bypass_consume(PhysReg(p), set);
                     }
                 } else {
+                    next = next.min(t);
                     i += 1;
                 }
             }
-            self.events.bypass_decs.refresh_due();
+            self.events.bypass_decs.next_due = next;
         }
         for p in scrubbed {
             if let Some(ck) = self.checker.as_mut() {

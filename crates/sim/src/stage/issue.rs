@@ -5,7 +5,7 @@
 //! The window is shared between threads; select merges each thread's
 //! due instructions oldest-first by the global dispatch `age` stamp.
 
-use super::{CoreState, PregTime, Status, Storage, ThreadId};
+use super::{CoreState, PregTime, Status, Storage, ThreadId, NO_SRC, SCHED_ISSUED, SCHED_PARKED};
 use crate::config::FuPools;
 use crate::trace::OperandPath;
 use ubrc_core::PhysReg;
@@ -37,17 +37,16 @@ impl CoreState {
     /// owns its partition (maps never hold another thread's pregs), so
     /// the waiter list stores the bare per-thread seq.
     fn rearm_wake(&mut self, tid: ThreadId, idx: usize, lower: u64) {
-        let inst = &self.threads[tid].rob[idx];
-        let seq = inst.seq;
-        let srcs = inst.srcs;
-        let mut wake = lower.max(inst.earliest_issue);
+        let slot = self.threads[tid].sched[idx];
+        let mut wake = lower.max(slot.earliest_issue);
         loop {
             let mut next = wake;
-            for &p in srcs.iter().flatten() {
+            for &p in slot.srcs.iter().filter(|&&p| p != NO_SRC) {
                 let pt = self.preg_time[p as usize];
                 if !pt.known {
+                    let seq = self.threads[tid].rob[idx].seq;
                     self.preg_waiters[p as usize].push(seq);
-                    self.threads[tid].sched[idx] = u64::MAX;
+                    self.threads[tid].sched[idx].wake = SCHED_PARKED;
                     return;
                 }
                 next = next.max(pt.next_ready_at(next));
@@ -57,7 +56,13 @@ impl CoreState {
             }
             wake = next;
         }
-        self.threads[tid].sched[idx] = wake;
+        let t = &mut self.threads[tid];
+        let s = &mut t.sched[idx];
+        s.wake = wake;
+        if !std::mem::replace(&mut s.in_timed, true) {
+            t.timed.push(t.sched_base + idx as u64);
+        }
+        t.due_hint = t.due_hint.min(wake);
     }
 
     /// Un-parks everything waiting on `p`, called when the producer
@@ -74,7 +79,12 @@ impl CoreState {
             if let Some(idx) = self.rob_index(tid, seq) {
                 let t = &mut self.threads[tid];
                 if t.rob[idx].status == Status::Waiting {
-                    t.sched[idx] = now + 1;
+                    let s = &mut t.sched[idx];
+                    s.wake = now + 1;
+                    if !std::mem::replace(&mut s.in_timed, true) {
+                        t.timed.push(t.sched_base + idx as u64);
+                    }
+                    t.due_hint = t.due_hint.min(now + 1);
                 }
             }
         }
@@ -96,35 +106,96 @@ impl CoreState {
         // ready check re-arms the deadline.
         let mut due = std::mem::take(&mut self.due_buf);
         let mut selected = std::mem::take(&mut self.selected_buf);
+        let mut bounds = std::mem::take(&mut self.due_bounds);
         due.clear();
         selected.clear();
-        for (tid, t) in self.threads.iter().enumerate() {
-            due.extend(
-                t.sched
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &w)| w <= now)
-                    .map(|(i, _)| (t.rob[i].age, tid as u32, i as u32)),
-            );
+        bounds.clear();
+        for (tid, t) in self.threads.iter_mut().enumerate() {
+            // Nothing in this thread's window can be due yet: skip the
+            // scan outright. `due_hint` is a lower bound, so skipping
+            // never drops a due instruction.
+            if t.due_hint > now {
+                bounds.push(due.len());
+                continue;
+            }
+            // Walk only the slots with an armed (finite) deadline.
+            // Every finite `sched` write enters its slot into `timed`,
+            // so no due instruction can hide outside this list; slots
+            // that have since issued or parked are dropped here.
+            let before = due.len();
+            let base = t.sched_base;
+            let mut min_wake = u64::MAX;
+            let mut timed = std::mem::take(&mut t.timed);
+            timed.retain(|&pos| {
+                if pos < base {
+                    return false; // retired off the window's front
+                }
+                let idx = (pos - base) as usize;
+                let s = &mut t.sched[idx];
+                if s.wake >= SCHED_PARKED {
+                    s.in_timed = false;
+                    return false;
+                }
+                if s.wake <= now {
+                    due.push((s.age, tid as u32, idx as u32));
+                } else if s.wake < min_wake {
+                    min_wake = s.wake;
+                }
+                true
+            });
+            t.timed = timed;
+            // `timed` is in deadline-arming order; the merge needs each
+            // thread's run in dispatch (`age`) order. Ages are unique,
+            // so this reproduces exactly the order a front-to-back
+            // window scan would have produced.
+            if due.len() - before > 1 {
+                due[before..].sort_unstable();
+            }
+            // Something due this cycle may survive the issue loop (lost
+            // slot) and stay due, so the hint must not rise past `now`;
+            // otherwise the exact minimum governs the next scan.
+            t.due_hint = if due.len() > before { now } else { min_wake };
+            bounds.push(due.len());
         }
-        if self.threads.len() > 1 {
-            // Per-thread slices are each age-sorted already; merging is
-            // only needed when a second thread interleaves.
-            due.sort_unstable();
+        // Lazy k-way merge of the per-thread age-sorted runs: each
+        // iteration picks the lowest age among the (at most nthreads)
+        // run heads, which visits entries in exactly the order a fully
+        // merged list would — but the loop usually stops at the issue
+        // width, so the tail of the due set is never ordered at all
+        // (the former full `sort_unstable` ordered everything).
+        let mut heads = std::mem::take(&mut self.merge_heads);
+        heads.clear();
+        let mut start = 0;
+        for &end in &bounds {
+            if end > start {
+                heads.push((start, end));
+            }
+            start = end;
         }
-        for &(_, tid, i) in &due {
-            let (tid, i) = (tid as usize, i as usize);
-            if total == self.config.issue_width {
+        self.due_bounds = bounds;
+        loop {
+            if total == self.config.issue_width || heads.is_empty() {
                 break;
             }
-            let inst = &self.threads[tid].rob[i];
-            debug_assert_eq!(inst.status, Status::Waiting);
-            let ready = inst.earliest_issue <= now
-                && inst
+            let mut best = 0;
+            for r in 1..heads.len() {
+                if due[heads[r].0].0 < due[heads[best].0].0 {
+                    best = r;
+                }
+            }
+            let (_, tid, i) = due[heads[best].0];
+            heads[best].0 += 1;
+            if heads[best].0 == heads[best].1 {
+                heads.swap_remove(best);
+            }
+            let (tid, i) = (tid as usize, i as usize);
+            let slot = &self.threads[tid].sched[i];
+            debug_assert_eq!(self.threads[tid].rob[i].status, Status::Waiting);
+            let ready = slot.earliest_issue <= now
+                && slot
                     .srcs
                     .iter()
-                    .flatten()
-                    .all(|&p| self.preg_time[p as usize].operand_ready(now));
+                    .all(|&p| p == NO_SRC || self.preg_time[p as usize].operand_ready(now));
             if !ready {
                 self.rearm_wake(tid, i, now + 1);
                 continue;
@@ -155,6 +226,7 @@ impl CoreState {
             total += 1;
             selected.push((inst.seq, tid as u32, i as u32));
         }
+        self.merge_heads = heads;
 
         if squashing {
             // Register-cache miss in the previous cycle: everything
@@ -163,9 +235,9 @@ impl CoreState {
             // deadlines stay due).
             self.replayed += selected.len() as u64;
             for &(_, tid, i) in &selected {
-                let inst = &mut self.threads[tid as usize].rob[i as usize];
-                inst.earliest_issue = now + 1;
-                let age = inst.age;
+                let slot = &mut self.threads[tid as usize].sched[i as usize];
+                slot.earliest_issue = now + 1;
+                let age = slot.age;
                 if let Some(t) = self.trace.get_mut(age as usize) {
                     t.replays += 1;
                 }
@@ -467,7 +539,7 @@ impl CoreState {
         let inst = &mut t.rob[idx];
         inst.status = Status::Issued;
         inst.exec_done = exec_done;
-        t.sched[idx] = u64::MAX;
+        t.sched[idx].wake = SCHED_ISSUED;
         self.window_count -= 1;
         if let Some(t) = self.trace.get_mut(age as usize) {
             t.issue = now;

@@ -9,7 +9,7 @@
 //! * [`FetchLatch`] — fetch → rename: the in-flight front-end queue
 //!   (entries mature for `frontend_stages` cycles before rename may
 //!   consume them; a full queue back-pressures fetch);
-//! * the ROB + `sched` deadline array — rename → issue: the issue
+//! * the ROB + `sched` issue-slot array — rename → issue: the issue
 //!   window itself;
 //! * [`EventLatch`] — issue → execute: deferred timed events (cache
 //!   writes, fills, late bypass decrements, load retimes) that the
@@ -131,6 +131,36 @@ impl<T> EventQueue<T> {
     }
 }
 
+/// Fibonacci-multiply hasher for the `u64` granule keys of
+/// [`ThreadState::store_granules`]. Deterministic (no per-process
+/// random seed) and a handful of instructions per probe, versus
+/// SipHash's several dozen.
+#[derive(Default)]
+pub(crate) struct GranuleHasher(u64);
+
+impl std::hash::Hasher for GranuleHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+pub(crate) type GranuleMap = std::collections::HashMap<
+    u64,
+    Vec<(u64, Option<u64>)>,
+    std::hash::BuildHasherDefault<GranuleHasher>,
+>;
+
 /// Per-value lifecycle bookkeeping.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct PregInfo {
@@ -189,7 +219,6 @@ pub(crate) struct DynInst {
     pub(crate) dest: Option<u16>,
     pub(crate) prev: Option<u16>,
     pub(crate) status: Status,
-    pub(crate) earliest_issue: u64,
     pub(crate) exec_done: u64,
     pub(crate) fetch_cycle: u64,
     pub(crate) mispredicted: bool,
@@ -306,6 +335,43 @@ impl ReplayLatch {
 /// context of a single-threaded core.
 pub(crate) type ThreadId = usize;
 
+/// [`IssueSlot::wake`] sentinel for a slot whose instruction has
+/// issued: it can never become due again, so the select scan drops it
+/// from the thread's `timed` list for good.
+pub(crate) const SCHED_ISSUED: u64 = u64::MAX;
+
+/// [`IssueSlot::wake`] sentinel for a slot parked on a producer whose
+/// timing is unknown; re-armed to a finite deadline via `preg_waiters`
+/// when the producer issues (which re-enters it into the `timed`
+/// list).
+pub(crate) const SCHED_PARKED: u64 = u64::MAX - 1;
+
+/// [`IssueSlot::srcs`] sentinel for an unused operand slot.
+pub(crate) const NO_SRC: u16 = u16::MAX;
+
+/// The issue path's per-slot state, one per ROB entry in a dense deque
+/// kept in lockstep with the thread's `rob`. This is the SoA split of
+/// the wake-up/select hot path: the per-cycle scan and the ready check
+/// touch only these 32 bytes per slot, never the fat [`DynInst`]
+/// (whose `ExecRecord` payload is only needed once, at issue).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct IssueSlot {
+    /// Wake deadline: the earliest cycle the instruction's operands
+    /// could be ready, or [`SCHED_ISSUED`] / [`SCHED_PARKED`].
+    pub(crate) wake: u64,
+    /// Mirror of [`DynInst::age`] for oldest-first select.
+    pub(crate) age: u64,
+    /// Earliest cycle issue is permitted; replay squashes push it
+    /// forward.
+    pub(crate) earliest_issue: u64,
+    /// Source pregs ([`NO_SRC`] for an unused operand slot), mirroring
+    /// [`DynInst::srcs`] for the ready check.
+    pub(crate) srcs: [u16; 2],
+    /// Whether this slot is currently in its thread's `timed` worklist
+    /// (guards against duplicate entries when a deadline is re-armed).
+    pub(crate) in_timed: bool,
+}
+
 /// One hardware thread context: everything the SMT front end
 /// replicates (fetch stream, predictors, checkpoints, rename map) or
 /// partitions (freelist, ROB slice), per the sharing matrix in
@@ -357,17 +423,42 @@ pub(crate) struct ThreadState {
     pub(crate) freelist: Vec<u16>,
 
     // The thread's ROB slice, in per-thread program order, with its
-    // `sched` wake-deadline array in lockstep (see `CoreState` docs).
+    // `sched` issue-slot array in lockstep (see `CoreState` docs).
     // Retirement and squash walk only this thread's slice, so one
     // thread's misprediction never disturbs the other's window.
     pub(crate) rob: VecDeque<DynInst>,
-    pub(crate) sched: VecDeque<u64>,
+    pub(crate) sched: VecDeque<IssueSlot>,
+    /// Lower bound on the earliest finite deadline in `sched`. The
+    /// select scan skips this thread entirely while `due_hint > now`
+    /// (nothing can be due); every write of a finite deadline lowers
+    /// it, and each performed scan recomputes it exactly.
+    pub(crate) due_hint: u64,
+    /// Absolute window position of `sched[0]` / `rob[0]`: a monotonic
+    /// counter of retired instructions. `timed` stores absolute
+    /// positions (`sched_base + index`) so retirement pops never shift
+    /// its entries; a stale position simply falls below the base.
+    pub(crate) sched_base: u64,
+    /// The select scan's worklist: absolute positions of window slots
+    /// believed to hold a *finite* deadline. Every writer of a finite
+    /// wake deadline enters the slot here (deduplicated by
+    /// [`IssueSlot::in_timed`]), so the per-cycle scan walks only
+    /// instructions with an armed deadline — not the whole window,
+    /// which in pointer-chasing codes is dominated by parked and
+    /// already-issued slots. Entries whose slot has issued or parked
+    /// are dropped lazily by the scan; retirement strands positions
+    /// below `sched_base` (also dropped lazily); wrong-path and
+    /// machine-check squashes purge eagerly so truncated positions are
+    /// never aliased by refilled slots.
+    pub(crate) timed: Vec<u64>,
 
     // Memory disambiguation: in-flight stores per 8-byte granule, in
     // program order -> (seq, exec_done once issued). Per-thread because
     // each context runs in its own address space (its own machine) —
-    // stores never forward across threads.
-    pub(crate) store_granules: std::collections::HashMap<u64, Vec<(u64, Option<u64>)>>,
+    // stores never forward across threads. Probed on every load/store
+    // in rename, issue, and retire, so it uses a cheap multiplicative
+    // hasher instead of SipHash; the map is only ever keyed (never
+    // iterated), so the hash function cannot affect simulated timing.
+    pub(crate) store_granules: GranuleMap,
 
     /// Lockstep co-simulation oracle: one functional machine per
     /// thread, replaying that thread's retirement stream.
@@ -445,20 +536,29 @@ pub(crate) struct CoreState {
     pub(crate) window_count: usize,
 
     // Event-driven wake-up/select. `threads[t].sched[i]` is
-    // `threads[t].rob[i]`'s wake deadline: the earliest cycle its
-    // operands could be ready, a lower bound derived from its sources'
-    // `PregTime`, or `u64::MAX` once it has issued or while it is
-    // parked on a producer whose timing is unknown (re-armed from
-    // `preg_waiters` when the producer issues). Kept as a dense
-    // parallel array so the per-cycle select scan filters the whole
-    // window on one word per slot instead of walking the fat `DynInst`
-    // entries. `preg_waiters` holds per-thread seqs; the owning thread
-    // is recovered from the register's partition.
+    // `threads[t].rob[i]`'s [`IssueSlot`]: its wake deadline (the
+    // earliest cycle its operands could be ready, a lower bound
+    // derived from its sources' `PregTime`, or a sentinel —
+    // [`SCHED_ISSUED`] once it has issued, [`SCHED_PARKED`] while it
+    // is parked on a producer whose timing is unknown, re-armed from
+    // `preg_waiters` when the producer issues) plus the compact
+    // ready-check fields. Kept as a dense parallel array so the
+    // per-cycle select scan and ready check stay inside these slots
+    // instead of walking the fat `DynInst` entries;
+    // `ThreadState::due_hint` and `ThreadState::timed` reduce the scan
+    // to armed deadlines only.
+    // `preg_waiters` holds per-thread seqs; the owning thread is
+    // recovered from the register's partition.
     pub(crate) preg_waiters: Vec<Vec<u64>>,
     // Reused per-cycle scratch (hoisted allocations): (age, tid, idx)
     // for the due scan, (seq, tid, idx) for the issue group.
+    // `due_bounds` and `merge_heads` serve the lazy k-way merge that
+    // orders the due scan across threads (per-thread run end offsets
+    // and the live run cursors).
     pub(crate) due_buf: Vec<(u64, u32, u32)>,
     pub(crate) selected_buf: Vec<(u64, u32, u32)>,
+    pub(crate) due_bounds: Vec<usize>,
+    pub(crate) merge_heads: Vec<(usize, usize)>,
     pub(crate) squash_buf: Vec<DynInst>,
 
     // Storage under test (shared: the register cache, backing file, and
@@ -516,13 +616,57 @@ pub(crate) struct CoreState {
     /// The watchdog already spent its one forced recovery squash; the
     /// next trip is a real deadlock.
     pub(crate) forced_recovery: bool,
+
+    /// Per-stage self-profiling (`SimConfig::profile`): `None` — the
+    /// default — keeps `cycle()` on the original untimed loop, so
+    /// profiling is zero-cost when off.
+    pub(crate) profiler: Option<Box<StageProfiler>>,
+}
+
+/// Number of stages in [`SCHEDULE`].
+pub(crate) const NSTAGES: usize = SCHEDULE.len();
+
+/// Per-stage wall-time and call-count attribution, accumulated by
+/// [`CoreState::cycle`] when profiling is enabled. Indexed in
+/// [`SCHEDULE`] order; the stage names come from the schedule itself at
+/// report time.
+#[derive(Clone, Debug)]
+pub(crate) struct StageProfiler {
+    /// Total wall nanoseconds spent inside each stage function.
+    pub(crate) nanos: [u64; NSTAGES],
+    /// Invocations of each stage function (one per cycle per stage).
+    pub(crate) calls: [u64; NSTAGES],
+}
+
+impl StageProfiler {
+    pub(crate) fn new() -> Self {
+        Self {
+            nanos: [0; NSTAGES],
+            calls: [0; NSTAGES],
+        }
+    }
+
+    /// Renders the accumulated attribution as the public per-stage
+    /// profile rows, in schedule order.
+    pub(crate) fn finish(&self) -> crate::stats::StageProfile {
+        crate::stats::StageProfile {
+            stages: SCHEDULE
+                .iter()
+                .zip(self.nanos.iter().zip(&self.calls))
+                .map(|(stage, (&nanos, &calls))| crate::stats::StageSample {
+                    name: stage.name,
+                    nanos,
+                    calls,
+                })
+                .collect(),
+        }
+    }
 }
 
 /// One entry of the declarative cycle schedule.
 pub(crate) struct StageDesc {
-    /// Stage name, for schedule introspection (read by the
-    /// schedule-order test; kept for diagnostics).
-    #[allow(dead_code)]
+    /// Stage name, for schedule introspection (the schedule-order test)
+    /// and the per-stage self-profiling report.
     pub(crate) name: &'static str,
     /// The stage function, applied to the core with the current cycle.
     pub(crate) run: fn(&mut CoreState, u64),
@@ -572,10 +716,25 @@ pub(crate) const SCHEDULE: &[StageDesc] = &[
 
 impl CoreState {
     /// Runs one cycle: every stage of [`SCHEDULE`], then advances time.
+    /// With profiling enabled the loop also attributes wall time and a
+    /// call count to each stage; the profiler is taken out of `self`
+    /// for the duration so the stage functions keep their exclusive
+    /// borrow, and the untimed loop below stays the exact original hot
+    /// path when profiling is off.
     pub(crate) fn cycle(&mut self) {
         let now = self.now;
-        for stage in SCHEDULE {
-            (stage.run)(self, now);
+        if let Some(mut prof) = self.profiler.take() {
+            for (k, stage) in SCHEDULE.iter().enumerate() {
+                let t0 = std::time::Instant::now();
+                (stage.run)(self, now);
+                prof.nanos[k] += t0.elapsed().as_nanos() as u64;
+                prof.calls[k] += 1;
+            }
+            self.profiler = Some(prof);
+        } else {
+            for stage in SCHEDULE {
+                (stage.run)(self, now);
+            }
         }
         self.now += 1;
     }
@@ -632,9 +791,11 @@ impl CoreState {
             .enumerate()
             .flat_map(|(tid, t)| {
                 t.rob.iter().enumerate().take(8).map(move |(i, inst)| {
-                    let deadline = match t.sched.get(i) {
-                        Some(&u64::MAX) | None => "-".to_string(),
-                        Some(&w) => w.to_string(),
+                    let slot = &t.sched[i];
+                    let deadline = if slot.wake < SCHED_PARKED {
+                        slot.wake.to_string()
+                    } else {
+                        "-".to_string()
                     };
                     format!(
                         "t{tid} seq {:>8} pc {:#08x} `{}` {:?} earliest_issue {} wake {}",
@@ -642,7 +803,7 @@ impl CoreState {
                         inst.rec.pc,
                         inst.rec.inst,
                         inst.status,
-                        inst.earliest_issue,
+                        slot.earliest_issue,
                         deadline
                     )
                 })

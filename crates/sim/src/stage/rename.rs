@@ -7,7 +7,10 @@
 //! thread whose freelist partition is empty stalls alone, letting the
 //! other thread keep dispatching from the shared width budget.
 
-use super::{CoreState, DynInst, FetchedEntry, PregInfo, PregTime, Status, Storage, ThreadId};
+use super::{
+    CoreState, DynInst, FetchedEntry, IssueSlot, PregInfo, PregTime, Status, Storage, ThreadId,
+    NO_SRC,
+};
 use crate::trace::InstTrace;
 use ubrc_core::PhysReg;
 
@@ -200,13 +203,20 @@ impl CoreState {
             dest,
             prev,
             status: Status::Waiting,
-            earliest_issue: now + 1,
             exec_done: u64::MAX,
             fetch_cycle: entry.fetch_cycle,
             mispredicted: entry.mispredicted,
             wrong_path: entry.wrong_path,
         });
-        t.sched.push_back(now + 1);
+        t.sched.push_back(IssueSlot {
+            wake: now + 1,
+            age,
+            earliest_issue: now + 1,
+            srcs: srcs.map(|s| s.unwrap_or(NO_SRC)),
+            in_timed: true,
+        });
+        t.timed.push(t.sched_base + (t.sched.len() - 1) as u64);
+        t.due_hint = t.due_hint.min(now + 1);
         self.window_count += 1;
 
         // The rename map as of the mispredicted branch is what the

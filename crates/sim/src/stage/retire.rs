@@ -37,6 +37,7 @@ impl CoreState {
                 let t = &mut self.threads[tid];
                 let inst = t.rob.pop_front().expect("checked non-empty");
                 t.sched.pop_front();
+                t.sched_base += 1;
                 debug_assert!(!inst.wrong_path, "a wrong-path instruction retired");
                 budget -= 1;
                 self.retired += 1;
@@ -204,6 +205,7 @@ impl CoreState {
             memsys: *self.memsys.stats(),
             lifetimes: self.lifetimes.map(|lt| lt.finalize(now)),
             timeline: (!self.trace.is_empty()).then_some(Timeline { insts: self.trace }),
+            profile: self.profiler.map(|p| p.finish()),
         }
     }
 }

@@ -20,6 +20,11 @@ impl CoreState {
         removed.clear();
         removed.extend(self.threads[tid].rob.drain(keep..));
         self.threads[tid].sched.truncate(keep);
+        // Purge truncated positions eagerly: slots refilled after the
+        // squash reuse the same absolute positions, so a stale `timed`
+        // entry would alias a new instruction.
+        let cut = self.threads[tid].sched_base + keep as u64;
+        self.threads[tid].timed.retain(|&pos| pos < cut);
         for inst in removed.iter().rev() {
             debug_assert!(inst.wrong_path, "squashed a correct-path instruction");
             debug_assert_eq!(inst.tid, tid, "squashed another thread's instruction");
@@ -101,6 +106,7 @@ impl CoreState {
         removed.clear();
         removed.extend(self.threads[tid].rob.drain(..));
         self.threads[tid].sched.clear();
+        self.threads[tid].timed.clear();
         // Youngest first, so each arch register's rename-map chain
         // unwinds one mapping at a time back to the retired state.
         for inst in removed.iter().rev() {
@@ -151,9 +157,11 @@ impl CoreState {
         t.wp_ras_saved = false;
         // Restore the functional machine from the retirement
         // checkpoint (replacing it also discards any speculation the
-        // old machine had entered).
-        let recover = t.recover.as_ref().expect("recovery enabled");
-        t.machine = (**recover).clone();
+        // old machine had entered). `clone_from` reuses the squashed
+        // machine's buffers instead of reallocating the memory image
+        // on every recovery.
+        let recover = t.recover.as_deref().expect("recovery enabled");
+        t.machine.clone_from(recover);
         t.fetch_resume = now + self.config.recovery.machine_check_penalty;
         t.machine_checks += 1;
         t.recoveries += 1;

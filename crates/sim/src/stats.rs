@@ -113,6 +113,33 @@ impl EpochRecord {
     }
 }
 
+/// One stage's share of a self-profiled run ([`StageProfile`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageSample {
+    /// Stage name, as in the pipeline schedule ("fetch", "issue", ...).
+    pub name: &'static str,
+    /// Total wall nanoseconds spent inside the stage function.
+    pub nanos: u64,
+    /// Times the stage function ran (once per simulated cycle).
+    pub calls: u64,
+}
+
+/// Per-stage wall-time attribution of one simulation run, collected
+/// when [`crate::SimConfig::profile`] is set. Host-side cost only —
+/// the simulated timing is identical with profiling on or off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageProfile {
+    /// One sample per pipeline stage, in schedule order.
+    pub stages: Vec<StageSample>,
+}
+
+impl StageProfile {
+    /// Total wall nanoseconds across all stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.stages.iter().map(|s| s.nanos).sum()
+    }
+}
+
 /// Results of one timing-simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -190,6 +217,9 @@ pub struct SimResult {
     pub lifetimes: Option<LifetimeStats>,
     /// Pipeline trace of the first N instructions (when enabled).
     pub timeline: Option<crate::trace::Timeline>,
+    /// Per-stage wall-time attribution (when
+    /// [`crate::SimConfig::profile`] was enabled).
+    pub profile: Option<StageProfile>,
 }
 
 impl SimResult {
@@ -339,6 +369,7 @@ mod tests {
             memsys: MemSysStats::default(),
             lifetimes: None,
             timeline: None,
+            profile: None,
         };
         assert_eq!(r.ipc(), 2.5);
         assert_eq!(r.branch_mispredict_rate(), Some(0.1));

@@ -55,6 +55,24 @@ echo "== dynamic-way smoke: Tiny quads, DynamicWay + adaptive epochs, oracle on"
 cargo run --release -q -p ubrc-bench --bin experiments -- \
   dynway --scale tiny --check --timeout 300 >/dev/null
 
+echo "== throughput smoke: Tiny trajectory vs checked-in baseline (±30%)"
+# Gross perf regressions (an accidental re-virtualization, a debug
+# assert in the hot loop) surface here without flaking on machine
+# noise: the tolerance is deliberately generous and single-threaded
+# runs keep the number comparable across runs.
+UBRC_BENCH_WORKERS=1 cargo run --release -q -p ubrc-bench --bin experiments -- \
+  --json /tmp/ubrc_tiny_smoke.json --scale tiny >/dev/null
+python3 - <<'PYEOF'
+import json, pathlib
+measured = json.load(open("/tmp/ubrc_tiny_smoke.json"))["total_sim_insts_per_sec"]
+baseline = float(pathlib.Path("scripts/tiny_throughput_baseline.txt").read_text())
+delta = 100.0 * (measured / baseline - 1.0)
+print(f"   tiny throughput: {measured:,.0f} insts/s vs baseline {baseline:,.0f} ({delta:+.1f}%)")
+if abs(delta) > 30.0:
+    raise SystemExit(f"throughput drifted {delta:+.1f}% from scripts/tiny_throughput_baseline.txt "
+                     "(tolerance ±30%); investigate or update the baseline with this machine's number")
+PYEOF
+
 echo "== ConfigError rejection tests"
 cargo test --release -q -p ubrc-sim --lib -- reject
 
